@@ -1,0 +1,1 @@
+bin/gcbounds.ml: Arg Cmd Cmdliner Format Gc_bounds List Lower_bounds Partitioning Sleator_tarjan Term

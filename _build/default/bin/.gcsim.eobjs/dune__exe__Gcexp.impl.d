@@ -1,0 +1,1 @@
+bin/gcexp.ml: Arg Cmd Cmdliner Filename Float Gc_cache Gc_offline Gc_trace List Printf Term

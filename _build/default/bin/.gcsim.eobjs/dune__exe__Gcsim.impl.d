@@ -1,0 +1,1 @@
+bin/gcsim.ml: Arg Cmd Cmdliner Filename Format Gc_cache Gc_offline Gc_trace List Printf Term

@@ -1,0 +1,1 @@
+bin/gctrace.ml: Arg Cmd Cmdliner Filename Float Format Gc_locality Gc_trace List Printf Term

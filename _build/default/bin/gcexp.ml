@@ -1,0 +1,145 @@
+(* gcexp: parameter-sweep experiment runner, CSV to stdout.
+
+   Examples:
+     gcexp miss-curve --policy lru --policy iblp --k-min 64 --k-max 4096 t.gct
+     gcexp split-sweep -k 1024 t.gct
+     gcexp h-sweep --policy lru -k 512 -B 16 --construction thm2 *)
+
+open Cmdliner
+
+let read_trace path =
+  if path = "-" then Gc_trace.Trace_io.of_channel stdin
+  else if Filename.check_suffix path ".gctb" then
+    Gc_trace.Trace_io.load_binary path
+  else Gc_trace.Trace_io.load path
+
+let path_arg =
+  Arg.(value & pos 0 string "-" & info [] ~docv:"TRACE" ~doc:"Trace file.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
+
+(* ------------------------------------------------------------ miss-curve *)
+
+let geometric_grid lo hi steps =
+  List.init (steps + 1) (fun idx ->
+      let f = float_of_int idx /. float_of_int steps in
+      int_of_float
+        (Float.round (float_of_int lo *. Float.pow (float_of_int hi /. float_of_int lo) f)))
+  |> List.sort_uniq compare
+
+let miss_curve policies k_min k_max steps offline seed path =
+  let trace = read_trace path in
+  let blocks = trace.Gc_trace.Trace.blocks in
+  let policies = if policies = [] then [ "lru"; "block-lru"; "iblp" ] else policies in
+  print_endline "policy,k,misses,hit_rate,spatial_hits,temporal_hits";
+  List.iter
+    (fun k ->
+      List.iter
+        (fun name ->
+          let p = Gc_cache.Registry.make name ~k ~blocks ~seed in
+          let m = Gc_cache.Simulator.run ~check:false p trace in
+          Printf.printf "%s,%d,%d,%.6f,%d,%d\n" name k m.Gc_cache.Metrics.misses
+            (Gc_cache.Metrics.hit_rate m)
+            m.Gc_cache.Metrics.spatial_hits m.Gc_cache.Metrics.temporal_hits)
+        policies;
+      if offline then begin
+        Printf.printf "belady,%d,%d,,,\n" k (Gc_offline.Belady.cost ~k trace);
+        Printf.printf "clairvoyant,%d,%d,,,\n" k
+          (Gc_offline.Clairvoyant.cost ~k trace)
+      end)
+    (geometric_grid k_min k_max steps)
+
+let policies_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "policy"; "p" ] ~doc:"Policies to sweep (repeatable).")
+
+let k_min_arg = Arg.(value & opt int 64 & info [ "k-min" ] ~doc:"Smallest k.")
+let k_max_arg = Arg.(value & opt int 4096 & info [ "k-max" ] ~doc:"Largest k.")
+let steps_arg = Arg.(value & opt int 8 & info [ "steps" ] ~doc:"Grid points.")
+
+let offline_arg =
+  Arg.(value & flag & info [ "offline" ] ~doc:"Include offline baselines.")
+
+let miss_curve_cmd =
+  Cmd.v
+    (Cmd.info "miss-curve" ~doc:"Misses vs cache size, per policy (CSV)")
+    Term.(
+      const miss_curve $ policies_arg $ k_min_arg $ k_max_arg $ steps_arg
+      $ offline_arg $ seed_arg $ path_arg)
+
+(* ----------------------------------------------------------- split-sweep *)
+
+let split_sweep k points seed path =
+  let trace = read_trace path in
+  let blocks = trace.Gc_trace.Trace.blocks in
+  let bsize = Gc_trace.Block_map.block_size blocks in
+  ignore seed;
+  print_endline "i,b,misses,spatial_hits,temporal_hits";
+  List.iter
+    (fun idx ->
+      let i = idx * k / points / bsize * bsize in
+      let b = k - i in
+      let p = Gc_cache.Iblp.create ~i ~b ~blocks () in
+      let m = Gc_cache.Simulator.run ~check:false p trace in
+      Printf.printf "%d,%d,%d,%d,%d\n" i b m.Gc_cache.Metrics.misses
+        m.Gc_cache.Metrics.spatial_hits m.Gc_cache.Metrics.temporal_hits)
+    (List.init (points + 1) (fun idx -> idx))
+
+let k_arg = Arg.(value & opt int 1024 & info [ "k" ] ~doc:"Total cache size.")
+
+let points_arg =
+  Arg.(value & opt int 16 & info [ "points" ] ~doc:"Split grid points.")
+
+let split_sweep_cmd =
+  Cmd.v
+    (Cmd.info "split-sweep" ~doc:"IBLP misses vs item/block split (CSV)")
+    Term.(const split_sweep $ k_arg $ points_arg $ seed_arg $ path_arg)
+
+(* --------------------------------------------------------------- h-sweep *)
+
+let h_sweep policy k block_size construction cycles seed =
+  let blocks = Gc_trace.Block_map.uniform ~block_size in
+  print_endline "h,measured_ratio,bound";
+  let hs =
+    geometric_grid (max 2 (2 * block_size)) (k / 2) 8
+  in
+  List.iter
+    (fun h ->
+      let p = Gc_cache.Registry.make policy ~k ~blocks ~seed in
+      let c =
+        match construction with
+        | "st" -> Gc_cache.Attack.sleator_tarjan p ~k ~h ~cycles
+        | "thm2" -> Gc_cache.Attack.item_cache p ~k ~h ~block_size ~cycles
+        | "thm4" -> Gc_cache.Attack.general_a p ~k ~h ~block_size ~cycles
+        | other -> failwith (Printf.sprintf "unknown construction %S" other)
+      in
+      Printf.printf "%d,%.4f,%.4f\n" h
+        (Gc_trace.Adversary.measured_ratio c)
+        c.Gc_trace.Adversary.bound)
+    hs
+
+let policy_arg =
+  Arg.(value & opt string "lru" & info [ "policy"; "p" ] ~doc:"Target policy.")
+
+let block_size_arg =
+  Arg.(value & opt int 16 & info [ "block-size"; "B" ] ~doc:"Items per block.")
+
+let construction_arg =
+  Arg.(
+    value & opt string "thm2"
+    & info [ "construction"; "c" ] ~doc:"One of: st, thm2, thm4.")
+
+let cycles_arg = Arg.(value & opt int 20 & info [ "cycles" ] ~doc:"Cycles.")
+
+let h_sweep_cmd =
+  Cmd.v
+    (Cmd.info "h-sweep"
+       ~doc:"Measured adversarial ratio vs offline size h (CSV)")
+    Term.(
+      const h_sweep $ policy_arg $ k_arg $ block_size_arg $ construction_arg
+      $ cycles_arg $ seed_arg)
+
+let () =
+  let info = Cmd.info "gcexp" ~doc:"GC-caching experiment sweeps (CSV)" in
+  exit (Cmd.eval (Cmd.group info [ miss_curve_cmd; split_sweep_cmd; h_sweep_cmd ]))

@@ -1,0 +1,165 @@
+(* gcsim: run caching policies over a trace and report metrics.
+
+   Examples:
+     gcsim run --policy lru --policy iblp --k 1024 trace.gct
+     gcsim run --all --k 1024 --offline trace.gct
+     gcsim attack --construction thm2 --policy lru --k 512 --h 64 -B 16 *)
+
+open Cmdliner
+
+let read_trace path =
+  if path = "-" then Gc_trace.Trace_io.of_channel stdin
+  else if Filename.check_suffix path ".gctb" then
+    Gc_trace.Trace_io.load_binary path
+  else Gc_trace.Trace_io.load path
+
+(* ------------------------------------------------------------------ run *)
+
+let run policies all k seed offline no_check path =
+  let trace = read_trace path in
+  let blocks = trace.Gc_trace.Trace.blocks in
+  let names = if all then Gc_cache.Registry.names else policies in
+  if names = [] then failwith "no policies selected (use --policy or --all)";
+  Format.printf "%-14s %s@." "policy" "metrics";
+  List.iter
+    (fun name ->
+      let p = Gc_cache.Registry.make name ~k ~blocks ~seed in
+      let m = Gc_cache.Simulator.run ~check:(not no_check) p trace in
+      Format.printf "%-14s %s@." name (Gc_cache.Metrics.to_row m))
+    names;
+  if offline then begin
+    Format.printf "%-14s misses=%d@." "belady"
+      (Gc_offline.Belady.cost ~k trace);
+    let bsize = Gc_trace.Block_map.block_size blocks in
+    if k >= bsize then
+      Format.printf "%-14s misses=%d@." "block-belady"
+        (Gc_offline.Block_belady.cost ~k trace);
+    Format.printf "%-14s misses=%d@." "clairvoyant"
+      (Gc_offline.Clairvoyant.cost ~k trace)
+  end
+
+let policy_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "policy"; "p" ] ~docv:"NAME"
+        ~doc:"Policy to simulate (repeatable); see gc_cache registry.")
+
+let all_arg = Arg.(value & flag & info [ "all" ] ~doc:"Run every policy.")
+let k_arg = Arg.(value & opt int 1024 & info [ "k" ] ~doc:"Cache capacity.")
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
+
+let offline_arg =
+  Arg.(value & flag & info [ "offline" ] ~doc:"Also run offline baselines.")
+
+let no_check_arg =
+  Arg.(value & flag & info [ "no-check" ] ~doc:"Disable model checking.")
+
+let path_arg =
+  Arg.(value & pos 0 string "-" & info [] ~docv:"TRACE" ~doc:"Trace file.")
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate policies over a trace")
+    Term.(
+      const run $ policy_arg $ all_arg $ k_arg $ seed_arg $ offline_arg
+      $ no_check_arg $ path_arg)
+
+(* ---------------------------------------------------------------- suite *)
+
+let suite k seed block_size =
+  let entries =
+    Gc_trace.Workload_suite.standard ~seed ~block_size ()
+  in
+  let policies = Gc_cache.Registry.names in
+  Format.printf "misses at k = %d (workload x policy)@.@." k;
+  Format.printf "%-14s" "";
+  List.iter (fun e -> Format.printf " %12s" e.Gc_trace.Workload_suite.name) entries;
+  Format.printf "@.";
+  List.iter
+    (fun pname ->
+      Format.printf "%-14s" pname;
+      List.iter
+        (fun e ->
+          let trace = e.Gc_trace.Workload_suite.trace in
+          let p =
+            Gc_cache.Registry.make pname ~k ~blocks:trace.Gc_trace.Trace.blocks
+              ~seed
+          in
+          let m = Gc_cache.Simulator.run ~check:false p trace in
+          Format.printf " %12d" m.Gc_cache.Metrics.misses)
+        entries;
+      Format.printf "@.")
+    policies
+
+let suite_cmd =
+  Cmd.v
+    (Cmd.info "suite"
+       ~doc:"Every registry policy on the standard workload suite")
+    Term.(
+      const suite
+      $ Arg.(value & opt int 512 & info [ "k" ] ~doc:"Cache capacity.")
+      $ Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Suite seed.")
+      $ Arg.(value & opt int 16 & info [ "block-size"; "B" ] ~doc:"Block size."))
+
+(* --------------------------------------------------------------- attack *)
+
+let attack construction policy k h block_size cycles seed certify =
+  let blocks = Gc_trace.Block_map.uniform ~block_size in
+  let p = Gc_cache.Registry.make policy ~k ~blocks ~seed in
+  let c =
+    match construction with
+    | "st" -> Gc_cache.Attack.sleator_tarjan p ~k ~h ~cycles
+    | "thm2" -> Gc_cache.Attack.item_cache p ~k ~h ~block_size ~cycles
+    | "thm3" -> Gc_cache.Attack.block_cache p ~k ~h ~block_size ~cycles
+    | "thm4" -> Gc_cache.Attack.general_a p ~k ~h ~block_size ~cycles
+    | other -> failwith (Printf.sprintf "unknown construction %S" other)
+  in
+  let open Gc_trace.Adversary in
+  Format.printf "construction: %s vs %s (k=%d h=%d B=%d, %d cycles)@."
+    construction policy k h block_size cycles;
+  Format.printf "online misses:  %d@." c.online_misses;
+  Format.printf "offline misses: %d (per the proof's schedule)@." c.opt_misses;
+  Format.printf "measured ratio: %.3f@." (measured_ratio c);
+  Format.printf "theorem bound:  %.3f@." c.bound;
+  List.iter (fun (key, v) -> Format.printf "%s = %g@." key v) c.info;
+  if certify then begin
+    let cost = Gc_offline.Clairvoyant.cost ~k:h c.trace in
+    let claimed = c.opt_misses + c.warmup_opt_misses in
+    Format.printf "certification: clairvoyant(h) schedule costs %d vs %d claimed%s@."
+      cost claimed
+      (if cost <= claimed then " (certified)" else " (heuristic gap)")
+  end
+
+let construction_arg =
+  Arg.(
+    value & opt string "thm2"
+    & info [ "construction"; "c" ] ~doc:"One of: st, thm2, thm3, thm4.")
+
+let one_policy_arg =
+  Arg.(value & opt string "lru" & info [ "policy"; "p" ] ~doc:"Target policy.")
+
+let h_arg = Arg.(value & opt int 64 & info [ "h" ] ~doc:"Offline cache size.")
+
+let block_size_arg =
+  Arg.(value & opt int 16 & info [ "block-size"; "B" ] ~doc:"Items per block.")
+
+let cycles_arg = Arg.(value & opt int 30 & info [ "cycles" ] ~doc:"Cycles.")
+
+let certify_arg =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:"Check the offline cost with a clairvoyant schedule.")
+
+let attack_k_arg = Arg.(value & opt int 512 & info [ "k" ] ~doc:"Online size.")
+
+let attack_cmd =
+  Cmd.v
+    (Cmd.info "attack" ~doc:"Run an adversarial lower-bound construction")
+    Term.(
+      const attack $ construction_arg $ one_policy_arg $ attack_k_arg $ h_arg
+      $ block_size_arg $ cycles_arg $ seed_arg $ certify_arg)
+
+let () =
+  let info = Cmd.info "gcsim" ~doc:"GC-caching policy simulator" in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; suite_cmd; attack_cmd ]))

@@ -1,0 +1,1 @@
+examples/adaptive_split.ml: Format Gc_cache Gc_trace Generators List Metrics Registry Rng Simulator Trace

@@ -1,0 +1,1 @@
+examples/adversarial.ml: Adversary Attack Block_map Format Gc_bounds Gc_cache Gc_offline Gc_trace Iblp List Param_a Printf Registry

@@ -1,0 +1,1 @@
+examples/dram_cache.ml: Array Format Gc_cache Gc_memhier Gc_trace Geometry Hierarchy List Workloads Writeback

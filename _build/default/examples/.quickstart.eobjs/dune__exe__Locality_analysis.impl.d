@@ -1,0 +1,1 @@
+examples/locality_analysis.ml: Concave_fit Format Gc_bounds Gc_cache Gc_locality Gc_trace List Rng Synthesis Trace Working_set

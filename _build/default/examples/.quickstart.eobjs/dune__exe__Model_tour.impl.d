@@ -1,0 +1,1 @@
+examples/model_tour.ml: Adversary Attack Block_lru Block_map Format Gc_bounds Gc_cache Gc_locality Gc_offline Gc_trace Generators Iblp List Lru Metrics Policy Printf Rng Simulator String Trace

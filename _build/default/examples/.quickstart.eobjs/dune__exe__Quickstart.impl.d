@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Gc_bounds Gc_cache Gc_offline Gc_trace Generators List Metrics Registry Rng Simulator Stats Trace

@@ -1,0 +1,88 @@
+(* A DRAM-cache scenario at a granularity boundary (paper Section 1): a
+   64 B-line cache in front of 4 KB rows.  Every miss opens one row; the
+   policy decides how many of the row's 64 lines to take.
+
+   Three workloads stress different localities:
+   - row-major matrix sweep: maximal spatial locality;
+   - column-major sweep of the same matrix: adjacent accesses 8 KB apart;
+   - skewed key-value lookups on small records: temporal locality only.
+
+   Run with:  dune exec examples/dram_cache.exe *)
+
+open Gc_memhier
+
+let policies = [ "lru"; "block-lru"; "iblp"; "gcm"; "param-a:1" ]
+
+let report name addrs =
+  Format.printf "@.== %s (%d accesses)@." name (Array.length addrs);
+  Format.printf "%-12s %12s %14s %14s %10s@." "policy" "row opens"
+    "lines loaded" "bytes loaded" "hit rate";
+  List.iter
+    (fun pname ->
+      let h =
+        Hierarchy.create Geometry.sram_dram ~capacity_lines:4096
+          ~make_policy:(fun ~k ~blocks ->
+            Gc_cache.Registry.make pname ~k ~blocks ~seed:7)
+      in
+      Hierarchy.run h addrs;
+      let s = Hierarchy.stats h in
+      Format.printf "%-12s %12d %14d %14d %9.2f%%@." pname s.Hierarchy.misses
+        s.Hierarchy.lines_loaded s.Hierarchy.bytes_loaded
+        (100. *. float_of_int s.Hierarchy.hits /. float_of_int s.Hierarchy.accesses))
+    policies
+
+let () =
+  let rng = Gc_trace.Rng.create 1 in
+  (* 512 x 512 matrix of 8-byte doubles = 2 MiB, cache = 256 KiB. *)
+  let rows = 512 and cols = 512 and elem_bytes = 8 in
+  report "matrix, row-major sweep (streaming)"
+    (Workloads.matrix_row_major ~rows ~cols ~elem_bytes ~base:0);
+  report "matrix, column-major sweep (strided)"
+    (Workloads.matrix_col_major ~rows ~cols ~elem_bytes ~base:0);
+  report "key-value store, zipf(1.0) over 64 B records"
+    (Workloads.zipf_records (Gc_trace.Rng.split rng) ~n:262_144 ~records:65_536
+       ~record_bytes:64 ~alpha:1.0 ~base:0);
+  report "mixed: streaming interleaved with pointer chasing"
+    (Workloads.interleave
+       (Workloads.sequential ~n:131_072 ~start:0 ~step:64)
+       (Workloads.pointer_chase (Gc_trace.Rng.split rng) ~n:131_072
+          ~nodes:16_384 ~node_bytes:64 ~base:16_777_216));
+  (* Writes: the paper's theory covers reads; the write side of the same
+     boundary is about coalescing dirty lines into row writes, and the
+     granularity trade-off mirrors the read side. *)
+  let report_writes name workload =
+    Format.printf "@.== writes: %s@." name;
+    Format.printf "%-12s %14s %16s@." "policy" "dirty lines" "row writes";
+    List.iter
+      (fun pname ->
+        let wb =
+          Writeback.create Geometry.sram_dram ~capacity_lines:4096
+            ~make_policy:(fun ~k ~blocks ->
+              Gc_cache.Registry.make pname ~k ~blocks ~seed:7)
+        in
+        Writeback.run wb workload;
+        Writeback.flush wb;
+        let s = Writeback.stats wb in
+        Format.printf "%-12s %14d %16d@." pname s.Writeback.dirty_evictions
+          s.Writeback.writeback_rows)
+      policies
+  in
+  (* Append-only log: consecutive dirty lines share rows; whole-row
+     eviction coalesces them into one row write each. *)
+  report_writes "append-only log (sequential stores)"
+    (Workloads.log_append ~n:131_072 ~base:0 ~record_bytes:64);
+  (* Scattered updates: one dirty line per row; row-granularity eviction
+     only shortens dirty lifetimes and writes back more. *)
+  report_writes "scattered updates (zipf stores, 1 line/row)"
+    (Workloads.read_write_mix (Gc_trace.Rng.split rng)
+       ~addrs:
+         (Workloads.zipf_records (Gc_trace.Rng.split rng) ~n:131_072
+            ~records:32_768 ~record_bytes:64 ~alpha:0.9 ~base:0)
+       ~write_fraction:0.3);
+  Format.printf
+    "@.Takeaway: whole-row policies win streaming but collapse on sparse@.\
+     access; IBLP tracks the better baseline on each workload, which is@.\
+     exactly the behaviour Theorems 2/3/7 predict.  The write side mirrors@.\
+     it: sequential stores coalesce under row-granularity eviction, while@.\
+     scattered stores favour item granularity - footnote 1's read/write@.\
+     granularity split is the same trade-off again.@."

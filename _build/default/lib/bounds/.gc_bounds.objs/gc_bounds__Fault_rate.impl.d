@@ -1,0 +1,1 @@
+lib/bounds/fault_rate.ml: Float Locality_fn

@@ -1,0 +1,1 @@
+lib/bounds/fault_rate.mli: Locality_fn

@@ -1,0 +1,1 @@
+lib/bounds/figures.ml: Float Iblp_upper List Lower_bounds Partitioning Sleator_tarjan

@@ -1,0 +1,1 @@
+lib/bounds/iblp_upper.ml: Float

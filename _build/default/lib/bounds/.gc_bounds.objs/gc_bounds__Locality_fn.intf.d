@@ -1,0 +1,1 @@
+lib/bounds/locality_fn.mli:

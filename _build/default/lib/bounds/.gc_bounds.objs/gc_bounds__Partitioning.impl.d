@@ -1,0 +1,1 @@
+lib/bounds/partitioning.ml: Float Gc_lp Iblp_upper

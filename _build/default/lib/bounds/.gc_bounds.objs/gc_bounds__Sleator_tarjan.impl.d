@@ -1,0 +1,1 @@
+lib/bounds/sleator_tarjan.ml:

@@ -1,0 +1,1 @@
+lib/bounds/table1.ml: Lower_bounds Partitioning Printf Sleator_tarjan

@@ -1,0 +1,1 @@
+lib/bounds/table1.mli:

@@ -1,0 +1,1 @@
+lib/bounds/table2.ml: Fault_rate Float Locality_fn Printf

@@ -1,0 +1,1 @@
+lib/bounds/table2.mli:

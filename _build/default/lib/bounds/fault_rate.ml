@@ -1,0 +1,17 @@
+let clamp01 v = Float.min 1. (Float.max 0. v)
+
+let lower ~k ~f ~g =
+  let window = Locality_fn.inv f (k +. 1.) -. 2. in
+  if window <= 0. then 1. else clamp01 (Locality_fn.apply g window /. window)
+
+let item_layer ~i ~f =
+  let window = Locality_fn.inv f (i +. 1.) -. 2. in
+  if window <= 0. then 1. else clamp01 ((i -. 1.) /. window)
+
+let block_layer ~b ~block_size ~g =
+  let eff = b /. block_size in
+  let window = Locality_fn.inv g (eff +. 1.) -. 2. in
+  if window <= 0. then 1. else clamp01 ((eff -. 1.) /. window)
+
+let iblp ~i ~b ~block_size ~f ~g =
+  Float.min (item_layer ~i ~f) (block_layer ~b ~block_size ~g)

@@ -1,0 +1,24 @@
+(** Fault-rate bounds in the extended locality model (Theorems 8-11).
+
+    Note on Theorem 10: the paper's statement prints [f^-1], but its proof
+    substitutes "the number of blocks in a window g(n) as the items per
+    window function", so the inverse applied is [g^-1]; we implement the
+    proof's version (the printed form is a typo — with [f^-1] the block
+    layer's bound would not reduce to the Albers et al. bound on the
+    block-projected trace). *)
+
+val lower : k:float -> f:Locality_fn.t -> g:Locality_fn.t -> float
+(** Theorem 8: every deterministic policy faults at rate at least
+    [g(f^-1(k+1) - 2) / (f^-1(k+1) - 2)]. *)
+
+val item_layer : i:float -> f:Locality_fn.t -> float
+(** Theorem 9: the item layer faults at rate at most
+    [(i - 1) / (f^-1(i+1) - 2)]. *)
+
+val block_layer : b:float -> block_size:float -> g:Locality_fn.t -> float
+(** Theorem 10: the block layer faults at rate at most
+    [(b/B - 1) / (g^-1(b/B + 1) - 2)]. *)
+
+val iblp :
+  i:float -> b:float -> block_size:float -> f:Locality_fn.t -> g:Locality_fn.t -> float
+(** Theorem 11: [min(item_layer, block_layer)]. *)

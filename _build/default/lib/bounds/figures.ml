@@ -1,0 +1,46 @@
+type figure3_point = {
+  h : float;
+  sleator_tarjan : float;
+  gc_lower : float;
+  iblp_upper : float;
+  item_cache_lower : float;
+  block_cache_lower : float;
+}
+
+let figure3 ~k ~block_size ~hs =
+  List.map
+    (fun h ->
+      {
+        h;
+        sleator_tarjan = Sleator_tarjan.competitive_ratio ~k ~h;
+        gc_lower = Lower_bounds.best ~k ~h ~block_size;
+        iblp_upper = Partitioning.optimal_ratio ~k ~h ~block_size;
+        item_cache_lower = Lower_bounds.item_cache ~k ~h ~block_size;
+        block_cache_lower = Lower_bounds.block_cache ~k ~h ~block_size;
+      })
+    hs
+
+type figure6_point = {
+  h : float;
+  optimal_split : float;
+  fixed_splits : (float * float) list;
+}
+
+let figure6 ~k ~block_size ~fixed_is ~hs =
+  List.map
+    (fun h ->
+      {
+        h;
+        optimal_split = Partitioning.optimal_ratio ~k ~h ~block_size;
+        fixed_splits =
+          List.map
+            (fun i ->
+              (i, Iblp_upper.combined ~i ~b:(k -. i) ~block_size ~h))
+            fixed_is;
+      })
+    hs
+
+let default_hs ~k ~steps =
+  let lo = 2. and hi = k /. 2. in
+  List.init (steps + 1) (fun idx ->
+      lo *. Float.pow (hi /. lo) (float_of_int idx /. float_of_int steps))

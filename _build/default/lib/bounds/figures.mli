@@ -1,0 +1,35 @@
+(** Series generators for the paper's bound figures (3 and 6).
+
+    Both figures fix the online cache size [k = 1.28M] and block size
+    [B = 64] and sweep the offline cache size [h] on the x-axis, plotting
+    competitive ratios on the y-axis. *)
+
+type figure3_point = {
+  h : float;
+  sleator_tarjan : float;  (** Traditional lower bound. *)
+  gc_lower : float;  (** Theorem 4 minimized over [a]. *)
+  iblp_upper : float;  (** Section 5.3, optimal split. *)
+  item_cache_lower : float;  (** Theorem 2: LRU of the same size. *)
+  block_cache_lower : float;  (** Theorem 3: Block-LRU of the same size. *)
+}
+
+val figure3 : k:float -> block_size:float -> hs:float list -> figure3_point list
+
+type figure6_point = {
+  h : float;
+  optimal_split : float;  (** Ratio with the split re-optimized per h. *)
+  fixed_splits : (float * float) list;
+      (** [(i, ratio)] for each requested fixed item-layer size. *)
+}
+
+val figure6 :
+  k:float ->
+  block_size:float ->
+  fixed_is:float list ->
+  hs:float list ->
+  figure6_point list
+(** Fixed layer sizes vs. the per-[h] optimum (Figure 6 shows how a split
+    tuned for one [h] degrades for larger [h]). *)
+
+val default_hs : k:float -> steps:int -> float list
+(** Geometrically spaced [h] values in [\[2, k/2\]] for plotting. *)

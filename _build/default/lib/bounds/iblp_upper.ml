@@ -1,0 +1,25 @@
+let temporal ~i ~h = if i <= h then infinity else i /. (i -. h)
+
+let spatial ~b ~block_size ~h =
+  let ratio =
+    (b +. (2. *. block_size *. h) -. block_size) /. (b +. block_size)
+  in
+  Float.min block_size ratio
+
+let combined_threshold ~b ~block_size =
+  ((2. *. block_size *. b) -. b +. (2. *. block_size *. block_size)
+  +. block_size)
+  /. (2. *. block_size)
+
+let combined ~i ~b ~block_size ~h =
+  if i <= h then infinity
+  else begin
+    let bb = block_size in
+    if i <= combined_threshold ~b ~block_size then begin
+      let num = b +. (bb *. ((2. *. i) -. 1.)) in
+      num *. num /. (8. *. bb *. (bb +. b) *. (i -. h))
+    end
+    else
+      ((2. *. bb *. i) -. (bb *. b) +. b -. (bb *. bb) -. bb)
+      /. ((2. *. i) -. (2. *. h))
+  end

@@ -1,0 +1,23 @@
+(** Competitive-ratio upper bounds for IBLP (Theorems 5-7).
+
+    [i] = item-layer size, [b] = block-layer size, [block_size] = B,
+    [h] = offline cache size.  All bounds are [infinity] when the layer
+    meant to beat the adversary is no larger than [h] ([i <= h] for the
+    temporal bound and the combined bound). *)
+
+val temporal : i:float -> h:float -> float
+(** Theorem 5: the item layer alone, against pure temporal locality:
+    [i / (i - h)]. *)
+
+val spatial : b:float -> block_size:float -> h:float -> float
+(** Theorem 6: the block layer alone, against pure spatial locality:
+    [min (B, (b + 2Bh - B) / (b + B))]. *)
+
+val combined_threshold : b:float -> block_size:float -> float
+(** The item-layer size at which the combined program's inner optimum
+    saturates [t = B]: [(2Bb - b + 2B^2 + B) / (2B)]. *)
+
+val combined : i:float -> b:float -> block_size:float -> h:float -> float
+(** Theorem 7, both regimes:
+    - [i <= threshold]: [(b + B(2i-1))^2 / (8B (B+b) (i-h))]
+    - [i > threshold]: [(2Bi - Bb + b - B^2 - B) / (2i - 2h)] *)

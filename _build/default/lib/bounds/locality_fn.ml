@@ -1,0 +1,31 @@
+type t = {
+  eval : float -> float;
+  inverse : float -> float;
+  description : string;
+}
+
+let apply t x = t.eval x
+let inv t y = t.inverse y
+
+let power ?(coeff = 1.) ~p () =
+  if p < 1. then invalid_arg "Locality_fn.power: p must be >= 1";
+  if coeff <= 0. then invalid_arg "Locality_fn.power: coeff must be positive";
+  {
+    eval = (fun n -> coeff *. Float.pow n (1. /. p));
+    inverse = (fun m -> Float.pow (m /. coeff) p);
+    description = Printf.sprintf "%g * n^(1/%g)" coeff p;
+  }
+
+let scaled f ~factor =
+  if factor <= 0. then invalid_arg "Locality_fn.scaled: factor must be positive";
+  {
+    eval = (fun n -> f.eval n /. factor);
+    inverse = (fun m -> f.inverse (m *. factor));
+    description = Printf.sprintf "(%s) / %g" f.description factor;
+  }
+
+let spatial_pair ~p ~ratio ~block_size =
+  if ratio < 1. || ratio > block_size then
+    invalid_arg "Locality_fn.spatial_pair: ratio must be in [1, B]";
+  let f = power ~p () in
+  (f, scaled f ~factor:ratio)

@@ -1,0 +1,30 @@
+(** Locality functions for the extended Albers-Favrholdt-Giel model
+    (paper Sections 2 and 7).
+
+    [f n] bounds the number of distinct {e items} in any window of [n]
+    accesses; [g n] does the same for distinct {e blocks}.  Valid pairs
+    satisfy [f n / B <= g n <= f n]; the ratio [f/g] measures spatial
+    locality.  Bounds use the inverses, so each function carries its own. *)
+
+type t = {
+  eval : float -> float;
+  inverse : float -> float;
+  description : string;
+}
+
+val apply : t -> float -> float
+val inv : t -> float -> float
+
+val power : ?coeff:float -> p:float -> unit -> t
+(** [power ~p ()] is [f n = coeff * n^(1/p)] (concave for [p >= 1]),
+    with inverse [m -> (m / coeff)^p].  [coeff] defaults to 1. *)
+
+val scaled : t -> factor:float -> t
+(** [scaled f ~factor] is [n -> f n / factor] — how the paper derives [g]
+    from [f]: [g = f] (no spatial locality) through [g = f / B]
+    (maximal). *)
+
+val spatial_pair :
+  p:float -> ratio:float -> block_size:float -> t * t
+(** [(f, g)] with [f = power ~p] and [g = f / ratio]; checks
+    [1 <= ratio <= block_size]. *)

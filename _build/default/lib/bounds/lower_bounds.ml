@@ -1,0 +1,27 @@
+let guard_ratio v = if v <= 0. then infinity else v
+
+let item_cache ~k ~h ~block_size =
+  guard_ratio (block_size *. (k -. block_size +. 1.) /. (k -. h +. 1.))
+
+let block_cache ~k ~h ~block_size =
+  let denom = k -. (block_size *. (h -. 1.)) in
+  if denom <= 0. then infinity else guard_ratio (k /. denom)
+
+let general ~a ~k ~h ~block_size =
+  (* The construction stores the a step-2 items in the offline cache, so it
+     needs h >= a; and a block cannot force more than B distinct accesses. *)
+  if a > h || a > block_size || a < 1. then infinity
+  else
+    guard_ratio
+      (((a *. (k -. h +. 1.)) +. (block_size *. (h -. a)))
+      /. (k -. h +. 1.))
+
+(* The Theorem-4 expression is linear in a, so its minimum over the valid
+   domain [1, min(B, h)] is at an endpoint: a = 1 when the coefficient
+   (k - h + 1 - B) is positive. *)
+let best_a ~k ~h ~block_size =
+  if k -. h +. 1. > block_size then 1. else Float.min block_size h
+
+let best ~k ~h ~block_size =
+  let a = best_a ~k ~h ~block_size in
+  general ~a ~k ~h ~block_size

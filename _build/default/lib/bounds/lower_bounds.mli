@@ -1,0 +1,28 @@
+(** Competitive-ratio lower bounds for GC caching (Theorems 2-4).
+
+    All arguments in items: [k] online cache size, [h] offline cache size,
+    [block_size] = B.  Formulas return [infinity] where the corresponding
+    denominator is non-positive (the policy is not competitive at all). *)
+
+val item_cache : k:float -> h:float -> block_size:float -> float
+(** Theorem 2: any Item Cache is at least
+    [B (k - B + 1) / (k - h + 1)]-competitive. *)
+
+val block_cache : k:float -> h:float -> block_size:float -> float
+(** Theorem 3: any Block Cache is at least
+    [k / (k - B (h - 1))]-competitive ([infinity] for [k <= B (h-1)]). *)
+
+val general : a:float -> k:float -> h:float -> block_size:float -> float
+(** Theorem 4: a policy that loads a whole block only after [a] distinct
+    consecutive accesses is at least
+    [(a (k - h + 1) + B (h - a)) / (k - h + 1)]-competitive.  Valid for
+    [1 <= a <= min(B, h)] (the offline cache needs [h >= a] space for the
+    step-2 items); [infinity] outside that domain. *)
+
+val best : k:float -> h:float -> block_size:float -> float
+(** The problem's deterministic lower bound: the minimum of {!general} over
+    the valid [a] range.  Section 4.4 shows the minimum is at an extreme
+    ([a = 1] when [k - h + 1 > B], else [a = min(B, h)]). *)
+
+val best_a : k:float -> h:float -> block_size:float -> float
+(** The minimizing [a] (1 or [min(B, h)]). *)

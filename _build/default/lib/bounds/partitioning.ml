@@ -1,0 +1,36 @@
+let item_layer_threshold ~h ~block_size =
+  let bb = block_size in
+  ((3. *. bb *. h) -. h -. (bb *. bb) -. bb) /. (bb -. 1.)
+
+let optimal_i ~k ~h ~block_size =
+  if k < item_layer_threshold ~h ~block_size then k
+  else begin
+    let bb = block_size in
+    ((k *. k) +. (4. *. bb *. h *. k) -. (h *. k) +. (4. *. bb *. bb *. h)
+    -. (3. *. bb *. h) -. (bb *. bb))
+    /. ((2. *. bb *. k) +. k +. (2. *. bb *. h) -. h +. (2. *. bb *. bb)
+       -. (3. *. bb))
+  end
+
+let optimal_ratio ~k ~h ~block_size =
+  if k <= h then infinity
+  else begin
+    let bb = block_size in
+    if k < item_layer_threshold ~h ~block_size then
+      ((2. *. bb *. k) -. (bb *. bb) -. bb) /. (2. *. (k -. h))
+    else begin
+      let d = k -. h +. bb in
+      (k +. bb -. 1.) *. (k -. h +. (bb *. ((2. *. h) -. 1.))) /. (d *. d)
+    end
+  end
+
+let numeric_best_split ~k ~h ~block_size =
+  let objective i = -.Iblp_upper.combined ~i ~b:(k -. i) ~block_size ~h in
+  let lo = Float.min (h +. 1e-6) k and hi = k in
+  let i, neg = Gc_lp.Grid_opt.grid_max ~refine:6 ~steps:4096 ~lo ~hi objective in
+  (i, -.neg)
+
+let large_cache_ratio ~k ~h ~block_size =
+  if k >= 3. *. h then
+    k *. (k +. (2. *. block_size *. h)) /. ((k -. h) *. (k -. h))
+  else block_size *. k /. (k -. h)

@@ -1,0 +1,29 @@
+(** Choosing IBLP's layer sizes (Section 5.3).
+
+    When the offline size [h] is known, the optimal split has a closed
+    form; this module provides it plus a numeric cross-check that minimizes
+    the Theorem-7 bound directly. *)
+
+val item_layer_threshold : h:float -> block_size:float -> float
+(** The online size below which IBLP should devote everything to the item
+    layer: [(3Bh - h - B^2 - B) / (B - 1)]. *)
+
+val optimal_i : k:float -> h:float -> block_size:float -> float
+(** Optimal item-layer size.  For [k] below {!item_layer_threshold} this is
+    [k] itself (operate as an Item Cache); above it,
+    [(k^2 + 4Bhk - hk + 4B^2 h - 3Bh - B^2)
+     / (2Bk + k + 2Bh - h + 2B^2 - 3B)]. *)
+
+val optimal_ratio : k:float -> h:float -> block_size:float -> float
+(** The competitive ratio at the optimal split:
+    [(k + B - 1)(k - h + B(2h - 1)) / (k - h + B)^2] above the threshold,
+    [(2Bk - B^2 - B) / (2 (k - h))] below it. *)
+
+val numeric_best_split :
+  k:float -> h:float -> block_size:float -> float * float
+(** [(i, ratio)] minimizing the Theorem-7 bound over [i] by grid search
+    with [b = k - i] — the mechanical check of the closed form. *)
+
+val large_cache_ratio : k:float -> h:float -> block_size:float -> float
+(** The paper's simplified form for [k > h >> B >> 1]:
+    [k (k + 2Bh) / (k - h)^2] when [k >= 3h], else [Bk / (k - h)]. *)

@@ -1,0 +1,11 @@
+let harmonic k =
+  if k < 1 then invalid_arg "Randomized.harmonic: k must be >= 1";
+  let acc = ref 0. in
+  for j = 1 to k do
+    acc := !acc +. (1. /. float_of_int j)
+  done;
+  !acc
+
+let marking_upper ~k = 2. *. harmonic k
+
+let randomized_lower ~k = harmonic k

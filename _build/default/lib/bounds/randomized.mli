@@ -1,0 +1,22 @@
+(** Classical randomized-paging bounds, for Section-6 context.
+
+    Against {e oblivious} adversaries, randomized marking is
+    [2 H_k]-competitive and no randomized policy beats [H_k] (Fiat et al.).
+    The paper's Section 6 extends marking to GC caching (GCM) and shows
+    randomization does {e not} remove the comparison-size dependence; these
+    classical numbers are the baseline the [randomized] bench compares
+    measured expectations against.
+
+    Note the adversaries in [Gc_trace.Adversary] are adaptive (they query
+    the policy's state), so these bounds do not apply to them — the bench
+    replays {e fixed} traces across seeds instead. *)
+
+val harmonic : int -> float
+(** [H_k = 1 + 1/2 + ... + 1/k]. *)
+
+val marking_upper : k:int -> float
+(** [2 H_k]: expected competitive ratio of the marking algorithm against an
+    oblivious adversary (equal cache sizes). *)
+
+val randomized_lower : k:int -> float
+(** [H_k]: no randomized policy does better (equal cache sizes). *)

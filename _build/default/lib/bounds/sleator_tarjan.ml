@@ -1,0 +1,3 @@
+let competitive_ratio ~k ~h = k /. (k -. h +. 1.)
+
+let augmentation_for_ratio ~ratio ~h = ratio *. (h -. 1.) /. (ratio -. 1.)

@@ -1,0 +1,14 @@
+(** The classic Sleator-Tarjan paging bounds (traditional caching).
+
+    With online cache size [k] and offline size [h], every deterministic
+    policy has competitive ratio at least [k / (k - h + 1)], and LRU
+    achieves it.  Used as the baseline the paper's Table 1 and Figure 3
+    compare against. *)
+
+val competitive_ratio : k:float -> h:float -> float
+(** [k / (k - h + 1)]; infinite when [k < h] is nonsense input (we return
+    the formula value; callers should pass [k >= h >= 1]). *)
+
+val augmentation_for_ratio : ratio:float -> h:float -> float
+(** The [k] at which the ST ratio equals [ratio]:
+    [k = (ratio * (h - 1)) / (ratio - 1)]. *)

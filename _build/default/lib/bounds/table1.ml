@@ -1,0 +1,81 @@
+type family = St | Gc_lower | Gc_upper
+
+type point = { augmentation : float; ratio : float }
+
+let eval family ~k ~h ~block_size =
+  match family with
+  | St -> Sleator_tarjan.competitive_ratio ~k ~h
+  | Gc_lower -> Lower_bounds.best ~k ~h ~block_size
+  | Gc_upper -> Partitioning.optimal_ratio ~k ~h ~block_size
+
+let constant_augmentation ~h ~block_size family =
+  let k = 2. *. h in
+  { augmentation = 2.; ratio = eval family ~k ~h ~block_size }
+
+(* All three ratio formulas decrease in k (more online space can only
+   help), so [solve] bisects a decreasing function. *)
+let bisect ~lo ~hi f =
+  let lo = ref lo and hi = ref hi in
+  for _ = 1 to 200 do
+    let mid = (!lo +. !hi) /. 2. in
+    if f mid > 0. then lo := mid else hi := mid
+  done;
+  (!lo +. !hi) /. 2.
+
+let meeting_point ~h ~block_size family =
+  let objective k = eval family ~k ~h ~block_size -. (k /. h) in
+  let k =
+    bisect ~lo:(h +. 1.) ~hi:(4. *. block_size *. h *. (h +. 1.)) objective
+  in
+  { augmentation = k /. h; ratio = eval family ~k ~h ~block_size }
+
+let constant_ratio ~h ~block_size ~target family =
+  let objective k = eval family ~k ~h ~block_size -. target in
+  let k =
+    bisect ~lo:(h +. 1.) ~hi:(100. *. block_size *. h *. (h +. 1.)) objective
+  in
+  { augmentation = k /. h; ratio = eval family ~k ~h ~block_size }
+
+type row = {
+  setting : string;
+  paper_form : family -> string;
+  point : family -> point;
+}
+
+let rows ~h ~block_size =
+  let b = block_size in
+  [
+    {
+      setting = "Constant Augmentation";
+      paper_form =
+        (function
+        | St -> "k = 2h => 2x"
+        | Gc_lower -> Printf.sprintf "k ~ 2h => Bx (= %gx)" b
+        | Gc_upper -> Printf.sprintf "k ~ 2h => 2Bx (= %gx)" (2. *. b));
+      point = constant_augmentation ~h ~block_size;
+    };
+    {
+      setting = "Ratio = Augmentation";
+      paper_form =
+        (function
+        | St -> "k = 2h => 2x"
+        | Gc_lower ->
+            Printf.sprintf "k ~ sqrt(B) h => sqrt(B)x (= %.2fx)" (sqrt b)
+        | Gc_upper ->
+            Printf.sprintf "k ~ sqrt(2B) h => sqrt(2B)x (= %.2fx)"
+              (sqrt (2. *. b)));
+      point = meeting_point ~h ~block_size;
+    };
+    {
+      setting = "Constant Ratio";
+      paper_form =
+        (function
+        | St -> "k = 2h => 2x"
+        | Gc_lower -> "k ~ Bh => 2x"
+        | Gc_upper -> "k ~ Bh => 3x");
+      point =
+        (fun family ->
+          let target = match family with Gc_upper -> 3. | _ -> 2. in
+          constant_ratio ~h ~block_size ~target family);
+    };
+  ]

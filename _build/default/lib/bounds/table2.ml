@@ -1,0 +1,48 @@
+type row = {
+  f_desc : string;
+  g_desc : string;
+  lower_asym : string;
+  item_asym : string;
+  block_asym : string;
+  lower : float;
+  item_ub : float;
+  block_ub : float;
+}
+
+let pow_desc base e =
+  if e = 0. then "1"
+  else if e = 1. then base
+  else Printf.sprintf "%s^%g" base e
+
+let rows ~p ~block_size ~size =
+  let make_row ~rho ~g_desc ~lower_asym ~block_asym =
+    let f, g = Locality_fn.spatial_pair ~p ~ratio:rho ~block_size in
+    {
+      f_desc = Printf.sprintf "n^(1/%g)" p;
+      g_desc;
+      lower_asym;
+      item_asym = Printf.sprintf "1/%s" (pow_desc "i" (p -. 1.));
+      block_asym;
+      lower = Fault_rate.lower ~k:size ~f ~g;
+      item_ub = Fault_rate.item_layer ~i:size ~f;
+      block_ub = Fault_rate.block_layer ~b:size ~block_size ~g;
+    }
+  in
+  let hp = pow_desc "h" (p -. 1.) and bp = pow_desc "b" (p -. 1.) in
+  [
+    (* No spatial locality: g = f. *)
+    make_row ~rho:1. ~g_desc:(Printf.sprintf "n^(1/%g)" p)
+      ~lower_asym:(Printf.sprintf "1/%s" hp)
+      ~block_asym:(Printf.sprintf "%s/%s" (pow_desc "B" (p -. 1.)) bp);
+    (* Largest-gap spatial locality: g = f / B^((p-1)/p). *)
+    make_row
+      ~rho:(Float.pow block_size ((p -. 1.) /. p))
+      ~g_desc:(Printf.sprintf "n^(1/%g) / B^(%g)" p ((p -. 1.) /. p))
+      ~lower_asym:(Printf.sprintf "1/(B^(%g) %s)" ((p -. 1.) /. p) hp)
+      ~block_asym:(Printf.sprintf "1/%s" bp);
+    (* Maximal spatial locality: g = f / B. *)
+    make_row ~rho:block_size
+      ~g_desc:(Printf.sprintf "n^(1/%g) / B" p)
+      ~lower_asym:(Printf.sprintf "1/(B %s)" hp)
+      ~block_asym:(Printf.sprintf "1/(B %s)" bp);
+  ]

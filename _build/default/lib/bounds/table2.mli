@@ -1,0 +1,27 @@
+(** Reproduction of the paper's Table 2: fault-rate bounds for an equally
+    split IBLP ([i = b]) against the lower bound for a cache of the size of
+    each partition, under polynomial locality [f n = n^(1/p)].
+
+    For each spatial-locality ratio [rho = f/g] the row reports the
+    Theorem-8 lower bound and the Theorem-9/10 upper bounds, both as the
+    asymptotic forms the paper prints and as exact numeric values.
+
+    Note: the paper's middle rows pair [g = f / B^(1/2)] with entries in
+    [B^((p-1)/p)]; those agree only at [p = 2].  Section 7.3 identifies the
+    largest-gap ratio as [B^(1 - 1/p)], which makes the printed entries
+    consistent, so we use [rho = B^((p-1)/p)] for the middle row. *)
+
+type row = {
+  f_desc : string;
+  g_desc : string;
+  lower_asym : string;
+  item_asym : string;
+  block_asym : string;
+  lower : float;  (** Theorem 8 at cache size [size]. *)
+  item_ub : float;  (** Theorem 9 at [i = size]. *)
+  block_ub : float;  (** Theorem 10 at [b = size]. *)
+}
+
+val rows : p:float -> block_size:float -> size:float -> row list
+(** Three rows, for [rho] in [{1, B^((p-1)/p), B}], evaluated at
+    [i = b = h = size]. *)

@@ -1,0 +1,1 @@
+lib/cache/arc.ml: Lru_core Policy

@@ -1,0 +1,1 @@
+lib/cache/attack.ml: Gc_trace Policy

@@ -1,0 +1,1 @@
+lib/cache/block_lru.ml: Array Gc_trace Hashtbl Lru_core Policy

@@ -1,0 +1,1 @@
+lib/cache/block_lru.mli: Gc_trace Policy

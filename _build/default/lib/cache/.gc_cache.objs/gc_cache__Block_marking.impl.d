@@ -1,0 +1,1 @@
+lib/cache/block_marking.ml: Array Gc_trace Index_set List Policy

@@ -1,0 +1,1 @@
+lib/cache/block_marking.mli: Gc_trace Policy

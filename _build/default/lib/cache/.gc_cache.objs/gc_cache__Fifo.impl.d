@@ -1,0 +1,1 @@
+lib/cache/fifo.ml: Item_policy Lru_core

@@ -1,0 +1,1 @@
+lib/cache/fwf.ml: Index_set Policy

@@ -1,0 +1,1 @@
+lib/cache/fwf.mli: Policy

@@ -1,0 +1,1 @@
+lib/cache/gcm.ml: Array Gc_trace Index_set List Policy Seq

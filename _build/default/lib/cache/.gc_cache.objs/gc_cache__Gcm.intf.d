@@ -1,0 +1,1 @@
+lib/cache/gcm.mli: Gc_trace Policy

@@ -1,0 +1,1 @@
+lib/cache/iblp.ml: Array Gc_trace Hashtbl Lru_core Policy

@@ -1,0 +1,1 @@
+lib/cache/iblp.mli: Gc_trace Policy

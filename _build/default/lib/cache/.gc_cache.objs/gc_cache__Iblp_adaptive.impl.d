@@ -1,0 +1,1 @@
+lib/cache/iblp_adaptive.ml: Array Gc_trace Hashtbl Lru_core Policy

@@ -1,0 +1,1 @@
+lib/cache/iblp_adaptive.mli: Gc_trace Policy

@@ -1,0 +1,1 @@
+lib/cache/index_set.ml: Array Gc_trace Hashtbl

@@ -1,0 +1,1 @@
+lib/cache/index_set.mli: Gc_trace

@@ -1,0 +1,1 @@
+lib/cache/item_policy.ml: Policy

@@ -1,0 +1,1 @@
+lib/cache/lfu.ml: Hashtbl Item_policy Lru_core

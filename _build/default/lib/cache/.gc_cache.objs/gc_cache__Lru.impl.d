@@ -1,0 +1,1 @@
+lib/cache/lru.ml: Item_policy Lru_core

@@ -1,0 +1,1 @@
+lib/cache/lru_core.ml: Hashtbl List Option

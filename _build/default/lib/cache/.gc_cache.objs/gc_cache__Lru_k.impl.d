@@ -1,0 +1,1 @@
+lib/cache/lru_k.ml: Hashtbl List Lru_core Option Policy

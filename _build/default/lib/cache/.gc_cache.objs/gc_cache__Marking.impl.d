@@ -1,0 +1,1 @@
+lib/cache/marking.ml: Gc_trace Index_set Policy

@@ -1,0 +1,1 @@
+lib/cache/marking.mli: Gc_trace Policy

@@ -1,0 +1,1 @@
+lib/cache/metrics.ml: Format Printf

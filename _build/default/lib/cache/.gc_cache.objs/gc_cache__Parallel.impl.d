@@ -1,0 +1,1 @@
+lib/cache/parallel.ml: Array Domain List Simulator

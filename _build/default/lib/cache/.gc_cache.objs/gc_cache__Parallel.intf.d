@@ -1,0 +1,1 @@
+lib/cache/parallel.mli: Gc_trace Metrics Policy

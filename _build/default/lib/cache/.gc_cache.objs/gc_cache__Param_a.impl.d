@@ -1,0 +1,1 @@
+lib/cache/param_a.ml: Array Gc_trace Hashtbl List Lru_core Policy Seq

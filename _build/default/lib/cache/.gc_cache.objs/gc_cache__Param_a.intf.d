@@ -1,0 +1,1 @@
+lib/cache/param_a.mli: Gc_trace Policy

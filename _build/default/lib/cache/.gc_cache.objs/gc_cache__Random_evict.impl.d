@@ -1,0 +1,1 @@
+lib/cache/random_evict.ml: Gc_trace Index_set Item_policy

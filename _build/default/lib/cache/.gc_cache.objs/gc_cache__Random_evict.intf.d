@@ -1,0 +1,1 @@
+lib/cache/random_evict.mli: Gc_trace Policy

@@ -1,0 +1,1 @@
+lib/cache/registry.mli: Gc_trace Policy

@@ -1,0 +1,1 @@
+lib/cache/replicates.ml: Float Format List Metrics Simulator

@@ -1,0 +1,1 @@
+lib/cache/replicates.mli: Format Gc_trace Policy

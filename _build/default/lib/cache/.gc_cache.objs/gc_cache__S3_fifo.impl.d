@@ -1,0 +1,1 @@
+lib/cache/s3_fifo.ml: Hashtbl Lru_core Option Policy

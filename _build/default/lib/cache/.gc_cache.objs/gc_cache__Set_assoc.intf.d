@@ -1,0 +1,1 @@
+lib/cache/set_assoc.mli: Policy

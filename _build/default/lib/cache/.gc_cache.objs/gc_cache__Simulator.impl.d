@@ -1,0 +1,1 @@
+lib/cache/simulator.ml: Format Gc_trace Hashtbl List Metrics Policy

@@ -1,0 +1,1 @@
+lib/cache/simulator.mli: Gc_trace Metrics Policy

@@ -1,0 +1,1 @@
+lib/cache/stride_prefetch.ml: Gc_trace List Lru_core Policy

@@ -1,0 +1,1 @@
+lib/cache/stride_prefetch.mli: Gc_trace Policy

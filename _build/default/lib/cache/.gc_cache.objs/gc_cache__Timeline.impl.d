@@ -1,0 +1,1 @@
+lib/cache/timeline.ml: Gc_trace List Metrics Policy Simulator

@@ -1,0 +1,1 @@
+lib/cache/timeline.mli: Gc_trace Metrics Policy

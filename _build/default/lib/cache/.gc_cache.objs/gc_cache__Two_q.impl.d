@@ -1,0 +1,1 @@
+lib/cache/two_q.ml: Lru_core Policy

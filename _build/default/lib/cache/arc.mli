@@ -1,0 +1,11 @@
+(** ARC (Adaptive Replacement Cache, Megiddo & Modha 2003) at item
+    granularity.
+
+    A strong practical baseline beyond the paper's LRU: two LRU lists (seen
+    once / seen at least twice) plus ghost lists whose hits steer the
+    adaptation parameter.  Like every Item Cache it is spatially blind, so
+    Theorem 2's lower bound applies to it unchanged — the [empirical_thm2]
+    bench exercises exactly that. *)
+
+val create : k:int -> Policy.t
+(** [k >= 2] (the two lists need at least one slot each to adapt). *)

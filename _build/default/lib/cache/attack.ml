@@ -1,0 +1,7 @@
+(** Adversarial constructions instantiated against {!Policy.t} instances.
+
+    [Attack.item_cache policy ~k ~h ~block_size ~cycles] etc. build the
+    lower-bound traces of Theorems 2-4 adaptively against the given policy;
+    see {!Gc_trace.Adversary} for the construction details. *)
+
+include Gc_trace.Adversary.Make (Policy.Oracle)

@@ -1,0 +1,58 @@
+module P = struct
+  type t = {
+    k : int;
+    blocks : Gc_trace.Block_map.t;
+    recency : Lru_core.t;  (* keys are block ids *)
+    resident : (int, int array) Hashtbl.t;  (* block -> its loaded items *)
+    cached_items : (int, unit) Hashtbl.t;
+    mutable occ : int;
+  }
+
+  let name = "block-lru"
+  let k t = t.k
+  let mem t item = Hashtbl.mem t.cached_items item
+  let occupancy t = t.occ
+
+  let evict_lru_block t =
+    match Lru_core.pop_lru t.recency with
+    | None -> assert false
+    | Some blk ->
+        let items = Hashtbl.find t.resident blk in
+        Hashtbl.remove t.resident blk;
+        Array.iter (fun x -> Hashtbl.remove t.cached_items x) items;
+        t.occ <- t.occ - Array.length items;
+        Array.to_list items
+
+  let access t item =
+    let blk = Gc_trace.Block_map.block_of t.blocks item in
+    if Hashtbl.mem t.resident blk then begin
+      Lru_core.touch t.recency blk;
+      Policy.Hit { evicted = [] }
+    end
+    else begin
+      let incoming = Gc_trace.Block_map.items_of t.blocks blk in
+      let evicted = ref [] in
+      while t.occ + Array.length incoming > t.k do
+        evicted := evict_lru_block t @ !evicted
+      done;
+      Lru_core.touch t.recency blk;
+      Hashtbl.add t.resident blk incoming;
+      Array.iter (fun x -> Hashtbl.replace t.cached_items x ()) incoming;
+      t.occ <- t.occ + Array.length incoming;
+      Policy.Miss { loaded = Array.to_list incoming; evicted = !evicted }
+    end
+end
+
+let create ~k ~blocks =
+  let b = Gc_trace.Block_map.block_size blocks in
+  if k < b then invalid_arg "Block_lru.create: k smaller than block size";
+  Policy.Instance
+    ( (module P),
+      {
+        P.k;
+        blocks;
+        recency = Lru_core.create ();
+        resident = Hashtbl.create 256;
+        cached_items = Hashtbl.create 1024;
+        occ = 0;
+      } )

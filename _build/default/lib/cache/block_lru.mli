@@ -1,0 +1,9 @@
+(** Block Cache running LRU — the paper's coarse-granularity baseline.
+
+    Loads {e all} items of the requested block on a miss and evicts whole
+    blocks, LRU over blocks.  Excellent on spatial locality; on traces that
+    touch one item per block, the effective capacity shrinks by a factor of
+    [B] (Theorem 3: competitive ratio at least [k / (k - B (h - 1))]). *)
+
+val create : k:int -> blocks:Gc_trace.Block_map.t -> Policy.t
+(** Requires [k >= Block_map.block_size blocks]. *)

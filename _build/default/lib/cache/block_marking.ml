@@ -1,0 +1,74 @@
+module P = struct
+  type t = {
+    k : int;
+    blocks : Gc_trace.Block_map.t;
+    rng : Gc_trace.Rng.t;
+    marked : Index_set.t;
+    unmarked : Index_set.t;
+  }
+
+  let name = "block-marking"
+  let k t = t.k
+  let mem t x = Index_set.mem t.marked x || Index_set.mem t.unmarked x
+  let occupancy t = Index_set.size t.marked + Index_set.size t.unmarked
+
+  let new_phase t =
+    Index_set.iter (fun x -> Index_set.add t.unmarked x) t.marked;
+    Index_set.clear t.marked
+
+  let evict_random_unmarked t =
+    let v = Index_set.random t.unmarked t.rng in
+    Index_set.remove t.unmarked v;
+    v
+
+  let access t x =
+    if mem t x then begin
+      Index_set.remove t.unmarked x;
+      Index_set.add t.marked x;
+      Policy.Hit { evicted = [] }
+    end
+    else begin
+      let blk = Gc_trace.Block_map.block_of t.blocks x in
+      let evicted = ref [] in
+      (* Room for the requested item: classic marking rule, the only step
+         allowed to start a new phase. *)
+      if occupancy t >= t.k then begin
+        if Index_set.size t.unmarked = 0 then new_phase t;
+        evicted := [ evict_random_unmarked t ]
+      end;
+      Index_set.add t.marked x;
+      let loaded = ref [ x ] in
+      (* Load and MARK the rest of the block (the design flaw Section 6
+         points out: marked block-mates occupy protected space for the rest
+         of the phase even if never referenced).  Extras fill free space or
+         displace unmarked items; they never force a phase reset.  Victims
+         are unmarked while loads are marked, so a load is never evicted
+         within the same miss. *)
+      Gc_trace.Block_map.items_of t.blocks blk
+      |> Array.iter (fun y ->
+             if (not (mem t y)) && not (List.mem y !evicted) then
+               if occupancy t < t.k then begin
+                 Index_set.add t.marked y;
+                 loaded := y :: !loaded
+               end
+               else if Index_set.size t.unmarked > 0 then begin
+                 evicted := evict_random_unmarked t :: !evicted;
+                 Index_set.add t.marked y;
+                 loaded := y :: !loaded
+               end);
+      Policy.Miss { loaded = !loaded; evicted = !evicted }
+    end
+end
+
+let create ~k ~blocks ~rng =
+  if k < Gc_trace.Block_map.block_size blocks then
+    invalid_arg "Block_marking.create: k smaller than block size";
+  Policy.Instance
+    ( (module P),
+      {
+        P.k;
+        blocks;
+        rng;
+        marked = Index_set.create ();
+        unmarked = Index_set.create ();
+      } )

@@ -1,0 +1,11 @@
+(** Marking that loads {e and marks} the whole requested block — the
+    strawman Section 6.1 compares GCM against.
+
+    Marking every spatially loaded item means untouched block-mates are
+    protected for the rest of the phase, so on traces without spatial
+    locality the effective cache size shrinks by up to a factor of [B]
+    (same failure mode as the Block Cache in Theorem 3).  {!Gcm} fixes
+    this by leaving spatial loads unmarked; the [randomized] bench section
+    shows the difference. *)
+
+val create : k:int -> blocks:Gc_trace.Block_map.t -> rng:Gc_trace.Rng.t -> Policy.t

@@ -1,0 +1,4 @@
+(** Item-granularity CLOCK (second-chance): the standard low-overhead LRU
+    approximation used by real page caches. *)
+
+val create : k:int -> Policy.t

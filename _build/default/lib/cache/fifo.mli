@@ -1,0 +1,3 @@
+(** Item-granularity FIFO: evicts in insertion order, ignoring re-use. *)
+
+val create : k:int -> Policy.t

@@ -1,0 +1,27 @@
+module P = struct
+  type t = { k : int; cached : Index_set.t }
+
+  let name = "fwf"
+  let k t = t.k
+  let mem t x = Index_set.mem t.cached x
+  let occupancy t = Index_set.size t.cached
+
+  let access t x =
+    if Index_set.mem t.cached x then Policy.Hit { evicted = [] }
+    else begin
+      let evicted =
+        if Index_set.size t.cached >= t.k then begin
+          let all = Index_set.to_list t.cached in
+          Index_set.clear t.cached;
+          all
+        end
+        else []
+      in
+      Index_set.add t.cached x;
+      Policy.Miss { loaded = [ x ]; evicted }
+    end
+end
+
+let create ~k =
+  if k < 1 then invalid_arg "Fwf.create: k must be >= 1";
+  Policy.Instance ((module P), { P.k; cached = Index_set.create () })

@@ -1,0 +1,8 @@
+(** Flush-When-Full: evict everything when the cache fills.
+
+    The classic strawman from the paging literature — k-competitive like
+    LRU/FIFO, and one of the policies Albers, Favrholdt and Giel analyze in
+    the locality-of-reference model the paper's Section 7 extends.  Included
+    as a baseline for the fault-rate experiments. *)
+
+val create : k:int -> Policy.t

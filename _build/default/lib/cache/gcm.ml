@@ -1,0 +1,116 @@
+module P = struct
+  type t = {
+    k : int;
+    load_limit : int;
+    blocks : Gc_trace.Block_map.t;
+    rng : Gc_trace.Rng.t;
+    marked : Index_set.t;
+    unmarked : Index_set.t;
+  }
+
+  let name = "gcm"
+  let k t = t.k
+  let mem t x = Index_set.mem t.marked x || Index_set.mem t.unmarked x
+  let occupancy t = Index_set.size t.marked + Index_set.size t.unmarked
+
+  let mark t x =
+    Index_set.remove t.unmarked x;
+    Index_set.add t.marked x
+
+  let new_phase t =
+    Index_set.iter (fun x -> Index_set.add t.unmarked x) t.marked;
+    Index_set.clear t.marked
+
+  let evict_random_unmarked t =
+    let v = Index_set.random t.unmarked t.rng in
+    Index_set.remove t.unmarked v;
+    v
+
+  (* A random unmarked victim outside block [blk]; [None] when every
+     unmarked item belongs to [blk] (replacing block items with other items
+     of the same block would be pointless churn). *)
+  let victim_outside_block t blk =
+    let outside v = Gc_trace.Block_map.block_of t.blocks v <> blk in
+    let rec try_sample n =
+      if n = 0 then
+        (* Fall back to a scan so we never miss an existing victim. *)
+        List.find_opt outside (Index_set.to_list t.unmarked)
+      else
+        let v = Index_set.random t.unmarked t.rng in
+        if outside v then Some v else try_sample (n - 1)
+    in
+    if Index_set.size t.unmarked = 0 then None else try_sample 8
+
+  let access t x =
+    if mem t x then begin
+      mark t x;
+      Policy.Hit { evicted = [] }
+    end
+    else begin
+      let blk = Gc_trace.Block_map.block_of t.blocks x in
+      let evicted = ref [] in
+      (* Make room for the requested item: this is the only step allowed to
+         start a new phase. *)
+      if occupancy t >= t.k then begin
+        if Index_set.size t.unmarked = 0 then new_phase t;
+        evicted := [ evict_random_unmarked t ]
+      end;
+      Index_set.add t.marked x;
+      let loaded = ref [ x ] in
+      (* Spatial loads: the rest of the block, randomly ordered, unmarked.
+         They consume free space first, then replace unmarked items from
+         other blocks; marked items are never displaced for them.  The
+         victim just evicted for [x] is excluded — re-loading it in the
+         same miss would be pure churn. *)
+      let extras =
+        Gc_trace.Block_map.items_of t.blocks blk
+        |> Array.to_seq
+        |> Seq.filter (fun y ->
+               y <> x && not (mem t y) && not (List.mem y !evicted))
+        |> Array.of_seq
+      in
+      Gc_trace.Rng.shuffle t.rng extras;
+      let budget = ref (t.load_limit - 1) in
+      (try
+         Array.iter
+           (fun y ->
+             if !budget <= 0 then raise Exit;
+             decr budget;
+             if occupancy t < t.k then begin
+               Index_set.add t.unmarked y;
+               loaded := y :: !loaded
+             end
+             else begin
+               match victim_outside_block t blk with
+               | Some v ->
+                   Index_set.remove t.unmarked v;
+                   evicted := v :: !evicted;
+                   Index_set.add t.unmarked y;
+                   loaded := y :: !loaded
+               | None -> raise Exit
+             end)
+           extras
+       with Exit -> ());
+      Policy.Miss { loaded = !loaded; evicted = !evicted }
+    end
+end
+
+let create ?load_limit ~k ~blocks ~rng () =
+  if k < 1 then invalid_arg "Gcm.create: k must be >= 1";
+  let load_limit =
+    match load_limit with
+    | None -> Gc_trace.Block_map.block_size blocks
+    | Some m ->
+        if m < 1 then invalid_arg "Gcm.create: load_limit must be >= 1";
+        m
+  in
+  Policy.Instance
+    ( (module P),
+      {
+        P.k;
+        load_limit;
+        blocks;
+        rng;
+        marked = Index_set.create ();
+        unmarked = Index_set.create ();
+      } )

@@ -1,0 +1,22 @@
+(** Granularity-Change Marking (paper Section 6.1).
+
+    A marking algorithm adapted to the GC model: on a miss the whole
+    requested block is brought in, but only the requested item is marked.
+    Spatially-loaded items therefore never displace items with demonstrated
+    temporal locality — they fill free space and replace unmarked items
+    only.  When fewer unmarked slots than block items are available, the
+    unmarked cache contents are replaced by randomly selected items of the
+    accessed block (the paper's special case). *)
+
+val create :
+  ?load_limit:int ->
+  k:int ->
+  blocks:Gc_trace.Block_map.t ->
+  rng:Gc_trace.Rng.t ->
+  unit ->
+  Policy.t
+(** [load_limit] caps how many items (including the requested one) a miss
+    may bring in; default is the block size.  Section 6.1 notes "there may
+    be value in a policy that loads some but not all of the items in the
+    accessed block" — this parameter makes that family concrete (the
+    [randomized] bench sweeps it). *)

@@ -1,0 +1,130 @@
+module P = struct
+  type t = {
+    i : int;
+    b : int;
+    cap_blocks : int;
+    blocks : Gc_trace.Block_map.t;
+    item_layer : Lru_core.t;  (* keys are items *)
+    block_layer : Lru_core.t;  (* keys are block ids *)
+    resident : (int, int array) Hashtbl.t;  (* block -> its loaded items *)
+    mutable block_occ : int;
+    (* Ablation switch: the paper argues item-layer hits must NOT refresh
+       the block layer's recency; setting this true measures why. *)
+    reorder_on_item_hit : bool;
+  }
+
+  let name = "iblp"
+  let k t = t.i + t.b
+
+  let in_block_layer t item =
+    Hashtbl.mem t.resident (Gc_trace.Block_map.block_of t.blocks item)
+
+  let mem t item = Lru_core.mem t.item_layer item || in_block_layer t item
+
+  let occupancy t = Lru_core.size t.item_layer + t.block_occ
+
+  (* Evict the LRU block; returns the items that left the cache entirely
+     (i.e. are not duplicated in the item layer). *)
+  let evict_lru_block t =
+    match Lru_core.pop_lru t.block_layer with
+    | None -> assert false
+    | Some blk ->
+        let items = Hashtbl.find t.resident blk in
+        Hashtbl.remove t.resident blk;
+        t.block_occ <- t.block_occ - Array.length items;
+        Array.fold_left
+          (fun acc x -> if Lru_core.mem t.item_layer x then acc else x :: acc)
+          [] items
+
+  (* Insert into the item layer, evicting its LRU if full; returns the
+     items that left the cache entirely. *)
+  let promote t item =
+    if t.i = 0 then []
+    else begin
+      let gone = ref [] in
+      while Lru_core.size t.item_layer >= t.i do
+        match Lru_core.pop_lru t.item_layer with
+        | None -> assert false
+        | Some v -> if not (in_block_layer t v) then gone := v :: !gone
+      done;
+      Lru_core.touch t.item_layer item;
+      !gone
+    end
+
+  let access t item =
+    if Lru_core.mem t.item_layer item then begin
+      (* Item-layer hit: refresh item recency only; the block layer's order
+         must not be disturbed by temporal locality (unless the ablation
+         switch says otherwise). *)
+      Lru_core.touch t.item_layer item;
+      if t.reorder_on_item_hit then begin
+        let blk = Gc_trace.Block_map.block_of t.blocks item in
+        if Hashtbl.mem t.resident blk then Lru_core.touch t.block_layer blk
+      end;
+      Policy.Hit { evicted = [] }
+    end
+    else begin
+      let blk = Gc_trace.Block_map.block_of t.blocks item in
+      if Hashtbl.mem t.resident blk then begin
+        (* Block-layer hit: the block served the access, so it is
+           re-referenced; the item is also promoted into the item layer.
+           Items displaced from the item layer may still be covered by a
+           resident block, in which case they stay cached (no space change:
+           the duplicate copy is dropped). *)
+        Lru_core.touch t.block_layer blk;
+        let gone = promote t item in
+        Policy.Hit { evicted = gone }
+      end
+      else begin
+        let evicted = ref [] in
+        let loaded = ref [] in
+        (* Block layer: bring in the whole block (if the layer exists). *)
+        if t.cap_blocks > 0 then begin
+          while Lru_core.size t.block_layer >= t.cap_blocks do
+            evicted := evict_lru_block t @ !evicted
+          done;
+          let incoming = Gc_trace.Block_map.items_of t.blocks blk in
+          Lru_core.touch t.block_layer blk;
+          Hashtbl.add t.resident blk incoming;
+          t.block_occ <- t.block_occ + Array.length incoming;
+          (* Newly cached = block items not duplicated in the item layer. *)
+          Array.iter
+            (fun x ->
+              if not (Lru_core.mem t.item_layer x) then loaded := x :: !loaded)
+            incoming
+        end;
+        (* Item layer: load the requested item. *)
+        let gone = promote t item in
+        evicted := gone @ !evicted;
+        if t.cap_blocks = 0 then loaded := [ item ];
+        (* Displaced item-layer entries may have been double-counted as
+           evicted if the block layer still holds them; [promote] already
+           filters that.  Conversely an item evicted from the block layer
+           then re-loaded cannot happen within one access since the loaded
+           block is fresh. *)
+        Policy.Miss { loaded = !loaded; evicted = !evicted }
+      end
+    end
+end
+
+let create ?(reorder_on_item_hit = false) ~i ~b ~blocks () =
+  if i < 0 || b < 0 || i + b < 1 then
+    invalid_arg "Iblp.create: need i, b >= 0 and i + b >= 1";
+  let bsize = Gc_trace.Block_map.block_size blocks in
+  let cap_blocks = b / bsize in
+  if i = 0 && cap_blocks = 0 then
+    invalid_arg "Iblp.create: cache cannot hold anything (i = 0, b < B)";
+  Policy.Instance
+    ( (module P),
+      {
+        P.i;
+        b;
+        cap_blocks;
+        blocks;
+        item_layer = Lru_core.create ();
+        block_layer = Lru_core.create ();
+        resident = Hashtbl.create 256;
+        block_occ = 0;
+        reorder_on_item_hit;
+      } )
+

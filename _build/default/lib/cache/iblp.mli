@@ -1,0 +1,34 @@
+(** Item-Block Layered Partitioning — the paper's policy (Section 5).
+
+    The cache space [k = i + b] is split into two layers (Figure 4):
+    - the {e item layer} (size [i]) serves every access, loads only the
+      requested item, and evicts with LRU over items;
+    - the {e block layer} (size [b]) serves only accesses that miss in the
+      item layer, and loads/evicts whole blocks with LRU over blocks.
+
+    Two deliberate subtleties from the paper:
+    - an access that hits in the item layer does {e not} reorder the block
+      layer's LRU list (otherwise blocks with a few hot items would pollute
+      the block layer);
+    - the block layer is neither inclusive nor exclusive of the item layer:
+      an item may occupy space in both layers at once.
+
+    Theorem 7 bounds its competitive ratio; [Gc_bounds.Iblp_upper] has the
+    closed forms and [Gc_bounds.Partitioning] the optimal [i]/[b] split. *)
+
+val create :
+  ?reorder_on_item_hit:bool ->
+  i:int ->
+  b:int ->
+  blocks:Gc_trace.Block_map.t ->
+  unit ->
+  Policy.t
+(** [i >= 0] item-layer slots, [b >= 0] block-layer slots (the block layer
+    holds [b / B] whole blocks).  [i + b >= 1].  If [b < B] the block layer
+    is inert and the policy degenerates to item LRU of size [i].
+
+    [reorder_on_item_hit] (default [false]) is an ablation switch: when
+    true, item-layer hits also refresh the block layer's recency — the
+    design the paper rejects because hot items then pin their mostly-unused
+    blocks, shrinking the block layer's effective space (see the [ablation]
+    bench section). *)

@@ -1,0 +1,124 @@
+module P = struct
+  type t = {
+    k : int;
+    bsize : int;
+    blocks : Gc_trace.Block_map.t;
+    item_layer : Lru_core.t;
+    block_layer : Lru_core.t;  (* keys are block ids *)
+    resident : (int, int array) Hashtbl.t;
+    mutable block_occ : int;
+    ghost_items : Lru_core.t;  (* keys of recent item-layer victims *)
+    ghost_blocks : Lru_core.t;  (* ids of recent block-layer victims *)
+    mutable i_target : int;  (* item budget; block budget = k - i_target *)
+  }
+
+  let name = "iblp-adaptive"
+  let k t = t.k
+
+  let in_block_layer t item =
+    Hashtbl.mem t.resident (Gc_trace.Block_map.block_of t.blocks item)
+
+  let mem t item = Lru_core.mem t.item_layer item || in_block_layer t item
+  let occupancy t = Lru_core.size t.item_layer + t.block_occ
+  let block_cap t = (t.k - t.i_target) / t.bsize
+
+  let evict_lru_block t =
+    match Lru_core.pop_lru t.block_layer with
+    | None -> assert false
+    | Some blk ->
+        let items = Hashtbl.find t.resident blk in
+        Hashtbl.remove t.resident blk;
+        t.block_occ <- t.block_occ - Array.length items;
+        Lru_core.touch t.ghost_blocks blk;
+        if Lru_core.size t.ghost_blocks > t.k / t.bsize then
+          ignore (Lru_core.pop_lru t.ghost_blocks);
+        Array.fold_left
+          (fun acc x -> if Lru_core.mem t.item_layer x then acc else x :: acc)
+          [] items
+
+  let promote t item =
+    let gone = ref [] in
+    (* Trim to the current budget (the budget may have just shrunk, even to
+       zero), leaving one slot for the insertion when there is a budget. *)
+    let limit = max 0 (t.i_target - 1) in
+    while Lru_core.size t.item_layer > limit do
+      match Lru_core.pop_lru t.item_layer with
+      | None -> assert false
+      | Some v ->
+          Lru_core.touch t.ghost_items v;
+          if Lru_core.size t.ghost_items > t.k then
+            ignore (Lru_core.pop_lru t.ghost_items);
+          if not (in_block_layer t v) then gone := v :: !gone
+    done;
+    if t.i_target > 0 then Lru_core.touch t.item_layer item;
+    !gone
+
+  let adapt t item blk =
+    (* A miss that a larger item layer would have caught grows the item
+       budget; one a larger block layer would have caught grows the block
+       budget.  Steps of B keep the block layer's granularity whole. *)
+    if Lru_core.mem t.ghost_items item then begin
+      Lru_core.remove t.ghost_items item;
+      t.i_target <- min (t.k - t.bsize) (t.i_target + t.bsize)
+    end
+    else if Lru_core.mem t.ghost_blocks blk then begin
+      Lru_core.remove t.ghost_blocks blk;
+      t.i_target <- max 0 (t.i_target - t.bsize)
+    end
+
+  let access t item =
+    if Lru_core.mem t.item_layer item then begin
+      Lru_core.touch t.item_layer item;
+      Policy.Hit { evicted = [] }
+    end
+    else begin
+      let blk = Gc_trace.Block_map.block_of t.blocks item in
+      if Hashtbl.mem t.resident blk then begin
+        Lru_core.touch t.block_layer blk;
+        let gone = promote t item in
+        Policy.Hit { evicted = gone }
+      end
+      else begin
+        adapt t item blk;
+        (* Load the block first: item-layer trimming below must see it as
+           resident so same-block victims are not reported evicted. *)
+        let evicted = ref [] in
+        let loaded = ref [] in
+        while Lru_core.size t.block_layer >= block_cap t do
+          evicted := evict_lru_block t @ !evicted
+        done;
+        let incoming = Gc_trace.Block_map.items_of t.blocks blk in
+        Lru_core.touch t.block_layer blk;
+        Hashtbl.add t.resident blk incoming;
+        t.block_occ <- t.block_occ + Array.length incoming;
+        Array.iter
+          (fun x ->
+            if not (Lru_core.mem t.item_layer x) then loaded := x :: !loaded)
+          incoming;
+        (* Item layer: [promote] also shrinks it when adaptation just moved
+           budget to the block layer. *)
+        let gone = promote t item in
+        evicted := gone @ !evicted;
+        Policy.Miss { loaded = !loaded; evicted = !evicted }
+      end
+    end
+end
+
+let create ~k ~blocks =
+  let bsize = Gc_trace.Block_map.block_size blocks in
+  if k < 2 * bsize then
+    invalid_arg "Iblp_adaptive.create: k must be >= 2 * block size";
+  Policy.Instance
+    ( (module P),
+      {
+        P.k;
+        bsize;
+        blocks;
+        item_layer = Lru_core.create ();
+        block_layer = Lru_core.create ();
+        resident = Hashtbl.create 256;
+        block_occ = 0;
+        ghost_items = Lru_core.create ();
+        ghost_blocks = Lru_core.create ();
+        i_target = (k / 2 / bsize * bsize : int);
+      } )

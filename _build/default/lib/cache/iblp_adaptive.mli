@@ -1,0 +1,18 @@
+(** Adaptive IBLP: layer sizes steered online by ghost-list feedback.
+
+    Section 5.3 shows the best item/block split depends on the (unknown)
+    offline comparison size, and Figure 6 shows how a fixed split degrades
+    off its design point.  This extension sidesteps the choice the way ARC
+    sidesteps the recency/frequency balance: both layers keep ghost lists
+    of recently evicted entries, and a miss that would have hit a ghost
+    shifts budget toward the layer that regretted the eviction —
+    an item-layer ghost hit grows the item layer by one block-worth of
+    space, a block-layer ghost hit grows the block layer.
+
+    This goes beyond the paper (which leaves the unknown-h case open); the
+    [adaptive] bench section compares it against the best and worst fixed
+    splits across workload phases. *)
+
+val create : k:int -> blocks:Gc_trace.Block_map.t -> Policy.t
+(** Requires [k >= 2 * block size] (each layer must be able to hold
+    something).  The split starts balanced and moves in steps of [B]. *)

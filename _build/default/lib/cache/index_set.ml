@@ -1,0 +1,51 @@
+type t = {
+  mutable arr : int array;
+  mutable len : int;
+  pos : (int, int) Hashtbl.t;
+}
+
+let create () = { arr = Array.make 16 0; len = 0; pos = Hashtbl.create 64 }
+
+let size t = t.len
+
+let mem t x = Hashtbl.mem t.pos x
+
+let add t x =
+  if not (mem t x) then begin
+    if t.len = Array.length t.arr then begin
+      let bigger = Array.make (2 * t.len) 0 in
+      Array.blit t.arr 0 bigger 0 t.len;
+      t.arr <- bigger
+    end;
+    t.arr.(t.len) <- x;
+    Hashtbl.add t.pos x t.len;
+    t.len <- t.len + 1
+  end
+
+let remove t x =
+  match Hashtbl.find_opt t.pos x with
+  | None -> ()
+  | Some i ->
+      let last = t.arr.(t.len - 1) in
+      t.arr.(i) <- last;
+      Hashtbl.replace t.pos last i;
+      Hashtbl.remove t.pos x;
+      t.len <- t.len - 1
+
+let random t rng =
+  if t.len = 0 then invalid_arg "Index_set.random: empty";
+  t.arr.(Gc_trace.Rng.int rng t.len)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.arr.(i)
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) t;
+  !acc
+
+let clear t =
+  t.len <- 0;
+  Hashtbl.reset t.pos

@@ -1,0 +1,6 @@
+(** Item-granularity LFU with LRU tie-breaking, O(1) per operation.
+
+    Uses the classic frequency-bucket structure: items live in per-frequency
+    recency lists and a running minimum frequency pointer selects victims. *)
+
+val create : k:int -> Policy.t

@@ -1,0 +1,18 @@
+module Strategy = struct
+  type t = Lru_core.t
+  type config = unit
+
+  let name = "lru"
+  let create () = Lru_core.create ()
+  let mem = Lru_core.mem
+  let size = Lru_core.size
+  let on_hit = Lru_core.touch
+  let insert = Lru_core.touch
+
+  let pop_victim t =
+    match Lru_core.pop_lru t with Some v -> v | None -> assert false
+end
+
+module M = Item_policy.Make (Strategy)
+
+let create ~k = M.create ~k ()

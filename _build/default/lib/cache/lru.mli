@@ -1,0 +1,7 @@
+(** Item-granularity LRU — the baseline Item Cache of the paper.
+
+    Strong on temporal locality, blind to spatial locality: Theorem 2 shows
+    any Item Cache has competitive ratio at least
+    [B (k - B + 1) / (k - h + 1)] in GC caching. *)
+
+val create : k:int -> Policy.t

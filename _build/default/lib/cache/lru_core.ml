@@ -1,0 +1,83 @@
+type node = {
+  key : int;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  table : (int, node) Hashtbl.t;
+  mutable head : node option;  (* MRU *)
+  mutable tail : node option;  (* LRU *)
+}
+
+let create () = { table = Hashtbl.create 64; head = None; tail = None }
+
+let size t = Hashtbl.length t.table
+
+let mem t key = Hashtbl.mem t.table key
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let touch t key =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+      unlink t node;
+      push_front t node
+  | None ->
+      let node = { key; prev = None; next = None } in
+      Hashtbl.add t.table key node;
+      push_front t node
+
+let insert_if_absent t key =
+  if not (Hashtbl.mem t.table key) then begin
+    let node = { key; prev = None; next = None } in
+    Hashtbl.add t.table key node;
+    push_front t node
+  end
+
+let remove t key =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table key
+  | None -> ()
+
+let lru t = Option.map (fun n -> n.key) t.tail
+
+let mru t = Option.map (fun n -> n.key) t.head
+
+let pop_lru t =
+  match t.tail with
+  | None -> None
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table node.key;
+      Some node.key
+
+let iter_mru_to_lru f t =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        f n.key;
+        go n.next
+  in
+  go t.head
+
+let to_list_mru_first t =
+  let acc = ref [] in
+  iter_mru_to_lru (fun k -> acc := k :: !acc) t;
+  List.rev !acc

@@ -1,0 +1,32 @@
+(** Intrusive recency list over integer keys.
+
+    O(1) touch / insert / remove / LRU query; the building block for every
+    recency-based policy in this library (item LRU, block LRU, both IBLP
+    layers, FIFO as insert-without-touch). *)
+
+type t
+
+val create : unit -> t
+val size : t -> int
+val mem : t -> int -> bool
+
+val touch : t -> int -> unit
+(** Insert the key at the MRU end, or move it there if present. *)
+
+val insert_if_absent : t -> int -> unit
+(** Insert at MRU end only if absent (FIFO semantics: no move on re-touch). *)
+
+val remove : t -> int -> unit
+(** No-op if absent. *)
+
+val lru : t -> int option
+(** Least recently used key. *)
+
+val mru : t -> int option
+
+val pop_lru : t -> int option
+(** Remove and return the LRU key. *)
+
+val iter_mru_to_lru : (int -> unit) -> t -> unit
+
+val to_list_mru_first : t -> int list

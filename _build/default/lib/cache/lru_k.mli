@@ -1,0 +1,12 @@
+(** LRU-K (O'Neil, O'Neil & Weikum 1993), item granularity.
+
+    Evicts the item whose K-th most recent reference is oldest (items with
+    fewer than K references are considered infinitely old and go first,
+    LRU among themselves).  K = 1 degenerates to plain LRU; K = 2 is the
+    classic scan-resistant configuration.  Another spatially blind Item
+    Cache for the Theorem-2 experiments. *)
+
+val create : ?history:int -> k:int -> depth:int -> unit -> Policy.t
+(** [depth] is the K of LRU-K ([>= 1]).  [history] bounds the reference
+    history retained for evicted items (default [k]); re-references within
+    the window keep their counts. *)

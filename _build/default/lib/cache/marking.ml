@@ -1,0 +1,52 @@
+module P = struct
+  type t = {
+    k : int;
+    rng : Gc_trace.Rng.t;
+    marked : Index_set.t;
+    unmarked : Index_set.t;
+  }
+
+  let name = "marking"
+  let k t = t.k
+  let mem t x = Index_set.mem t.marked x || Index_set.mem t.unmarked x
+  let occupancy t = Index_set.size t.marked + Index_set.size t.unmarked
+
+  let mark t x =
+    Index_set.remove t.unmarked x;
+    Index_set.add t.marked x
+
+  let new_phase t =
+    Index_set.iter (fun x -> Index_set.add t.unmarked x) t.marked;
+    Index_set.clear t.marked
+
+  let evict_random_unmarked t =
+    let v = Index_set.random t.unmarked t.rng in
+    Index_set.remove t.unmarked v;
+    v
+
+  let access t x =
+    if mem t x then begin
+      mark t x;
+      Policy.Hit { evicted = [] }
+    end
+    else begin
+      let evicted = ref [] in
+      if occupancy t >= t.k then begin
+        if Index_set.size t.unmarked = 0 then new_phase t;
+        evicted := [ evict_random_unmarked t ]
+      end;
+      Index_set.add t.marked x;
+      Policy.Miss { loaded = [ x ]; evicted = !evicted }
+    end
+end
+
+let create ~k ~rng =
+  if k < 1 then invalid_arg "Marking.create: k must be >= 1";
+  Policy.Instance
+    ( (module P),
+      {
+        P.k;
+        rng;
+        marked = Index_set.create ();
+        unmarked = Index_set.create ();
+      } )

@@ -1,0 +1,9 @@
+(** Classic randomized marking algorithm (Fiat et al.), item granularity.
+
+    Items are marked when requested; victims are drawn uniformly from the
+    unmarked items, and when everything is marked a new phase begins (all
+    marks cleared).  Ignores granularity change entirely — Section 6 of the
+    paper notes this costs a factor of [B] against spatial traces, which
+    motivates {!Gcm}. *)
+
+val create : k:int -> rng:Gc_trace.Rng.t -> Policy.t

@@ -1,0 +1,36 @@
+let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+let map ?domains f xs =
+  let n_domains = match domains with Some d -> max 1 d | None -> default_domains () in
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  if n = 0 then []
+  else begin
+    let results = Array.make n None in
+    (* Static chunking: task i goes to domain (i mod d); each domain walks
+       its stripe.  Simulations dominate, so load balance is adequate. *)
+    let worker d () =
+      let rec go i =
+        if i < n then begin
+          results.(i) <- Some (f items.(i));
+          go (i + n_domains)
+        end
+      in
+      go d
+    in
+    let handles =
+      List.init (min n_domains n) (fun d -> Domain.spawn (worker d))
+    in
+    List.iter Domain.join handles;
+    Array.to_list
+      (Array.map
+         (function Some v -> v | None -> failwith "Parallel.map: missing result")
+         results)
+  end
+
+let run_sweep ?domains ~make ~trace points =
+  map ?domains
+    (fun point ->
+      let m = Simulator.run ~check:false (make point) trace in
+      (point, m))
+    points

@@ -1,0 +1,21 @@
+(** Multicore fan-out for independent simulations (OCaml 5 domains).
+
+    Cache experiments are embarrassingly parallel across (policy, size,
+    seed) points; this helper maps a pure-ish function over a work list
+    with one domain per chunk.  Each task must build its own state
+    (policies, RNGs, traces are not shared across domains). *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] preserves order.  [domains] defaults to
+    [Domain.recommended_domain_count () - 1] (min 1).  Exceptions in a task
+    are re-raised in the caller. *)
+
+val run_sweep :
+  ?domains:int ->
+  make:('a -> Policy.t) ->
+  trace:Gc_trace.Trace.t ->
+  'a list ->
+  ('a * Metrics.t) list
+(** Simulate the same trace under many independently constructed policies
+    in parallel (unchecked runs; the checked single-run path is for
+    tests). *)

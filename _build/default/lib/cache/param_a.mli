@@ -1,0 +1,15 @@
+(** The [a]-parameter policy family analyzed in Theorem 4.
+
+    The parameter [a] is "the number of distinct consecutive accesses to a
+    block before the policy loads the entire block".  This policy makes the
+    parameter explicit: item-granularity LRU eviction, item-granularity
+    loads until a block has seen [a] distinct consecutive accesses, at
+    which point the whole block is loaded.
+
+    Section 4.4's conclusion — that only the extremes [a = 1] (block
+    loading) and [a = B] (item loading) are worth using — is checked
+    empirically by the [empirical_thm4] bench over this family. *)
+
+val create : k:int -> a:int -> blocks:Gc_trace.Block_map.t -> Policy.t
+(** [a >= 1].  [a = 1] loads whole blocks on every miss (but evicts items
+    individually, unlike {!Block_lru}); large [a] degenerates to item LRU. *)

@@ -1,0 +1,28 @@
+type outcome =
+  | Hit of { evicted : int list }
+  | Miss of { loaded : int list; evicted : int list }
+
+module type S = sig
+  type t
+
+  val name : string
+  val k : t -> int
+  val mem : t -> int -> bool
+  val occupancy : t -> int
+  val access : t -> int -> outcome
+end
+
+type t = Instance : (module S with type t = 'a) * 'a -> t
+
+let name (Instance ((module P), _)) = P.name
+let k (Instance ((module P), st)) = P.k st
+let mem (Instance ((module P), st)) item = P.mem st item
+let occupancy (Instance ((module P), st)) = P.occupancy st
+let access (Instance ((module P), st)) item = P.access st item
+
+module Oracle = struct
+  type nonrec t = t
+
+  let access t item = ignore (access t item)
+  let mem = mem
+end

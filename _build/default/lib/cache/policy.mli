@@ -1,0 +1,54 @@
+(** The online-policy interface for the Granularity-Change Caching Problem.
+
+    A policy owns its cache state.  On every request it reports whether the
+    request hit, and on a miss, which items it loaded (any subset of the
+    requested item's block containing the item — the defining freedom of GC
+    caching, Definition 1) and which items it evicted.
+
+    Space accounting is the policy's job because layered designs such as
+    IBLP may deliberately hold duplicate copies of an item; the simulator
+    checks the invariant [occupancy <= k] rather than recomputing space
+    itself. *)
+
+type outcome =
+  | Hit of { evicted : int list }
+      (** Hits are free, but a layered policy may still rearrange itself on
+          a hit (e.g. IBLP promotes a block-layer hit into its item layer)
+          and push items out of the cache; [evicted] reports those. *)
+  | Miss of { loaded : int list; evicted : int list }
+      (** [loaded] are the items newly brought into the cache (including the
+          requested one); [evicted] are items that left the cache entirely.
+          A miss costs one block load regardless of [|loaded|]. *)
+
+module type S = sig
+  type t
+
+  val name : string
+  val k : t -> int
+  (** Total cache capacity in items. *)
+
+  val mem : t -> int -> bool
+  (** Is the item currently held (in any internal layer)? *)
+
+  val occupancy : t -> int
+  (** Items of space currently used, counting duplicates. *)
+
+  val access : t -> int -> outcome
+end
+
+type t = Instance : (module S with type t = 'a) * 'a -> t
+(** A policy packaged with its state. *)
+
+val name : t -> string
+val k : t -> int
+val mem : t -> int -> bool
+val occupancy : t -> int
+val access : t -> int -> outcome
+
+(** Adapter matching {!Gc_trace.Adversary.ORACLE}. *)
+module Oracle : sig
+  type nonrec t = t
+
+  val access : t -> int -> unit
+  val mem : t -> int -> bool
+end

@@ -1,0 +1,3 @@
+(** Item-granularity random replacement. *)
+
+val create : k:int -> rng:Gc_trace.Rng.t -> Policy.t

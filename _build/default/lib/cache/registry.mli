@@ -1,0 +1,24 @@
+(** Name-based policy construction for CLIs and sweeps.
+
+    Plain names pick a default configuration; a [:] suffix passes
+    parameters, e.g.:
+    - ["lru"], ["fifo"], ["lfu"], ["clock"], ["random"], ["marking"]
+    - ["block-lru"], ["gcm"]
+    - ["iblp"] (equal split), ["iblp:i=1024,b=1024"]
+    - ["param-a:4"] (the Theorem-4 family with [a = 4]) *)
+
+type spec = {
+  name : string;
+  doc : string;
+  make : k:int -> blocks:Gc_trace.Block_map.t -> seed:int -> Policy.t;
+}
+
+val all : spec list
+(** Default-configured policies, one per family. *)
+
+val names : string list
+
+val make :
+  string -> k:int -> blocks:Gc_trace.Block_map.t -> seed:int -> Policy.t
+(** Build by (possibly parameterized) name.  Raises [Invalid_argument] for
+    unknown names or malformed parameters. *)

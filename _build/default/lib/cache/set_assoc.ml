@@ -1,0 +1,31 @@
+module P = struct
+  type t = {
+    sets : int;
+    ways : int;
+    table : Policy.t array;
+  }
+
+  let name = "set-assoc"
+  let k t = t.sets * t.ways
+  let set_of t x = x mod t.sets
+  let mem t x = Policy.mem t.table.(set_of t x) x
+
+  let occupancy t =
+    Array.fold_left (fun acc p -> acc + Policy.occupancy p) 0 t.table
+
+  let access t x = Policy.access t.table.(set_of t x) x
+end
+
+let create ~sets ~ways ~make_way_policy =
+  if sets < 1 || ways < 1 then
+    invalid_arg "Set_assoc.create: sets and ways must be >= 1";
+  let table = Array.init sets (fun _ -> make_way_policy ~k:ways) in
+  Array.iter
+    (fun p ->
+      if Policy.k p <> ways then
+        invalid_arg "Set_assoc.create: way policy capacity mismatch")
+    table;
+  Policy.Instance ((module P), { P.sets; ways; table })
+
+let create_lru ~sets ~ways =
+  create ~sets ~ways ~make_way_policy:(fun ~k -> Lru.create ~k)

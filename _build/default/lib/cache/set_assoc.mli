@@ -1,0 +1,22 @@
+(** Set-associative organization: hardware-faithful constrained placement.
+
+    Real SRAM caches are not fully associative; an item may only live in
+    the set its index bits select.  This wrapper partitions capacity into
+    [sets] independent instances of an inner item policy with [ways] slots
+    each (item [x] maps to set [x mod sets]).
+
+    It is an Item Cache (loads only the requested item): Theorem 2 applies,
+    and comparing it against fully associative LRU isolates conflict
+    misses.  Not composable with block-loading inner policies — a block's
+    items span many sets, which would break per-set capacity accounting. *)
+
+val create :
+  sets:int ->
+  ways:int ->
+  make_way_policy:(k:int -> Policy.t) ->
+  Policy.t
+(** Total capacity [sets * ways].  [make_way_policy ~k:ways] builds each
+    set's replacement policy (e.g. [fun ~k -> Lru.create ~k]). *)
+
+val create_lru : sets:int -> ways:int -> Policy.t
+(** Set-associative LRU, the standard hardware configuration. *)

@@ -1,0 +1,119 @@
+exception Model_violation of string
+
+let violation fmt = Format.kasprintf (fun s -> raise (Model_violation s)) fmt
+
+type referenced_state = Loaded_unreferenced | Referenced
+
+type t = {
+  policy_ : Policy.t;
+  check : bool;
+  metrics_ : Metrics.t;
+  blocks : Gc_trace.Block_map.t;
+  (* Shadow cache: item -> whether it has been referenced since loaded.
+     Doubles as the spatial/temporal hit classifier and, in check mode, as
+     the ground truth the policy's reported outcomes are audited against. *)
+  ref_state : (int, referenced_state) Hashtbl.t;
+  seen_ever : (int, unit) Hashtbl.t;
+}
+
+let create ?(check = true) policy blocks =
+  {
+    policy_ = policy;
+    check;
+    metrics_ = Metrics.create ();
+    blocks;
+    ref_state = Hashtbl.create 1024;
+    seen_ever = Hashtbl.create 1024;
+  }
+
+let metrics d = d.metrics_
+let policy d = d.policy_
+
+let check_miss d item ~loaded ~evicted =
+  let blk = Gc_trace.Block_map.block_of d.blocks item in
+  if Hashtbl.mem d.ref_state item then
+    violation "policy reported a miss on cached item %d" item;
+  if not (List.mem item loaded) then
+    violation "miss on %d: requested item not among loaded" item;
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun x ->
+      if Gc_trace.Block_map.block_of d.blocks x <> blk then
+        violation "miss on %d: loaded %d from a different block" item x;
+      if Hashtbl.mem seen x then violation "miss on %d: loaded %d twice" item x;
+      Hashtbl.add seen x ();
+      if Hashtbl.mem d.ref_state x then
+        violation "miss on %d: loaded already-cached item %d" item x)
+    loaded;
+  List.iter
+    (fun x ->
+      if not (Hashtbl.mem d.ref_state x) then
+        violation "miss on %d: evicted item %d was not cached" item x;
+      if Hashtbl.mem seen x then
+        violation "miss on %d: item %d both loaded and evicted" item x;
+      if Policy.mem d.policy_ x then
+        violation "miss on %d: evicted item %d still reported cached" item x)
+    evicted
+
+let access d item =
+  let m = d.metrics_ in
+  m.Metrics.accesses <- m.Metrics.accesses + 1;
+  let was_seen = Hashtbl.mem d.seen_ever item in
+  Hashtbl.replace d.seen_ever item ();
+  let outcome = Policy.access d.policy_ item in
+  (match outcome with
+  | Policy.Hit { evicted } ->
+      m.Metrics.hits <- m.Metrics.hits + 1;
+      (match Hashtbl.find_opt d.ref_state item with
+      | Some Loaded_unreferenced ->
+          m.Metrics.spatial_hits <- m.Metrics.spatial_hits + 1
+      | Some Referenced -> m.Metrics.temporal_hits <- m.Metrics.temporal_hits + 1
+      | None ->
+          if d.check then
+            violation "policy reported a hit on uncached item %d" item
+          else m.Metrics.temporal_hits <- m.Metrics.temporal_hits + 1);
+      if d.check then
+        List.iter
+          (fun x ->
+            if not (Hashtbl.mem d.ref_state x) then
+              violation "hit on %d: evicted item %d was not cached" item x;
+            if x = item then
+              violation "hit on %d: evicted the requested item" item;
+            if Policy.mem d.policy_ x then
+              violation "hit on %d: evicted item %d still reported cached" item
+                x)
+          evicted;
+      m.Metrics.evictions <- m.Metrics.evictions + List.length evicted;
+      List.iter (fun x -> Hashtbl.remove d.ref_state x) evicted;
+      Hashtbl.replace d.ref_state item Referenced
+  | Policy.Miss { loaded; evicted } ->
+      if d.check then check_miss d item ~loaded ~evicted;
+      m.Metrics.misses <- m.Metrics.misses + 1;
+      if not was_seen then m.Metrics.cold_misses <- m.Metrics.cold_misses + 1;
+      m.Metrics.items_loaded <- m.Metrics.items_loaded + List.length loaded;
+      m.Metrics.evictions <- m.Metrics.evictions + List.length evicted;
+      List.iter (fun x -> Hashtbl.remove d.ref_state x) evicted;
+      List.iter
+        (fun x -> Hashtbl.replace d.ref_state x Loaded_unreferenced)
+        loaded;
+      Hashtbl.replace d.ref_state item Referenced);
+  if d.check then begin
+    if not (Policy.mem d.policy_ item) then
+      violation "after access, requested item %d is not cached" item;
+    let occ = Policy.occupancy d.policy_ in
+    let k = Policy.k d.policy_ in
+    if occ > k then violation "occupancy %d exceeds k=%d" occ k
+  end;
+  outcome
+
+let run_with ?check ~f policy trace =
+  let d = create ?check policy trace.Gc_trace.Trace.blocks in
+  Gc_trace.Trace.iteri
+    (fun pos item ->
+      let outcome = access d item in
+      f pos item outcome)
+    trace;
+  d.metrics_
+
+let run ?check policy trace =
+  run_with ?check ~f:(fun _ _ _ -> ()) policy trace

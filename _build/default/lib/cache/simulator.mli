@@ -1,0 +1,42 @@
+(** Trace-driven simulation of a policy, with invariant checking.
+
+    The simulator feeds requests to a policy, accumulates {!Metrics.t}, and —
+    unless created with [check:false] — audits every reported outcome against
+    a shadow cache it maintains from those outcomes:
+    - hits must be on shadow-cached items, misses on absent ones;
+    - on a miss, every loaded item belongs to the requested item's block, the
+      requested item is among them, loads are distinct and were absent
+      (Definition 1 of the paper);
+    - evicted items were cached and are gone afterwards;
+    - the requested item is cached after the access;
+    - occupancy never exceeds [k].
+
+    Violations raise {!Model_violation}. *)
+
+exception Model_violation of string
+
+type t
+(** A stateful simulation driver (policy + shadow cache + counters). *)
+
+val create : ?check:bool -> Policy.t -> Gc_trace.Block_map.t -> t
+(** [create policy blocks] prepares a driver.  [check] defaults to [true]. *)
+
+val access : t -> int -> Policy.outcome
+(** Feed one request; updates metrics and (in check mode) audits the
+    outcome. *)
+
+val metrics : t -> Metrics.t
+(** Counters accumulated so far (live reference, not a copy). *)
+
+val policy : t -> Policy.t
+
+val run : ?check:bool -> Policy.t -> Gc_trace.Trace.t -> Metrics.t
+(** Simulate a whole trace from a fresh driver. *)
+
+val run_with :
+  ?check:bool ->
+  f:(int -> int -> Policy.outcome -> unit) ->
+  Policy.t ->
+  Gc_trace.Trace.t ->
+  Metrics.t
+(** Like {!run}, but also calls [f pos item outcome] after every access. *)

@@ -1,0 +1,15 @@
+(** LRU with next-line prefetch inside the block — the deterministic
+    "load some but not all" point on the spectrum.
+
+    On a miss, loads the requested item plus the next [degree] items of the
+    same block (hardware next-N-line prefetch, restricted to the row so it
+    is free under the GC cost model).  [degree = 0] is plain LRU;
+    [degree = B - 1] approaches the a = 1 whole-block policy.  Section
+    4.4's analysis says intermediate subsets cannot beat the extremes in
+    the worst case; the [b_sweep]/[randomized] benches show where they sit
+    on average. *)
+
+val create : k:int -> degree:int -> blocks:Gc_trace.Block_map.t -> Policy.t
+(** [degree >= 0]; prefetched items are inserted cold (at LRU positions
+    just above the victim boundary... specifically: below the requested
+    item) so useless prefetches leave quickly. *)

@@ -1,0 +1,48 @@
+type point = {
+  start : int;
+  accesses : int;
+  misses : int;
+  spatial_hits : int;
+}
+
+let run ?check ~window policy trace =
+  if window < 1 then invalid_arg "Timeline.run: window must be >= 1";
+  let points = ref [] in
+  let win_start = ref 0 in
+  let win_misses = ref 0 in
+  let win_spatial = ref 0 in
+  let flush pos =
+    if pos > !win_start then
+      points :=
+        {
+          start = !win_start;
+          accesses = pos - !win_start;
+          misses = !win_misses;
+          spatial_hits = !win_spatial;
+        }
+        :: !points;
+    win_start := pos;
+    win_misses := 0;
+    win_spatial := 0
+  in
+  let d = Simulator.create ?check policy trace.Gc_trace.Trace.blocks in
+  Gc_trace.Trace.iteri
+    (fun pos item ->
+      let before_spatial = (Simulator.metrics d).Metrics.spatial_hits in
+      (match Simulator.access d item with
+      | Policy.Miss _ -> incr win_misses
+      | Policy.Hit _ ->
+          if (Simulator.metrics d).Metrics.spatial_hits > before_spatial then
+            incr win_spatial);
+      if (pos + 1) mod window = 0 then flush (pos + 1))
+    trace;
+  flush (Gc_trace.Trace.length trace);
+  (List.rev !points, Simulator.metrics d)
+
+let miss_rates points =
+  List.map
+    (fun p ->
+      ( p.start,
+        if p.accesses = 0 then 0.
+        else float_of_int p.misses /. float_of_int p.accesses ))
+    points

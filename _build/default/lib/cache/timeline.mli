@@ -1,0 +1,23 @@
+(** Windowed time series of a simulation — miss rate over time.
+
+    Useful for phase-change analysis (e.g. watching the adaptive IBLP
+    re-partition) and for plotting. *)
+
+type point = {
+  start : int;  (** First access index of the window. *)
+  accesses : int;
+  misses : int;
+  spatial_hits : int;
+}
+
+val run :
+  ?check:bool ->
+  window:int ->
+  Policy.t ->
+  Gc_trace.Trace.t ->
+  point list * Metrics.t
+(** Simulate the trace, recording one point per [window] accesses (the last
+    window may be shorter).  Returns the series and the overall metrics. *)
+
+val miss_rates : point list -> (int * float) list
+(** [(start, miss rate)] per window. *)

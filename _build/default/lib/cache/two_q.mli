@@ -1,0 +1,9 @@
+(** 2Q (Johnson & Shasha 1994), simplified full-version, item granularity.
+
+    A FIFO admission queue [A1in] filters one-hit wonders; items re-
+    referenced after leaving it (tracked by the ghost queue [A1out]) enter
+    the main LRU [Am].  Another spatially blind Item Cache baseline. *)
+
+val create : ?in_fraction:float -> ?out_fraction:float -> k:int -> unit -> Policy.t
+(** [in_fraction] of [k] goes to A1in (default 0.25); the ghost A1out
+    remembers [out_fraction * k] keys (default 0.5).  [k >= 2]. *)

@@ -1,0 +1,1 @@
+lib/locality/concave_fit.ml: Float List

@@ -1,0 +1,1 @@
+lib/locality/synthesis.ml: Array Float Gc_trace Hashtbl List Seq

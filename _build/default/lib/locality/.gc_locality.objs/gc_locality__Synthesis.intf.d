@@ -1,0 +1,1 @@
+lib/locality/synthesis.mli: Gc_trace

@@ -1,0 +1,1 @@
+lib/locality/working_set.ml: Float Gc_trace Hashtbl List Option

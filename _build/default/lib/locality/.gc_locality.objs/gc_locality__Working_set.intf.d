@@ -1,0 +1,1 @@
+lib/locality/working_set.mli: Gc_trace

@@ -1,0 +1,75 @@
+type power_fit = { coeff : float; p : float; rmse : float }
+
+let fit_power points =
+  let usable =
+    List.filter_map
+      (fun (n, v) ->
+        if n >= 1 && v >= 1 then
+          Some (log (float_of_int n), log (float_of_int v))
+        else None)
+      points
+  in
+  let m = List.length usable in
+  if m < 2 then invalid_arg "Concave_fit.fit_power: need >= 2 usable points";
+  let mf = float_of_int m in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0. usable in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0. usable in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0. usable in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0. usable in
+  let denom = (mf *. sxx) -. (sx *. sx) in
+  if Float.abs denom < 1e-12 then
+    invalid_arg "Concave_fit.fit_power: degenerate points";
+  (* log v = slope * log n + intercept, slope = 1/p. *)
+  let slope = ((mf *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. mf in
+  let residual =
+    List.fold_left
+      (fun a (x, y) ->
+        let e = y -. ((slope *. x) +. intercept) in
+        a +. (e *. e))
+      0. usable
+  in
+  {
+    coeff = exp intercept;
+    p = (if slope <= 0. then infinity else 1. /. slope);
+    rmse = sqrt (residual /. mf);
+  }
+
+let upper_concave_envelope points =
+  let pts =
+    points
+    |> List.map (fun (n, v) -> (float_of_int n, float_of_int v))
+    |> List.sort compare
+  in
+  match pts with
+  | [] -> []
+  | _ ->
+      (* Upper hull by cross-product test. *)
+      let cross (ox, oy) (ax, ay) (bx, by) =
+        ((ax -. ox) *. (by -. oy)) -. ((ay -. oy) *. (bx -. ox))
+      in
+      let hull =
+        List.fold_left
+          (fun acc p ->
+            let rec shrink = function
+              | b :: a :: rest when cross a b p >= 0. -> shrink (a :: rest)
+              | acc -> acc
+            in
+            p :: shrink acc)
+          [] pts
+        |> List.rev
+      in
+      (* Evaluate the hull (piecewise linear) back at the input ns. *)
+      let eval x =
+        let rec go = function
+          | (x1, y1) :: ((x2, y2) :: _ as rest) ->
+              if x <= x1 then y1
+              else if x <= x2 then
+                y1 +. ((y2 -. y1) *. (x -. x1) /. (x2 -. x1))
+              else go rest
+          | [ (_, y) ] -> y
+          | [] -> 0.
+        in
+        go hull
+      in
+      List.map (fun (n, _) -> (n, eval (float_of_int n))) (List.sort compare points)

@@ -1,0 +1,19 @@
+(** Fitting measured locality profiles to the analytic forms the bounds
+    need.
+
+    The fault-rate theorems take locality functions of the polynomial form
+    [f n = c * n^(1/p)]; this module recovers [(c, p)] from a measured
+    [(n, f n)] profile by least squares in log-log space, and builds the
+    concave upper envelope of a profile (locality functions must be
+    concave; raw window maxima of short traces can wobble). *)
+
+type power_fit = { coeff : float; p : float; rmse : float }
+(** [f n ~= coeff * n^(1/p)]; [rmse] is the log-space residual. *)
+
+val fit_power : (int * int) list -> power_fit
+(** Least-squares fit of [(n, value)] points; requires at least two points
+    with [n >= 1] and [value >= 1]. *)
+
+val upper_concave_envelope : (int * int) list -> (int * float) list
+(** Monotone concave majorant of the points (Graham-scan upper hull in
+    [(n, value)] space), evaluated at the input [n]s. *)

@@ -1,0 +1,146 @@
+let power_law rng ~n ~p ~rho ~block_size =
+  if p < 1. then invalid_arg "Synthesis.power_law: p must be >= 1";
+  if rho < 1. || rho > float_of_int block_size then
+    invalid_arg "Synthesis.power_law: rho must be in [1, block_size]";
+  let requests = Array.make n 0 in
+  (* Recency order of distinct items, MRU at the end. *)
+  let order = ref (Array.make 1024 0) in
+  let len = ref 0 in
+  let push x =
+    if !len = Array.length !order then begin
+      let bigger = Array.make (2 * !len) 0 in
+      Array.blit !order 0 bigger 0 !len;
+      order := bigger
+    end;
+    !order.(!len) <- x;
+    incr len
+  in
+  let move_to_front_from idx =
+    let x = !order.(idx) in
+    Array.blit !order (idx + 1) !order idx (!len - idx - 1);
+    !order.(!len - 1) <- x;
+    x
+  in
+  (* Fresh items are dealt out in same-block runs of ~rho items, so the
+     distinct-item to distinct-block ratio approaches rho. *)
+  let next_block = ref 0 in
+  let run_left = ref 0 in
+  let run_pos = ref 0 in
+  let fresh () =
+    if !run_left <= 0 then begin
+      (* Randomize run lengths around rho so the ratio holds in expectation
+         even for fractional rho. *)
+      let base = int_of_float rho in
+      let frac = rho -. float_of_int base in
+      run_left :=
+        max 1 (base + if Gc_trace.Rng.float rng 1.0 < frac then 1 else 0);
+      run_pos := 0;
+      incr next_block
+    end;
+    let item = (((!next_block - 1) * block_size) + !run_pos) in
+    incr run_pos;
+    decr run_left;
+    push item;
+    item
+  in
+  (* Stack-distance sampling with P(D > d) ~ d^(1-p) gives working sets
+     growing like n^(1/p). *)
+  let sample_depth () =
+    if p <= 1. then max_int
+    else begin
+      let u = Float.max 1e-12 (Gc_trace.Rng.float rng 1.0) in
+      let d = Float.pow u (-1. /. (p -. 1.)) in
+      if d > 1e9 then max_int else int_of_float d
+    end
+  in
+  for t = 0 to n - 1 do
+    let d = sample_depth () in
+    let item =
+      if d > !len then fresh () else move_to_front_from (!len - d)
+    in
+    requests.(t) <- item
+  done;
+  Gc_trace.Trace.make (Gc_trace.Block_map.uniform ~block_size) requests
+
+module Thm8 (O : Gc_trace.Adversary.ORACLE) = struct
+  type result = {
+    trace : Gc_trace.Trace.t;
+    online_faults : int;
+    accesses : int;
+    bound_faults : float;
+  }
+
+  let run o ~k ~f_inv ~g ~block_size ~phases =
+    let phase_len = f_inv (k + 1) - 2 in
+    if phase_len < k - 1 then
+      invalid_arg "Synthesis.Thm8: f_inv(k+1) - 2 must be >= k - 1";
+    let nb = max 1 (g phase_len) in
+    if nb * block_size < k + 1 then
+      invalid_arg "Synthesis.Thm8: g(L) blocks cannot host k+1 items";
+    (* k + 1 items spread over nb blocks, filled block by block. *)
+    let per_block = (k + 1 + nb - 1) / nb in
+    let items =
+      Array.init (k + 1) (fun idx ->
+          let blk = idx / per_block and off = idx mod per_block in
+          (blk * block_size) + off)
+    in
+    (* Repetition start offsets within a phase (0-indexed). *)
+    let starts =
+      Array.init (k - 1) (fun j0 ->
+          let j = j0 + 1 in
+          max j0 (f_inv (j + 1) - 2))
+    in
+    let requests = ref [] in
+    let total = ref 0 in
+    let faults = ref 0 in
+    let access x =
+      if not (O.mem o x) then incr faults;
+      O.access o x;
+      requests := x :: !requests;
+      incr total
+    in
+    for _ = 1 to phases do
+      let used = Hashtbl.create (k + 2) in
+      let pick () =
+        let fresh_and_uncached =
+          Array.to_seq items
+          |> Seq.filter (fun x -> not (Hashtbl.mem used x))
+          |> Seq.filter (fun x -> not (O.mem o x))
+          |> Seq.uncons
+        in
+        let chosen =
+          match fresh_and_uncached with
+          | Some (x, _) -> x
+          | None -> (
+              match
+                Array.to_seq items
+                |> Seq.filter (fun x -> not (Hashtbl.mem used x))
+                |> Seq.uncons
+              with
+              | Some (x, _) -> x
+              | None -> items.(0))
+        in
+        Hashtbl.replace used chosen ();
+        chosen
+      in
+      for j = 0 to k - 2 do
+        let stop = if j = k - 2 then phase_len else starts.(j + 1) in
+        let start = starts.(j) in
+        if stop > start then begin
+          let x = pick () in
+          for _ = start to stop - 1 do
+            access x
+          done
+        end
+      done
+    done;
+    {
+      trace =
+        Gc_trace.Trace.make
+          (Gc_trace.Block_map.uniform ~block_size)
+          (Array.of_list (List.rev !requests));
+      online_faults = !faults;
+      accesses = !total;
+      bound_faults = float_of_int phases *. float_of_int (g phase_len);
+    }
+end

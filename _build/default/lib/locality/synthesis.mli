@@ -1,0 +1,47 @@
+(** Generating traces with prescribed locality.
+
+    Two generators:
+
+    - {!power_law}: a tunable workload whose measured working-set function
+      approximates [f n ~ n^(1/p)] with spatial-locality ratio
+      [f/g ~ rho].  Fresh items arrive at a polynomially decaying rate (in
+      runs of [rho] same-block items); other accesses revisit the recent
+      working set.  Tests fit the measured profile with {!Concave_fit} and
+      check [p] and [rho] are recovered.
+
+    - {!Thm8}: the adversarial family from Theorem 8's proof (after Albers
+      et al.): [k + 1] items partitioned into [g(L)] blocks, accessed in
+      phases of [L = f_inv(k+1) - 2] accesses structured as [k - 1]
+      repetitions, where repetition [j] starts at access [f_inv(j+1) - 1]
+      of the phase and repeats one item the online cache is (preferably)
+      missing.  Drives any {!Gc_trace.Adversary.ORACLE}. *)
+
+val power_law :
+  Gc_trace.Rng.t ->
+  n:int ->
+  p:float ->
+  rho:float ->
+  block_size:int ->
+  Gc_trace.Trace.t
+(** [p >= 1] growth exponent; [1 <= rho <= block_size] target [f/g]. *)
+
+module Thm8 (O : Gc_trace.Adversary.ORACLE) : sig
+  type result = {
+    trace : Gc_trace.Trace.t;
+    online_faults : int;  (** Measured faults of the oracle policy. *)
+    accesses : int;
+    bound_faults : float;
+        (** [phases * g(L)]: the faults Theorem 8 guarantees. *)
+  }
+
+  val run :
+    O.t ->
+    k:int ->
+    f_inv:(int -> int) ->
+    g:(int -> int) ->
+    block_size:int ->
+    phases:int ->
+    result
+  (** Requires [f_inv (k+1) - 2 >= k - 1] (phases long enough to host the
+      repetitions) and [g L >= 1]. *)
+end

@@ -1,0 +1,81 @@
+(* Sliding-window distinct counting: advance a window of fixed size n over
+   the trace, maintaining multiplicity counts; the max cardinality seen is
+   f(n) (or g(n) on block ids). *)
+let max_distinct proj trace n =
+  let len = Gc_trace.Trace.length trace in
+  if n <= 0 then 0
+  else begin
+    let counts = Hashtbl.create 256 in
+    let distinct = ref 0 in
+    let best = ref 0 in
+    let add v =
+      let c = Option.value ~default:0 (Hashtbl.find_opt counts v) in
+      if c = 0 then incr distinct;
+      Hashtbl.replace counts v (c + 1)
+    in
+    let drop v =
+      let c = Hashtbl.find counts v in
+      if c = 1 then begin
+        Hashtbl.remove counts v;
+        decr distinct
+      end
+      else Hashtbl.replace counts v (c - 1)
+    in
+    for pos = 0 to len - 1 do
+      add (proj (Gc_trace.Trace.get trace pos));
+      if pos >= n then drop (proj (Gc_trace.Trace.get trace (pos - n)));
+      if pos >= n - 1 || pos = len - 1 then
+        if !distinct > !best then best := !distinct
+    done;
+    !best
+  end
+
+let f_at trace n = max_distinct (fun r -> r) trace n
+
+let g_at trace n =
+  let blocks = trace.Gc_trace.Trace.blocks in
+  max_distinct (Gc_trace.Block_map.block_of blocks) trace n
+
+let profile trace ~windows =
+  List.map (fun n -> (n, f_at trace n, g_at trace n)) windows
+
+let geometric_windows trace ~steps =
+  let len = Gc_trace.Trace.length trace in
+  if len = 0 then []
+  else begin
+    let out = ref [] in
+    for idx = steps downto 0 do
+      let n =
+        int_of_float
+          (Float.round
+             (Float.pow (float_of_int len) (float_of_int idx /. float_of_int steps)))
+      in
+      let n = max 1 (min len n) in
+      match !out with
+      | prev :: _ when prev = n -> ()
+      | _ -> out := n :: !out
+    done;
+    List.sort_uniq compare !out
+  end
+
+let spatial_ratio_profile trace ~windows =
+  List.map
+    (fun n ->
+      let g = g_at trace n in
+      let ratio =
+        if g = 0 then 1.0 else float_of_int (f_at trace n) /. float_of_int g
+      in
+      (n, ratio))
+    windows
+
+let inverse_f trace m =
+  let len = Gc_trace.Trace.length trace in
+  if f_at trace len < m then len + 1
+  else begin
+    let lo = ref 1 and hi = ref len in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if f_at trace mid >= m then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end

@@ -1,0 +1,29 @@
+(** Measuring a trace's locality functions [f(n)] and [g(n)].
+
+    Following Albers, Favrholdt and Giel (extended by the paper's Section
+    2), [f n] is the maximum number of distinct items in any window of [n]
+    consecutive accesses, and [g n] the maximum number of distinct blocks.
+    Both are non-decreasing and subadditive-ish; [g <= f <= B * g]. *)
+
+val f_at : Gc_trace.Trace.t -> int -> int
+(** [f_at trace n]: maximum distinct items over all windows of length [n];
+    O(T) one pass. *)
+
+val g_at : Gc_trace.Trace.t -> int -> int
+(** Block version of {!f_at}. *)
+
+val profile :
+  Gc_trace.Trace.t -> windows:int list -> (int * int * int) list
+(** [(n, f n, g n)] for each requested window size (each O(T)). *)
+
+val geometric_windows : Gc_trace.Trace.t -> steps:int -> int list
+(** Geometrically spaced window sizes from 1 to the trace length. *)
+
+val spatial_ratio_profile :
+  Gc_trace.Trace.t -> windows:int list -> (int * float) list
+(** [(n, f n / g n)] — the paper's spatial-locality measure per scale. *)
+
+val inverse_f : Gc_trace.Trace.t -> int -> int
+(** [inverse_f trace m]: the smallest window length whose [f] reaches [m]
+    (trace length + 1 if never).  Binary search over {!f_at} (valid because
+    [f] is non-decreasing in [n]). *)

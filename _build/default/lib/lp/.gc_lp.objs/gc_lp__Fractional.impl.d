@@ -1,0 +1,1 @@
+lib/lp/fractional.ml: Array Float Grid_opt Simplex

@@ -1,0 +1,1 @@
+lib/lp/grid_opt.mli:

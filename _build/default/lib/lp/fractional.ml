@@ -1,0 +1,61 @@
+let triangle_cost ~b ~block_size ~t =
+  let beta = (b /. block_size) +. 1. in
+  t +. (beta *. t *. (t -. 1.) /. 2.)
+
+let theorem5 ~i ~h =
+  if i <= h then infinity
+  else begin
+    (* maximize r s.t. i*r <= h, r <= 1 *)
+    match
+      Simplex.solve ~c:[| 1. |] ~a:[| [| i |]; [| 1. |] |] ~b:[| h; 1. |]
+    with
+    | Simplex.Optimal { objective = r; _ } ->
+        if r >= 1. -. 1e-12 then infinity else 1. /. (1. -. r)
+    | Simplex.Unbounded | Simplex.Infeasible ->
+        failwith "Fractional.theorem5: unexpected LP status"
+  end
+
+(* For fixed t, the Theorem 6 objective s(t-1) is maximized at
+   s = min(h / C(t), 1 / t); we keep this analytic since it is a single
+   variable, and use the simplex solver for the genuinely 2-d Theorem 7. *)
+let theorem6_at ~b ~block_size ~h t =
+  if t <= 1. then 1.
+  else begin
+    let c = triangle_cost ~b ~block_size ~t in
+    let s = Float.min (h /. c) (1. /. t) in
+    let gain = s *. (t -. 1.) in
+    if gain >= 1. -. 1e-12 then infinity else 1. /. (1. -. gain)
+  end
+
+let theorem6 ~b ~block_size ~h =
+  let f = theorem6_at ~b ~block_size ~h in
+  let _, best =
+    Grid_opt.grid_max ~steps:2048 ~lo:1. ~hi:block_size f
+  in
+  (* The objective is unimodal in t; also probe the boundary. *)
+  Float.max best (f block_size)
+
+let theorem7_inner ~t ~i ~b ~block_size ~h =
+  (* maximize r + (t-1) s  s.t.  i r + C(t) s <= h,  r + t s <= 1 *)
+  let c = triangle_cost ~b ~block_size ~t in
+  match
+    Simplex.solve
+      ~c:[| 1.; t -. 1. |]
+      ~a:[| [| i; c |]; [| 1.; t |] |]
+      ~b:[| h; 1. |]
+  with
+  | Simplex.Optimal { solution; _ } -> Some (solution.(0), solution.(1))
+  | Simplex.Infeasible -> None
+  | Simplex.Unbounded -> failwith "Fractional.theorem7_inner: unbounded"
+
+let theorem7_at ~i ~b ~block_size ~h t =
+  match theorem7_inner ~t ~i ~b ~block_size ~h with
+  | None -> 1.
+  | Some (r, s) ->
+      let gain = r +. (s *. (t -. 1.)) in
+      if gain >= 1. -. 1e-12 then infinity else 1. /. (1. -. gain)
+
+let theorem7 ~i ~b ~block_size ~h =
+  let f = theorem7_at ~i ~b ~block_size ~h in
+  let _, best = Grid_opt.grid_max ~steps:2048 ~lo:1. ~hi:block_size f in
+  Float.max best (f block_size)

@@ -1,0 +1,35 @@
+(** Numeric solutions of the paper's Section-5.2 optimization programs.
+
+    The paper derives closed-form competitive-ratio upper bounds (Theorems
+    5-7) by solving small fractional programs.  This module solves the same
+    programs numerically — the inner linear part with the {!Simplex} solver,
+    the remaining free variable [t] (items loaded per miss) by grid search —
+    so the closed forms in [Gc_bounds] can be cross-checked mechanically
+    (the authors used Mathematica; we use this module).
+
+    All quantities are in items: [i] = item-layer size, [b] = block-layer
+    size, [block_size] = B, [h] = offline cache size. *)
+
+val theorem5 : i:float -> h:float -> float
+(** Temporal-locality-only program: maximize [1/(1-r)] subject to
+    [r*i <= h], [r <= 1].  Equals [i/(i-h)] for [i > h], infinite
+    otherwise. *)
+
+val theorem6 : b:float -> block_size:float -> h:float -> float
+(** Spatial-locality-only program: maximize [1/(1 - s(t-1))] over [s >= 0],
+    [1 <= t <= B], subject to [s*C(t) <= h] and [s*t <= 1], where
+    [C(t) = t + (b/B + 1) * t(t-1)/2] is the triangle space cost of loading
+    [t] items that must each outlive the previous by [b/B + 1] accesses. *)
+
+val theorem7 : i:float -> b:float -> block_size:float -> h:float -> float
+(** Combined program: maximize [1/(1 - r - s(t-1))] subject to
+    [r*i + s*C(t) <= h] and [r + s*t <= 1]. *)
+
+val theorem7_inner :
+  t:float -> i:float -> b:float -> block_size:float -> h:float ->
+  (float * float) option
+(** Optimal [(r, s)] of the combined program for a fixed [t], via simplex;
+    [None] if the LP is infeasible (cannot happen for [h >= 0]). *)
+
+val triangle_cost : b:float -> block_size:float -> t:float -> float
+(** [C(t)] above. *)

@@ -1,0 +1,53 @@
+let ternary_max ?(iters = 200) ~lo ~hi f =
+  let lo = ref lo and hi = ref hi in
+  for _ = 1 to iters do
+    let m1 = !lo +. ((!hi -. !lo) /. 3.)
+    and m2 = !hi -. ((!hi -. !lo) /. 3.) in
+    if f m1 < f m2 then lo := m1 else hi := m2
+  done;
+  let x = (!lo +. !hi) /. 2. in
+  (x, f x)
+
+let grid_pass ~steps ~lo ~hi f =
+  let best_x = ref lo and best_v = ref (f lo) in
+  for i = 1 to steps do
+    let x = lo +. ((hi -. lo) *. float_of_int i /. float_of_int steps) in
+    let v = f x in
+    if v > !best_v then begin
+      best_v := v;
+      best_x := x
+    end
+  done;
+  (!best_x, !best_v)
+
+let grid_max ?(refine = 3) ~steps ~lo ~hi f =
+  let rec go lo hi n =
+    let x, v = grid_pass ~steps ~lo ~hi f in
+    if n = 0 then (x, v)
+    else begin
+      let cell = (hi -. lo) /. float_of_int steps in
+      let lo' = Float.max lo (x -. cell) and hi' = Float.min hi (x +. cell) in
+      go lo' hi' (n - 1)
+    end
+  in
+  go lo hi refine
+
+let grid_max2 ~steps ~lo1 ~hi1 ~lo2 ~hi2 f =
+  let eval lo1 hi1 lo2 hi2 =
+    let best = ref ((lo1, lo2), f lo1 lo2) in
+    for i = 0 to steps do
+      for j = 0 to steps do
+        let x = lo1 +. ((hi1 -. lo1) *. float_of_int i /. float_of_int steps)
+        and y = lo2 +. ((hi2 -. lo2) *. float_of_int j /. float_of_int steps) in
+        let v = f x y in
+        if v > snd !best then best := ((x, y), v)
+      done
+    done;
+    !best
+  in
+  let (x, y), _ = eval lo1 hi1 lo2 hi2 in
+  let c1 = (hi1 -. lo1) /. float_of_int steps
+  and c2 = (hi2 -. lo2) /. float_of_int steps in
+  eval (Float.max lo1 (x -. c1)) (Float.min hi1 (x +. c1))
+    (Float.max lo2 (y -. c2))
+    (Float.min hi2 (y +. c2))

@@ -1,0 +1,24 @@
+(** One-dimensional numeric optimization helpers.
+
+    Used to optimize the paper's fractional programs over the remaining free
+    variable once the LP part is solved exactly. *)
+
+val ternary_max : ?iters:int -> lo:float -> hi:float -> (float -> float) -> float * float
+(** [ternary_max ~lo ~hi f] maximizes a unimodal [f] on [\[lo, hi\]];
+    returns [(argmax, max)].  Default 200 iterations (~1e-60 interval
+    shrink, i.e. machine precision). *)
+
+val grid_max :
+  ?refine:int -> steps:int -> lo:float -> hi:float -> (float -> float) -> float * float
+(** [grid_max ~steps ~lo ~hi f] evaluates [f] on a uniform grid and then
+    refines around the best point [refine] times (default 3), each time
+    shrinking the interval to the two neighbouring grid cells.  Robust for
+    non-unimodal but smooth objectives. *)
+
+val grid_max2 :
+  steps:int ->
+  lo1:float -> hi1:float ->
+  lo2:float -> hi2:float ->
+  (float -> float -> float) ->
+  (float * float) * float
+(** Two-dimensional grid maximization with one refinement pass. *)

@@ -1,0 +1,176 @@
+type result =
+  | Optimal of { objective : float; solution : float array }
+  | Unbounded
+  | Infeasible
+
+let epsilon = 1e-9
+
+(* Standard tableau simplex with slack variables.  Variables 0..n-1 are the
+   original ones, n..n+m-1 the slacks.  [basis.(r)] is the variable basic in
+   row r.  Bland's rule (smallest index) prevents cycling. *)
+
+type tableau = {
+  m : int;
+  n : int;  (* original variable count *)
+  t : float array array;  (* m rows x (n + m + 1) columns; last col = rhs *)
+  obj : float array;  (* reduced-cost row, length n + m + 1 *)
+  basis : int array;
+}
+
+let pivot tb ~row ~col =
+  let width = Array.length tb.obj in
+  let p = tb.t.(row).(col) in
+  for j = 0 to width - 1 do
+    tb.t.(row).(j) <- tb.t.(row).(j) /. p
+  done;
+  for r = 0 to tb.m - 1 do
+    if r <> row then begin
+      let factor = tb.t.(r).(col) in
+      if Float.abs factor > 0. then
+        for j = 0 to width - 1 do
+          tb.t.(r).(j) <- tb.t.(r).(j) -. (factor *. tb.t.(row).(j))
+        done
+    end
+  done;
+  let factor = tb.obj.(col) in
+  if Float.abs factor > 0. then
+    for j = 0 to width - 1 do
+      tb.obj.(j) <- tb.obj.(j) -. (factor *. tb.t.(row).(j))
+    done;
+  tb.basis.(row) <- col
+
+(* Run simplex iterations until optimal or unbounded.  [allowed] restricts
+   entering variables (used to keep artificials out in phase two). *)
+let iterate tb ~allowed =
+  let width = Array.length tb.obj - 1 in
+  let rec loop steps =
+    if steps > 10_000 then failwith "Simplex.iterate: too many pivots";
+    (* Bland: entering variable = smallest index with positive reduced cost
+       (we maximize, so improving columns have obj > eps). *)
+    let entering = ref (-1) in
+    (try
+       for j = 0 to width - 1 do
+         if allowed j && tb.obj.(j) > epsilon then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then `Optimal
+    else begin
+      let col = !entering in
+      (* Ratio test, Bland tie-break on basis variable index. *)
+      let best_row = ref (-1) in
+      let best_ratio = ref infinity in
+      for r = 0 to tb.m - 1 do
+        let a = tb.t.(r).(col) in
+        if a > epsilon then begin
+          let ratio = tb.t.(r).(width) /. a in
+          if
+            ratio < !best_ratio -. epsilon
+            || (Float.abs (ratio -. !best_ratio) <= epsilon
+               && (!best_row < 0 || tb.basis.(r) < tb.basis.(!best_row)))
+          then begin
+            best_ratio := ratio;
+            best_row := r
+          end
+        end
+      done;
+      if !best_row < 0 then `Unbounded
+      else begin
+        pivot tb ~row:!best_row ~col;
+        loop (steps + 1)
+      end
+    end
+  in
+  loop 0
+
+let solve ~c ~a ~b =
+  let m = Array.length a in
+  let n = Array.length c in
+  if Array.length b <> m then invalid_arg "Simplex.solve: |b| <> rows of A";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Simplex.solve: ragged A")
+    a;
+  (* Normalize rows to non-negative rhs; rows with negative rhs get an
+     artificial variable for phase one. *)
+  let needs_artificial = Array.map (fun bi -> bi < 0.) b in
+  let n_art =
+    Array.fold_left (fun acc x -> if x then acc + 1 else acc) 0 needs_artificial
+  in
+  let width = n + m + n_art + 1 in
+  let t = Array.make_matrix m width 0. in
+  let basis = Array.make m 0 in
+  let art_index = ref (n + m) in
+  for r = 0 to m - 1 do
+    let flip = needs_artificial.(r) in
+    let sign = if flip then -1. else 1. in
+    for j = 0 to n - 1 do
+      t.(r).(j) <- sign *. a.(r).(j)
+    done;
+    t.(r).(n + r) <- sign *. 1.;
+    t.(r).(width - 1) <- sign *. b.(r);
+    if flip then begin
+      t.(r).(!art_index) <- 1.;
+      basis.(r) <- !art_index;
+      incr art_index
+    end
+    else basis.(r) <- n + r
+  done;
+  let mk_obj coeffs =
+    let obj = Array.make width 0. in
+    Array.iteri (fun j v -> obj.(j) <- v) coeffs;
+    obj
+  in
+  let reduce_obj tb =
+    (* Make the objective row consistent with the current basis. *)
+    for r = 0 to tb.m - 1 do
+      let v = tb.obj.(tb.basis.(r)) in
+      if Float.abs v > 0. then
+        for j = 0 to width - 1 do
+          tb.obj.(j) <- tb.obj.(j) -. (v *. tb.t.(r).(j))
+        done
+    done
+  in
+  let phase2 tb =
+    tb.obj |> Array.iteri (fun j _ -> tb.obj.(j) <- 0.);
+    Array.iteri (fun j v -> tb.obj.(j) <- v) c;
+    reduce_obj tb;
+    match iterate tb ~allowed:(fun j -> j < n + m) with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+        let solution = Array.make n 0. in
+        for r = 0 to m - 1 do
+          if tb.basis.(r) < n then solution.(tb.basis.(r)) <- tb.t.(r).(width - 1)
+        done;
+        let objective =
+          Array.fold_left ( +. ) 0.
+            (Array.mapi (fun j cj -> cj *. solution.(j)) c)
+        in
+        Optimal { objective; solution }
+  in
+  if n_art = 0 then begin
+    let tb = { m; n; t; obj = mk_obj (Array.make n 0.); basis } in
+    phase2 tb
+  end
+  else begin
+    (* Phase one: minimize the sum of artificials, i.e. maximize its
+       negation. *)
+    let phase1_c = Array.make width 0. in
+    for j = n + m to n + m + n_art - 1 do
+      phase1_c.(j) <- -1.
+    done;
+    let tb = { m; n; t; obj = phase1_c; basis } in
+    reduce_obj tb;
+    (match iterate tb ~allowed:(fun _ -> true) with
+    | `Unbounded -> failwith "Simplex.solve: phase one unbounded (bug)"
+    | `Optimal -> ());
+    (* Feasible iff all artificials are zero. *)
+    let infeasible =
+      Array.exists
+        (fun r -> basis.(r) >= n + m && tb.t.(r).(width - 1) > 1e-7)
+        (Array.init m (fun r -> r))
+    in
+    if infeasible then Infeasible else phase2 tb
+  end

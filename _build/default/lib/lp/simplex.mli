@@ -1,0 +1,20 @@
+(** Dense primal simplex for small linear programs.
+
+    Solves [maximize c.x  subject to  A.x <= b, x >= 0] with Bland's rule
+    (guaranteed termination).  The paper's analysis (Section 5.2) reduces to
+    such programs once the number of loaded items [t] is fixed; we use this
+    solver to cross-check the closed forms of Theorems 5-7. *)
+
+type result =
+  | Optimal of { objective : float; solution : float array }
+  | Unbounded
+  | Infeasible
+      (** Only possible with negative entries in [b]; we solve such cases by
+          a standard phase-one construction. *)
+
+val solve : c:float array -> a:float array array -> b:float array -> result
+(** [solve ~c ~a ~b] where [a] is [m x n], [b] has length [m], [c] length
+    [n].  Raises [Invalid_argument] on shape mismatch. *)
+
+val epsilon : float
+(** Numerical tolerance used for pivoting decisions (1e-9). *)

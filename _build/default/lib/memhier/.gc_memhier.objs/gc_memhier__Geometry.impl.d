@@ -1,0 +1,1 @@
+lib/memhier/geometry.ml: Gc_trace

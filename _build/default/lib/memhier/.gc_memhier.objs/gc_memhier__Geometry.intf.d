@@ -1,0 +1,1 @@
+lib/memhier/geometry.mli: Gc_trace

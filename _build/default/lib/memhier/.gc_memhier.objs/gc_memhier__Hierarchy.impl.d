@@ -1,0 +1,1 @@
+lib/memhier/hierarchy.ml: Array Gc_cache Geometry

@@ -1,0 +1,1 @@
+lib/memhier/hierarchy.mli: Gc_cache Gc_trace Geometry

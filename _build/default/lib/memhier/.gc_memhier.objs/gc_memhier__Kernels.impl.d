@@ -1,0 +1,1 @@
+lib/memhier/kernels.ml: Array Float Gc_trace

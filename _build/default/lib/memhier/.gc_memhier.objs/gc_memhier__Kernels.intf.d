@@ -1,0 +1,1 @@
+lib/memhier/kernels.mli: Gc_trace

@@ -1,0 +1,1 @@
+lib/memhier/two_level.ml: Array Gc_cache Gc_trace Geometry

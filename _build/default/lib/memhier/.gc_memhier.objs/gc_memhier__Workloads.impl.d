@@ -1,0 +1,1 @@
+lib/memhier/workloads.ml: Array Gc_trace Writeback

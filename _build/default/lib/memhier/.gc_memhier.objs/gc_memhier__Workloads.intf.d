@@ -1,0 +1,1 @@
+lib/memhier/workloads.mli: Gc_trace Writeback

@@ -1,0 +1,1 @@
+lib/memhier/writeback.ml: Array Gc_cache Geometry Hashtbl List

@@ -1,0 +1,1 @@
+lib/memhier/writeback.mli: Gc_cache Gc_trace Geometry

@@ -1,0 +1,23 @@
+type t = { line_bytes : int; row_bytes : int }
+
+let create ~line_bytes ~row_bytes =
+  if line_bytes < 1 || row_bytes < 1 then
+    invalid_arg "Geometry.create: sizes must be positive";
+  if row_bytes mod line_bytes <> 0 then
+    invalid_arg "Geometry.create: line size must divide row size";
+  { line_bytes; row_bytes }
+
+let sram_dram = create ~line_bytes:64 ~row_bytes:4096
+let dram_flash = create ~line_bytes:4096 ~row_bytes:(256 * 1024)
+
+let lines_per_row t = t.row_bytes / t.line_bytes
+
+let line_of_addr t addr =
+  if addr < 0 then invalid_arg "Geometry.line_of_addr: negative address";
+  addr / t.line_bytes
+
+let row_of_addr t addr =
+  if addr < 0 then invalid_arg "Geometry.row_of_addr: negative address";
+  addr / t.row_bytes
+
+let block_map t = Gc_trace.Block_map.uniform ~block_size:(lines_per_row t)

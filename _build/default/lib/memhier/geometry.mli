@@ -1,0 +1,29 @@
+(** Byte-addressed geometry of a granularity boundary.
+
+    The paper's motivating setting (Section 1): a cache whose own unit is a
+    [line] (e.g. 64 B SRAM line) backed by a level whose unit is a larger
+    [row] (e.g. 2-4 KB DRAM row, 4 KB flash page).  Items of the GC model
+    are lines; blocks are rows; [B = row_bytes / line_bytes]. *)
+
+type t = private { line_bytes : int; row_bytes : int }
+
+val create : line_bytes:int -> row_bytes:int -> t
+(** Requires positive sizes with [line_bytes] dividing [row_bytes]. *)
+
+val sram_dram : t
+(** 64 B lines in 4 KB rows: [B = 64] — the paper's Figure 3/6 block
+    size. *)
+
+val dram_flash : t
+(** 4 KB pages in 256 KB flash erase regions: [B = 64] at page scale. *)
+
+val lines_per_row : t -> int
+(** The GC block size [B]. *)
+
+val line_of_addr : t -> int -> int
+(** Item id of a byte address. *)
+
+val row_of_addr : t -> int -> int
+
+val block_map : t -> Gc_trace.Block_map.t
+(** The uniform block map with [B = lines_per_row]. *)

@@ -1,0 +1,39 @@
+type stats = {
+  accesses : int;
+  hits : int;
+  misses : int;
+  lines_loaded : int;
+  bytes_loaded : int;
+  spatial_hits : int;
+  temporal_hits : int;
+}
+
+type t = {
+  geo : Geometry.t;
+  driver : Gc_cache.Simulator.t;
+}
+
+let create geo ~make_policy ~capacity_lines =
+  let blocks = Geometry.block_map geo in
+  let policy = make_policy ~k:capacity_lines ~blocks in
+  { geo; driver = Gc_cache.Simulator.create policy blocks }
+
+let access t addr =
+  ignore (Gc_cache.Simulator.access t.driver (Geometry.line_of_addr t.geo addr))
+
+let run t addrs = Array.iter (access t) addrs
+
+let stats t =
+  let m = Gc_cache.Simulator.metrics t.driver in
+  {
+    accesses = m.Gc_cache.Metrics.accesses;
+    hits = m.Gc_cache.Metrics.hits;
+    misses = m.Gc_cache.Metrics.misses;
+    lines_loaded = m.Gc_cache.Metrics.items_loaded;
+    bytes_loaded =
+      m.Gc_cache.Metrics.items_loaded * t.geo.Geometry.line_bytes;
+    spatial_hits = m.Gc_cache.Metrics.spatial_hits;
+    temporal_hits = m.Gc_cache.Metrics.temporal_hits;
+  }
+
+let geometry t = t.geo

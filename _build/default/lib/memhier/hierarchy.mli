@@ -1,0 +1,35 @@
+(** A cache level in front of a larger-granularity backing store.
+
+    Byte addresses are mapped to lines (items) and rows (blocks); any
+    {!Gc_cache.Policy.t} manages the level's line population.  Accounting
+    follows the GC cost model: every miss activates one row; the bytes
+    actually moved depend on how many lines the policy chose to take from
+    the open row. *)
+
+type stats = {
+  accesses : int;
+  hits : int;
+  misses : int;  (** = row activations: the unit-cost events. *)
+  lines_loaded : int;
+  bytes_loaded : int;
+  spatial_hits : int;
+  temporal_hits : int;
+}
+
+type t
+
+val create :
+  Geometry.t ->
+  make_policy:(k:int -> blocks:Gc_trace.Block_map.t -> Gc_cache.Policy.t) ->
+  capacity_lines:int ->
+  t
+
+val access : t -> int -> unit
+(** Feed one byte address. *)
+
+val run : t -> int array -> unit
+(** Feed a whole address stream. *)
+
+val stats : t -> stats
+
+val geometry : t -> Geometry.t

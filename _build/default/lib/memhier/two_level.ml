@@ -1,0 +1,59 @@
+type level_stats = {
+  accesses : int;
+  hits : int;
+  misses : int;
+  lines_loaded : int;
+}
+
+type stats = {
+  l1 : level_stats;
+  l2 : level_stats;
+  row_opens : int;
+  bytes_from_memory : int;
+  bytes_l2_to_l1 : int;
+}
+
+type t = {
+  geo : Geometry.t;
+  l1 : Gc_cache.Simulator.t;
+  l2 : Gc_cache.Simulator.t;
+}
+
+let create geo ~l1_policy ~l1_lines ~l2_policy ~l2_lines =
+  let l1_blocks = Gc_trace.Block_map.singleton in
+  let l2_blocks = Geometry.block_map geo in
+  {
+    geo;
+    l1 = Gc_cache.Simulator.create (l1_policy ~k:l1_lines ~blocks:l1_blocks) l1_blocks;
+    l2 = Gc_cache.Simulator.create (l2_policy ~k:l2_lines ~blocks:l2_blocks) l2_blocks;
+  }
+
+let access t addr =
+  let line = Geometry.line_of_addr t.geo addr in
+  match Gc_cache.Simulator.access t.l1 line with
+  | Gc_cache.Policy.Hit _ -> ()
+  | Gc_cache.Policy.Miss _ ->
+      (* L1 fills from L2; only L1 misses reach the boundary. *)
+      ignore (Gc_cache.Simulator.access t.l2 line)
+
+let run t addrs = Array.iter (access t) addrs
+
+let level_stats_of m =
+  {
+    accesses = m.Gc_cache.Metrics.accesses;
+    hits = m.Gc_cache.Metrics.hits;
+    misses = m.Gc_cache.Metrics.misses;
+    lines_loaded = m.Gc_cache.Metrics.items_loaded;
+  }
+
+let stats t =
+  let m1 = Gc_cache.Simulator.metrics t.l1 in
+  let m2 = Gc_cache.Simulator.metrics t.l2 in
+  let line_bytes = t.geo.Geometry.line_bytes in
+  {
+    l1 = level_stats_of m1;
+    l2 = level_stats_of m2;
+    row_opens = m2.Gc_cache.Metrics.misses;
+    bytes_from_memory = m2.Gc_cache.Metrics.items_loaded * line_bytes;
+    bytes_l2_to_l1 = m1.Gc_cache.Metrics.misses * line_bytes;
+  }

@@ -1,0 +1,48 @@
+(** A two-level hierarchy across a granularity boundary.
+
+    L1 is a traditional line-granularity cache (every item its own block:
+    it can only load what it asks for).  L2 sits at the boundary: its
+    backing store serves whole rows, so L2 is a GC cache that may take any
+    subset of the open row per miss.  This is the full setting of the
+    paper's introduction — "block granularity changes at different levels
+    of the memory/storage hierarchy" — with the GC freedom exactly where
+    the granularity changes.
+
+    Accounting: an access goes to L1; an L1 miss goes to L2; an L2 miss
+    opens a row in memory.  Traffic from memory is whatever L2 chose to
+    load; traffic L2 -> L1 is one line per L1 miss. *)
+
+type level_stats = {
+  accesses : int;
+  hits : int;
+  misses : int;
+  lines_loaded : int;
+}
+
+type stats = {
+  l1 : level_stats;
+  l2 : level_stats;
+  row_opens : int;  (** = L2 misses: the unit-cost events at the boundary. *)
+  bytes_from_memory : int;
+  bytes_l2_to_l1 : int;
+}
+
+type t
+
+val create :
+  Geometry.t ->
+  l1_policy:(k:int -> blocks:Gc_trace.Block_map.t -> Gc_cache.Policy.t) ->
+  l1_lines:int ->
+  l2_policy:(k:int -> blocks:Gc_trace.Block_map.t -> Gc_cache.Policy.t) ->
+  l2_lines:int ->
+  t
+(** [l1_policy] receives a singleton block map (no spatial freedom above
+    the boundary); [l2_policy] receives the geometry's row-granularity
+    block map. *)
+
+val access : t -> int -> unit
+(** Feed one byte address. *)
+
+val run : t -> int array -> unit
+
+val stats : t -> stats

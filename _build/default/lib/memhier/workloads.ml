@@ -1,0 +1,54 @@
+let sequential ~n ~start ~step = Array.init n (fun idx -> start + (idx * step))
+
+let matrix_row_major ~rows ~cols ~elem_bytes ~base =
+  Array.init (rows * cols) (fun idx -> base + (idx * elem_bytes))
+
+let matrix_col_major ~rows ~cols ~elem_bytes ~base =
+  Array.init (rows * cols) (fun idx ->
+      let c = idx / rows and r = idx mod rows in
+      base + (((r * cols) + c) * elem_bytes))
+
+let pointer_chase rng ~n ~nodes ~node_bytes ~base =
+  let perm = Array.init nodes (fun i -> i) in
+  Gc_trace.Rng.shuffle rng perm;
+  Array.init n (fun idx -> base + (perm.(idx mod nodes) * node_bytes))
+
+let zipf_records rng ~n ~records ~record_bytes ~alpha ~base =
+  let z = Gc_trace.Zipf.create ~n:records ~alpha in
+  let perm = Array.init records (fun i -> i) in
+  Gc_trace.Rng.shuffle rng perm;
+  Array.init n (fun _ ->
+      base + (perm.(Gc_trace.Zipf.sample z rng) * record_bytes))
+
+let interleave a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (la + lb) 0 in
+  let ia = ref 0 and ib = ref 0 and pos = ref 0 in
+  while !ia < la || !ib < lb do
+    if !ia < la then begin
+      out.(!pos) <- a.(!ia);
+      incr ia;
+      incr pos
+    end;
+    if !ib < lb then begin
+      out.(!pos) <- b.(!ib);
+      incr ib;
+      incr pos
+    end
+  done;
+  out
+
+let read_write_mix rng ~addrs ~write_fraction =
+  if write_fraction < 0. || write_fraction > 1. then
+    invalid_arg "Workloads.read_write_mix: fraction out of [0,1]";
+  Array.map
+    (fun addr ->
+      let op =
+        if Gc_trace.Rng.float rng 1.0 < write_fraction then Writeback.Write
+        else Writeback.Read
+      in
+      (op, addr))
+    addrs
+
+let log_append ~n ~base ~record_bytes =
+  Array.init n (fun idx -> (Writeback.Write, base + (idx * record_bytes)))

@@ -1,0 +1,48 @@
+(** Byte-address workload generators for the hierarchy simulator.
+
+    These model the access patterns the paper's introduction motivates:
+    streaming (high spatial locality), strided and column-major traversals
+    (low spatial locality at row granularity), pointer chasing (none), and
+    skewed key-value lookups. *)
+
+val sequential : n:int -> start:int -> step:int -> int array
+(** Addresses [start, start+step, ...]. *)
+
+val matrix_row_major :
+  rows:int -> cols:int -> elem_bytes:int -> base:int -> int array
+(** Touch every element of a [rows x cols] matrix in row-major order. *)
+
+val matrix_col_major :
+  rows:int -> cols:int -> elem_bytes:int -> base:int -> int array
+(** Column-major traversal of the same layout: adjacent accesses are
+    [cols * elem_bytes] apart, defeating row-granularity locality when the
+    pitch exceeds the row size. *)
+
+val pointer_chase :
+  Gc_trace.Rng.t -> n:int -> nodes:int -> node_bytes:int -> base:int -> int array
+(** Walk a random permutation cycle over [nodes] records. *)
+
+val zipf_records :
+  Gc_trace.Rng.t ->
+  n:int ->
+  records:int ->
+  record_bytes:int ->
+  alpha:float ->
+  base:int ->
+  int array
+(** Skewed record lookups (each lookup touches the record's first byte). *)
+
+val interleave : int array -> int array -> int array
+(** Round-robin mix of two streams (e.g. streaming + pointer chase). *)
+
+val read_write_mix :
+  Gc_trace.Rng.t ->
+  addrs:int array ->
+  write_fraction:float ->
+  (Writeback.op * int) array
+(** Tag each address of a stream as a write with the given probability. *)
+
+val log_append :
+  n:int -> base:int -> record_bytes:int -> (Writeback.op * int) array
+(** Pure sequential writes — an append-only log, the friendliest write
+    pattern for row-granularity write-back coalescing. *)

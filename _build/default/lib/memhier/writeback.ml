@@ -1,0 +1,92 @@
+type op = Read | Write
+
+type stats = {
+  reads : int;
+  writes : int;
+  hits : int;
+  misses : int;
+  lines_loaded : int;
+  dirty_evictions : int;
+  writeback_rows : int;
+  bytes_read : int;
+  bytes_written : int;
+}
+
+type t = {
+  geo : Geometry.t;
+  driver : Gc_cache.Simulator.t;
+  dirty : (int, unit) Hashtbl.t;  (* dirty lines *)
+  mutable reads : int;
+  mutable writes : int;
+  mutable dirty_evictions : int;
+  mutable writeback_rows : int;
+}
+
+let create geo ~make_policy ~capacity_lines =
+  let blocks = Geometry.block_map geo in
+  {
+    geo;
+    driver =
+      Gc_cache.Simulator.create (make_policy ~k:capacity_lines ~blocks) blocks;
+    dirty = Hashtbl.create 1024;
+    reads = 0;
+    writes = 0;
+    dirty_evictions = 0;
+    writeback_rows = 0;
+  }
+
+let account_evictions t evicted =
+  (* Dirty lines leaving the cache are written back; lines of the same row
+     evicted in the same event share one row write. *)
+  let rows = Hashtbl.create 4 in
+  List.iter
+    (fun line ->
+      if Hashtbl.mem t.dirty line then begin
+        Hashtbl.remove t.dirty line;
+        t.dirty_evictions <- t.dirty_evictions + 1;
+        let row = line * t.geo.Geometry.line_bytes / t.geo.Geometry.row_bytes in
+        if not (Hashtbl.mem rows row) then begin
+          Hashtbl.add rows row ();
+          t.writeback_rows <- t.writeback_rows + 1
+        end
+      end)
+    evicted
+
+let access t op addr =
+  let line = Geometry.line_of_addr t.geo addr in
+  (match op with
+  | Read -> t.reads <- t.reads + 1
+  | Write -> t.writes <- t.writes + 1);
+  (match Gc_cache.Simulator.access t.driver line with
+  | Gc_cache.Policy.Hit { evicted } -> account_evictions t evicted
+  | Gc_cache.Policy.Miss { evicted; _ } -> account_evictions t evicted);
+  if op = Write then Hashtbl.replace t.dirty line ()
+
+let run t ops = Array.iter (fun (op, addr) -> access t op addr) ops
+
+let flush t =
+  let rows = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun line () ->
+      t.dirty_evictions <- t.dirty_evictions + 1;
+      let row = line * t.geo.Geometry.line_bytes / t.geo.Geometry.row_bytes in
+      if not (Hashtbl.mem rows row) then begin
+        Hashtbl.add rows row ();
+        t.writeback_rows <- t.writeback_rows + 1
+      end)
+    t.dirty;
+  Hashtbl.reset t.dirty
+
+let stats t =
+  let m = Gc_cache.Simulator.metrics t.driver in
+  {
+    reads = t.reads;
+    writes = t.writes;
+    hits = m.Gc_cache.Metrics.hits;
+    misses = m.Gc_cache.Metrics.misses;
+    lines_loaded = m.Gc_cache.Metrics.items_loaded;
+    dirty_evictions = t.dirty_evictions;
+    writeback_rows = t.writeback_rows;
+    bytes_read = m.Gc_cache.Metrics.items_loaded * t.geo.Geometry.line_bytes;
+    bytes_written = t.dirty_evictions * t.geo.Geometry.line_bytes;
+  }

@@ -1,0 +1,46 @@
+(** Read/write simulation with dirty-line tracking and write-back traffic.
+
+    The paper restricts its theory to reads (footnote 1 notes writes can
+    even have a different granularity); this substrate extension measures
+    the write side of the same boundary: lines dirtied by stores must be
+    written back when evicted, and dirty lines of the same row evicted
+    together coalesce into one row write.
+
+    The replacement policy is any {!Gc_cache.Policy.t}; dirtiness is
+    tracked outside the policy from the outcomes it reports, so every
+    policy in the registry works unchanged. *)
+
+type op = Read | Write
+
+type stats = {
+  reads : int;
+  writes : int;
+  hits : int;
+  misses : int;
+  lines_loaded : int;
+  dirty_evictions : int;  (** Dirty lines that had to be written back. *)
+  writeback_rows : int;
+      (** Row-write events: dirty lines evicted in one outcome coalesce
+          per row. *)
+  bytes_read : int;
+  bytes_written : int;
+}
+
+type t
+
+val create :
+  Geometry.t ->
+  make_policy:(k:int -> blocks:Gc_trace.Block_map.t -> Gc_cache.Policy.t) ->
+  capacity_lines:int ->
+  t
+
+val access : t -> op -> int -> unit
+(** Feed one byte address with its operation. *)
+
+val run : t -> (op * int) array -> unit
+
+val stats : t -> stats
+
+val flush : t -> unit
+(** Account write-backs for all lines still dirty in the cache (end of
+    simulation). *)

@@ -1,0 +1,1 @@
+lib/offline/belady.mli: Gc_cache Gc_trace

@@ -1,0 +1,1 @@
+lib/offline/block_belady.ml: Array Gc_cache Gc_trace Hashtbl Lazy_max_heap Next_use

@@ -1,0 +1,1 @@
+lib/offline/block_belady.mli: Gc_cache Gc_trace

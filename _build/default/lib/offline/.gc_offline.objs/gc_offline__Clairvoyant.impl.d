@@ -1,0 +1,1 @@
+lib/offline/clairvoyant.ml: Array Gc_cache Gc_trace Hashtbl Lazy_max_heap List Next_use Seq

@@ -1,0 +1,1 @@
+lib/offline/clairvoyant.mli: Gc_cache Gc_trace

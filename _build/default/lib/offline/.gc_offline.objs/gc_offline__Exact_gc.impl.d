@@ -1,0 +1,1 @@
+lib/offline/exact_gc.ml: Array Gc_trace Hashtbl List Schedule

@@ -1,0 +1,1 @@
+lib/offline/exact_gc.mli: Gc_trace Schedule

@@ -1,0 +1,1 @@
+lib/offline/lazy_max_heap.ml: Array

@@ -1,0 +1,1 @@
+lib/offline/next_use.ml: Array Gc_trace Hashtbl Option

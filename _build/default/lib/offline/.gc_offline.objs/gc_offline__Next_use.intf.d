@@ -1,0 +1,1 @@
+lib/offline/next_use.mli: Gc_trace

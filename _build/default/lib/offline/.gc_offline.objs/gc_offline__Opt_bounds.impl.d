@@ -1,0 +1,1 @@
+lib/offline/opt_bounds.ml: Clairvoyant Gc_trace Hashtbl

@@ -1,0 +1,1 @@
+lib/offline/opt_bounds.mli: Gc_trace

@@ -1,0 +1,1 @@
+lib/offline/reduction.ml: Array Exact_gc Gc_trace List Printf Varsize

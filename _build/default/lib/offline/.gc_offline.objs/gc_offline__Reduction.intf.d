@@ -1,0 +1,1 @@
+lib/offline/reduction.mli: Gc_trace Varsize

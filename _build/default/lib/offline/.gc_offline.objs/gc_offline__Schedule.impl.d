@@ -1,0 +1,1 @@
+lib/offline/schedule.ml: Array Format Gc_cache Gc_trace Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/offline/schedule.mli: Gc_cache Gc_trace

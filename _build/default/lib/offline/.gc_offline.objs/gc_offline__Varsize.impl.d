@@ -1,0 +1,1 @@
+lib/offline/varsize.ml: Array Gc_trace Hashtbl List

@@ -1,0 +1,1 @@
+lib/offline/varsize.mli: Gc_trace

@@ -1,0 +1,76 @@
+module P = struct
+  type t = {
+    k : int;
+    trace : Gc_trace.Trace.t;
+    nu : Next_use.t;
+    mutable pos : int;
+    cached : (int, unit) Hashtbl.t;
+    current_nu : (int, int) Hashtbl.t;  (* cached item -> its next use *)
+    heap : Lazy_max_heap.t;
+  }
+
+  let name = "belady"
+  let k t = t.k
+  let mem t x = Hashtbl.mem t.cached x
+  let occupancy t = Hashtbl.length t.cached
+
+  let expect t x =
+    if t.pos >= Gc_trace.Trace.length t.trace then
+      invalid_arg "Belady: driven past the end of its trace";
+    if Gc_trace.Trace.get t.trace t.pos <> x then
+      invalid_arg "Belady: request does not match the trace"
+
+  let refresh t x =
+    let nxt = Next_use.at t.nu t.pos in
+    Hashtbl.replace t.current_nu x nxt;
+    Lazy_max_heap.push t.heap ~prio:nxt ~item:x
+
+  let is_current t ~prio ~item =
+    Hashtbl.mem t.cached item && Hashtbl.find_opt t.current_nu item = Some prio
+
+  let evict_furthest t =
+    match Lazy_max_heap.pop_valid t.heap ~is_valid:(is_current t) with
+    | Some (_, v) ->
+        Hashtbl.remove t.cached v;
+        Hashtbl.remove t.current_nu v;
+        v
+    | None -> assert false
+
+  let access t x =
+    expect t x;
+    let outcome =
+      if Hashtbl.mem t.cached x then begin
+        refresh t x;
+        Gc_cache.Policy.Hit { evicted = [] }
+      end
+      else begin
+        let evicted = ref [] in
+        while Hashtbl.length t.cached >= t.k do
+          evicted := evict_furthest t :: !evicted
+        done;
+        Hashtbl.add t.cached x ();
+        refresh t x;
+        Gc_cache.Policy.Miss { loaded = [ x ]; evicted = !evicted }
+      end
+    in
+    t.pos <- t.pos + 1;
+    outcome
+end
+
+let create ~k trace =
+  if k < 1 then invalid_arg "Belady.create: k must be >= 1";
+  Gc_cache.Policy.Instance
+    ( (module P),
+      {
+        P.k;
+        trace;
+        nu = Next_use.of_trace trace;
+        pos = 0;
+        cached = Hashtbl.create 256;
+        current_nu = Hashtbl.create 256;
+        heap = Lazy_max_heap.create ();
+      } )
+
+let cost ~k trace =
+  let m = Gc_cache.Simulator.run (create ~k trace) trace in
+  m.Gc_cache.Metrics.misses

@@ -1,0 +1,14 @@
+(** Belady's MIN: offline-optimal {e item-granularity} replacement.
+
+    Loads only the requested item and evicts the cached item whose next use
+    is furthest in the future — optimal for traditional caching (unit size,
+    unit cost), and therefore the optimal {e Item Cache} in GC caching
+    (spatial loads are what it forgoes).
+
+    The returned policy must be driven with exactly the trace it was created
+    from, in order; it raises [Invalid_argument] otherwise. *)
+
+val create : k:int -> Gc_trace.Trace.t -> Gc_cache.Policy.t
+
+val cost : k:int -> Gc_trace.Trace.t -> int
+(** Total misses of Belady's MIN on the trace. *)

@@ -1,0 +1,99 @@
+module P = struct
+  type t = {
+    k : int;
+    trace : Gc_trace.Trace.t;
+    block_next : Next_use.t;  (* next use over the block-projected trace *)
+    mutable pos : int;
+    resident : (int, int array) Hashtbl.t;  (* block -> its items *)
+    current_nu : (int, int) Hashtbl.t;  (* block -> its next use *)
+    cached_items : (int, unit) Hashtbl.t;
+    heap : Lazy_max_heap.t;
+    mutable occ : int;
+  }
+
+  let name = "block-belady"
+  let k t = t.k
+  let mem t x = Hashtbl.mem t.cached_items x
+  let occupancy t = t.occ
+
+  let expect t x =
+    if t.pos >= Gc_trace.Trace.length t.trace then
+      invalid_arg "Block_belady: driven past the end of its trace";
+    if Gc_trace.Trace.get t.trace t.pos <> x then
+      invalid_arg "Block_belady: request does not match the trace"
+
+  let refresh t blk =
+    let nxt = Next_use.at t.block_next t.pos in
+    Hashtbl.replace t.current_nu blk nxt;
+    Lazy_max_heap.push t.heap ~prio:nxt ~item:blk
+
+  let is_current t ~prio ~item =
+    Hashtbl.mem t.resident item && Hashtbl.find_opt t.current_nu item = Some prio
+
+  let evict_furthest t =
+    match Lazy_max_heap.pop_valid t.heap ~is_valid:(is_current t) with
+    | Some (_, blk) ->
+        let items = Hashtbl.find t.resident blk in
+        Hashtbl.remove t.resident blk;
+        Hashtbl.remove t.current_nu blk;
+        Array.iter (fun y -> Hashtbl.remove t.cached_items y) items;
+        t.occ <- t.occ - Array.length items;
+        Array.to_list items
+    | None -> assert false
+
+  let access t x =
+    expect t x;
+    let blocks = t.trace.Gc_trace.Trace.blocks in
+    let blk = Gc_trace.Block_map.block_of blocks x in
+    let outcome =
+      if Hashtbl.mem t.resident blk then begin
+        refresh t blk;
+        Gc_cache.Policy.Hit { evicted = [] }
+      end
+      else begin
+        let incoming = Gc_trace.Block_map.items_of blocks blk in
+        let evicted = ref [] in
+        while t.occ + Array.length incoming > t.k do
+          evicted := evict_furthest t @ !evicted
+        done;
+        Hashtbl.add t.resident blk incoming;
+        Array.iter (fun y -> Hashtbl.replace t.cached_items y ()) incoming;
+        t.occ <- t.occ + Array.length incoming;
+        refresh t blk;
+        Gc_cache.Policy.Miss
+          { loaded = Array.to_list incoming; evicted = !evicted }
+      end
+    in
+    t.pos <- t.pos + 1;
+    outcome
+end
+
+let block_projection trace =
+  let blocks = trace.Gc_trace.Trace.blocks in
+  let requests =
+    Array.map
+      (fun r -> Gc_trace.Block_map.block_of blocks r)
+      trace.Gc_trace.Trace.requests
+  in
+  Gc_trace.Trace.make Gc_trace.Block_map.singleton requests
+
+let create ~k trace =
+  let bsize = Gc_trace.Block_map.block_size trace.Gc_trace.Trace.blocks in
+  if k < bsize then invalid_arg "Block_belady.create: k smaller than block size";
+  Gc_cache.Policy.Instance
+    ( (module P),
+      {
+        P.k;
+        trace;
+        block_next = Next_use.of_trace (block_projection trace);
+        pos = 0;
+        resident = Hashtbl.create 256;
+        current_nu = Hashtbl.create 256;
+        cached_items = Hashtbl.create 1024;
+        heap = Lazy_max_heap.create ();
+        occ = 0;
+      } )
+
+let cost ~k trace =
+  let m = Gc_cache.Simulator.run (create ~k trace) trace in
+  m.Gc_cache.Metrics.misses

@@ -1,0 +1,13 @@
+(** Belady's MIN at block granularity: the offline-optimal {e Block Cache}.
+
+    Loads and evicts whole blocks; the victim is the block whose next
+    reference (to any of its items) is furthest in the future.  Optimal
+    among block-granularity policies by Belady's argument applied to the
+    block-projected trace.
+
+    Must be driven with exactly its creation trace, in order. *)
+
+val create : k:int -> Gc_trace.Trace.t -> Gc_cache.Policy.t
+(** Requires [k >= block size]. *)
+
+val cost : k:int -> Gc_trace.Trace.t -> int

@@ -1,0 +1,139 @@
+module P = struct
+  type t = {
+    k : int;
+    trace : Gc_trace.Trace.t;
+    nu : Next_use.t;
+    mutable pos : int;
+    cached : (int, unit) Hashtbl.t;
+    current_nu : (int, int) Hashtbl.t;
+    heap : Lazy_max_heap.t;
+  }
+
+  let name = "clairvoyant"
+  let k t = t.k
+  let mem t x = Hashtbl.mem t.cached x
+  let occupancy t = Hashtbl.length t.cached
+
+  let expect t x =
+    if t.pos >= Gc_trace.Trace.length t.trace then
+      invalid_arg "Clairvoyant: driven past the end of its trace";
+    if Gc_trace.Trace.get t.trace t.pos <> x then
+      invalid_arg "Clairvoyant: request does not match the trace"
+
+  let set_nu t x nxt =
+    Hashtbl.replace t.current_nu x nxt;
+    Lazy_max_heap.push t.heap ~prio:nxt ~item:x
+
+  let is_current t ~prio ~item =
+    Hashtbl.mem t.cached item && Hashtbl.find_opt t.current_nu item = Some prio
+
+  let evict_furthest t =
+    match Lazy_max_heap.pop_valid t.heap ~is_valid:(is_current t) with
+    | Some (_, v) ->
+        Hashtbl.remove t.cached v;
+        Hashtbl.remove t.current_nu v;
+        v
+    | None -> assert false
+
+  (* Furthest-next-use cached item other than [exclude] (the request being
+     served, which must stay resident).  [exclude]'s own entry, if popped,
+     is re-pushed. *)
+  let pop_furthest_excluding t ~exclude =
+    let rec go stash =
+      match Lazy_max_heap.pop_valid t.heap ~is_valid:(is_current t) with
+      | None ->
+          List.iter
+            (fun (p, v) -> Lazy_max_heap.push t.heap ~prio:p ~item:v)
+            stash;
+          None
+      | Some (p, v) when v = exclude -> go ((p, v) :: stash)
+      | Some (p, v) ->
+          List.iter
+            (fun (p, v) -> Lazy_max_heap.push t.heap ~prio:p ~item:v)
+            stash;
+          Some (p, v)
+    in
+    go []
+
+  let load t x nxt =
+    Hashtbl.add t.cached x ();
+    set_nu t x nxt
+
+  let access t x =
+    expect t x;
+    let outcome =
+      if Hashtbl.mem t.cached x then begin
+        set_nu t x (Next_use.at t.nu t.pos);
+        Gc_cache.Policy.Hit { evicted = [] }
+      end
+      else begin
+        let evicted = ref [] in
+        while Hashtbl.length t.cached >= t.k do
+          evicted := evict_furthest t :: !evicted
+        done;
+        load t x (Next_use.at t.nu t.pos);
+        let loaded = ref [ x ] in
+        (* Spatial loads: uncached block-mates with a future use, nearest
+           first; each is taken only while it improves on the would-be
+           eviction victim. *)
+        let blocks = t.trace.Gc_trace.Trace.blocks in
+        let blk = Gc_trace.Block_map.block_of blocks x in
+        let candidates =
+          Gc_trace.Block_map.items_of blocks blk
+          |> Array.to_seq
+          |> Seq.filter_map (fun y ->
+                 if y = x || Hashtbl.mem t.cached y then None
+                 else
+                   let nxt = Next_use.after t.nu ~pos:(t.pos + 1) ~item:y in
+                   if nxt = Next_use.never then None else Some (nxt, y))
+          |> List.of_seq
+          |> List.sort compare
+        in
+        (try
+           List.iter
+             (fun (nxt, y) ->
+               if Hashtbl.length t.cached < t.k then begin
+                 load t y nxt;
+                 loaded := y :: !loaded
+               end
+               else begin
+                 match pop_furthest_excluding t ~exclude:x with
+                 | Some (victim_nu, victim) when victim_nu > nxt ->
+                     Hashtbl.remove t.cached victim;
+                     Hashtbl.remove t.current_nu victim;
+                     evicted := victim :: !evicted;
+                     load t y nxt;
+                     loaded := y :: !loaded
+                 | Some (victim_nu, victim) ->
+                     (* Not worth displacing: put the entry back and stop
+                        (later candidates are even further away). *)
+                     Lazy_max_heap.push t.heap ~prio:victim_nu ~item:victim;
+                     raise Exit
+                 | None -> raise Exit
+               end)
+             candidates
+         with Exit -> ());
+        Gc_cache.Policy.Miss { loaded = !loaded; evicted = !evicted }
+      end
+    in
+    t.pos <- t.pos + 1;
+    outcome
+end
+
+let create ~k trace =
+  if k < 1 then invalid_arg "Clairvoyant.create: k must be >= 1";
+  Gc_cache.Policy.Instance
+    ( (module P),
+      {
+        P.k;
+        trace;
+        nu = Next_use.of_trace trace;
+        pos = 0;
+        cached = Hashtbl.create 256;
+        current_nu = Hashtbl.create 256;
+        heap = Lazy_max_heap.create ();
+      } )
+
+let cost ~k trace =
+  let m = Gc_cache.Simulator.run (create ~k trace) trace in
+  m.Gc_cache.Metrics.misses

@@ -1,0 +1,21 @@
+(** A clairvoyant GC-caching heuristic: feasible, near-optimal schedules.
+
+    Offline GC caching is NP-complete (Theorem 1), so no polynomial exact
+    policy exists unless P = NP.  This policy produces a {e feasible}
+    offline schedule whose cost upper-bounds OPT's:
+
+    - on a miss it loads the requested item plus, nearest-next-use first,
+      any uncached items of the block whose next use precedes the next use
+      of the item that would have to be evicted to make room for them
+      (spatial loads are free, so a block-mate used sooner than the current
+      furthest-use resident is always worth swapping in);
+    - it evicts the cached item with the furthest next use (Belady rule).
+
+    On the paper's lower-bound traces this heuristic realizes exactly the
+    offline behaviour the proofs prescribe, so it certifies the adversary's
+    claimed OPT cost; on small instances tests compare it against
+    {!Exact_gc}.  Must be driven with exactly its creation trace. *)
+
+val create : k:int -> Gc_trace.Trace.t -> Gc_cache.Policy.t
+
+val cost : k:int -> Gc_trace.Trace.t -> int

@@ -1,0 +1,83 @@
+type action = { load : int list; evict : int list }
+
+type t = action array
+
+let record policy trace =
+  let actions = Array.make (Gc_trace.Trace.length trace) { load = []; evict = [] } in
+  let metrics =
+    Gc_cache.Simulator.run_with
+      ~f:(fun pos _ outcome ->
+        actions.(pos) <-
+          (match outcome with
+          | Gc_cache.Policy.Hit { evicted } -> { load = []; evict = evicted }
+          | Gc_cache.Policy.Miss { loaded; evicted } ->
+              { load = loaded; evict = evicted }))
+      policy trace
+  in
+  (actions, metrics)
+
+let cost t =
+  Array.fold_left (fun acc a -> if a.load = [] then acc else acc + 1) 0 t
+
+let check trace ~capacity t =
+  let n = Gc_trace.Trace.length trace in
+  if Array.length t <> n then Error "schedule length differs from trace"
+  else begin
+    let blocks = trace.Gc_trace.Trace.blocks in
+    let cached = Hashtbl.create 256 in
+    let misses = ref 0 in
+    let error = ref None in
+    let fail pos fmt =
+      Format.kasprintf
+        (fun s ->
+          if !error = None then error := Some (Printf.sprintf "access %d: %s" pos s))
+        fmt
+    in
+    (try
+       for pos = 0 to n - 1 do
+         let x = Gc_trace.Trace.get trace pos in
+         let { load; evict } = t.(pos) in
+         List.iter
+           (fun v ->
+             if not (Hashtbl.mem cached v) then begin
+               fail pos "evicting uncached item %d" v;
+               raise Exit
+             end;
+             Hashtbl.remove cached v)
+           evict;
+         let was_hit = Hashtbl.mem cached x in
+         if was_hit then begin
+           if load <> [] then begin
+             fail pos "load on a hit";
+             raise Exit
+           end
+         end
+         else begin
+           incr misses;
+           if not (List.mem x load) then begin
+             fail pos "miss without loading the requested item %d" x;
+             raise Exit
+           end;
+           let blk = Gc_trace.Block_map.block_of blocks x in
+           List.iter
+             (fun y ->
+               if Gc_trace.Block_map.block_of blocks y <> blk then begin
+                 fail pos "loading %d from a foreign block" y;
+                 raise Exit
+               end;
+               if Hashtbl.mem cached y then begin
+                 fail pos "loading already-cached item %d" y;
+                 raise Exit
+               end;
+               Hashtbl.add cached y ())
+             load
+         end;
+         if Hashtbl.length cached > capacity then begin
+           fail pos "occupancy %d exceeds capacity %d" (Hashtbl.length cached)
+             capacity;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    match !error with Some e -> Error e | None -> Ok !misses
+  end

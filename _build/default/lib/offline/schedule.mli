@@ -1,0 +1,24 @@
+(** Explicit offline schedules and their certification.
+
+    A schedule lists, per access, the items loaded and evicted.  The checker
+    replays it against the trace under the GC caching rules and either
+    returns its cost (number of misses) or explains the first violation —
+    this is how adversarial constructions' claimed OPT costs are certified
+    without trusting the code that produced them. *)
+
+type action = { load : int list; evict : int list }
+
+type t = action array
+
+val record : Gc_cache.Policy.t -> Gc_trace.Trace.t -> t * Gc_cache.Metrics.t
+(** Run a policy over a trace and record its outcomes as a schedule. *)
+
+val check : Gc_trace.Trace.t -> capacity:int -> t -> (int, string) result
+(** [check trace ~capacity s] replays [s]: evictions must hit cached items,
+    loads happen only on misses, stay within the requested item's block,
+    include the requested item, and occupancy never exceeds [capacity].
+    Returns the number of misses. *)
+
+val cost : t -> int
+(** Number of accesses with a non-empty load (= misses, for a valid
+    schedule). *)

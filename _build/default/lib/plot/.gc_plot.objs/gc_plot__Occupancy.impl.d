@@ -1,0 +1,1 @@
+lib/plot/occupancy.ml: Array Buffer Char Gc_offline Gc_trace Hashtbl List Printf String

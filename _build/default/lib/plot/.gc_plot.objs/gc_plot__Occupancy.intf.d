@@ -1,0 +1,1 @@
+lib/plot/occupancy.mli: Gc_offline Gc_trace

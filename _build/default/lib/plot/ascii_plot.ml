@@ -1,0 +1,79 @@
+type scale = Linear | Log10
+
+type series = {
+  marker : char;
+  label : string;
+  points : (float * float) list;
+}
+
+let transform = function
+  | Linear -> fun v -> v
+  | Log10 ->
+      fun v ->
+        if v <= 0. then
+          invalid_arg "Ascii_plot: non-positive value on a log axis"
+        else log10 v
+
+let finite (x, y) = Float.is_finite x && Float.is_finite y
+
+let render ?(width = 72) ?(height = 20) ?(x_scale = Linear)
+    ?(y_scale = Linear) ?title series =
+  let tx = transform x_scale and ty = transform y_scale in
+  let pts =
+    List.concat_map
+      (fun s ->
+        List.filter_map
+          (fun p -> if finite p then Some (s.marker, p) else None)
+          s.points)
+      series
+  in
+  if pts = [] then invalid_arg "Ascii_plot.render: no finite points";
+  let xs = List.map (fun (_, (x, _)) -> tx x) pts in
+  let ys = List.map (fun (_, (_, y)) -> ty y) pts in
+  let fmin = List.fold_left Float.min infinity in
+  let fmax = List.fold_left Float.max neg_infinity in
+  let x0 = fmin xs and x1 = fmax xs in
+  let y0 = fmin ys and y1 = fmax ys in
+  let xspan = if x1 > x0 then x1 -. x0 else 1. in
+  let yspan = if y1 > y0 then y1 -. y0 else 1. in
+  let grid = Array.make_matrix height width ' ' in
+  List.iter
+    (fun (marker, (x, y)) ->
+      let cx =
+        int_of_float
+          (Float.round ((tx x -. x0) /. xspan *. float_of_int (width - 1)))
+      in
+      let cy =
+        int_of_float
+          (Float.round ((ty y -. y0) /. yspan *. float_of_int (height - 1)))
+      in
+      (* y axis grows upward: row 0 is the top. *)
+      grid.(height - 1 - cy).(cx) <- marker)
+    pts;
+  let buf = Buffer.create ((width + 10) * (height + 6)) in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  let back s v = match s with Linear -> v | Log10 -> Float.pow 10. v in
+  Buffer.add_string buf
+    (Printf.sprintf "y: %.3g .. %.3g%s\n" (back y_scale y0) (back y_scale y1)
+       (if y_scale = Log10 then " (log)" else ""));
+  Array.iter
+    (fun row ->
+      Buffer.add_string buf "  |";
+      Array.iter (Buffer.add_char buf) row;
+      Buffer.add_char buf '\n')
+    grid;
+  Buffer.add_string buf "  +";
+  Buffer.add_string buf (String.make width '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf "x: %.3g .. %.3g%s\n" (back x_scale x0) (back x_scale x1)
+       (if x_scale = Log10 then " (log)" else ""));
+  List.iter
+    (fun s ->
+      Buffer.add_string buf (Printf.sprintf "  %c = %s\n" s.marker s.label))
+    series;
+  Buffer.contents buf

@@ -1,0 +1,26 @@
+(** Terminal line charts, so the bench harness can render the paper's
+    figures directly in its output.
+
+    Multiple series share one canvas; each series gets a marker character.
+    Axes can be linear or log10 (Figure 3 and 6 are log-log).  Points with
+    non-finite y (e.g. the Block Cache's divergence) are skipped. *)
+
+type scale = Linear | Log10
+
+type series = {
+  marker : char;
+  label : string;
+  points : (float * float) list;
+}
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_scale:scale ->
+  ?y_scale:scale ->
+  ?title:string ->
+  series list ->
+  string
+(** Returns a multi-line chart (default 72x20 plot area) with a legend and
+    axis ranges.  Raises [Invalid_argument] if no finite points exist or a
+    log axis sees a non-positive value. *)

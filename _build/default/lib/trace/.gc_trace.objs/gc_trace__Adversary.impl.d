@@ -1,0 +1,1 @@
+lib/trace/adversary.ml: Array Block_map Hashtbl List Trace

@@ -1,0 +1,1 @@
+lib/trace/adversary.mli: Trace

@@ -1,0 +1,1 @@
+lib/trace/block_map.ml: Array Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/trace/block_map.mli: Format

@@ -1,0 +1,1 @@
+lib/trace/generators.ml: Array Block_map List Rng Trace Zipf

@@ -1,0 +1,1 @@
+lib/trace/generators.mli: Rng Trace

@@ -1,0 +1,1 @@
+lib/trace/stats.ml: Array Block_map Hashtbl List Trace

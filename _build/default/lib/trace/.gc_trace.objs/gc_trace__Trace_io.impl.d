@@ -1,0 +1,1 @@
+lib/trace/trace_io.ml: Array Block_map Buffer Bytes Char Hashtbl In_channel List Out_channel Printf String Trace

@@ -1,0 +1,1 @@
+lib/trace/transform.ml: Array Block_map Hashtbl Rng Trace

@@ -1,0 +1,1 @@
+lib/trace/transform.mli: Rng Trace

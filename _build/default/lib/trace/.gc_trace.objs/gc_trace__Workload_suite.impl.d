@@ -1,0 +1,1 @@
+lib/trace/workload_suite.ml: Generators List Rng Trace

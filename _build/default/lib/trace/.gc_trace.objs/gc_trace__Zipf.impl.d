@@ -1,0 +1,1 @@
+lib/trace/zipf.ml: Array Float Rng

@@ -1,0 +1,427 @@
+module type ORACLE = sig
+  type t
+
+  val access : t -> int -> unit
+  val mem : t -> int -> bool
+end
+
+type construction = {
+  trace : Trace.t;
+  warmup_len : int;
+  online_misses : int;
+  opt_misses : int;
+  warmup_online_misses : int;
+  warmup_opt_misses : int;
+  bound : float;
+  info : (string * float) list;
+}
+
+let measured_ratio c =
+  if c.opt_misses = 0 then infinity
+  else float_of_int c.online_misses /. float_of_int c.opt_misses
+
+let ceil_div a b = (a + b - 1) / b
+
+module Make (O : ORACLE) = struct
+  type ctx = {
+    o : O.t;
+    mutable buf : int array;
+    mutable len : int;
+    mutable online_misses : int;
+    mutable next_block : int;
+    bsize : int;
+  }
+
+  let make_ctx o bsize =
+    {
+      o;
+      buf = Array.make 1024 0;
+      len = 0;
+      online_misses = 0;
+      next_block = 0;
+      bsize;
+    }
+
+  let push ctx x =
+    if ctx.len = Array.length ctx.buf then begin
+      let bigger = Array.make (2 * ctx.len) 0 in
+      Array.blit ctx.buf 0 bigger 0 ctx.len;
+      ctx.buf <- bigger
+    end;
+    ctx.buf.(ctx.len) <- x;
+    ctx.len <- ctx.len + 1
+
+  let access ctx x =
+    if not (O.mem ctx.o x) then ctx.online_misses <- ctx.online_misses + 1;
+    O.access ctx.o x;
+    push ctx x
+
+  let fresh_block ctx =
+    let b = ctx.next_block in
+    ctx.next_block <- b + 1;
+    b
+
+  let item_of ctx blk j = (blk * ctx.bsize) + j
+
+  (* Access items of fresh blocks, whole block at a time, until [count] items
+     have been accessed.  Returns (items in order, blocks used, items of the
+     last - possibly partially accessed - block). *)
+  let stream_fresh_items ctx count =
+    let items = ref [] in
+    let last_block_items = ref [] in
+    let blocks = ref 0 in
+    let accessed = ref 0 in
+    while !accessed < count do
+      let blk = fresh_block ctx in
+      incr blocks;
+      last_block_items := [];
+      let j = ref 0 in
+      while !j < ctx.bsize && !accessed < count do
+        let x = item_of ctx blk !j in
+        access ctx x;
+        items := x :: !items;
+        last_block_items := x :: !last_block_items;
+        incr accessed;
+        incr j
+      done
+    done;
+    (List.rev !items, !blocks, List.rev !last_block_items)
+
+  (* Pick a candidate the online cache is currently not holding; if the
+     policy somehow holds them all (cannot happen when there are more than k
+     candidates), fall back to the first. *)
+  let pick_uncached ctx candidates =
+    let n = Array.length candidates in
+    let rec go i =
+      if i >= n then candidates.(0)
+      else if not (O.mem ctx.o candidates.(i)) then candidates.(i)
+      else go (i + 1)
+    in
+    if n = 0 then invalid_arg "Adversary: empty candidate set";
+    go 0
+
+  let dedup_keep_order items =
+    let seen = Hashtbl.create 64 in
+    List.filter
+      (fun x ->
+        if Hashtbl.mem seen x then false
+        else begin
+          Hashtbl.add seen x ();
+          true
+        end)
+      items
+
+  (* Extend [base] with elements of [pool] (in order) up to [limit] total. *)
+  let pad_to base pool limit =
+    let seen = Hashtbl.create 64 in
+    List.iter (fun x -> Hashtbl.replace seen x ()) base;
+    let rec go acc count = function
+      | [] -> List.rev acc
+      | _ when count >= limit -> List.rev acc
+      | x :: rest ->
+          if Hashtbl.mem seen x then go acc count rest
+          else begin
+            Hashtbl.add seen x ();
+            go (x :: acc) (count + 1) rest
+          end
+    in
+    base @ go [] (List.length base) pool
+
+  let last_n n l =
+    let len = List.length l in
+    if len <= n then l else List.filteri (fun i _ -> i >= len - n) l
+
+  let finish ctx ~warmup_len ~warmup_online ~warmup_opt ~opt_misses ~bound
+      ~info =
+    let requests = Array.sub ctx.buf 0 ctx.len in
+    {
+      trace = Trace.make (Block_map.uniform ~block_size:ctx.bsize) requests;
+      warmup_len;
+      online_misses = ctx.online_misses - warmup_online;
+      opt_misses;
+      warmup_online_misses = warmup_online;
+      warmup_opt_misses = warmup_opt;
+      bound;
+      info;
+    }
+
+  (* Theorem 2 construction, also covering Sleator-Tarjan when B = 1. *)
+  let item_cache_impl o ~k ~h ~block_size ~cycles ~bound ~extra_info =
+    if not (k >= h && h >= block_size && h >= 2) then
+      invalid_arg "Adversary.item_cache: need k >= h >= max(block_size, 2)";
+    let ctx = make_ctx o block_size in
+    (* Warmup: fill the online cache with k fresh items, whole blocks at a
+       time; the offline cache keeps the h most recent. *)
+    let warm_items, warm_blocks, _ = stream_fresh_items ctx k in
+    let warmup_online = ctx.online_misses in
+    let warmup_len = ctx.len in
+    let opt_content = ref (last_n h warm_items) in
+    let opt_misses = ref 0 in
+    for _ = 1 to cycles do
+      (* Step 2: stream k - h + 1 fresh items; offline pays once per block. *)
+      let step2, nb, _ = stream_fresh_items ctx (k - h + 1) in
+      opt_misses := !opt_misses + nb;
+      (* Step 3: candidate set = offline content at cycle start + step-2
+         items (k + 1 items in total). *)
+      let candidates = Array.of_list (!opt_content @ step2) in
+      (* Step 4: h - B requests to items the online cache does not hold. *)
+      let keep = ref [] in
+      for _ = 1 to h - block_size do
+        let x = pick_uncached ctx candidates in
+        access ctx x;
+        keep := x :: !keep
+      done;
+      (* Offline content for the next cycle.  During step 2 the offline
+         cache rotates blocks through B slots and can retain at most h - B
+         designated items, so the keep set is padded only to h - B (with
+         other candidates it provably held).  The rotation slot itself ends
+         the cycle holding the last B accessed step-2 items (loading a
+         block's s-item subset evicts only the s oldest slot entries), so
+         those join the content too. *)
+      let keep_slots =
+        pad_to (dedup_keep_order (List.rev !keep)) (Array.to_list candidates)
+          (h - block_size)
+      in
+      opt_content := dedup_keep_order (keep_slots @ last_n block_size step2)
+    done;
+    finish ctx ~warmup_len ~warmup_online ~warmup_opt:warm_blocks
+      ~opt_misses:!opt_misses ~bound ~info:extra_info
+
+  let item_cache o ~k ~h ~block_size ~cycles =
+    let b = float_of_int block_size
+    and kf = float_of_int k
+    and hf = float_of_int h in
+    let bound = b *. (kf -. b +. 1.) /. (kf -. hf +. 1.) in
+    item_cache_impl o ~k ~h ~block_size ~cycles ~bound
+      ~extra_info:[ ("B", b) ]
+
+  let sleator_tarjan o ~k ~h ~cycles =
+    let kf = float_of_int k and hf = float_of_int h in
+    let bound = kf /. (kf -. hf +. 1.) in
+    item_cache_impl o ~k ~h ~block_size:1 ~cycles ~bound ~extra_info:[]
+
+  let block_cache o ~k ~h ~block_size ~cycles =
+    let cap_blocks = ceil_div k block_size in
+    if not (cap_blocks >= h && h >= 2) then
+      invalid_arg "Adversary.block_cache: need ceil(k/B) >= h >= 2";
+    let ctx = make_ctx o block_size in
+    (* Warmup: one item from each of ceil(k/B) fresh blocks fills a block
+       cache of size k. *)
+    let warm_items = ref [] in
+    for _ = 1 to cap_blocks do
+      let x = item_of ctx (fresh_block ctx) 0 in
+      access ctx x;
+      warm_items := x :: !warm_items
+    done;
+    let warmup_online = ctx.online_misses in
+    let warmup_len = ctx.len in
+    let opt_content = ref (last_n h (List.rev !warm_items)) in
+    let opt_misses = ref 0 in
+    for _ = 1 to cycles do
+      (* Step 2: one item from each of ceil(k/B) - h + 1 fresh blocks. *)
+      let m = cap_blocks - h + 1 in
+      let step2 = ref [] in
+      for _ = 1 to m do
+        let x = item_of ctx (fresh_block ctx) 0 in
+        access ctx x;
+        step2 := x :: !step2
+      done;
+      let step2 = List.rev !step2 in
+      opt_misses := !opt_misses + m;
+      let candidates = Array.of_list (!opt_content @ step2) in
+      let keep = ref [] in
+      for _ = 1 to h - 1 do
+        let x = pick_uncached ctx candidates in
+        access ctx x;
+        keep := x :: !keep
+      done;
+      (* The offline cache rotates one item per step-2 block, so it retains
+         at most h - 1 designated items alongside the resident last item. *)
+      let last_item = List.nth step2 (m - 1) in
+      let keep_slots =
+        pad_to (dedup_keep_order (List.rev !keep)) (Array.to_list candidates)
+          (h - 1)
+      in
+      opt_content := dedup_keep_order (keep_slots @ [ last_item ])
+    done;
+    let kf = float_of_int k
+    and hf = float_of_int h
+    and bf = float_of_int block_size in
+    let denom = kf -. (bf *. (hf -. 1.)) in
+    let bound = if denom <= 0. then infinity else kf /. denom in
+    finish ctx ~warmup_len ~warmup_online ~warmup_opt:cap_blocks
+      ~opt_misses:!opt_misses ~bound ~info:[ ("B", bf) ]
+
+  let general_a o ~k ~h ~block_size ~cycles =
+    if not (k >= h && h >= 2) then
+      invalid_arg "Adversary.general_a: need k >= h >= 2";
+    let ctx = make_ctx o block_size in
+    let warm_items, warm_blocks, _ = stream_fresh_items ctx k in
+    let warmup_online = ctx.online_misses in
+    let warmup_len = ctx.len in
+    let opt_content = ref (last_n h warm_items) in
+    let opt_misses = ref 0 in
+    let a_overall = ref 1 in
+    for _ = 1 to cycles do
+      (* Step 2: for each fresh block, keep requesting items the policy has
+         not cached until it holds the whole block (or we have tried every
+         item).  The number of requests this takes measures the policy's
+         effective [a] parameter. *)
+      let nb = ceil_div (k - h + 1) block_size in
+      let step2 = ref [] in
+      let block_items = ref [] in
+      let a_max = ref 1 in
+      for _ = 1 to nb do
+        let blk = fresh_block ctx in
+        let items = Array.init block_size (fun j -> item_of ctx blk j) in
+        block_items := Array.to_list items @ !block_items;
+        let accessed = ref [] in
+        let count = ref 0 in
+        let continue = ref true in
+        while !continue && !count < block_size do
+          match Array.find_opt (fun x -> not (O.mem ctx.o x)) items with
+          | None -> continue := false
+          | Some x ->
+              access ctx x;
+              accessed := x :: !accessed;
+              incr count
+        done;
+        a_max := max !a_max !count;
+        step2 := !accessed @ !step2
+      done;
+      opt_misses := !opt_misses + nb;
+      a_overall := max !a_overall !a_max;
+      let step2 = List.rev !step2 in
+      (* Step 3 uses ALL items of the accessed blocks (the offline cache can
+         load any of them with the block's single miss), not only the ones
+         the online policy was forced through. *)
+      let candidates = Array.of_list (!opt_content @ List.rev !block_items) in
+      let keep = ref [] in
+      for _ = 1 to max 0 (h - !a_max) do
+        let x = pick_uncached ctx candidates in
+        access ctx x;
+        keep := x :: !keep
+      done;
+      (* The offline cache used a_max slots per step-2 block, leaving
+         h - a_max retainable designated items; its rotation slot ends the
+         cycle with the last a_max accessed step-2 items. *)
+      let keep_slots =
+        pad_to (dedup_keep_order (List.rev !keep)) (Array.to_list candidates)
+          (max 0 (h - !a_max))
+      in
+      opt_content := dedup_keep_order (keep_slots @ last_n !a_max step2)
+    done;
+    let kf = float_of_int k
+    and hf = float_of_int h
+    and bf = float_of_int block_size
+    and af = float_of_int !a_overall in
+    let bound =
+      ((af *. (kf -. hf +. 1.)) +. (bf *. (hf -. af))) /. (kf -. hf +. 1.)
+    in
+    finish ctx ~warmup_len ~warmup_online ~warmup_opt:warm_blocks
+      ~opt_misses:!opt_misses ~bound
+      ~info:[ ("a", af); ("B", bf) ]
+
+  let spatial_stress o ~h ~block_size ~t_load ~spacing ~cycles =
+    if t_load < 2 || t_load > block_size then
+      invalid_arg "Adversary.spatial_stress: need 2 <= t_load <= block_size";
+    if h < t_load + 1 then
+      invalid_arg "Adversary.spatial_stress: need h >= t_load + 1";
+    let ctx = make_ctx o block_size in
+    let opt_misses = ref 0 in
+    for _ = 1 to cycles do
+      let blk = fresh_block ctx in
+      access ctx (item_of ctx blk 0);
+      (* Offline loads the whole useful prefix of the block here: 1 miss. *)
+      opt_misses := !opt_misses + 1;
+      for j = 1 to t_load - 1 do
+        for _ = 1 to spacing do
+          let f = item_of ctx (fresh_block ctx) 0 in
+          access ctx f;
+          (* Fillers are single-use: everyone misses them. *)
+          opt_misses := !opt_misses + 1
+        done;
+        access ctx (item_of ctx blk j)
+      done
+    done;
+    let t = float_of_int t_load and s = float_of_int spacing in
+    let per_cycle_online = t +. ((t -. 1.) *. s)
+    and per_cycle_opt = 1. +. ((t -. 1.) *. s) in
+    finish ctx ~warmup_len:0 ~warmup_online:0 ~warmup_opt:0
+      ~opt_misses:!opt_misses
+      ~bound:(per_cycle_online /. per_cycle_opt)
+      ~info:[ ("t", t); ("spacing", s) ]
+
+  let spatial_stress_pipelined o ~h ~block_size ~t_load ~width ~rotations =
+    if t_load < 2 || t_load > block_size then
+      invalid_arg
+        "Adversary.spatial_stress_pipelined: need 2 <= t_load <= block_size";
+    if width < 2 then
+      invalid_arg "Adversary.spatial_stress_pipelined: need width >= 2";
+    if 2 * (h - 1) < width * (t_load + 1) then
+      invalid_arg
+        "Adversary.spatial_stress_pipelined: h too small for the offline \
+         triangle (need h >= width (t_load + 1) / 2 + 1)";
+    let ctx = make_ctx o block_size in
+    let opt_misses = ref 0 in
+    (* Per slot: current block, items already accessed, and the slot's
+       target length (shorter for the initial blocks so that retirements
+       stagger across slots). *)
+    let block = Array.make width 0 in
+    let progress = Array.make width 0 in
+    let target = Array.make width 0 in
+    for j = 0 to width - 1 do
+      block.(j) <- fresh_block ctx;
+      progress.(j) <- 0;
+      target.(j) <- max 1 (1 + (j * t_load / width));
+      (* The offline cache pays one load per block, full or partial. *)
+      incr opt_misses
+    done;
+    for _ = 1 to rotations do
+      for j = 0 to width - 1 do
+        access ctx (item_of ctx block.(j) progress.(j));
+        progress.(j) <- progress.(j) + 1;
+        if progress.(j) >= target.(j) then begin
+          block.(j) <- fresh_block ctx;
+          progress.(j) <- 0;
+          target.(j) <- t_load;
+          incr opt_misses
+        end
+      done
+    done;
+    (* Blocks still active at the end have been paid for by the offline
+       cache already (counted at open), which only makes the certified cost
+       conservative. *)
+    finish ctx ~warmup_len:0 ~warmup_online:0 ~warmup_opt:0
+      ~opt_misses:!opt_misses
+      ~bound:(float_of_int t_load)
+      ~info:[ ("t", float_of_int t_load); ("width", float_of_int width) ]
+
+  let temporal_stress o ~h ~block_size ~spacing ~cycles =
+    if h < 2 then invalid_arg "Adversary.temporal_stress: need h >= 2";
+    let ctx = make_ctx o block_size in
+    let hot =
+      Array.init (h - 1) (fun _ -> item_of ctx (fresh_block ctx) 0)
+    in
+    Array.iter (access ctx) hot;
+    let warmup_online = ctx.online_misses in
+    let warmup_len = ctx.len in
+    let opt_misses = ref 0 in
+    for _ = 1 to cycles do
+      Array.iter
+        (fun x ->
+          for _ = 1 to spacing do
+            let f = item_of ctx (fresh_block ctx) 0 in
+            access ctx f;
+            opt_misses := !opt_misses + 1
+          done;
+          (* Offline pinned the hot items: this is a hit for it. *)
+          access ctx x)
+        hot
+    done;
+    let s = float_of_int spacing in
+    finish ctx ~warmup_len ~warmup_online
+      ~warmup_opt:(Array.length hot) ~opt_misses:!opt_misses
+      ~bound:((s +. 1.) /. s)
+      ~info:[ ("spacing", s) ]
+end

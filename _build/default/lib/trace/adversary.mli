@@ -1,0 +1,105 @@
+(** Adversarial trace constructions from the paper's lower-bound proofs.
+
+    Each construction follows the corresponding proof: it repeatedly (step 2)
+    streams fresh data past the online cache and then (step 4) requests items
+    the online cache chose not to keep, while a clairvoyant cache of size [h]
+    could have kept them.  The constructions are {e adaptive}: they query the
+    online policy (through {!ORACLE}) for what it currently caches, exactly
+    as the adversary in the proofs simulates the deterministic policy.
+
+    Alongside the trace, each construction returns the cost of the explicit
+    offline schedule the proof describes ([opt_misses]).  That schedule is
+    feasible for a cache of size [h] by construction (see
+    [Gc_offline.Schedule] for independent certification), so
+    [online_misses / opt_misses] is a certified lower estimate of the
+    policy's competitive ratio. *)
+
+module type ORACLE = sig
+  type t
+
+  val access : t -> int -> unit
+  (** Feed one request to the online policy. *)
+
+  val mem : t -> int -> bool
+  (** Is the item currently cached by the online policy? *)
+end
+
+type construction = {
+  trace : Trace.t;  (** Full trace, warmup prefix included. *)
+  warmup_len : int;  (** Length of the warmup prefix. *)
+  online_misses : int;  (** Measured online misses, excluding warmup. *)
+  opt_misses : int;  (** Offline schedule cost, excluding warmup. *)
+  warmup_online_misses : int;
+  warmup_opt_misses : int;
+  bound : float;  (** The theorem's competitive-ratio formula. *)
+  info : (string * float) list;  (** Construction-specific extras. *)
+}
+
+val measured_ratio : construction -> float
+(** [online_misses / opt_misses] (infinite if [opt_misses = 0]). *)
+
+module Make (O : ORACLE) : sig
+  val sleator_tarjan : O.t -> k:int -> h:int -> cycles:int -> construction
+  (** Classic paging lower bound (every item its own block).  Bound:
+      [k / (k - h + 1)].  Requires [k >= h >= 2]. *)
+
+  val item_cache :
+    O.t -> k:int -> h:int -> block_size:int -> cycles:int -> construction
+  (** Theorem 2 trace.  Streams whole fresh blocks in step 2 so the
+      clairvoyant cache pays once per block.  Bound:
+      [B (k - B + 1) / (k - h + 1)].  Requires [k >= h > block_size]. *)
+
+  val block_cache :
+    O.t -> k:int -> h:int -> block_size:int -> cycles:int -> construction
+  (** Theorem 3 trace.  Touches one item per fresh block so whole-block
+      caching wastes [B - 1] of every [B] units.  Bound:
+      [k / (k - B (h - 1))] (infinite when [k <= B (h - 1)]).
+      Requires [ceil(k/B) >= h >= 2]. *)
+
+  val general_a :
+    O.t -> k:int -> h:int -> block_size:int -> cycles:int -> construction
+  (** Theorem 4 trace.  In step 2, keeps requesting not-yet-cached items of
+      each fresh block until the policy holds the whole block (measuring the
+      policy's effective [a] parameter, reported as ["a"] in [info]).
+      Bound: [(a (k - h + 1) + B (h - a)) / (k - h + 1)]. *)
+
+  val spatial_stress :
+    O.t ->
+    h:int ->
+    block_size:int ->
+    t_load:int ->
+    spacing:int ->
+    cycles:int ->
+    construction
+  (** The Figure-5 spatial pattern (block "A"): per cycle, [t_load] items of
+      one fresh block are requested, consecutive requests separated by
+      [spacing] fresh single-use filler blocks.  The offline schedule loads
+      all [t_load] items on the first miss (triangle space usage) and hits
+      the remaining [t_load - 1]; it needs [h >= t_load + 1].  [bound] is
+      the per-cycle ratio of this construction itself. *)
+
+  val spatial_stress_pipelined :
+    O.t ->
+    h:int ->
+    block_size:int ->
+    t_load:int ->
+    width:int ->
+    rotations:int ->
+    construction
+  (** The dense version of the Figure-5 spatial pattern, realizing the
+      Theorem-6 optimum: [width] blocks are active at once and accessed in
+      round-robin rotation, one item per visit; after [t_load] visits a
+      block retires and a fresh one takes its slot (initial blocks use
+      shorter targets so retirements stagger).  Every access belongs to some
+      block's pattern — there are no wasted fillers — so the measured ratio
+      approaches [t_load] (the offline cache pays once per block).  Requires
+      [width > online block-layer capacity] for the online policy to miss
+      everything and [h >= width (t_load + 1) / 2 + 1] for the offline
+      triangle usage to fit. *)
+
+  val temporal_stress :
+    O.t -> h:int -> block_size:int -> spacing:int -> cycles:int -> construction
+  (** The Figure-5 temporal pattern (item "B1"): [h - 1] hot items, each
+      re-request separated by at least [spacing] distinct filler items, with
+      filler blocks never reused.  The offline schedule pins the hot items. *)
+end

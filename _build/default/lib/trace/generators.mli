@@ -1,0 +1,84 @@
+(** Synthetic workload generators.
+
+    Every generator is deterministic given its {!Rng.t}.  Unless stated
+    otherwise, generators use a uniform block map of the given
+    [block_size], so item [i] lives in block [i / block_size]. *)
+
+val sequential : n:int -> universe:int -> block_size:int -> Trace.t
+(** Cyclic sequential scan [0, 1, ..., universe-1, 0, 1, ...] of length [n].
+    Maximum spatial locality: whole blocks are consumed in order. *)
+
+val strided : n:int -> stride:int -> universe:int -> block_size:int -> Trace.t
+(** Strided scan [0, s, 2s, ...] modulo [universe].  With [stride >=
+    block_size] this defeats spatial locality entirely. *)
+
+val uniform_random : Rng.t -> n:int -> universe:int -> block_size:int -> Trace.t
+(** Independent uniform requests. *)
+
+val zipf_items :
+  Rng.t -> n:int -> universe:int -> block_size:int -> alpha:float -> Trace.t
+(** Zipf-distributed requests over items; ranks are shuffled onto item ids so
+    popularity is not correlated with block structure. *)
+
+val zipf_blocks :
+  Rng.t ->
+  n:int ->
+  blocks:int ->
+  block_size:int ->
+  alpha:float ->
+  within:[ `Sequential | `Uniform | `First ] ->
+  Trace.t
+(** Zipf-distributed requests over {e blocks}; the item within the chosen
+    block is picked per [within].  [`First] touches only one item per block
+    (worst case for Block Caches); [`Sequential] walks the block (best
+    case). *)
+
+val spatial_mix :
+  Rng.t ->
+  n:int ->
+  universe:int ->
+  block_size:int ->
+  p_spatial:float ->
+  Trace.t
+(** Tunable spatial locality: with probability [p_spatial] the next request
+    stays in the current block (uniform over its items), otherwise it jumps
+    to a uniformly random item.  [p_spatial = 0] gives no spatial structure;
+    values near 1 give near-maximal f/g ratio. *)
+
+val working_set_phases :
+  Rng.t ->
+  block_size:int ->
+  phases:(int * int) list ->
+  Trace.t
+(** [working_set_phases rng ~block_size ~phases] where each phase is
+    [(working_set_items, accesses)]: requests are uniform over a fresh
+    contiguous working set for the duration of each phase.  Models phase-
+    change behaviour of real programs. *)
+
+val block_scan : n_blocks:int -> repeats:int -> block_size:int -> Trace.t
+(** Access every item of blocks [0..n_blocks-1] in order, [repeats] times
+    per block (the paper's Figure 2 uses this shape). *)
+
+val interleave : Trace.t -> Trace.t -> Trace.t
+(** Round-robin interleaving of two traces with the same block size. *)
+
+val concat_phases : Trace.t list -> Trace.t
+(** Concatenate traces (same block size required). *)
+
+val pointer_chase :
+  Rng.t -> n:int -> universe:int -> block_size:int -> Trace.t
+(** A random permutation cycle walked repeatedly: high temporal regularity,
+    no spatial locality.  Classic latency-bound workload. *)
+
+val markov :
+  Rng.t ->
+  n:int ->
+  universe:int ->
+  block_size:int ->
+  p_switch:float ->
+  Trace.t
+(** A two-state Markov-modulated workload: a {e streaming} state emits
+    sequential same-block runs, a {e random} state emits uniform requests;
+    the state flips with probability [p_switch] per access.  Produces the
+    bursty mixture of localities real programs show, without hand-placing
+    phases. *)

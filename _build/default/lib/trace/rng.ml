@@ -1,0 +1,75 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 finalizer: mix the counter into a well-distributed output. *)
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  (* Derive a seed from the parent stream, then re-mix with a distinct
+     constant so parent and child sequences do not overlap. *)
+  let s = int64 t in
+  { state = Int64.logxor s 0xA5A5A5A5A5A5A5A5L }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let mask = Int64.of_int max_int in
+  let v = Int64.to_int (Int64.logand (int64 t) mask) in
+  v mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 uniform mantissa bits. *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 11) in
+  float_of_int v /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let choose t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choose: empty array";
+  arr.(int t (Array.length arr))
+
+let sample_without_replacement t n bound =
+  if n > bound then invalid_arg "Rng.sample_without_replacement: n > bound";
+  if n * 3 >= bound then begin
+    (* Dense case: shuffle a full range and take a prefix. *)
+    let all = Array.init bound (fun i -> i) in
+    shuffle t all;
+    Array.sub all 0 n
+  end else begin
+    (* Sparse case: rejection sampling into a hash set. *)
+    let seen = Hashtbl.create (2 * n) in
+    let out = Array.make n 0 in
+    let filled = ref 0 in
+    while !filled < n do
+      let v = int t bound in
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        out.(!filled) <- v;
+        incr filled
+      end
+    done;
+    out
+  end

@@ -1,0 +1,136 @@
+type histogram = {
+  finite : int array;
+  cold : int;
+}
+
+let frequencies proj t =
+  let tbl = Hashtbl.create 256 in
+  Trace.iter
+    (fun r ->
+      let v = proj r in
+      match Hashtbl.find_opt tbl v with
+      | Some c -> Hashtbl.replace tbl v (c + 1)
+      | None -> Hashtbl.add tbl v 1)
+    t;
+  tbl
+
+let item_frequencies t = frequencies (fun r -> r) t
+
+let block_frequencies t = frequencies (Block_map.block_of t.Trace.blocks) t
+
+(* Fenwick (binary indexed) tree over trace positions; used to count, for an
+   access at position [i] whose value was last seen at position [j], how many
+   *distinct* values were touched in (j, i).  We maintain a 0/1 array over
+   positions where a 1 at position p means "the value accessed at p has not
+   been accessed again since" — i.e. p is the last occurrence so far.  The
+   prefix-sum query then counts distinct intervening values. *)
+module Fenwick = struct
+  type t = int array
+
+  let create n : t = Array.make (n + 1) 0
+
+  let add (t : t) i delta =
+    let i = ref (i + 1) in
+    let n = Array.length t - 1 in
+    while !i <= n do
+      t.(!i) <- t.(!i) + delta;
+      i := !i + (!i land - !i)
+    done
+
+  (* sum of entries at positions [0..i] *)
+  let prefix (t : t) i =
+    let i = ref (i + 1) in
+    let acc = ref 0 in
+    while !i > 0 do
+      acc := !acc + t.(!i);
+      i := !i - (!i land - !i)
+    done;
+    !acc
+end
+
+let distances_of proj t =
+  let n = Trace.length t in
+  let fen = Fenwick.create n in
+  let last_pos = Hashtbl.create 256 in
+  let finite = Array.make (max n 1) 0 in
+  let cold = ref 0 in
+  let max_d = ref 0 in
+  Trace.iteri
+    (fun i r ->
+      let v = proj r in
+      (match Hashtbl.find_opt last_pos v with
+      | None -> incr cold
+      | Some j ->
+          (* Distinct values strictly between positions j and i. *)
+          let d = Fenwick.prefix fen (i - 1) - Fenwick.prefix fen j in
+          finite.(d) <- finite.(d) + 1;
+          if d > !max_d then max_d := d;
+          Fenwick.add fen j (-1));
+      Fenwick.add fen i 1;
+      Hashtbl.replace last_pos v i)
+    t;
+  { finite = Array.sub finite 0 (!max_d + 1); cold = !cold }
+
+let stack_distances t = distances_of (fun r -> r) t
+
+let block_stack_distances t =
+  distances_of (Block_map.block_of t.Trace.blocks) t
+
+let lru_misses_at h k =
+  (* An access at distance d hits in an LRU cache of size k iff d < k. *)
+  let misses = ref h.cold in
+  Array.iteri (fun d count -> if d >= k then misses := !misses + count) h.finite;
+  !misses
+
+let miss_curve h ~max_size =
+  let curve = Array.make (max_size + 1) 0 in
+  (* suffix sums: misses at size k = cold + sum_{d >= k} finite.(d) *)
+  let total_finite = Array.fold_left ( + ) 0 h.finite in
+  let acc = ref 0 in
+  for k = 0 to max_size do
+    (* acc = sum_{d < k} finite.(d) *)
+    if k > 0 && k - 1 < Array.length h.finite then acc := !acc + h.finite.(k - 1);
+    curve.(k) <- h.cold + total_finite - !acc
+  done;
+  curve
+
+let spatial_ratio t =
+  let blocks = Trace.distinct_blocks t in
+  if blocks = 0 then 1.0
+  else float_of_int (Trace.distinct_items t) /. float_of_int blocks
+
+let block_run_lengths t =
+  let n = Trace.length t in
+  if n = 0 then [| 0 |]
+  else begin
+    let blocks = t.Trace.blocks in
+    let runs = ref [] in
+    let current = ref (Block_map.block_of blocks (Trace.get t 0)) in
+    let len = ref 1 in
+    let longest = ref 1 in
+    for pos = 1 to n - 1 do
+      let b = Block_map.block_of blocks (Trace.get t pos) in
+      if b = !current then incr len
+      else begin
+        runs := !len :: !runs;
+        if !len > !longest then longest := !len;
+        current := b;
+        len := 1
+      end
+    done;
+    runs := !len :: !runs;
+    if !len > !longest then longest := !len;
+    let hist = Array.make (!longest + 1) 0 in
+    List.iter (fun l -> hist.(l) <- hist.(l) + 1) !runs;
+    hist
+  end
+
+let mean_block_run_length t =
+  let hist = block_run_lengths t in
+  let runs = ref 0 and weighted = ref 0 in
+  Array.iteri
+    (fun l count ->
+      runs := !runs + count;
+      weighted := !weighted + (l * count))
+    hist;
+  if !runs = 0 then 1.0 else float_of_int !weighted /. float_of_int !runs

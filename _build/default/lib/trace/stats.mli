@@ -1,0 +1,49 @@
+(** Trace statistics: frequencies, reuse, and Mattson stack distances.
+
+    The stack-distance machinery implements Mattson et al.'s classic
+    single-pass analysis: from one scan of the trace we obtain the LRU hit
+    count for {e every} cache size simultaneously.  We run it both at item
+    granularity (Item-Cache miss curve) and at block granularity (Block-Cache
+    miss curve in units of blocks). *)
+
+type histogram = {
+  finite : int array;
+      (** [finite.(d)] is the number of accesses at stack distance [d]
+          (number of distinct values seen since the previous access to the
+          same value).  Distance 0 means an immediate repeat. *)
+  cold : int;  (** First-touch accesses (infinite distance). *)
+}
+
+val item_frequencies : Trace.t -> (int, int) Hashtbl.t
+(** Request count per item. *)
+
+val block_frequencies : Trace.t -> (int, int) Hashtbl.t
+(** Request count per block. *)
+
+val stack_distances : Trace.t -> histogram
+(** Item-granularity LRU stack distances, O(T log T). *)
+
+val block_stack_distances : Trace.t -> histogram
+(** Block-granularity LRU stack distances (the trace projected onto block
+    ids). *)
+
+val lru_misses_at : histogram -> int -> int
+(** [lru_misses_at h k]: misses an LRU cache of size [k] incurs on the
+    analyzed trace (distance >= k is a miss; cold accesses always miss). *)
+
+val miss_curve : histogram -> max_size:int -> int array
+(** [miss_curve h ~max_size].(k) = misses of an LRU cache of size [k], for
+    [k] in [0 .. max_size]. *)
+
+val spatial_ratio : Trace.t -> float
+(** Distinct items divided by distinct blocks over the whole trace — a crude
+    whole-trace measure of the paper's [f(n)/g(n)] spatial-locality ratio. *)
+
+val block_run_lengths : Trace.t -> int array
+(** Histogram of maximal same-block run lengths: [result.(l)] counts runs of
+    exactly [l] consecutive accesses to one block (index 0 unused).  Long
+    runs are the purest form of exploitable spatial locality: a GC cache
+    pays once per run. *)
+
+val mean_block_run_length : Trace.t -> float
+(** Average run length — [1.0] means no consecutive block reuse at all. *)

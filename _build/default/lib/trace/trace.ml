@@ -1,0 +1,66 @@
+type t = {
+  requests : int array;
+  blocks : Block_map.t;
+}
+
+let make blocks requests =
+  Array.iter
+    (fun r -> if r < 0 then invalid_arg "Trace.make: negative item id")
+    requests;
+  { requests; blocks }
+
+let of_list blocks l = make blocks (Array.of_list l)
+
+let length t = Array.length t.requests
+
+let get t i = t.requests.(i)
+
+let block_at t i = Block_map.block_of t.blocks t.requests.(i)
+
+let iter f t = Array.iter f t.requests
+
+let iteri f t = Array.iteri f t.requests
+
+let fold f init t = Array.fold_left f init t.requests
+
+let concat = function
+  | [] -> invalid_arg "Trace.concat: empty list"
+  | first :: _ as ts ->
+      let requests = Array.concat (List.map (fun t -> t.requests) ts) in
+      { requests; blocks = first.blocks }
+
+let sub t ~pos ~len = { t with requests = Array.sub t.requests pos len }
+
+let distinct_of_array proj t =
+  let seen = Hashtbl.create 256 in
+  Array.iter
+    (fun r ->
+      let v = proj r in
+      if not (Hashtbl.mem seen v) then Hashtbl.add seen v ())
+    t.requests;
+  Hashtbl.length seen
+
+let distinct_items t = distinct_of_array (fun r -> r) t
+
+let distinct_blocks t = distinct_of_array (Block_map.block_of t.blocks) t
+
+let universe t =
+  let seen = Hashtbl.create 256 in
+  Array.iter
+    (fun r -> if not (Hashtbl.mem seen r) then Hashtbl.add seen r ())
+    t.requests;
+  let out = Array.make (Hashtbl.length seen) 0 in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun item () ->
+      out.(!i) <- item;
+      incr i)
+    seen;
+  Array.sort compare out;
+  out
+
+let max_item t = Array.fold_left max (-1) t.requests
+
+let pp fmt t =
+  Format.fprintf fmt "trace(len=%d, items=%d, blocks=%d, %a)" (length t)
+    (distinct_items t) (distinct_blocks t) Block_map.pp t.blocks

@@ -1,0 +1,252 @@
+let to_buffer buf (t : Trace.t) =
+  Buffer.add_string buf "gctrace 1\n";
+  let blocks = t.Trace.blocks in
+  if Block_map.is_uniform blocks then
+    Buffer.add_string buf
+      (Printf.sprintf "blocks uniform %d\n" (Block_map.block_size blocks))
+  else begin
+    (* Collect the blocks actually referenced by the trace. *)
+    let seen = Hashtbl.create 64 in
+    let order = ref [] in
+    Trace.iter
+      (fun r ->
+        let b = Block_map.block_of blocks r in
+        if not (Hashtbl.mem seen b) then begin
+          Hashtbl.add seen b ();
+          order := b :: !order
+        end)
+      t;
+    let block_ids = List.rev !order in
+    Buffer.add_string buf
+      (Printf.sprintf "blocks explicit %d %d\n"
+         (Block_map.block_size blocks)
+         (List.length block_ids));
+    List.iter
+      (fun b ->
+        let items = Block_map.items_of blocks b in
+        Array.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ' ';
+            Buffer.add_string buf (string_of_int item))
+          items;
+        Buffer.add_char buf '\n')
+      block_ids
+  end;
+  Buffer.add_string buf (Printf.sprintf "requests %d\n" (Trace.length t));
+  Trace.iteri
+    (fun i r ->
+      if i > 0 then
+        Buffer.add_char buf (if i mod 16 = 0 then '\n' else ' ');
+      Buffer.add_string buf (string_of_int r))
+    t;
+  if Trace.length t > 0 then Buffer.add_char buf '\n'
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  to_buffer buf t;
+  Buffer.contents buf
+
+let to_channel oc t = output_string oc (to_string t)
+
+(* Tokenizing reader over a string. *)
+type reader = { src : string; mutable pos : int }
+
+let fail msg = failwith ("Trace_io: " ^ msg)
+
+let is_space c = c = ' ' || c = '\n' || c = '\t' || c = '\r'
+
+let next_token r =
+  let n = String.length r.src in
+  while r.pos < n && is_space r.src.[r.pos] do
+    r.pos <- r.pos + 1
+  done;
+  if r.pos >= n then None
+  else begin
+    let start = r.pos in
+    while r.pos < n && not (is_space r.src.[r.pos]) do
+      r.pos <- r.pos + 1
+    done;
+    Some (String.sub r.src start (r.pos - start))
+  end
+
+let expect r what =
+  match next_token r with
+  | Some tok when tok = what -> ()
+  | Some tok -> fail (Printf.sprintf "expected %S, got %S" what tok)
+  | None -> fail (Printf.sprintf "expected %S, got end of input" what)
+
+let next_int r =
+  match next_token r with
+  | Some tok -> (
+      match int_of_string_opt tok with
+      | Some v -> v
+      | None -> fail (Printf.sprintf "expected integer, got %S" tok))
+  | None -> fail "expected integer, got end of input"
+
+(* Blocks of an explicit map are written one per line; re-tokenize by line. *)
+let read_block_line r =
+  let n = String.length r.src in
+  while r.pos < n && (r.src.[r.pos] = ' ' || r.src.[r.pos] = '\n') do
+    r.pos <- r.pos + 1
+  done;
+  let start = r.pos in
+  while r.pos < n && r.src.[r.pos] <> '\n' do
+    r.pos <- r.pos + 1
+  done;
+  let line = String.sub r.src start (r.pos - start) in
+  line
+  |> String.split_on_char ' '
+  |> List.filter (fun s -> s <> "")
+  |> List.map (fun s ->
+         match int_of_string_opt s with
+         | Some v -> v
+         | None -> fail (Printf.sprintf "bad block item %S" s))
+  |> Array.of_list
+
+let of_string src =
+  let r = { src; pos = 0 } in
+  expect r "gctrace";
+  let version = next_int r in
+  if version <> 1 then fail (Printf.sprintf "unsupported version %d" version);
+  expect r "blocks";
+  let blocks =
+    match next_token r with
+    | Some "uniform" ->
+        let b = next_int r in
+        Block_map.uniform ~block_size:b
+    | Some "explicit" ->
+        let _b = next_int r in
+        let nblocks = next_int r in
+        let bs = List.init nblocks (fun _ -> read_block_line r) in
+        Block_map.of_blocks bs
+    | Some tok -> fail (Printf.sprintf "unknown block map kind %S" tok)
+    | None -> fail "truncated header"
+  in
+  expect r "requests";
+  let n = next_int r in
+  let requests = Array.init n (fun _ -> next_int r) in
+  Trace.make blocks requests
+
+let of_channel ic = of_string (In_channel.input_all ic)
+
+let save path t = Out_channel.with_open_text path (fun oc -> to_channel oc t)
+
+let load path = In_channel.with_open_text path of_channel
+
+(* ------------------------------------------------------- binary format *)
+
+let magic = "GCTB"
+
+let add_varint buf v =
+  (* Unsigned LEB128. *)
+  let v = ref v in
+  let continue = ref true in
+  while !continue do
+    let low = !v land 0x7f in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      Buffer.add_char buf (Char.chr low);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (low lor 0x80))
+  done
+
+let zigzag v = if v >= 0 then v lsl 1 else ((-v) lsl 1) - 1
+
+let unzigzag v = if v land 1 = 0 then v lsr 1 else -((v + 1) lsr 1)
+
+type byte_reader = { src : bytes; mutable bpos : int }
+
+let read_byte r =
+  if r.bpos >= Bytes.length r.src then fail "binary: truncated";
+  let c = Char.code (Bytes.get r.src r.bpos) in
+  r.bpos <- r.bpos + 1;
+  c
+
+let read_varint r =
+  let rec go shift acc =
+    if shift > 62 then fail "binary: varint overflow";
+    let b = read_byte r in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let to_bytes (t : Trace.t) =
+  let buf = Buffer.create (Trace.length t * 2) in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf '\001' (* version *);
+  let blocks = t.Trace.blocks in
+  if Block_map.is_uniform blocks then begin
+    Buffer.add_char buf '\000';
+    add_varint buf (Block_map.block_size blocks)
+  end
+  else begin
+    Buffer.add_char buf '\001';
+    add_varint buf (Block_map.block_size blocks);
+    let seen = Hashtbl.create 64 in
+    let order = ref [] in
+    Trace.iter
+      (fun r ->
+        let b = Block_map.block_of blocks r in
+        if not (Hashtbl.mem seen b) then begin
+          Hashtbl.add seen b ();
+          order := b :: !order
+        end)
+      t;
+    let block_ids = List.rev !order in
+    add_varint buf (List.length block_ids);
+    List.iter
+      (fun b ->
+        let items = Block_map.items_of blocks b in
+        add_varint buf (Array.length items);
+        Array.iter (add_varint buf) items)
+      block_ids
+  end;
+  add_varint buf (Trace.length t);
+  let prev = ref 0 in
+  Trace.iter
+    (fun r ->
+      add_varint buf (zigzag (r - !prev));
+      prev := r)
+    t;
+  Buffer.to_bytes buf
+
+let of_bytes src =
+  let r = { src; bpos = 0 } in
+  if Bytes.length src < 6 then fail "binary: too short";
+  if Bytes.sub_string src 0 4 <> magic then fail "binary: bad magic";
+  r.bpos <- 4;
+  let version = read_byte r in
+  if version <> 1 then fail (Printf.sprintf "binary: unsupported version %d" version);
+  let blocks =
+    match read_byte r with
+    | 0 -> Block_map.uniform ~block_size:(read_varint r)
+    | 1 ->
+        let _b = read_varint r in
+        let nblocks = read_varint r in
+        let bs =
+          List.init nblocks (fun _ ->
+              let count = read_varint r in
+              Array.init count (fun _ -> read_varint r))
+        in
+        Block_map.of_blocks bs
+    | k -> fail (Printf.sprintf "binary: unknown block kind %d" k)
+  in
+  let n = read_varint r in
+  let prev = ref 0 in
+  let requests =
+    Array.init n (fun _ ->
+        let v = !prev + unzigzag (read_varint r) in
+        prev := v;
+        v)
+  in
+  Trace.make blocks requests
+
+let save_binary path t =
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_bytes oc (to_bytes t))
+
+let load_binary path =
+  In_channel.with_open_bin path (fun ic ->
+      of_bytes (Bytes.of_string (In_channel.input_all ic)))

@@ -1,0 +1,47 @@
+(** Plain-text trace serialization.
+
+    Format (line-oriented, ASCII):
+    {v
+    gctrace 1
+    blocks uniform <B>
+    requests <n>
+    <item> <item> ... (whitespace separated, any line breaking)
+    v}
+    or, for explicit partitions:
+    {v
+    gctrace 1
+    blocks explicit <B> <nblocks>
+    <item> <item> ...   (one line per block)
+    requests <n>
+    ...
+    v} *)
+
+val to_channel : out_channel -> Trace.t -> unit
+
+val of_channel : in_channel -> Trace.t
+(** Raises [Failure] on malformed input. *)
+
+val save : string -> Trace.t -> unit
+(** Write to a file path. *)
+
+val load : string -> Trace.t
+
+val to_string : Trace.t -> string
+
+val of_string : string -> Trace.t
+
+(** {1 Binary format}
+
+    A compact varint encoding ("GCTB" magic): requests are zigzag-encoded
+    deltas from the previous request, so sequential and spatially local
+    traces compress to ~1 byte per access.  Explicit block maps are stored
+    as per-block item lists. *)
+
+val to_bytes : Trace.t -> bytes
+
+val of_bytes : bytes -> Trace.t
+(** Raises [Failure] on malformed input. *)
+
+val save_binary : string -> Trace.t -> unit
+
+val load_binary : string -> Trace.t

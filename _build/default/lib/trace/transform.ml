@@ -1,0 +1,53 @@
+let with_block_size trace ~block_size =
+  Trace.make (Block_map.uniform ~block_size)
+    (Array.copy trace.Trace.requests)
+
+let remap_items trace ~mapping =
+  Trace.make trace.Trace.blocks (Array.map mapping trace.Trace.requests)
+
+let shuffle_layout rng trace =
+  let blocks = trace.Trace.blocks in
+  if not (Block_map.is_uniform blocks) then
+    invalid_arg "Transform.shuffle_layout: uniform block maps only";
+  let bsize = Block_map.block_size blocks in
+  let universe = Trace.universe trace in
+  (* Scatter the used items across fresh block frames uniformly. *)
+  let slots = Array.init (Array.length universe) (fun idx -> idx) in
+  Rng.shuffle rng slots;
+  let mapping = Hashtbl.create (Array.length universe) in
+  Array.iteri
+    (fun idx item ->
+      (* Spread consecutive slots over distinct blocks: slot s maps to
+         block (s mod frames), offset (s / frames), so formerly same-block
+         items land apart. *)
+      let frames = (Array.length universe + bsize - 1) / bsize in
+      let s = slots.(idx) in
+      Hashtbl.add mapping item (((s mod frames) * bsize) + (s / frames)))
+    universe;
+  remap_items trace ~mapping:(Hashtbl.find mapping)
+
+let pack_blocks trace =
+  let blocks = trace.Trace.blocks in
+  if not (Block_map.is_uniform blocks) then
+    invalid_arg "Transform.pack_blocks: uniform block maps only";
+  let mapping = Hashtbl.create 256 in
+  let next = ref 0 in
+  Trace.iter
+    (fun item ->
+      if not (Hashtbl.mem mapping item) then begin
+        Hashtbl.add mapping item !next;
+        incr next
+      end)
+    trace;
+  remap_items trace ~mapping:(Hashtbl.find mapping)
+
+let truncate trace ~n =
+  Trace.sub trace ~pos:0 ~len:(min n (Trace.length trace))
+
+let sample_strided trace ~keep_one_in =
+  if keep_one_in < 1 then
+    invalid_arg "Transform.sample_strided: keep_one_in must be >= 1";
+  let n = Trace.length trace in
+  let kept = (n + keep_one_in - 1) / keep_one_in in
+  Trace.make trace.Trace.blocks
+    (Array.init kept (fun idx -> Trace.get trace (idx * keep_one_in)))

@@ -1,0 +1,31 @@
+(** Trace transformations for controlled experiments.
+
+    Cache studies routinely need the {e same} reference stream under a
+    different spatial layout: these transforms change how items map to
+    blocks (or which items stand in for which) without touching the
+    temporal order of the underlying references. *)
+
+val with_block_size : Trace.t -> block_size:int -> Trace.t
+(** Reinterpret the trace under a uniform block map of a different size —
+    how measured spatial locality scales with [B] on fixed references. *)
+
+val remap_items : Trace.t -> mapping:(int -> int) -> Trace.t
+(** Apply an item renaming (must be injective on the trace's universe for
+    the result to have the same temporal structure; not checked). *)
+
+val shuffle_layout : Rng.t -> Trace.t -> Trace.t
+(** Randomly permute the universe across block frames of the same size:
+    destroys spatial locality while preserving the temporal reuse pattern
+    exactly.  The baseline "how much was spatial buying us?" control. *)
+
+val pack_blocks : Trace.t -> Trace.t
+(** Rename items so that items first touched consecutively share blocks
+    (first-touch packing) — an idealized cache-conscious allocator; the
+    opposite control to {!shuffle_layout}. *)
+
+val truncate : Trace.t -> n:int -> Trace.t
+(** First [n] accesses. *)
+
+val sample_strided : Trace.t -> keep_one_in:int -> Trace.t
+(** Systematic sampling: keep every [keep_one_in]-th access (a cheap trace
+    reducer; reuse distances are distorted, use with care). *)

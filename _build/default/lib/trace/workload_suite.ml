@@ -1,0 +1,72 @@
+type entry = {
+  name : string;
+  description : string;
+  trace : Trace.t;
+}
+
+let standard ?(seed = 1) ?(n = 20_000) ?(universe = 16_384) ?(block_size = 16)
+    () =
+  let r = Rng.create seed in
+  let sub () = Rng.split r in
+  [
+    {
+      name = "sequential";
+      description = "cyclic scan: maximal spatial locality, zero reuse";
+      trace = Generators.sequential ~n ~universe:(universe / 8) ~block_size;
+    };
+    {
+      name = "uniform";
+      description = "independent uniform requests: neither locality";
+      trace = Generators.uniform_random (sub ()) ~n ~universe:(universe / 8) ~block_size;
+    };
+    {
+      name = "zipf";
+      description = "skewed item popularity: temporal locality only";
+      trace =
+        Generators.zipf_items (sub ()) ~n ~universe:(universe / 8) ~block_size
+          ~alpha:1.0;
+    };
+    {
+      name = "zipf-blocks";
+      description = "skewed block popularity with in-block walks";
+      trace =
+        Generators.zipf_blocks (sub ()) ~n
+          ~blocks:(universe / block_size / 8)
+          ~block_size ~alpha:0.8 ~within:`Sequential;
+    };
+    {
+      name = "spatial-mix";
+      description = "60% same-block continuation: both localities";
+      trace =
+        Generators.spatial_mix (sub ()) ~n ~universe:(universe / 4) ~block_size
+          ~p_spatial:0.6;
+    };
+    {
+      name = "pointer-chase";
+      description = "permutation cycle: perfect reuse, no spatial structure";
+      trace =
+        Generators.pointer_chase (sub ()) ~n ~universe:(universe / 16)
+          ~block_size;
+    };
+    {
+      name = "phases";
+      description = "working set grows 8x then shrinks: phase changes";
+      trace =
+        Generators.working_set_phases (sub ()) ~block_size
+          ~phases:
+            [ (universe / 64, n / 4); (universe / 8, n / 2); (universe / 128, n / 4) ];
+    };
+    {
+      name = "markov";
+      description = "bursty streaming/random alternation";
+      trace =
+        Generators.markov (sub ()) ~n ~universe ~block_size ~p_switch:0.01;
+    };
+  ]
+
+let find name entries =
+  match List.find_opt (fun e -> e.name = name) entries with
+  | Some e -> e.trace
+  | None -> raise Not_found
+
+let names entries = List.map (fun e -> e.name) entries

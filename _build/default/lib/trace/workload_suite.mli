@@ -1,0 +1,23 @@
+(** The canonical synthetic workload suite.
+
+    One catalog used by the integration tests, the bench harness, and the
+    CLIs, spanning the locality spectrum the paper's analysis carves up:
+    pure temporal, pure spatial, both, neither, and phase changes.  Every
+    entry is deterministic in the seed. *)
+
+type entry = {
+  name : string;
+  description : string;
+  trace : Trace.t;
+}
+
+val standard :
+  ?seed:int -> ?n:int -> ?universe:int -> ?block_size:int -> unit -> entry list
+(** Eight workloads (defaults: seed 1, n = 20000, universe = 16384, B = 16):
+    sequential, uniform, zipf, zipf-blocks, spatial-mix, pointer-chase,
+    phases, markov. *)
+
+val find : string -> entry list -> Trace.t
+(** Lookup by name; raises [Not_found]. *)
+
+val names : entry list -> string list

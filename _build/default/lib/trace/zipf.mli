@@ -1,0 +1,19 @@
+(** Zipfian sampling.
+
+    Real access traces are heavily skewed; Zipf-distributed request streams
+    are the standard synthetic stand-in.  [P(rank r) ∝ 1 / r^alpha]. *)
+
+type t
+
+val create : n:int -> alpha:float -> t
+(** [create ~n ~alpha] prepares a sampler over ranks [\[0, n)].  [alpha = 0]
+    is uniform; [alpha = 1] is classic Zipf.  O(n) setup, O(log n) per
+    sample. *)
+
+val sample : t -> Rng.t -> int
+(** Draw one rank. *)
+
+val n : t -> int
+
+val probability : t -> int -> float
+(** [probability t r] is the probability of rank [r]. *)

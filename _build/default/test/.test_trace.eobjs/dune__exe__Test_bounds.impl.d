@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Fault_rate Figures Float Gc_bounds Gen Iblp_upper List Locality_fn Lower_bounds Partitioning Printf QCheck Randomized Sleator_tarjan Table1 Table2 Test_util

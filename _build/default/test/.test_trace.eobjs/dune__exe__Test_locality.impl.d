@@ -1,0 +1,1 @@
+test/test_locality.ml: Alcotest Array Concave_fit Float Gc_cache Gc_locality Gc_trace Generators Hashtbl List Printf QCheck Rng Synthesis Test_util Trace Working_set

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Float Fractional Gc_bounds Gc_lp Gen Grid_opt List QCheck Simplex Test_util

@@ -1,0 +1,1 @@
+test/test_memhier.ml: Alcotest Array Gc_cache Gc_memhier Gc_trace Geometry Hierarchy Kernels Printf Two_level Workloads Writeback

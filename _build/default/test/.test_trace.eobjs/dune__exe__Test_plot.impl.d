@@ -1,0 +1,1 @@
+test/test_plot.ml: Alcotest Ascii_plot Gc_cache Gc_offline Gc_plot Gc_trace List Occupancy Printf String

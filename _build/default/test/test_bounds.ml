@@ -1,0 +1,453 @@
+open Gc_bounds
+
+let bb = 64.
+
+(* -------------------------------------------------------- Sleator-Tarjan *)
+
+let test_st_formula () =
+  (* k / (k - h + 1) = 2 exactly at k = 2 (h - 1). *)
+  Test_util.check_float ~eps:1e-9 "k=2(h-1)" 2.
+    (Sleator_tarjan.competitive_ratio ~k:200. ~h:101.);
+  Test_util.check_float ~eps:1e-9 "k=h" 100.
+    (Sleator_tarjan.competitive_ratio ~k:100. ~h:100.)
+
+let test_st_inverse () =
+  let h = 50. in
+  List.iter
+    (fun ratio ->
+      let k = Sleator_tarjan.augmentation_for_ratio ~ratio ~h in
+      Test_util.check_rel ~rel:1e-9 "roundtrip" ratio
+        (Sleator_tarjan.competitive_ratio ~k ~h))
+    [ 1.5; 2.; 3.; 10. ]
+
+(* ---------------------------------------------------------- lower bounds *)
+
+let test_thm2_formula () =
+  (* B (k - B + 1) / (k - h + 1) *)
+  Test_util.check_float ~eps:1e-9 "thm2"
+    (64. *. (1000. -. 64. +. 1.) /. (1000. -. 100. +. 1.))
+    (Lower_bounds.item_cache ~k:1000. ~h:100. ~block_size:64.)
+
+let test_thm3_formula_and_divergence () =
+  Test_util.check_float ~eps:1e-9 "thm3" (1000. /. (1000. -. (64. *. 9.)))
+    (Lower_bounds.block_cache ~k:1000. ~h:10. ~block_size:64.);
+  Alcotest.(check bool) "diverges when k <= B(h-1)" true
+    (Lower_bounds.block_cache ~k:640. ~h:11. ~block_size:64. = infinity)
+
+let test_thm4_extremes () =
+  let k = 1000. and h = 100. in
+  (* a = B reproduces the Item-Cache bound. *)
+  Test_util.check_rel ~rel:1e-9 "a=B is thm2"
+    (Lower_bounds.item_cache ~k ~h ~block_size:bb)
+    (Lower_bounds.general ~a:bb ~k ~h ~block_size:bb);
+  (* a = 1: 1 + B (h-1) / (k-h+1). *)
+  Test_util.check_rel ~rel:1e-9 "a=1"
+    (((k -. h +. 1.) +. (bb *. (h -. 1.))) /. (k -. h +. 1.))
+    (Lower_bounds.general ~a:1. ~k ~h ~block_size:bb)
+
+let qcheck_best_is_min_over_a =
+  Test_util.qcheck ~count:200 "best = min over integer a in [1, B]"
+    QCheck.(
+      make
+        Gen.(
+          let* h = int_range 2 500 in
+          let* k = int_range h (h * 100) in
+          let* b = int_range 2 64 in
+          return (float_of_int k, float_of_int h, float_of_int b)))
+    (fun (k, h, block_size) ->
+      let best = Lower_bounds.best ~k ~h ~block_size in
+      let grid = ref infinity in
+      let a = ref 1. in
+      while !a <= Float.min block_size h do
+        grid := Float.min !grid (Lower_bounds.general ~a:!a ~k ~h ~block_size);
+        a := !a +. 1.
+      done;
+      Float.abs (best -. !grid) <= 1e-9 *. Float.max 1. !grid)
+
+let test_lower_at_least_sleator_tarjan () =
+  (* Spatial locality can only widen the online/offline gap. *)
+  List.iter
+    (fun (k, h) ->
+      Alcotest.(check bool) "GC lower >= ST" true
+        (Lower_bounds.best ~k ~h ~block_size:bb
+        >= Sleator_tarjan.competitive_ratio ~k ~h -. 1e-9))
+    [ (1000., 100.); (10_000., 5000.); (1_280_000., 20_000.) ]
+
+(* ----------------------------------------------------------- IBLP upper *)
+
+let test_thm5 () =
+  Test_util.check_float ~eps:1e-9 "i/(i-h)" 2. (Iblp_upper.temporal ~i:200. ~h:100.);
+  Alcotest.(check bool) "diverges" true (Iblp_upper.temporal ~i:100. ~h:100. = infinity)
+
+let test_thm6 () =
+  (* min(B, (b + 2Bh - B)/(b + B)) *)
+  Test_util.check_float ~eps:1e-9 "formula"
+    ((1000. +. (2. *. bb *. 10.) -. bb) /. (1000. +. bb))
+    (Iblp_upper.spatial ~b:1000. ~block_size:bb ~h:10.);
+  Test_util.check_float ~eps:1e-9 "capped at B" bb
+    (Iblp_upper.spatial ~b:100. ~block_size:bb ~h:1_000_000.)
+
+let test_thm7_continuity_at_threshold () =
+  let b = 2000. and h = 50. in
+  let thr = Iblp_upper.combined_threshold ~b ~block_size:bb in
+  let below = Iblp_upper.combined ~i:(thr -. 1e-6) ~b ~block_size:bb ~h in
+  let above = Iblp_upper.combined ~i:(thr +. 1e-6) ~b ~block_size:bb ~h in
+  Test_util.check_rel ~rel:1e-4 "continuous" below above
+
+let qcheck_thm7_increasing_in_h =
+  (* A stronger offline comparator can only worsen the guaranteed ratio.
+     (The bound is NOT monotone in i: the printed expression is loose for
+     oversized item layers, see the LP cross-check tests.) *)
+  Test_util.qcheck ~count:100 "thm7 monotone in h"
+    QCheck.(
+      make
+        Gen.(
+          let* h = float_range 10. 200. in
+          let* i = float_range 300. 5000. in
+          let* b = float_range 64. 5000. in
+          return (i, b, h)))
+    (fun (i, b, h) ->
+      Iblp_upper.combined ~i ~b ~block_size:bb ~h:(h +. 20.)
+      >= Iblp_upper.combined ~i ~b ~block_size:bb ~h -. 1e-9)
+
+(* ----------------------------------------------------------- partitioning *)
+
+let qcheck_partitioning_matches_numeric =
+  Test_util.qcheck ~count:40 "closed-form optimum = numeric argmin"
+    QCheck.(
+      make
+        Gen.(
+          let* h = float_range 50. 5000. in
+          let* mult = float_range 2.5 200. in
+          return (h *. mult, h)))
+    (fun (k, h) ->
+      let closed = Partitioning.optimal_ratio ~k ~h ~block_size:bb in
+      let _, numeric = Partitioning.numeric_best_split ~k ~h ~block_size:bb in
+      (* Numeric search is over the same objective; closed form must match
+         (small tolerance for the grid). *)
+      Float.abs (closed -. numeric) /. closed < 5e-3)
+
+let test_partitioning_small_k_is_item_cache () =
+  let h = 1000. and k = 1100. in
+  Alcotest.(check bool) "below threshold" true
+    (k < Partitioning.item_layer_threshold ~h ~block_size:bb);
+  Test_util.check_float ~eps:1e-9 "i = k" k
+    (Partitioning.optimal_i ~k ~h ~block_size:bb);
+  Test_util.check_rel ~rel:1e-9 "item-cache ratio"
+    (((2. *. bb *. k) -. (bb *. bb) -. bb) /. (2. *. (k -. h)))
+    (Partitioning.optimal_ratio ~k ~h ~block_size:bb)
+
+let test_partitioning_sane_split () =
+  let k = 1_280_000. and h = 10_000. in
+  let i = Partitioning.optimal_i ~k ~h ~block_size:bb in
+  Alcotest.(check bool) "h < i < k" true (i > h && i < k)
+
+let test_upper_at_least_lower () =
+  (* The IBLP upper bound must dominate the problem's lower bound. *)
+  let k = 1_280_000. in
+  List.iter
+    (fun h ->
+      let lower = Lower_bounds.best ~k ~h ~block_size:bb in
+      let upper = Partitioning.optimal_ratio ~k ~h ~block_size:bb in
+      Alcotest.(check bool)
+        (Printf.sprintf "h=%g: lower %.3f <= upper %.3f" h lower upper)
+        true
+        (lower <= upper +. 1e-9))
+    [ 10.; 100.; 1000.; 10_000.; 100_000.; 500_000. ]
+
+let test_large_cache_approximation () =
+  (* k >> h >> B: the simplified §5.3 form tracks the exact one. *)
+  let k = 1_280_000. and h = 10_000. in
+  let exact = Partitioning.optimal_ratio ~k ~h ~block_size:bb in
+  let approx = Partitioning.large_cache_ratio ~k ~h ~block_size:bb in
+  Test_util.check_rel ~rel:0.15 "approximation" exact approx
+
+(* ------------------------------------------------------------ locality fn *)
+
+let test_power_roundtrip () =
+  let f = Locality_fn.power ~coeff:2. ~p:3. () in
+  List.iter
+    (fun n ->
+      Test_util.check_rel ~rel:1e-9 "inv . f = id" n
+        (Locality_fn.inv f (Locality_fn.apply f n)))
+    [ 1.; 10.; 1000.; 123456. ]
+
+let test_scaled () =
+  let f = Locality_fn.power ~p:2. () in
+  let g = Locality_fn.scaled f ~factor:8. in
+  Test_util.check_rel ~rel:1e-9 "g = f/8"
+    (Locality_fn.apply f 100. /. 8.)
+    (Locality_fn.apply g 100.);
+  Test_util.check_rel ~rel:1e-9 "g_inv" 100.
+    (Locality_fn.inv g (Locality_fn.apply g 100.))
+
+let test_spatial_pair_validation () =
+  (match Locality_fn.spatial_pair ~p:2. ~ratio:100. ~block_size:64. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "ratio > B accepted");
+  match Locality_fn.power ~p:0.5 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "p < 1 accepted"
+
+(* ------------------------------------------------------------ fault rate *)
+
+let test_fault_rate_asymptotics () =
+  (* f = n^(1/2), g = f: lower ~ 1/h, item UB ~ 1/i, block UB ~ B/b. *)
+  let size = 100_000. in
+  let f, g = Locality_fn.spatial_pair ~p:2. ~ratio:1. ~block_size:bb in
+  Test_util.check_rel ~rel:0.02 "lower ~ 1/h" (1. /. size)
+    (Fault_rate.lower ~k:size ~f ~g);
+  Test_util.check_rel ~rel:0.02 "item ~ 1/i" (1. /. size)
+    (Fault_rate.item_layer ~i:size ~f);
+  Test_util.check_rel ~rel:0.02 "block ~ B/b" (bb /. size)
+    (Fault_rate.block_layer ~b:size ~block_size:bb ~g)
+
+let test_fault_rate_max_spatial () =
+  (* g = f/B: lower ~ 1/(Bh), block UB ~ 1/(Bb). *)
+  let size = 100_000. in
+  let f, g = Locality_fn.spatial_pair ~p:2. ~ratio:bb ~block_size:bb in
+  Test_util.check_rel ~rel:0.02 "lower ~ 1/(Bh)"
+    (1. /. (bb *. size))
+    (Fault_rate.lower ~k:size ~f ~g);
+  Test_util.check_rel ~rel:0.05 "block ~ 1/(Bb)"
+    (1. /. (bb *. size))
+    (Fault_rate.block_layer ~b:size ~block_size:bb ~g)
+
+let qcheck_fault_rate_monotone =
+  Test_util.qcheck ~count:100 "fault-rate UBs decrease with layer size"
+    QCheck.(
+      make
+        Gen.(
+          let* p = float_range 1.5 4. in
+          let* size = float_range 1000. 100_000. in
+          return (p, size)))
+    (fun (p, size) ->
+      let f, g = Locality_fn.spatial_pair ~p ~ratio:4. ~block_size:bb in
+      Fault_rate.item_layer ~i:(2. *. size) ~f
+      <= Fault_rate.item_layer ~i:size ~f +. 1e-12
+      && Fault_rate.block_layer ~b:(2. *. size) ~block_size:bb ~g
+         <= Fault_rate.block_layer ~b:size ~block_size:bb ~g +. 1e-12)
+
+let test_iblp_fault_rate_is_min () =
+  let f, g = Locality_fn.spatial_pair ~p:2. ~ratio:8. ~block_size:bb in
+  let i = 5000. and b = 5000. in
+  Test_util.check_float ~eps:1e-12 "min of layers"
+    (Float.min
+       (Fault_rate.item_layer ~i ~f)
+       (Fault_rate.block_layer ~b ~block_size:bb ~g))
+    (Fault_rate.iblp ~i ~b ~block_size:bb ~f ~g)
+
+(* ------------------------------------------------------------- randomized *)
+
+let test_harmonic () =
+  Test_util.check_float ~eps:1e-12 "H_1" 1. (Randomized.harmonic 1);
+  Test_util.check_float ~eps:1e-12 "H_4" (25. /. 12.) (Randomized.harmonic 4);
+  Alcotest.(check bool) "H_k ~ ln k + gamma" true
+    (Float.abs (Randomized.harmonic 100_000 -. (log 100_000. +. 0.5772157))
+    < 1e-4)
+
+let test_randomized_bounds_ordering () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "lower <= upper" true
+        (Randomized.randomized_lower ~k <= Randomized.marking_upper ~k);
+      (* Randomization helps: H_k is far below the deterministic k. *)
+      Alcotest.(check bool) "beats deterministic" true
+        (Randomized.marking_upper ~k < float_of_int k || k <= 10))
+    [ 2; 8; 64; 1024 ]
+
+(* --------------------------------------------------------------- Table 1 *)
+
+let rows = Table1.rows ~h:10_000. ~block_size:bb
+
+let get_row name = List.find (fun r -> r.Table1.setting = name) rows
+
+let test_table1_constant_augmentation () =
+  let row = get_row "Constant Augmentation" in
+  let st = row.Table1.point Table1.St in
+  Test_util.check_rel ~rel:1e-3 "ST = 2" 2. st.Table1.ratio;
+  let lower = row.Table1.point Table1.Gc_lower in
+  Test_util.check_rel ~rel:0.05 "lower ~ B" bb lower.Table1.ratio;
+  let upper = row.Table1.point Table1.Gc_upper in
+  Test_util.check_rel ~rel:0.05 "upper ~ 2B" (2. *. bb) upper.Table1.ratio
+
+let test_table1_meeting_point () =
+  let row = get_row "Ratio = Augmentation" in
+  List.iter
+    (fun (family, approx) ->
+      let p = row.Table1.point family in
+      Test_util.check_rel ~rel:1e-6 "ratio = augmentation" p.Table1.ratio
+        p.Table1.augmentation;
+      (* The paper's sqrt approximations hold within ~25%. *)
+      Test_util.check_rel ~rel:0.25 "matches paper approximation" approx
+        p.Table1.ratio)
+    [ (Table1.St, 2.); (Table1.Gc_lower, sqrt bb); (Table1.Gc_upper, sqrt (2. *. bb)) ]
+
+let test_table1_constant_ratio () =
+  let row = get_row "Constant Ratio" in
+  let lower = row.Table1.point Table1.Gc_lower in
+  Test_util.check_rel ~rel:1e-6 "lower ratio 2" 2. lower.Table1.ratio;
+  (* k ~ Bh. *)
+  Test_util.check_rel ~rel:0.05 "lower augmentation ~ B" bb lower.Table1.augmentation;
+  let upper = row.Table1.point Table1.Gc_upper in
+  Test_util.check_rel ~rel:1e-6 "upper ratio 3" 3. upper.Table1.ratio;
+  Test_util.check_rel ~rel:0.10 "upper augmentation ~ B" bb upper.Table1.augmentation
+
+(* --------------------------------------------------------------- Table 2 *)
+
+let test_table2_p2 () =
+  let size = 100_000. in
+  let rows = Table2.rows ~p:2. ~block_size:bb ~size in
+  Alcotest.(check int) "three rows" 3 (List.length rows);
+  let r1 = List.nth rows 0 in
+  (* No spatial locality: item layer optimal, block layer B times worse. *)
+  Test_util.check_rel ~rel:0.02 "row1 lower ~ 1/h" (1. /. size) r1.Table2.lower;
+  Test_util.check_rel ~rel:0.02 "row1 item ~ 1/i" (1. /. size) r1.Table2.item_ub;
+  Test_util.check_rel ~rel:0.05 "row1 block ~ B/b" (bb /. size) r1.Table2.block_ub;
+  let r2 = List.nth rows 1 in
+  (* Largest gap: both layers meet at 1/i. *)
+  Test_util.check_rel ~rel:0.05 "row2 item = block" r2.Table2.item_ub r2.Table2.block_ub;
+  let r3 = List.nth rows 2 in
+  Test_util.check_rel ~rel:0.05 "row3 lower ~ 1/(Bh)" (1. /. (bb *. size)) r3.Table2.lower;
+  Test_util.check_rel ~rel:0.05 "row3 block ~ 1/(Bb)" (1. /. (bb *. size)) r3.Table2.block_ub
+
+let test_table2_gap_bounded_by_paper () =
+  (* Section 7.3: with i = b = h, the IBLP upper bound is within
+     B^(1 - 1/p) of the lower bound, approaching B as p grows. *)
+  let size = 1_000_000. in
+  List.iter
+    (fun p ->
+      let rows = Table2.rows ~p ~block_size:bb ~size in
+      List.iter
+        (fun r ->
+          let iblp = Float.min r.Table2.item_ub r.Table2.block_ub in
+          let gap = iblp /. r.Table2.lower in
+          Alcotest.(check bool)
+            (Printf.sprintf "p=%g gap %.2f <= B" p gap)
+            true
+            (gap <= bb *. 1.05))
+        rows)
+    [ 2.; 3.; 4. ]
+
+(* --------------------------------------------------------------- figures *)
+
+let test_figure3_orderings () =
+  let k = 1_280_000. in
+  let hs = Figures.default_hs ~k ~steps:40 in
+  let points = Figures.figure3 ~k ~block_size:bb ~hs in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "ST <= GC lower" true
+        (p.Figures.sleator_tarjan <= p.Figures.gc_lower +. 1e-9);
+      Alcotest.(check bool) "GC lower <= IBLP upper" true
+        (p.Figures.gc_lower <= p.Figures.iblp_upper +. 1e-9);
+      Alcotest.(check bool) "GC lower <= item-cache lower" true
+        (p.Figures.gc_lower <= p.Figures.item_cache_lower +. 1e-9))
+    points
+
+let test_figure3_crossovers () =
+  (* Paper: IBLP beats the Item Cache from k ~ 3h up, and beats the Block
+     Cache below k ~ 4Bh. *)
+  let k = 1_280_000. in
+  let at h = List.hd (Figures.figure3 ~k ~block_size:bb ~hs:[ h ]) in
+  let p = at (k /. 10.) in
+  Alcotest.(check bool) "IBLP < item cache at k = 10h" true
+    (p.Figures.iblp_upper < p.Figures.item_cache_lower);
+  let q = at (k /. bb) in
+  Alcotest.(check bool) "IBLP < block cache at k = Bh" true
+    (q.Figures.iblp_upper < q.Figures.block_cache_lower);
+  (* Near k ~ h the Item Cache is competitive with IBLP. *)
+  let r = at (k /. 1.5) in
+  Alcotest.(check bool) "item cache fine at small augmentation" true
+    (r.Figures.item_cache_lower <= r.Figures.iblp_upper *. 1.5)
+
+let test_figure6_fixed_splits_degrade () =
+  let k = 1_280_000. in
+  let h0 = 10_000. in
+  let i0 = Partitioning.optimal_i ~k ~h:h0 ~block_size:bb in
+  let hs = [ h0; 10. *. h0 ] in
+  let points = Figures.figure6 ~k ~block_size:bb ~fixed_is:[ i0 ] ~hs in
+  let at_h0 = List.nth points 0 and at_10h0 = List.nth points 1 in
+  (* At its design point the fixed split matches the optimum... *)
+  Test_util.check_rel ~rel:1e-6 "optimal at design point" at_h0.Figures.optimal_split
+    (snd (List.hd at_h0.Figures.fixed_splits));
+  (* ... and for larger h it degrades relative to re-optimizing. *)
+  Alcotest.(check bool) "degrades for larger h" true
+    (snd (List.hd at_10h0.Figures.fixed_splits)
+    > at_10h0.Figures.optimal_split *. 1.05)
+
+let test_default_hs () =
+  let hs = Figures.default_hs ~k:1000. ~steps:10 in
+  Alcotest.(check bool) "ascending" true
+    (List.sort compare hs = hs);
+  Alcotest.(check bool) "range" true
+    (List.hd hs >= 2. && List.nth hs (List.length hs - 1) <= 500.)
+
+let () =
+  Alcotest.run "gc_bounds"
+    [
+      ( "sleator_tarjan",
+        [
+          Alcotest.test_case "formula" `Quick test_st_formula;
+          Alcotest.test_case "inverse" `Quick test_st_inverse;
+        ] );
+      ( "lower_bounds",
+        [
+          Alcotest.test_case "thm2" `Quick test_thm2_formula;
+          Alcotest.test_case "thm3" `Quick test_thm3_formula_and_divergence;
+          Alcotest.test_case "thm4 extremes" `Quick test_thm4_extremes;
+          qcheck_best_is_min_over_a;
+          Alcotest.test_case "dominates ST" `Quick test_lower_at_least_sleator_tarjan;
+        ] );
+      ( "iblp_upper",
+        [
+          Alcotest.test_case "thm5" `Quick test_thm5;
+          Alcotest.test_case "thm6" `Quick test_thm6;
+          Alcotest.test_case "thm7 continuity" `Quick test_thm7_continuity_at_threshold;
+          qcheck_thm7_increasing_in_h;
+        ] );
+      ( "partitioning",
+        [
+          qcheck_partitioning_matches_numeric;
+          Alcotest.test_case "small k = item cache" `Quick test_partitioning_small_k_is_item_cache;
+          Alcotest.test_case "sane split" `Quick test_partitioning_sane_split;
+          Alcotest.test_case "upper >= lower" `Quick test_upper_at_least_lower;
+          Alcotest.test_case "large-cache approximation" `Quick test_large_cache_approximation;
+        ] );
+      ( "locality_fn",
+        [
+          Alcotest.test_case "power roundtrip" `Quick test_power_roundtrip;
+          Alcotest.test_case "scaled" `Quick test_scaled;
+          Alcotest.test_case "validation" `Quick test_spatial_pair_validation;
+        ] );
+      ( "fault_rate",
+        [
+          Alcotest.test_case "asymptotics" `Quick test_fault_rate_asymptotics;
+          Alcotest.test_case "max spatial" `Quick test_fault_rate_max_spatial;
+          qcheck_fault_rate_monotone;
+          Alcotest.test_case "iblp = min" `Quick test_iblp_fault_rate_is_min;
+        ] );
+      ( "randomized",
+        [
+          Alcotest.test_case "harmonic" `Quick test_harmonic;
+          Alcotest.test_case "ordering" `Quick test_randomized_bounds_ordering;
+        ] );
+      ( "table1",
+        [
+          Alcotest.test_case "constant augmentation" `Quick test_table1_constant_augmentation;
+          Alcotest.test_case "meeting point" `Quick test_table1_meeting_point;
+          Alcotest.test_case "constant ratio" `Quick test_table1_constant_ratio;
+        ] );
+      ( "table2",
+        [
+          Alcotest.test_case "p = 2 rows" `Quick test_table2_p2;
+          Alcotest.test_case "gap bounded by B" `Quick test_table2_gap_bounded_by_paper;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "figure 3 orderings" `Quick test_figure3_orderings;
+          Alcotest.test_case "figure 3 crossovers" `Quick test_figure3_crossovers;
+          Alcotest.test_case "figure 6 degradation" `Quick test_figure6_fixed_splits_degrade;
+          Alcotest.test_case "default hs" `Quick test_default_hs;
+        ] );
+    ]

@@ -1,0 +1,255 @@
+open Gc_trace
+open Gc_locality
+
+let rng () = Rng.create 31337
+
+(* ------------------------------------------------------------ working set *)
+
+let brute_force_max_distinct proj requests n =
+  let len = Array.length requests in
+  if n <= 0 then 0
+  else begin
+    let best = ref 0 in
+    for start = 0 to max 0 (len - 1) do
+      let stop = min (len - 1) (start + n - 1) in
+      let seen = Hashtbl.create 8 in
+      for p = start to stop do
+        Hashtbl.replace seen (proj requests.(p)) ()
+      done;
+      if Hashtbl.length seen > !best then best := Hashtbl.length seen
+    done;
+    !best
+  end
+
+let qcheck_f_matches_brute_force =
+  Test_util.qcheck ~count:150 "f(n) matches brute force"
+    (QCheck.pair (Test_util.small_trace_arbitrary ()) QCheck.(int_range 1 20))
+    (fun ((bs, reqs), n) ->
+      let trace = Test_util.trace_of (bs, reqs) in
+      Working_set.f_at trace n = brute_force_max_distinct (fun x -> x) reqs n)
+
+let qcheck_g_matches_brute_force =
+  Test_util.qcheck ~count:150 "g(n) matches brute force"
+    (QCheck.pair (Test_util.small_trace_arbitrary ()) QCheck.(int_range 1 20))
+    (fun ((bs, reqs), n) ->
+      let trace = Test_util.trace_of (bs, reqs) in
+      Working_set.g_at trace n
+      = brute_force_max_distinct (fun x -> x / bs) reqs n)
+
+let qcheck_locality_sandwich =
+  Test_util.qcheck ~count:150 "g <= f <= B * g and monotone"
+    (Test_util.small_trace_arbitrary ~max_len:60 ())
+    (fun (bs, reqs) ->
+      let trace = Test_util.trace_of (bs, reqs) in
+      let ok = ref true in
+      for n = 1 to Array.length reqs do
+        let f = Working_set.f_at trace n and g = Working_set.g_at trace n in
+        if not (g <= f && f <= bs * g) then ok := false;
+        if n > 1 && Working_set.f_at trace (n - 1) > f then ok := false
+      done;
+      !ok)
+
+let test_f_full_length_is_distinct_items () =
+  let t = Generators.uniform_random (rng ()) ~n:500 ~universe:60 ~block_size:4 in
+  Alcotest.(check int) "f(T) = distinct"
+    (Trace.distinct_items t)
+    (Working_set.f_at t (Trace.length t))
+
+let test_inverse_f () =
+  let t = Generators.sequential ~n:100 ~universe:50 ~block_size:4 in
+  (* Sequential scan: a window of n fresh accesses holds n distinct items
+     (up to the universe), so f_inv(m) = m. *)
+  Alcotest.(check int) "f_inv(10)" 10 (Working_set.inverse_f t 10);
+  Alcotest.(check int) "unreachable" (Trace.length t + 1)
+    (Working_set.inverse_f t 51)
+
+let test_profiles () =
+  let t = Generators.uniform_random (rng ()) ~n:2000 ~universe:100 ~block_size:4 in
+  let windows = Working_set.geometric_windows t ~steps:8 in
+  Alcotest.(check bool) "sorted unique" true
+    (List.sort_uniq compare windows = windows);
+  let profile = Working_set.profile t ~windows in
+  List.iter
+    (fun (n, f, g) ->
+      Alcotest.(check bool) "consistent" true
+        (f = Working_set.f_at t n && g = Working_set.g_at t n))
+    profile;
+  let ratios = Working_set.spatial_ratio_profile t ~windows in
+  List.iter
+    (fun (_, r) -> Alcotest.(check bool) "ratio in [1, B]" true (r >= 1. && r <= 4.))
+    ratios
+
+(* ------------------------------------------------------------ concave fit *)
+
+let test_fit_power_exact () =
+  (* Exact data f(n) = 3 n^(1/2). *)
+  let points =
+    List.map
+      (fun n -> (n, int_of_float (Float.round (3. *. sqrt (float_of_int n)))))
+      [ 4; 16; 64; 256; 1024; 4096; 16384 ]
+  in
+  let fit = Concave_fit.fit_power points in
+  Test_util.check_rel ~rel:0.05 "p" 2. fit.Concave_fit.p;
+  Test_util.check_rel ~rel:0.10 "coeff" 3. fit.Concave_fit.coeff;
+  Alcotest.(check bool) "small residual" true (fit.Concave_fit.rmse < 0.05)
+
+let test_fit_power_linear () =
+  let points = List.map (fun n -> (n, n)) [ 1; 2; 4; 8; 16; 32 ] in
+  let fit = Concave_fit.fit_power points in
+  Test_util.check_rel ~rel:1e-6 "p = 1" 1. fit.Concave_fit.p
+
+let test_fit_power_needs_points () =
+  match Concave_fit.fit_power [ (4, 2) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "single point accepted"
+
+let test_envelope_dominates () =
+  let points = [ (1, 1); (2, 3); (3, 2); (4, 4); (5, 3); (10, 5) ] in
+  let env = Concave_fit.upper_concave_envelope points in
+  List.iter2
+    (fun (n, v) (n', e) ->
+      Alcotest.(check int) "same n" n n';
+      Alcotest.(check bool) "dominates" true (e +. 1e-9 >= float_of_int v))
+    (List.sort compare points) env
+
+let test_envelope_concave () =
+  let points = [ (1, 1); (2, 3); (3, 2); (4, 4); (5, 3); (10, 5) ] in
+  let env = Concave_fit.upper_concave_envelope points in
+  (* Slopes between consecutive envelope points are non-increasing. *)
+  let rec slopes = function
+    | (x1, y1) :: ((x2, y2) :: _ as rest) ->
+        ((y2 -. y1) /. float_of_int (x2 - x1)) :: slopes rest
+    | _ -> []
+  in
+  let ss = slopes env in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a +. 1e-9 >= b && non_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "concave" true (non_increasing ss)
+
+(* -------------------------------------------------------------- synthesis *)
+
+let test_power_law_recovers_exponent () =
+  List.iter
+    (fun target_p ->
+      let t =
+        Synthesis.power_law (rng ()) ~n:60_000 ~p:target_p ~rho:1.
+          ~block_size:16
+      in
+      let windows =
+        List.filter (fun n -> n >= 64) (Working_set.geometric_windows t ~steps:16)
+      in
+      let profile =
+        List.map (fun (n, f, _) -> (n, f)) (Working_set.profile t ~windows)
+      in
+      let fit = Concave_fit.fit_power profile in
+      Alcotest.(check bool)
+        (Printf.sprintf "target p=%.1f fitted %.2f" target_p fit.Concave_fit.p)
+        true
+        (Float.abs (fit.Concave_fit.p -. target_p) /. target_p < 0.35))
+    [ 1.5; 2.; 3. ]
+
+let test_power_law_spatial_ratio () =
+  let measure rho =
+    let t = Synthesis.power_law (rng ()) ~n:40_000 ~p:2. ~rho ~block_size:16 in
+    float_of_int (Trace.distinct_items t) /. float_of_int (Trace.distinct_blocks t)
+  in
+  let r1 = measure 1. and r8 = measure 8. in
+  Test_util.check_rel ~rel:0.3 "rho 1" 1. r1;
+  Test_util.check_rel ~rel:0.3 "rho 8" 8. r8
+
+let test_power_law_validation () =
+  (match Synthesis.power_law (rng ()) ~n:10 ~p:0.5 ~rho:1. ~block_size:4 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "p < 1 accepted");
+  match Synthesis.power_law (rng ()) ~n:10 ~p:2. ~rho:9. ~block_size:4 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "rho > B accepted"
+
+(* ------------------------------------------------------------- theorem 8 *)
+
+module Thm8 = Synthesis.Thm8 (Gc_cache.Policy.Oracle)
+
+let test_thm8_forces_faults_on_lru () =
+  let k = 40 in
+  (* f(n) = n^(1/2): f_inv(m) = m^2; g(n) = f(n)/4. *)
+  let f_inv m = m * m in
+  let g n = max 1 (int_of_float (sqrt (float_of_int n)) / 4) in
+  let lru = Gc_cache.Lru.create ~k in
+  let r = Thm8.run lru ~k ~f_inv ~g ~block_size:16 ~phases:6 in
+  Alcotest.(check bool) "ran" true (r.Thm8.accesses > 0);
+  (* The construction guarantees at least g(L) faults per phase against any
+     deterministic policy; allow slack for the best-effort item choice. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "faults %d >= 0.8 * bound %.0f" r.Thm8.online_faults
+       r.Thm8.bound_faults)
+    true
+    (float_of_int r.Thm8.online_faults >= 0.8 *. r.Thm8.bound_faults);
+  (* The trace uses exactly k + 1 items. *)
+  Alcotest.(check int) "k+1 items" (k + 1) (Trace.distinct_items r.Thm8.trace)
+
+let test_thm8_respects_locality () =
+  let k = 30 in
+  let f_inv m = m * m in
+  let g n = max 1 (int_of_float (sqrt (float_of_int n)) / 2) in
+  let lru = Gc_cache.Lru.create ~k in
+  let r = Thm8.run lru ~k ~f_inv ~g ~block_size:8 ~phases:4 in
+  (* Windows of size n must contain at most ~f(n) = sqrt(n) items; the
+     construction is built to respect it (constant-factor slack for the
+     phase boundaries). *)
+  let trace = r.Thm8.trace in
+  List.iter
+    (fun n ->
+      let f_measured = Working_set.f_at trace n in
+      let f_target = int_of_float (sqrt (float_of_int n)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "f(%d) = %d <= 2 * %d" n f_measured f_target)
+        true
+        (f_measured <= (2 * f_target) + 2))
+    [ 16; 64; 256 ]
+
+let test_thm8_validation () =
+  let lru = Gc_cache.Lru.create ~k:10 in
+  (* Phases shorter than k - 1 repetitions cannot exist. *)
+  (match Thm8.run lru ~k:10 ~f_inv:(fun m -> m / 2) ~g:(fun _ -> 1) ~block_size:16 ~phases:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "too-short phases accepted");
+  (* g(L) blocks must be able to host k + 1 items. *)
+  match Thm8.run lru ~k:10 ~f_inv:(fun m -> m) ~g:(fun _ -> 1) ~block_size:4 ~phases:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "undersized blocks accepted"
+
+let () =
+  Alcotest.run "gc_locality"
+    [
+      ( "working_set",
+        [
+          qcheck_f_matches_brute_force;
+          qcheck_g_matches_brute_force;
+          qcheck_locality_sandwich;
+          Alcotest.test_case "f at full length" `Quick test_f_full_length_is_distinct_items;
+          Alcotest.test_case "inverse f" `Quick test_inverse_f;
+          Alcotest.test_case "profiles" `Quick test_profiles;
+        ] );
+      ( "concave_fit",
+        [
+          Alcotest.test_case "exact power" `Quick test_fit_power_exact;
+          Alcotest.test_case "linear" `Quick test_fit_power_linear;
+          Alcotest.test_case "needs points" `Quick test_fit_power_needs_points;
+          Alcotest.test_case "envelope dominates" `Quick test_envelope_dominates;
+          Alcotest.test_case "envelope concave" `Quick test_envelope_concave;
+        ] );
+      ( "synthesis",
+        [
+          Alcotest.test_case "recovers exponent" `Slow test_power_law_recovers_exponent;
+          Alcotest.test_case "spatial ratio" `Quick test_power_law_spatial_ratio;
+          Alcotest.test_case "validation" `Quick test_power_law_validation;
+        ] );
+      ( "thm8",
+        [
+          Alcotest.test_case "forces faults on LRU" `Quick test_thm8_forces_faults_on_lru;
+          Alcotest.test_case "respects locality" `Quick test_thm8_respects_locality;
+          Alcotest.test_case "validation" `Quick test_thm8_validation;
+        ] );
+    ]

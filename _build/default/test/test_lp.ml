@@ -1,0 +1,237 @@
+open Gc_lp
+
+let solve_ok ~c ~a ~b =
+  match Simplex.solve ~c ~a ~b with
+  | Simplex.Optimal { objective; solution } -> (objective, solution)
+  | Simplex.Unbounded -> Alcotest.fail "unexpected unbounded"
+  | Simplex.Infeasible -> Alcotest.fail "unexpected infeasible"
+
+let test_simplex_basic () =
+  (* max x + y  s.t.  x <= 2, y <= 3 *)
+  let obj, sol =
+    solve_ok ~c:[| 1.; 1. |] ~a:[| [| 1.; 0. |]; [| 0.; 1. |] |] ~b:[| 2.; 3. |]
+  in
+  Test_util.check_float ~eps:1e-9 "objective" 5. obj;
+  Test_util.check_float ~eps:1e-9 "x" 2. sol.(0);
+  Test_util.check_float ~eps:1e-9 "y" 3. sol.(1)
+
+let test_simplex_classic () =
+  (* max 3x + 5y  s.t.  x <= 4, 2y <= 12, 3x + 2y <= 18  -> 36 at (2, 6) *)
+  let obj, sol =
+    solve_ok ~c:[| 3.; 5. |]
+      ~a:[| [| 1.; 0. |]; [| 0.; 2. |]; [| 3.; 2. |] |]
+      ~b:[| 4.; 12.; 18. |]
+  in
+  Test_util.check_float ~eps:1e-9 "objective" 36. obj;
+  Test_util.check_float ~eps:1e-9 "x" 2. sol.(0);
+  Test_util.check_float ~eps:1e-9 "y" 6. sol.(1)
+
+let test_simplex_binding_mix () =
+  (* max 2x + y  s.t.  x + y <= 4, x <= 3  -> 7 at (3, 1) *)
+  let obj, sol =
+    solve_ok ~c:[| 2.; 1. |] ~a:[| [| 1.; 1. |]; [| 1.; 0. |] |] ~b:[| 4.; 3. |]
+  in
+  Test_util.check_float ~eps:1e-9 "objective" 7. obj;
+  Test_util.check_float ~eps:1e-9 "x" 3. sol.(0);
+  Test_util.check_float ~eps:1e-9 "y" 1. sol.(1)
+
+let test_simplex_unbounded () =
+  match Simplex.solve ~c:[| 1.; 0. |] ~a:[| [| 0.; 1. |] |] ~b:[| 1. |] with
+  | Simplex.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_simplex_negative_rhs_feasible () =
+  (* max x  s.t.  -x <= -2 (i.e. x >= 2), x <= 5  -> 5 *)
+  let obj, _ =
+    solve_ok ~c:[| 1. |] ~a:[| [| -1. |]; [| 1. |] |] ~b:[| -2.; 5. |]
+  in
+  Test_util.check_float ~eps:1e-9 "objective" 5. obj
+
+let test_simplex_infeasible () =
+  (* x >= 3 and x <= 1 *)
+  match Simplex.solve ~c:[| 1. |] ~a:[| [| -1. |]; [| 1. |] |] ~b:[| -3.; 1. |] with
+  | Simplex.Infeasible -> ()
+  | _ -> Alcotest.fail "expected infeasible"
+
+let test_simplex_degenerate () =
+  (* Degenerate vertex: redundant constraints through the optimum. *)
+  let obj, _ =
+    solve_ok ~c:[| 1.; 1. |]
+      ~a:[| [| 1.; 0. |]; [| 1.; 0. |]; [| 0.; 1. |]; [| 1.; 1. |] |]
+      ~b:[| 1.; 1.; 1.; 2. |]
+  in
+  Test_util.check_float ~eps:1e-9 "objective" 2. obj
+
+let test_simplex_shape_validation () =
+  (match Simplex.solve ~c:[| 1. |] ~a:[| [| 1.; 2. |] |] ~b:[| 1. |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "ragged A accepted");
+  match Simplex.solve ~c:[| 1. |] ~a:[| [| 1. |] |] ~b:[||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad b accepted"
+
+let qcheck_simplex_respects_constraints =
+  Test_util.qcheck ~count:200 "solutions satisfy constraints"
+    QCheck.(
+      make
+        Gen.(
+          let dim = 2 in
+          let* rows = int_range 1 4 in
+          let* a =
+            list_size (return rows)
+              (list_size (return dim) (float_range 0.1 5.0))
+          in
+          let* b = list_size (return rows) (float_range 0.5 10.0) in
+          let* c = list_size (return dim) (float_range 0.1 3.0) in
+          return (a, b, c)))
+    (fun (a, b, c) ->
+      let a = Array.of_list (List.map Array.of_list a) in
+      let b = Array.of_list b and c = Array.of_list c in
+      match Simplex.solve ~c ~a ~b with
+      | Simplex.Optimal { solution; _ } ->
+          Array.for_all (fun x -> x >= -1e-7) solution
+          && Array.for_all2
+               (fun row bi ->
+                 Array.fold_left ( +. ) 0.
+                   (Array.mapi (fun j v -> v *. solution.(j)) row)
+                 <= bi +. 1e-6)
+               a b
+      | Simplex.Unbounded | Simplex.Infeasible ->
+          (* With positive A and b >= 0 this cannot happen. *)
+          false)
+
+(* ---------------------------------------------------------------- grids *)
+
+let test_ternary_max () =
+  let x, v = Grid_opt.ternary_max ~lo:0. ~hi:10. (fun x -> -.((x -. 3.) ** 2.)) in
+  Test_util.check_float ~eps:1e-6 "argmax" 3. x;
+  Test_util.check_float ~eps:1e-9 "max" 0. v
+
+let test_grid_max () =
+  let f x = sin x +. (0.1 *. x) in
+  let x, _ = Grid_opt.grid_max ~steps:512 ~lo:0. ~hi:16. f in
+  (* Global max of sin x + x/10 on [0, 16] is the third peak (~14.1): the
+     linear term makes later peaks higher, and 16 is past the crest. *)
+  Alcotest.(check bool) "found global peak" true (x > 13.5 && x < 14.8)
+
+let test_grid_max2 () =
+  let f x y = -.((x -. 1.) ** 2.) -. ((y -. 2.) ** 2.) in
+  let (x, y), v = Grid_opt.grid_max2 ~steps:64 ~lo1:0. ~hi1:3. ~lo2:0. ~hi2:3. f in
+  Test_util.check_float ~eps:0.01 "x" 1. x;
+  Test_util.check_float ~eps:0.01 "y" 2. y;
+  Alcotest.(check bool) "near zero" true (v > -0.01)
+
+(* ----------------------------------------------------------- fractional *)
+
+let test_theorem5_closed_form () =
+  List.iter
+    (fun (i, h) ->
+      Test_util.check_rel ~rel:1e-9 "thm5"
+        (i /. (i -. h))
+        (Fractional.theorem5 ~i ~h))
+    [ (100., 10.); (2048., 512.); (1000., 999.) ]
+
+let test_theorem5_insufficient_space () =
+  Alcotest.(check bool) "i <= h diverges" true
+    (Fractional.theorem5 ~i:10. ~h:10. = infinity)
+
+let test_theorem6_closed_form () =
+  List.iter
+    (fun (b, h) ->
+      let closed =
+        let bb = 64. in
+        Float.min bb ((b +. (2. *. bb *. h) -. bb) /. (b +. bb))
+      in
+      Test_util.check_rel ~rel:1e-3 "thm6" closed
+        (Fractional.theorem6 ~b ~block_size:64. ~h))
+    [ (2000., 100.); (4000., 50.); (1000., 500.); (512., 8.) ]
+
+let test_theorem6_capped_at_b () =
+  (* Huge h: the ratio caps at B because at most B items load per miss. *)
+  let v = Fractional.theorem6 ~b:100. ~block_size:16. ~h:10_000. in
+  Test_util.check_rel ~rel:1e-6 "capped" 16. v
+
+let test_theorem7_numeric_at_most_closed =
+  (* The printed Theorem 7 expression is a valid upper bound; the numeric
+     optimum can be strictly below it when the interior optimum has r < 0. *)
+  Test_util.qcheck ~count:60 "numeric <= closed form"
+    QCheck.(
+      make
+        Gen.(
+          let* i = float_range 100. 5000. in
+          let* b = float_range 64. 5000. in
+          let* h = float_range 2. 99. in
+          return (i, b, h)))
+    (fun (i, b, h) ->
+      let closed = Gc_bounds.Iblp_upper.combined ~i ~b ~block_size:64. ~h in
+      let numeric = Fractional.theorem7 ~i ~b ~block_size:64. ~h in
+      numeric <= closed *. (1. +. 1e-6))
+
+let test_theorem7_matches_when_interior () =
+  (* When the paper's interior optimum is feasible (r* >= 0) and t* <= B the
+     closed form is tight. *)
+  List.iter
+    (fun (i, b, h) ->
+      let bb = 64. in
+      let r_star =
+        (b +. (bb *. ((4. *. h) -. (2. *. i) -. 1.)))
+        /. (b +. (bb *. ((2. *. i) -. 1.)))
+      in
+      Alcotest.(check bool) "interior optimum" true (r_star >= 0.);
+      let closed = Gc_bounds.Iblp_upper.combined ~i ~b ~block_size:bb ~h in
+      let numeric = Fractional.theorem7 ~i ~b ~block_size:bb ~h in
+      Test_util.check_rel ~rel:1e-2 "tight" closed numeric)
+    [ (1500., 500., 1000.); (2000., 1000., 1400.); (800., 4000., 700.) ]
+
+let test_theorem7_inner_lp () =
+  match Fractional.theorem7_inner ~t:4. ~i:100. ~b:200. ~block_size:16. ~h:50. with
+  | Some (r, s) ->
+      Alcotest.(check bool) "r bounds" true (r >= -1e-9 && r <= 1.);
+      Alcotest.(check bool) "s bounds" true (s >= -1e-9);
+      (* Constraints hold. *)
+      let c = Fractional.triangle_cost ~b:200. ~block_size:16. ~t:4. in
+      Alcotest.(check bool) "space" true ((100. *. r) +. (c *. s) <= 50. +. 1e-6);
+      Alcotest.(check bool) "accesses" true (r +. (4. *. s) <= 1. +. 1e-6)
+  | None -> Alcotest.fail "inner LP infeasible"
+
+let test_triangle_cost () =
+  (* t items, each outliving the previous by b/B + 1 accesses:
+     C(t) = t + (b/B + 1) t (t-1) / 2. *)
+  Test_util.check_float ~eps:1e-9 "C(1)" 1.
+    (Fractional.triangle_cost ~b:64. ~block_size:16. ~t:1.);
+  Test_util.check_float ~eps:1e-9 "C(3)" (3. +. (5. *. 3.))
+    (Fractional.triangle_cost ~b:64. ~block_size:16. ~t:3.)
+
+let () =
+  Alcotest.run "gc_lp"
+    [
+      ( "simplex",
+        [
+          Alcotest.test_case "basic" `Quick test_simplex_basic;
+          Alcotest.test_case "classic" `Quick test_simplex_classic;
+          Alcotest.test_case "binding mix" `Quick test_simplex_binding_mix;
+          Alcotest.test_case "unbounded" `Quick test_simplex_unbounded;
+          Alcotest.test_case "negative rhs feasible" `Quick test_simplex_negative_rhs_feasible;
+          Alcotest.test_case "infeasible" `Quick test_simplex_infeasible;
+          Alcotest.test_case "degenerate" `Quick test_simplex_degenerate;
+          Alcotest.test_case "shape validation" `Quick test_simplex_shape_validation;
+          qcheck_simplex_respects_constraints;
+        ] );
+      ( "grid_opt",
+        [
+          Alcotest.test_case "ternary" `Quick test_ternary_max;
+          Alcotest.test_case "grid refine" `Quick test_grid_max;
+          Alcotest.test_case "grid 2d" `Quick test_grid_max2;
+        ] );
+      ( "fractional",
+        [
+          Alcotest.test_case "thm5 closed form" `Quick test_theorem5_closed_form;
+          Alcotest.test_case "thm5 diverges" `Quick test_theorem5_insufficient_space;
+          Alcotest.test_case "thm6 closed form" `Quick test_theorem6_closed_form;
+          Alcotest.test_case "thm6 capped at B" `Quick test_theorem6_capped_at_b;
+          test_theorem7_numeric_at_most_closed;
+          Alcotest.test_case "thm7 tight when interior" `Quick test_theorem7_matches_when_interior;
+          Alcotest.test_case "thm7 inner LP" `Quick test_theorem7_inner_lp;
+          Alcotest.test_case "triangle cost" `Quick test_triangle_cost;
+        ] );
+    ]

@@ -1,0 +1,75 @@
+(** Shared helpers for the test suites. *)
+
+let qcheck ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count ~name gen prop)
+
+(* A trivially correct list-based cache used as a reference model for the
+   production policies.  [touch_on_hit] distinguishes LRU from FIFO. *)
+module Reference_cache = struct
+  type t = { k : int; mutable items : int list; touch_on_hit : bool }
+
+  let create ~k ~touch_on_hit = { k; items = []; touch_on_hit }
+
+  (* Returns true on hit. *)
+  let access t x =
+    if List.mem x t.items then begin
+      if t.touch_on_hit then
+        t.items <- x :: List.filter (fun y -> y <> x) t.items;
+      true
+    end
+    else begin
+      let items = x :: t.items in
+      let items =
+        if List.length items > t.k then
+          List.filteri (fun idx _ -> idx < t.k) items
+        else items
+      in
+      t.items <- items;
+      false
+    end
+
+  let misses t requests =
+    Array.fold_left
+      (fun acc x -> if access t x then acc else acc + 1)
+      0 requests
+end
+
+let run_misses policy trace =
+  (Gc_cache.Simulator.run policy trace).Gc_cache.Metrics.misses
+
+(* qcheck generator for a small random trace plus a block size. *)
+let small_trace_gen ?(max_universe = 12) ?(max_len = 40) () =
+  QCheck.Gen.(
+    let* universe = int_range 1 max_universe in
+    let* block_size = int_range 1 4 in
+    let* len = int_range 1 max_len in
+    let* requests = list_size (return len) (int_range 0 (universe - 1)) in
+    return (block_size, Array.of_list requests))
+
+let small_trace_arbitrary ?max_universe ?max_len () =
+  QCheck.make
+    ?print:
+      (Some
+         (fun (bs, reqs) ->
+           Printf.sprintf "B=%d [%s]" bs
+             (String.concat ";" (Array.to_list (Array.map string_of_int reqs)))))
+    (small_trace_gen ?max_universe ?max_len ())
+
+let trace_of (block_size, requests) =
+  Gc_trace.Trace.make
+    (Gc_trace.Block_map.uniform ~block_size)
+    (Array.copy requests)
+
+let check_float ~eps msg expected actual =
+  if Float.abs (expected -. actual) > eps then
+    Alcotest.failf "%s: expected %.6f, got %.6f" msg expected actual
+
+let check_rel ~rel msg expected actual =
+  if expected = actual then ()
+  else begin
+    let denom = Float.max (Float.abs expected) 1e-9 in
+    if Float.abs (expected -. actual) /. denom > rel then
+      Alcotest.failf "%s: expected %.6f, got %.6f (rel err > %g)" msg expected
+        actual rel
+  end
