@@ -5,6 +5,7 @@
 
    Run everything:        dune exec bench/main.exe
    Run selected sections: dune exec bench/main.exe -- table1 figure3 perf
+   Machine-readable run:  dune exec bench/main.exe -- --json BENCH.json perf
 
    See EXPERIMENTS.md for the paper-vs-measured record produced from this
    output. *)
@@ -14,6 +15,11 @@ open Gc_cache
 
 let block_size_paper = 64.
 let k_paper = 1_280_000.
+
+(* With --json FILE, per-section wall times and the perf section's
+   throughput estimates also go into a run manifest (see
+   doc/OBSERVABILITY.md). *)
+let perf_rows : Gc_obs.Json.t list ref = ref []
 
 let section_header name doc =
   Format.printf "@.============================================================@.";
@@ -1103,6 +1109,14 @@ let perf () =
     (fun (name, res) ->
       match Analyze.OLS.estimates res with
       | Some (est :: _) ->
+          perf_rows :=
+            Gc_obs.Json.Obj
+              [
+                ("policy", Gc_obs.Json.String name);
+                ("ns_per_run", Gc_obs.Json.Float est);
+                ("ns_per_access", Gc_obs.Json.Float (est /. accesses));
+              ]
+            :: !perf_rows;
           Format.printf "%-28s %14.0f %14.1f@." name est (est /. accesses)
       | _ -> Format.printf "%-28s (no estimate)@." name)
     rows
@@ -1135,17 +1149,46 @@ let sections =
   ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst sections
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec split_json acc = function
+    | "--json" :: path :: rest -> (Some path, List.rev_append acc rest)
+    | "--json" :: [] ->
+        Format.eprintf "--json needs a file argument@.";
+        exit 1
+    | arg :: rest -> split_json (arg :: acc) rest
+    | [] -> (None, List.rev acc)
   in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name sections with
-      | Some f -> f ()
-      | None ->
-          Format.eprintf "unknown section %S; available: %s@." name
-            (String.concat ", " (List.map fst sections));
-          exit 1)
-    requested
+  let json, names = split_json [] args in
+  let requested = if names = [] then List.map fst sections else names in
+  let t0 = Unix.gettimeofday () in
+  let section_times =
+    List.map
+      (fun name ->
+        match List.assoc_opt name sections with
+        | Some f ->
+            let s0 = Unix.gettimeofday () in
+            f ();
+            (name, Gc_obs.Json.Float (Unix.gettimeofday () -. s0))
+        | None ->
+            Format.eprintf "unknown section %S; available: %s@." name
+              (String.concat ", " (List.map fst sections));
+            exit 1)
+      requested
+  in
+  match json with
+  | None -> ()
+  | Some out ->
+      let manifest =
+        Gc_cache.Obs_run.manifest ~tool:"bench"
+          ~command:(String.concat " " requested)
+          ~wall_time_s:(Unix.gettimeofday () -. t0)
+          ~extra:
+            ([ ("sections", Gc_obs.Json.Obj section_times) ]
+            @
+            match !perf_rows with
+            | [] -> []
+            | rows -> [ ("perf", Gc_obs.Json.Array (List.rev rows)) ])
+          []
+      in
+      Gc_obs.Export.write_json out (Gc_obs.Manifest.to_json manifest);
+      Format.eprintf "manifest written to %s@." out

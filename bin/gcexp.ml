@@ -27,10 +27,30 @@ let geometric_grid lo hi steps =
         (Float.round (float_of_int lo *. Float.pow (float_of_int hi /. float_of_int lo) f)))
   |> List.sort_uniq compare
 
-let miss_curve policies k_min k_max steps offline seed path =
+let miss_curve policies k_min k_max steps offline seed json path =
   let trace = read_trace path in
   let blocks = trace.Gc_trace.Trace.blocks in
   let policies = if policies = [] then [ "lru"; "block-lru"; "iblp" ] else policies in
+  let t0 = Unix.gettimeofday () in
+  let rows = ref [] in
+  let record name k (m : Gc_cache.Metrics.t option) misses =
+    rows :=
+      Gc_obs.Json.Obj
+        (("policy", Gc_obs.Json.String name)
+        :: ("k", Gc_obs.Json.Int k)
+        :: ("misses", Gc_obs.Json.Int misses)
+        ::
+        (match m with
+        | None -> []
+        | Some m ->
+            [
+              ("hit_rate", Gc_obs.Json.Float (Gc_cache.Metrics.hit_rate m));
+              ("spatial_hits", Gc_obs.Json.Int m.Gc_cache.Metrics.spatial_hits);
+              ( "temporal_hits",
+                Gc_obs.Json.Int m.Gc_cache.Metrics.temporal_hits );
+            ]))
+      :: !rows
+  in
   print_endline "policy,k,misses,hit_rate,spatial_hits,temporal_hits";
   List.iter
     (fun k ->
@@ -38,16 +58,32 @@ let miss_curve policies k_min k_max steps offline seed path =
         (fun name ->
           let p = Gc_cache.Registry.make name ~k ~blocks ~seed in
           let m = Gc_cache.Simulator.run ~check:false p trace in
+          record name k (Some m) m.Gc_cache.Metrics.misses;
           Printf.printf "%s,%d,%d,%.6f,%d,%d\n" name k m.Gc_cache.Metrics.misses
             (Gc_cache.Metrics.hit_rate m)
             m.Gc_cache.Metrics.spatial_hits m.Gc_cache.Metrics.temporal_hits)
         policies;
       if offline then begin
-        Printf.printf "belady,%d,%d,,,\n" k (Gc_offline.Belady.cost ~k trace);
-        Printf.printf "clairvoyant,%d,%d,,,\n" k
-          (Gc_offline.Clairvoyant.cost ~k trace)
+        let belady = Gc_offline.Belady.cost ~k trace in
+        let clair = Gc_offline.Clairvoyant.cost ~k trace in
+        record "belady" k None belady;
+        record "clairvoyant" k None clair;
+        Printf.printf "belady,%d,%d,,,\n" k belady;
+        Printf.printf "clairvoyant,%d,%d,,,\n" k clair
       end)
-    (geometric_grid k_min k_max steps)
+    (geometric_grid k_min k_max steps);
+  match json with
+  | None -> ()
+  | Some out ->
+      let manifest =
+        Gc_cache.Obs_run.manifest ~tool:"gcexp" ~command:"miss-curve" ~seed
+          ~trace:(Gc_cache.Obs_run.trace_info ~path trace)
+          ~wall_time_s:(Unix.gettimeofday () -. t0)
+          ~extra:[ ("sweep", Gc_obs.Json.Array (List.rev !rows)) ]
+          []
+      in
+      Gc_obs.Export.write_json out (Gc_obs.Manifest.to_json manifest);
+      Printf.eprintf "manifest written to %s\n" out
 
 let policies_arg =
   Arg.(
@@ -61,12 +97,21 @@ let steps_arg = Arg.(value & opt int 8 & info [ "steps" ] ~doc:"Grid points.")
 let offline_arg =
   Arg.(value & flag & info [ "offline" ] ~doc:"Include offline baselines.")
 
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Also write a run manifest with the sweep rows (under \
+           $(b,extra.sweep)) to $(docv).")
+
 let miss_curve_cmd =
   Cmd.v
     (Cmd.info "miss-curve" ~doc:"Misses vs cache size, per policy (CSV)")
     Term.(
       const miss_curve $ policies_arg $ k_min_arg $ k_max_arg $ steps_arg
-      $ offline_arg $ seed_arg $ path_arg)
+      $ offline_arg $ seed_arg $ json_arg $ path_arg)
 
 (* ----------------------------------------------------------- split-sweep *)
 

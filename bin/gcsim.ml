@@ -3,6 +3,7 @@
    Examples:
      gcsim run --policy lru --policy iblp --k 1024 trace.gct
      gcsim run --all --k 1024 --offline trace.gct
+     gcsim run --all --json out.json --events events.jsonl --histograms t.gct
      gcsim attack --construction thm2 --policy lru --k 512 --h 64 -B 16 *)
 
 open Cmdliner
@@ -15,18 +16,32 @@ let read_trace path =
 
 (* ------------------------------------------------------------------ run *)
 
-let run policies all k seed offline no_check path =
+let run policies all k seed offline no_check json events histograms path =
   let trace = read_trace path in
   let blocks = trace.Gc_trace.Trace.blocks in
   let names = if all then Gc_cache.Registry.names else policies in
   if names = [] then failwith "no policies selected (use --policy or --all)";
+  let t0 = Unix.gettimeofday () in
+  let events_oc = Option.map open_out events in
   Format.printf "%-14s %s@." "policy" "metrics";
-  List.iter
-    (fun name ->
-      let p = Gc_cache.Registry.make name ~k ~blocks ~seed in
-      let m = Gc_cache.Simulator.run ~check:(not no_check) p trace in
-      Format.printf "%-14s %s@." name (Gc_cache.Metrics.to_row m))
-    names;
+  let results =
+    List.map
+      (fun name ->
+        let sink =
+          Option.map
+            (fun oc -> Gc_obs.Sink.jsonl ~labels:[ ("policy", name) ] oc)
+            events_oc
+        in
+        let r =
+          Gc_cache.Obs_run.run_policy ~check:(not no_check) ~histograms ?sink
+            ~k ~seed name trace
+        in
+        Format.printf "%-14s %s@." name
+          (Gc_cache.Metrics.to_row r.Gc_cache.Obs_run.metrics);
+        r)
+      names
+  in
+  Option.iter close_out events_oc;
   if offline then begin
     Format.printf "%-14s misses=%d@." "belady"
       (Gc_offline.Belady.cost ~k trace);
@@ -36,7 +51,29 @@ let run policies all k seed offline no_check path =
         (Gc_offline.Block_belady.cost ~k trace);
     Format.printf "%-14s misses=%d@." "clairvoyant"
       (Gc_offline.Clairvoyant.cost ~k trace)
-  end
+  end;
+  (* Histograms on a terminal run, when they are not already going to a
+     manifest. *)
+  if histograms && json = None then
+    List.iter
+      (fun r ->
+        match r.Gc_cache.Obs_run.registry with
+        | Some reg ->
+            Format.printf "@.-- %s --@.%a@." r.Gc_cache.Obs_run.policy
+              Gc_obs.Registry.pp reg
+        | None -> ())
+      results;
+  match json with
+  | None -> ()
+  | Some out ->
+      let manifest =
+        Gc_cache.Obs_run.manifest ~tool:"gcsim" ~command:"run" ~seed ~k
+          ~trace:(Gc_cache.Obs_run.trace_info ~path trace)
+          ~wall_time_s:(Unix.gettimeofday () -. t0)
+          results
+      in
+      Gc_obs.Export.write_json out (Gc_obs.Manifest.to_json manifest);
+      Format.printf "@.manifest written to %s@." out
 
 let policy_arg =
   Arg.(
@@ -54,6 +91,28 @@ let offline_arg =
 let no_check_arg =
   Arg.(value & flag & info [ "no-check" ] ~doc:"Disable model checking.")
 
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Write a machine-readable run manifest to $(docv).")
+
+let events_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events" ] ~docv:"FILE"
+        ~doc:"Stream structured events to $(docv), one JSON object per line.")
+
+let histograms_arg =
+  Arg.(
+    value & flag
+    & info [ "histograms" ]
+        ~doc:
+          "Collect eviction-age / reuse-distance / load-width / occupancy \
+           histograms (into the manifest with $(b,--json), else printed).")
+
 let path_arg =
   Arg.(value & pos 0 string "-" & info [] ~docv:"TRACE" ~doc:"Trace file.")
 
@@ -62,7 +121,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Simulate policies over a trace")
     Term.(
       const run $ policy_arg $ all_arg $ k_arg $ seed_arg $ offline_arg
-      $ no_check_arg $ path_arg)
+      $ no_check_arg $ json_arg $ events_arg $ histograms_arg $ path_arg)
 
 (* ---------------------------------------------------------------- suite *)
 

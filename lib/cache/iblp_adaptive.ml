@@ -10,6 +10,7 @@ module P = struct
     ghost_items : Lru_core.t;  (* keys of recent item-layer victims *)
     ghost_blocks : Lru_core.t;  (* ids of recent block-layer victims *)
     mutable i_target : int;  (* item budget; block budget = k - i_target *)
+    on_repartition : (item_budget:int -> block_budget:int -> unit) option;
   }
 
   let name = "iblp-adaptive"
@@ -57,6 +58,7 @@ module P = struct
     (* A miss that a larger item layer would have caught grows the item
        budget; one a larger block layer would have caught grows the block
        budget.  Steps of B keep the block layer's granularity whole. *)
+    let before = t.i_target in
     if Lru_core.mem t.ghost_items item then begin
       Lru_core.remove t.ghost_items item;
       t.i_target <- min (t.k - t.bsize) (t.i_target + t.bsize)
@@ -64,7 +66,11 @@ module P = struct
     else if Lru_core.mem t.ghost_blocks blk then begin
       Lru_core.remove t.ghost_blocks blk;
       t.i_target <- max 0 (t.i_target - t.bsize)
-    end
+    end;
+    if t.i_target <> before then
+      match t.on_repartition with
+      | Some f -> f ~item_budget:t.i_target ~block_budget:(t.k - t.i_target)
+      | None -> ()
 
   let access t item =
     if Lru_core.mem t.item_layer item then begin
@@ -104,7 +110,7 @@ module P = struct
     end
 end
 
-let create ~k ~blocks =
+let create ?on_repartition ~k ~blocks () =
   let bsize = Gc_trace.Block_map.block_size blocks in
   if k < 2 * bsize then
     invalid_arg "Iblp_adaptive.create: k must be >= 2 * block size";
@@ -121,4 +127,5 @@ let create ~k ~blocks =
         ghost_items = Lru_core.create ();
         ghost_blocks = Lru_core.create ();
         i_target = (k / 2 / bsize * bsize : int);
+        on_repartition;
       } )

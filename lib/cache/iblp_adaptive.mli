@@ -13,6 +13,14 @@
     [adaptive] bench section compares it against the best and worst fixed
     splits across workload phases. *)
 
-val create : k:int -> blocks:Gc_trace.Block_map.t -> Policy.t
+val create :
+  ?on_repartition:(item_budget:int -> block_budget:int -> unit) ->
+  k:int ->
+  blocks:Gc_trace.Block_map.t ->
+  unit ->
+  Policy.t
 (** Requires [k >= 2 * block size] (each layer must be able to hold
-    something).  The split starts balanced and moves in steps of [B]. *)
+    something).  The split starts balanced and moves in steps of [B].
+    [on_repartition] fires whenever ghost feedback actually changes the
+    split — observability drivers turn it into {!Gc_obs.Event.Repartition}
+    events. *)

@@ -49,6 +49,20 @@ let miss_rate t = ratio t.misses t.accesses
 let fault_rate = miss_rate
 let spatial_fraction t = ratio t.spatial_hits t.hits
 
+let copy t = { t with accesses = t.accesses }
+
+let fields t =
+  [
+    ("accesses", t.accesses);
+    ("hits", t.hits);
+    ("misses", t.misses);
+    ("spatial_hits", t.spatial_hits);
+    ("temporal_hits", t.temporal_hits);
+    ("cold_misses", t.cold_misses);
+    ("items_loaded", t.items_loaded);
+    ("evictions", t.evictions);
+  ]
+
 let pp fmt t =
   Format.fprintf fmt
     "@[<v>accesses      %d@,hits          %d (%.4f)@,\
@@ -57,9 +71,23 @@ let pp fmt t =
     t.accesses t.hits (hit_rate t) t.temporal_hits t.spatial_hits t.misses
     (miss_rate t) t.cold_misses t.items_loaded t.evictions
 
+(* Derived from [fields] so the CLI row, the JSON snapshot, and any future
+   export can never disagree on keys or order. *)
 let to_row t =
-  Printf.sprintf
-    "accesses=%d hits=%d misses=%d hit_rate=%.4f spatial_hits=%d \
-     temporal_hits=%d cold=%d loaded=%d evicted=%d"
-    t.accesses t.hits t.misses (hit_rate t) t.spatial_hits t.temporal_hits
-    t.cold_misses t.items_loaded t.evictions
+  String.concat " "
+    (List.concat_map
+       (fun (key, v) ->
+         let cell = Printf.sprintf "%s=%d" key v in
+         (* hit_rate rides along right after the counts it is derived from. *)
+         if key = "misses" then
+           [ cell; Printf.sprintf "hit_rate=%.4f" (hit_rate t) ]
+         else [ cell ])
+       (fields t))
+
+let to_json t =
+  Gc_obs.Json.Obj
+    (List.map (fun (key, v) -> (key, Gc_obs.Json.Int v)) (fields t)
+    @ [
+        ("hit_rate", Gc_obs.Json.Float (hit_rate t));
+        ("miss_rate", Gc_obs.Json.Float (miss_rate t));
+      ])

@@ -31,7 +31,19 @@ val fault_rate : t -> float
 val spatial_fraction : t -> float
 (** Fraction of hits that are spatial; 0 if there are no hits. *)
 
+val copy : t -> t
+(** An independent snapshot. *)
+
+val fields : t -> (string * int) list
+(** Every counter as [(key, value)], in declaration order.  The keys are
+    stable identifiers shared by {!to_row}, {!to_json}, and the run
+    manifests. *)
+
 val pp : Format.formatter -> t -> unit
 
 val to_row : t -> string
-(** One-line summary used by the CLI tools. *)
+(** One-line [key=value] summary used by the CLI tools: the {!fields} in
+    order, plus [hit_rate] after [misses].  No padding — grep/awk friendly. *)
+
+val to_json : t -> Gc_obs.Json.t
+(** The {!fields} plus derived [hit_rate]/[miss_rate], as a JSON object. *)

@@ -1,0 +1,77 @@
+type result = {
+  policy : string;
+  metrics : Metrics.t;
+  registry : Gc_obs.Registry.t option;
+  events : (string * int) list;
+}
+
+let run_policy ?(check = true) ?(histograms = false) ?sink ~k ~seed name trace =
+  let blocks = trace.Gc_trace.Trace.blocks in
+  if not (histograms || Option.is_some sink) then begin
+    (* Fully unobserved: no probe, no event allocation. *)
+    let p = Registry.make name ~k ~blocks ~seed in
+    let metrics = Simulator.run ~check p trace in
+    { policy = name; metrics; registry = None; events = [] }
+  end
+  else begin
+    let reg = if histograms then Some (Gc_obs.Registry.create ()) else None in
+    let probe_consumer = Option.map (fun r -> Gc_obs.Probe.create r) reg in
+    let counts = Gc_obs.Sink.Count.create () in
+    let sinks =
+      List.filter_map Fun.id
+        [
+          Some (Gc_obs.Sink.Count.sink counts);
+          Option.map Gc_obs.Probe.sink probe_consumer;
+          sink;
+        ]
+    in
+    let emit = Gc_obs.Sink.tee sinks in
+    (* The adaptive policies report repartitions from inside their access
+       function; stamp those callbacks with the index of the in-flight
+       access, tracked from the event stream itself. *)
+    let current_index = ref (-1) in
+    let probe ev =
+      (match ev with
+      | Gc_obs.Event.Access { index; _ } -> current_index := index
+      | _ -> ());
+      emit ev
+    in
+    let repartition ~item_budget ~block_budget =
+      probe
+        (Gc_obs.Event.Repartition
+           { index = !current_index; item_budget; block_budget })
+    in
+    let p = Registry.make ~repartition name ~k ~blocks ~seed in
+    let metrics = Simulator.run ~check ~probe p trace in
+    {
+      policy = name;
+      metrics;
+      registry = reg;
+      events = Gc_obs.Sink.Count.by_kind counts;
+    }
+  end
+
+let trace_info ~path trace =
+  {
+    Gc_obs.Manifest.path;
+    length = Gc_trace.Trace.length trace;
+    block_size = Gc_trace.Block_map.block_size trace.Gc_trace.Trace.blocks;
+    digest = Gc_trace.Trace.digest trace;
+  }
+
+let manifest ~tool ~command ?seed ?k ?trace ?wall_time_s ?extra results =
+  let runs =
+    List.map
+      (fun r ->
+        {
+          Gc_obs.Manifest.policy = r.policy;
+          metrics =
+            (match Metrics.to_json r.metrics with
+            | Gc_obs.Json.Obj fields -> fields
+            | other -> [ ("metrics", other) ]);
+          histograms = Option.map Gc_obs.Registry.to_json r.registry;
+          events = r.events;
+        })
+      results
+  in
+  Gc_obs.Manifest.make ~tool ~command ?seed ?k ?trace ?wall_time_s ?extra runs

@@ -1,0 +1,49 @@
+(** Observable simulation runs: the engine behind [gcsim run]'s machine
+    readable artifacts.
+
+    Wires together a {!Registry}-built policy, the {!Simulator} probe, the
+    {!Gc_obs.Probe} histogram consumer, an optional caller sink (typically
+    a JSONL writer), and per-kind event counting — then snapshots
+    everything into a {!Gc_obs.Manifest}.  Living in the library rather
+    than the binary keeps the whole artifact path testable in-process. *)
+
+type result = {
+  policy : string;  (** The registry spec that was run. *)
+  metrics : Metrics.t;
+  registry : Gc_obs.Registry.t option;
+      (** Histogram registry; [Some] iff [histograms] was requested. *)
+  events : (string * int) list;
+      (** Per-kind event counts; [[]] when the run was unobserved. *)
+}
+
+val run_policy :
+  ?check:bool ->
+  ?histograms:bool ->
+  ?sink:Gc_obs.Sink.t ->
+  k:int ->
+  seed:int ->
+  string ->
+  Gc_trace.Trace.t ->
+  result
+(** Simulate one registry policy over the trace.  When neither
+    [histograms] (default [false]) nor [sink] is given, no probe is
+    attached at all — the run is exactly as fast as an unobserved
+    {!Simulator.run}.  Otherwise every event is counted, fed to the
+    {!Gc_obs.Probe} (if [histograms]), and forwarded to [sink]; adaptive
+    repartitions are injected into the same stream. *)
+
+val trace_info : path:string -> Gc_trace.Trace.t -> Gc_obs.Manifest.trace_info
+(** Length, block size, and content digest for the manifest. *)
+
+val manifest :
+  tool:string ->
+  command:string ->
+  ?seed:int ->
+  ?k:int ->
+  ?trace:Gc_obs.Manifest.trace_info ->
+  ?wall_time_s:float ->
+  ?extra:(string * Gc_obs.Json.t) list ->
+  result list ->
+  Gc_obs.Manifest.t
+(** Package results: each run carries its {!Metrics.fields} (plus derived
+    rates), its histogram registry snapshot, and its event counts. *)

@@ -97,7 +97,7 @@ let all =
     {
       name = "iblp-adaptive";
       doc = "IBLP with ghost-feedback layer sizing (extension)";
-      make = (fun ~k ~blocks ~seed:_ -> Iblp_adaptive.create ~k ~blocks);
+      make = (fun ~k ~blocks ~seed:_ -> Iblp_adaptive.create ~k ~blocks ());
     };
     {
       name = "iblp";
@@ -138,9 +138,13 @@ let int_of name v =
       invalid_arg
         (Printf.sprintf "Registry.make: bad integer %S for %s" v name)
 
-let make name ~k ~blocks ~seed =
+let make ?repartition name ~k ~blocks ~seed =
   match String.index_opt name ':' with
-  | None -> (find_spec name).make ~k ~blocks ~seed
+  | None -> (
+      match (name, repartition) with
+      | "iblp-adaptive", Some on_repartition ->
+          Iblp_adaptive.create ~on_repartition ~k ~blocks ()
+      | _ -> (find_spec name).make ~k ~blocks ~seed)
   | Some i -> (
       let base = String.sub name 0 i in
       let args = String.sub name (i + 1) (String.length name - i - 1) in

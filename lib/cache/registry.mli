@@ -19,6 +19,13 @@ val all : spec list
 val names : string list
 
 val make :
-  string -> k:int -> blocks:Gc_trace.Block_map.t -> seed:int -> Policy.t
+  ?repartition:(item_budget:int -> block_budget:int -> unit) ->
+  string ->
+  k:int ->
+  blocks:Gc_trace.Block_map.t ->
+  seed:int ->
+  Policy.t
 (** Build by (possibly parameterized) name.  Raises [Invalid_argument] for
-    unknown names or malformed parameters. *)
+    unknown names or malformed parameters.  [repartition] is forwarded to
+    policies that re-split themselves online (currently
+    ["iblp-adaptive"]) and ignored by the rest. *)

@@ -7,6 +7,7 @@ type referenced_state = Loaded_unreferenced | Referenced
 type t = {
   policy_ : Policy.t;
   check : bool;
+  probe : (Gc_obs.Event.t -> unit) option;
   metrics_ : Metrics.t;
   blocks : Gc_trace.Block_map.t;
   (* Shadow cache: item -> whether it has been referenced since loaded.
@@ -16,10 +17,11 @@ type t = {
   seen_ever : (int, unit) Hashtbl.t;
 }
 
-let create ?(check = true) policy blocks =
+let create ?(check = true) ?probe policy blocks =
   {
     policy_ = policy;
     check;
+    probe;
     metrics_ = Metrics.create ();
     blocks;
     ref_state = Hashtbl.create 1024;
@@ -57,21 +59,33 @@ let check_miss d item ~loaded ~evicted =
 
 let access d item =
   let m = d.metrics_ in
-  m.Metrics.accesses <- m.Metrics.accesses + 1;
+  let index = m.Metrics.accesses in
+  m.Metrics.accesses <- index + 1;
+  (* Event construction stays inside the [Some] branches: a probe-less run
+     allocates nothing and pays one branch per emission point. *)
+  (match d.probe with
+  | Some emit -> emit (Gc_obs.Event.Access { index; item })
+  | None -> ());
   let was_seen = Hashtbl.mem d.seen_ever item in
   Hashtbl.replace d.seen_ever item ();
   let outcome = Policy.access d.policy_ item in
   (match outcome with
   | Policy.Hit { evicted } ->
       m.Metrics.hits <- m.Metrics.hits + 1;
-      (match Hashtbl.find_opt d.ref_state item with
-      | Some Loaded_unreferenced ->
-          m.Metrics.spatial_hits <- m.Metrics.spatial_hits + 1
-      | Some Referenced -> m.Metrics.temporal_hits <- m.Metrics.temporal_hits + 1
-      | None ->
-          if d.check then
-            violation "policy reported a hit on uncached item %d" item
-          else m.Metrics.temporal_hits <- m.Metrics.temporal_hits + 1);
+      let kind =
+        match Hashtbl.find_opt d.ref_state item with
+        | Some Loaded_unreferenced ->
+            m.Metrics.spatial_hits <- m.Metrics.spatial_hits + 1;
+            Gc_obs.Event.Spatial
+        | Some Referenced ->
+            m.Metrics.temporal_hits <- m.Metrics.temporal_hits + 1;
+            Gc_obs.Event.Temporal
+        | None ->
+            if d.check then
+              violation "policy reported a hit on uncached item %d" item
+            else m.Metrics.temporal_hits <- m.Metrics.temporal_hits + 1;
+            Gc_obs.Event.Temporal
+      in
       if d.check then
         List.iter
           (fun x ->
@@ -85,7 +99,14 @@ let access d item =
           evicted;
       m.Metrics.evictions <- m.Metrics.evictions + List.length evicted;
       List.iter (fun x -> Hashtbl.remove d.ref_state x) evicted;
-      Hashtbl.replace d.ref_state item Referenced
+      Hashtbl.replace d.ref_state item Referenced;
+      (match d.probe with
+      | Some emit ->
+          emit (Gc_obs.Event.Hit { index; item; kind; evicted });
+          List.iter
+            (fun x -> emit (Gc_obs.Event.Evict { index; item = x }))
+            evicted
+      | None -> ())
   | Policy.Miss { loaded; evicted } ->
       if d.check then check_miss d item ~loaded ~evicted;
       m.Metrics.misses <- m.Metrics.misses + 1;
@@ -96,7 +117,23 @@ let access d item =
       List.iter
         (fun x -> Hashtbl.replace d.ref_state x Loaded_unreferenced)
         loaded;
-      Hashtbl.replace d.ref_state item Referenced);
+      Hashtbl.replace d.ref_state item Referenced;
+      (match d.probe with
+      | Some emit ->
+          emit
+            (Gc_obs.Event.Miss
+               { index; item; cold = not was_seen; loaded; evicted });
+          emit
+            (Gc_obs.Event.Load
+               {
+                 index;
+                 block = Gc_trace.Block_map.block_of d.blocks item;
+                 width = List.length loaded;
+               });
+          List.iter
+            (fun x -> emit (Gc_obs.Event.Evict { index; item = x }))
+            evicted
+      | None -> ()));
   if d.check then begin
     if not (Policy.mem d.policy_ item) then
       violation "after access, requested item %d is not cached" item;
@@ -106,8 +143,8 @@ let access d item =
   end;
   outcome
 
-let run_with ?check ~f policy trace =
-  let d = create ?check policy trace.Gc_trace.Trace.blocks in
+let run_with ?check ?probe ~f policy trace =
+  let d = create ?check ?probe policy trace.Gc_trace.Trace.blocks in
   Gc_trace.Trace.iteri
     (fun pos item ->
       let outcome = access d item in
@@ -115,5 +152,5 @@ let run_with ?check ~f policy trace =
     trace;
   d.metrics_
 
-let run ?check policy trace =
-  run_with ?check ~f:(fun _ _ _ -> ()) policy trace
+let run ?check ?probe policy trace =
+  run_with ?check ?probe ~f:(fun _ _ _ -> ()) policy trace

@@ -11,15 +11,29 @@
     - the requested item is cached after the access;
     - occupancy never exceeds [k].
 
-    Violations raise {!Model_violation}. *)
+    Violations raise {!Model_violation}.
+
+    {2 Observability}
+
+    Any policy becomes observable without modification by attaching a
+    [probe] — a {!Gc_obs.Sink.t} receiving the structured event stream
+    documented in {!Gc_obs.Event}.  Without a probe the simulator
+    constructs no events (emission points are guarded on the option), so
+    the unobserved hot path is unchanged. *)
 
 exception Model_violation of string
 
 type t
 (** A stateful simulation driver (policy + shadow cache + counters). *)
 
-val create : ?check:bool -> Policy.t -> Gc_trace.Block_map.t -> t
-(** [create policy blocks] prepares a driver.  [check] defaults to [true]. *)
+val create :
+  ?check:bool ->
+  ?probe:(Gc_obs.Event.t -> unit) ->
+  Policy.t ->
+  Gc_trace.Block_map.t ->
+  t
+(** [create policy blocks] prepares a driver.  [check] defaults to [true];
+    [probe] defaults to absent (no events). *)
 
 val access : t -> int -> Policy.outcome
 (** Feed one request; updates metrics and (in check mode) audits the
@@ -30,11 +44,17 @@ val metrics : t -> Metrics.t
 
 val policy : t -> Policy.t
 
-val run : ?check:bool -> Policy.t -> Gc_trace.Trace.t -> Metrics.t
+val run :
+  ?check:bool ->
+  ?probe:(Gc_obs.Event.t -> unit) ->
+  Policy.t ->
+  Gc_trace.Trace.t ->
+  Metrics.t
 (** Simulate a whole trace from a fresh driver. *)
 
 val run_with :
   ?check:bool ->
+  ?probe:(Gc_obs.Event.t -> unit) ->
   f:(int -> int -> Policy.outcome -> unit) ->
   Policy.t ->
   Gc_trace.Trace.t ->

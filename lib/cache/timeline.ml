@@ -5,39 +5,66 @@ type point = {
   spatial_hits : int;
 }
 
+type recorder = {
+  window : int;
+  mutable points_rev : point list;
+  mutable win_start : int;
+  mutable win_accesses : int;
+  mutable win_misses : int;
+  mutable win_spatial : int;
+  mutable next_index : int;
+}
+
+let recorder ~window =
+  if window < 1 then invalid_arg "Timeline.recorder: window must be >= 1";
+  {
+    window;
+    points_rev = [];
+    win_start = 0;
+    win_accesses = 0;
+    win_misses = 0;
+    win_spatial = 0;
+    next_index = 0;
+  }
+
+let flush r pos =
+  if pos > r.win_start then
+    r.points_rev <-
+      {
+        start = r.win_start;
+        accesses = r.win_accesses;
+        misses = r.win_misses;
+        spatial_hits = r.win_spatial;
+      }
+      :: r.points_rev;
+  r.win_start <- pos;
+  r.win_accesses <- 0;
+  r.win_misses <- 0;
+  r.win_spatial <- 0
+
+let probe r (ev : Gc_obs.Event.t) =
+  match ev with
+  | Gc_obs.Event.Access { index; _ } ->
+      if index >= r.win_start + r.window then flush r (r.win_start + r.window);
+      r.win_accesses <- r.win_accesses + 1;
+      r.next_index <- index + 1
+  | Gc_obs.Event.Miss _ -> r.win_misses <- r.win_misses + 1
+  | Gc_obs.Event.Hit { kind = Gc_obs.Event.Spatial; _ } ->
+      r.win_spatial <- r.win_spatial + 1
+  | _ -> ()
+
+let finish r =
+  flush r r.next_index;
+  List.rev r.points_rev
+
 let run ?check ~window policy trace =
-  if window < 1 then invalid_arg "Timeline.run: window must be >= 1";
-  let points = ref [] in
-  let win_start = ref 0 in
-  let win_misses = ref 0 in
-  let win_spatial = ref 0 in
-  let flush pos =
-    if pos > !win_start then
-      points :=
-        {
-          start = !win_start;
-          accesses = pos - !win_start;
-          misses = !win_misses;
-          spatial_hits = !win_spatial;
-        }
-        :: !points;
-    win_start := pos;
-    win_misses := 0;
-    win_spatial := 0
+  let r = recorder ~window in
+  let d =
+    Simulator.create ?check ~probe:(probe r) policy
+      trace.Gc_trace.Trace.blocks
   in
-  let d = Simulator.create ?check policy trace.Gc_trace.Trace.blocks in
-  Gc_trace.Trace.iteri
-    (fun pos item ->
-      let before_spatial = (Simulator.metrics d).Metrics.spatial_hits in
-      (match Simulator.access d item with
-      | Policy.Miss _ -> incr win_misses
-      | Policy.Hit _ ->
-          if (Simulator.metrics d).Metrics.spatial_hits > before_spatial then
-            incr win_spatial);
-      if (pos + 1) mod window = 0 then flush (pos + 1))
-    trace;
-  flush (Gc_trace.Trace.length trace);
-  (List.rev !points, Simulator.metrics d)
+  Gc_trace.Trace.iter (fun item -> ignore (Simulator.access d item)) trace;
+  (finish r, Simulator.metrics d)
 
 let miss_rates points =
   List.map

@@ -1,7 +1,12 @@
 (** Windowed time series of a simulation — miss rate over time.
 
     Useful for phase-change analysis (e.g. watching the adaptive IBLP
-    re-partition) and for plotting. *)
+    re-partition) and for plotting.
+
+    The series is computed by a {e probe consumer}: a {!recorder} folds the
+    {!Gc_obs.Event} stream into per-window counters, so it composes with
+    any other sink (tee the probe) and needs nothing from the policy.
+    {!run} is the packaged simulate-and-record loop. *)
 
 type point = {
   start : int;  (** First access index of the window. *)
@@ -9,6 +14,21 @@ type point = {
   misses : int;
   spatial_hits : int;
 }
+
+type recorder
+(** Stateful window accumulator. *)
+
+val recorder : window:int -> recorder
+(** [window >= 1]. *)
+
+val probe : recorder -> Gc_obs.Event.t -> unit
+(** Feed one event; suitable as a {!Simulator.create} probe directly or
+    inside a {!Gc_obs.Sink.tee}.  Windows close when the first access of
+    the next window arrives. *)
+
+val finish : recorder -> point list
+(** Close the final (possibly short) window and return the series so far,
+    oldest window first. *)
 
 val run :
   ?check:bool ->

@@ -1,0 +1,75 @@
+type hit_kind = Temporal | Spatial
+
+type t =
+  | Access of { index : int; item : int }
+  | Hit of { index : int; item : int; kind : hit_kind; evicted : int list }
+  | Miss of {
+      index : int;
+      item : int;
+      cold : bool;
+      loaded : int list;
+      evicted : int list;
+    }
+  | Load of { index : int; block : int; width : int }
+  | Evict of { index : int; item : int }
+  | Repartition of { index : int; item_budget : int; block_budget : int }
+
+let index = function
+  | Access { index; _ }
+  | Hit { index; _ }
+  | Miss { index; _ }
+  | Load { index; _ }
+  | Evict { index; _ }
+  | Repartition { index; _ } ->
+      index
+
+let kind_name = function
+  | Access _ -> "access"
+  | Hit _ -> "hit"
+  | Miss _ -> "miss"
+  | Load _ -> "load"
+  | Evict _ -> "evict"
+  | Repartition _ -> "repartition"
+
+let kind_names = [ "access"; "repartition"; "hit"; "miss"; "load"; "evict" ]
+
+let hit_kind_name = function Temporal -> "temporal" | Spatial -> "spatial"
+
+let ints xs = Json.Array (List.map (fun x -> Json.Int x) xs)
+
+let to_json t =
+  let fields =
+    match t with
+    | Access { index; item } -> [ ("index", Json.Int index); ("item", Json.Int item) ]
+    | Hit { index; item; kind; evicted } ->
+        [
+          ("index", Json.Int index);
+          ("item", Json.Int item);
+          ("kind", Json.String (hit_kind_name kind));
+          ("evicted", ints evicted);
+        ]
+    | Miss { index; item; cold; loaded; evicted } ->
+        [
+          ("index", Json.Int index);
+          ("item", Json.Int item);
+          ("cold", Json.Bool cold);
+          ("loaded", ints loaded);
+          ("evicted", ints evicted);
+        ]
+    | Load { index; block; width } ->
+        [
+          ("index", Json.Int index);
+          ("block", Json.Int block);
+          ("width", Json.Int width);
+        ]
+    | Evict { index; item } -> [ ("index", Json.Int index); ("item", Json.Int item) ]
+    | Repartition { index; item_budget; block_budget } ->
+        [
+          ("index", Json.Int index);
+          ("item_budget", Json.Int item_budget);
+          ("block_budget", Json.Int block_budget);
+        ]
+  in
+  Json.Obj (("ev", Json.String (kind_name t)) :: fields)
+
+let pp fmt t = Format.pp_print_string fmt (Json.to_string (to_json t))

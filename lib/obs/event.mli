@@ -1,0 +1,54 @@
+(** Structured simulation events.
+
+    One record per interesting thing that happens while a trace is driven
+    through a policy; [index] is always the 0-based position of the current
+    request in the trace.  The simulator emits, per access, in order:
+
+    - [Access], before the policy is consulted;
+    - [Repartition], if the policy re-splits its layers while handling the
+      request (adaptive IBLP);
+    - exactly one of [Hit] or [Miss];
+    - on a miss, one [Load] carrying the requested block and load width;
+    - one [Evict] per item that left the cache on this access.
+
+    Events are plain data — construction is guarded by the probe option in
+    the simulator, so a run without a probe allocates none of them. *)
+
+type hit_kind =
+  | Temporal
+  | Spatial
+      (** A spatial hit is on an item brought in by a miss on a {e different}
+          item of its block and not referenced since (paper, Section 2). *)
+
+type t =
+  | Access of { index : int; item : int }
+  | Hit of { index : int; item : int; kind : hit_kind; evicted : int list }
+  | Miss of {
+      index : int;
+      item : int;
+      cold : bool;  (** First-ever reference to the item. *)
+      loaded : int list;
+      evicted : int list;
+    }
+  | Load of {
+      index : int;
+      block : int;
+      width : int;  (** Number of items brought in by this block load. *)
+    }
+  | Evict of { index : int; item : int }
+  | Repartition of { index : int; item_budget : int; block_budget : int }
+
+val index : t -> int
+
+val kind_name : t -> string
+(** Lowercase constructor name: ["access"], ["hit"], ["miss"], ["load"],
+    ["evict"], ["repartition"]. *)
+
+val kind_names : string list
+(** Every possible [kind_name], in emission order. *)
+
+val to_json : t -> Json.t
+(** Flat object: [{"ev":"miss","index":3,"item":17,...}].  List fields
+    encode as arrays; [kind] as ["temporal"]/["spatial"]. *)
+
+val pp : Format.formatter -> t -> unit

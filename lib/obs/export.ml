@@ -1,0 +1,66 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let csv_field s =
+  if not (needs_quoting s) then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let csv_row fields = String.concat "," (List.map csv_field fields)
+
+let csv ~header rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (csv_row header);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (csv_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let label_string labels =
+  String.concat ";" (List.map (fun (key, v) -> key ^ "=" ^ v) labels)
+
+let registry_csv reg =
+  let opt = function Some v -> string_of_int v | None -> "" in
+  let rows =
+    List.map
+      (fun (name, labels, metric) ->
+        match metric with
+        | Registry.Counter c ->
+            [ name; label_string labels; "counter";
+              string_of_int (Registry.counter_value c); ""; ""; ""; ""; "" ]
+        | Registry.Gauge g ->
+            [ name; label_string labels; "gauge";
+              string_of_int (Registry.gauge_value g); ""; ""; ""; ""; "" ]
+        | Registry.Histogram h ->
+            [ name; label_string labels; "histogram"; "";
+              string_of_int (Histogram.count h);
+              string_of_int (Histogram.sum h);
+              Printf.sprintf "%.6g" (Histogram.mean h);
+              opt (Histogram.min_value h);
+              opt (Histogram.max_value h) ])
+      (Registry.rows reg)
+  in
+  csv
+    ~header:
+      [ "name"; "labels"; "type"; "value"; "count"; "sum"; "mean"; "min"; "max" ]
+    rows
+
+let write_string path s =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc s)
+
+let write_json path json =
+  write_string path (Format.asprintf "%a@." Json.pp json)

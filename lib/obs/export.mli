@@ -1,0 +1,21 @@
+(** File and CSV encoders for run artifacts. *)
+
+val csv_field : string -> string
+(** RFC-4180 quoting: fields containing commas, double quotes, CR or LF are
+    quoted, with inner quotes doubled; everything else passes through. *)
+
+val csv_row : string list -> string
+(** One line, no trailing newline. *)
+
+val csv : header:string list -> string list list -> string
+(** Header plus rows, each newline-terminated. *)
+
+val registry_csv : Registry.t -> string
+(** One row per metric:
+    [name,labels,type,value,count,sum,mean,min,max] — counters and gauges
+    fill [value]; histograms fill the summary columns. *)
+
+val write_json : string -> Json.t -> unit
+(** Pretty-printed JSON to a file path, trailing newline included. *)
+
+val write_string : string -> string -> unit

@@ -1,0 +1,96 @@
+let slots = 64
+
+type t = {
+  counts : int array;  (* counts.(i): values of bit length i *)
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let create () =
+  { counts = Array.make slots 0; count = 0; sum = 0; min_v = max_int; max_v = -1 }
+
+(* Bucket index = bit length of the value: 0 -> 0, 1 -> 1, 2..3 -> 2, ... *)
+let bucket_of v =
+  let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+  bits 0 v
+
+let bucket_lo idx = if idx = 0 then 0 else 1 lsl (idx - 1)
+let bucket_hi idx = if idx = 0 then 0 else (1 lsl idx) - 1
+
+let observe t v =
+  let v = max 0 v in
+  t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.count
+let sum t = t.sum
+let mean t = if t.count = 0 then 0. else float_of_int t.sum /. float_of_int t.count
+let min_value t = if t.count = 0 then None else Some t.min_v
+let max_value t = if t.count = 0 then None else Some t.max_v
+
+let buckets t =
+  let out = ref [] in
+  for idx = slots - 1 downto 0 do
+    if t.counts.(idx) > 0 then
+      out := (bucket_lo idx, bucket_hi idx, t.counts.(idx)) :: !out
+  done;
+  !out
+
+let quantile t q =
+  if t.count = 0 then None
+  else begin
+    let rank = Float.max 1. (Float.round (q *. float_of_int t.count)) in
+    let rank = int_of_float (Float.min rank (float_of_int t.count)) in
+    let seen = ref 0 and result = ref None and idx = ref 0 in
+    while !result = None && !idx < slots do
+      seen := !seen + t.counts.(!idx);
+      if !seen >= rank then result := Some (min (bucket_hi !idx) t.max_v);
+      incr idx
+    done;
+    !result
+  end
+
+let merge acc x =
+  Array.iteri (fun idx n -> acc.counts.(idx) <- acc.counts.(idx) + n) x.counts;
+  acc.count <- acc.count + x.count;
+  acc.sum <- acc.sum + x.sum;
+  if x.count > 0 then begin
+    if x.min_v < acc.min_v then acc.min_v <- x.min_v;
+    if x.max_v > acc.max_v then acc.max_v <- x.max_v
+  end
+
+let to_json t =
+  Json.Obj
+    [
+      ("count", Json.Int t.count);
+      ("sum", Json.Int t.sum);
+      ("min", if t.count = 0 then Json.Null else Json.Int t.min_v);
+      ("max", if t.count = 0 then Json.Null else Json.Int t.max_v);
+      ( "buckets",
+        Json.Array
+          (List.map
+             (fun (lo, hi, n) ->
+               Json.Obj
+                 [ ("lo", Json.Int lo); ("hi", Json.Int hi); ("count", Json.Int n) ])
+             (buckets t)) );
+    ]
+
+let pp fmt t =
+  if t.count = 0 then Format.fprintf fmt "(empty)"
+  else begin
+    let bs = buckets t in
+    let widest = List.fold_left (fun acc (_, _, n) -> max acc n) 1 bs in
+    Format.fprintf fmt "@[<v>count %d  sum %d  mean %.2f  min %d  max %d" t.count
+      t.sum (mean t) t.min_v t.max_v;
+    List.iter
+      (fun (lo, hi, n) ->
+        let bar = String.make (max 1 (n * 40 / widest)) '#' in
+        Format.fprintf fmt "@,[%10d, %10d] %8d %s" lo hi n bar)
+      bs;
+    Format.fprintf fmt "@]"
+  end

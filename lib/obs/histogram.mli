@@ -1,0 +1,44 @@
+(** Log-bucketed histograms of non-negative integers.
+
+    Bucket [0] holds the value 0 and bucket [i >= 1] holds values in
+    [[2^(i-1), 2^i - 1]] — i.e. values are bucketed by bit length.  This
+    gives ~2x resolution over the whole int range with a fixed 64-slot
+    footprint and O(1) observation, which is the right trade for the
+    quantities we track (eviction ages, reuse distances, occupancies):
+    their tails span many orders of magnitude. *)
+
+type t
+
+val create : unit -> t
+
+val observe : t -> int -> unit
+(** Negative values clamp to 0 (they only arise from caller bugs; the
+    histogram stays total rather than raising on a metrics path). *)
+
+val count : t -> int
+(** Number of observations. *)
+
+val sum : t -> int
+val mean : t -> float
+(** 0 when empty. *)
+
+val min_value : t -> int option
+val max_value : t -> int option
+
+val buckets : t -> (int * int * int) list
+(** Non-empty buckets as [(lo, hi, count)] with inclusive bounds, ascending. *)
+
+val quantile : t -> float -> int option
+(** [quantile t q] for [q] in [[0, 1]]: an upper bound on the [q]-quantile
+    (the [hi] edge of the bucket where the quantile falls); [None] when
+    empty. *)
+
+val merge : t -> t -> unit
+(** [merge acc x] accumulates [x] into [acc]. *)
+
+val to_json : t -> Json.t
+(** [{"count":n,"sum":s,"min":m,"max":m,
+     "buckets":[{"lo":..,"hi":..,"count":..},...]}]. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line per non-empty bucket with a proportional bar. *)

@@ -1,0 +1,119 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Array of t list
+  | Obj of (string * t) list
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* "%.17g" is enough digits to round-trip any float; JSON has no syntax for
+   non-finite values, so those become null.  Whole floats keep a decimal
+   point ("2.0", not "2") so decoders preserve their floatness. *)
+let float_repr f =
+  if Float.is_nan f || f = infinity || f = neg_infinity then None
+  else if Float.is_integer f && Float.abs f < 1e16 then
+    Some (Printf.sprintf "%.1f" f)
+  else Some (Printf.sprintf "%.17g" f)
+
+let rec write buf t =
+  match t with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f -> (
+      match float_repr f with
+      | None -> Buffer.add_string buf "null"
+      | Some s -> Buffer.add_string buf s)
+  | String s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+  | Array xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun idx x ->
+          if idx > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun idx (key, v) ->
+          if idx > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          Buffer.add_string buf (escape key);
+          Buffer.add_string buf "\":";
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  write buf t;
+  Buffer.contents buf
+
+let to_channel oc t =
+  let buf = Buffer.create 256 in
+  write buf t;
+  Buffer.output_buffer oc buf
+
+let rec pp fmt t =
+  match t with
+  | Null | Bool _ | Int _ | Float _ | String _ ->
+      Format.pp_print_string fmt (to_string t)
+  | Array [] -> Format.pp_print_string fmt "[]"
+  | Array xs ->
+      Format.fprintf fmt "@[<v 2>[@,%a@;<0 -2>]@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt ",@,")
+           pp)
+        xs
+  | Obj [] -> Format.pp_print_string fmt "{}"
+  | Obj fields ->
+      Format.fprintf fmt "@[<v 2>{@,%a@;<0 -2>}@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.fprintf fmt ",@,")
+           (fun fmt (key, v) -> Format.fprintf fmt "@[<hv 2>\"%s\":@ %a@]" (escape key) pp v))
+        fields
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let get_int = function
+  | Int n -> n
+  | Bool b -> if b then 1 else 0
+  | t -> invalid_arg ("Json.get_int: " ^ to_string t)
+
+let get_float = function
+  | Int n -> float_of_int n
+  | Float f -> f
+  | t -> invalid_arg ("Json.get_float: " ^ to_string t)
+
+let get_string = function
+  | String s -> s
+  | t -> invalid_arg ("Json.get_string: " ^ to_string t)
+
+let get_list = function
+  | Array xs -> xs
+  | t -> invalid_arg ("Json.get_list: " ^ to_string t)

@@ -1,0 +1,43 @@
+(** A minimal JSON tree and hand-rolled encoder.
+
+    Deliberately dependency-free: the observability layer must not pull a
+    JSON package into the core libraries.  Encoding follows RFC 8259; the
+    only lossy corner is non-finite floats, which JSON cannot represent and
+    which encode as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Array of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** JSON string escaping, without the surrounding quotes. *)
+
+val to_string : t -> string
+(** Compact (single-line) encoding. *)
+
+val to_channel : out_channel -> t -> unit
+(** [to_string] streamed to a channel without building the string. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented multi-line encoding, for files meant to be read by humans. *)
+
+(** {1 Accessors}
+
+    Partial; meant for consumers that know the schema. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on missing field or non-object. *)
+
+val get_int : t -> int
+(** Raises [Invalid_argument] unless the node is [Int] or [Bool]. *)
+
+val get_float : t -> float
+(** Accepts [Int] and [Float]. *)
+
+val get_string : t -> string
+val get_list : t -> t list

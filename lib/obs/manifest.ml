@@ -1,0 +1,72 @@
+type trace_info = {
+  path : string;
+  length : int;
+  block_size : int;
+  digest : string;
+}
+
+type run = {
+  policy : string;
+  metrics : (string * Json.t) list;
+  histograms : Json.t option;
+  events : (string * int) list;
+}
+
+type t = {
+  version : int;
+  tool : string;
+  command : string;
+  seed : int option;
+  k : int option;
+  trace : trace_info option;
+  wall_time_s : float;
+  runs : run list;
+  extra : (string * Json.t) list;
+}
+
+let make ~tool ~command ?seed ?k ?trace ?(wall_time_s = 0.) ?(extra = []) runs =
+  { version = 1; tool; command; seed; k; trace; wall_time_s; runs; extra }
+
+let zero_volatile t = { t with wall_time_s = 0. }
+
+let opt_field name f = function Some v -> [ (name, f v) ] | None -> []
+
+let trace_json info =
+  Json.Obj
+    [
+      ("path", Json.String info.path);
+      ("length", Json.Int info.length);
+      ("block_size", Json.Int info.block_size);
+      ("digest", Json.String info.digest);
+    ]
+
+let run_json r =
+  Json.Obj
+    ([
+       ("policy", Json.String r.policy);
+       ("metrics", Json.Obj r.metrics);
+     ]
+    @ (match r.histograms with
+      | Some h -> [ ("histograms", h) ]
+      | None -> [])
+    @
+    match r.events with
+    | [] -> []
+    | events ->
+        [ ("events", Json.Obj (List.map (fun (key, n) -> (key, Json.Int n)) events)) ])
+
+let to_json t =
+  Json.Obj
+    ([
+       ("version", Json.Int t.version);
+       ("tool", Json.String t.tool);
+       ("command", Json.String t.command);
+     ]
+    @ opt_field "seed" (fun n -> Json.Int n) t.seed
+    @ opt_field "k" (fun n -> Json.Int n) t.k
+    @ opt_field "trace" trace_json t.trace
+    @ [
+        ("wall_time_s", Json.Float t.wall_time_s);
+        ("runs", Json.Array (List.map run_json t.runs));
+      ]
+    @ match t.extra with [] -> [] | extra -> [ ("extra", Json.Obj extra) ])

@@ -1,0 +1,52 @@
+(** The run manifest: one JSON document that makes a run reproducible and
+    comparable.
+
+    Every tool that simulates something emits one of these ([gcsim run],
+    [gcexp], [bench/main.exe]): which tool and subcommand ran, with which
+    seed and capacity, over which trace (identified by a content digest),
+    how long it took, and the full metric snapshot per policy.  Volatile
+    fields (wall time) can be zeroed so manifests from different machines —
+    or golden files in the test suite — compare byte-for-byte. *)
+
+type trace_info = {
+  path : string;  (** As given on the command line; ["-"] for stdin. *)
+  length : int;
+  block_size : int;
+  digest : string;  (** Content digest, e.g. {!Gc_trace.Trace.digest}. *)
+}
+
+type run = {
+  policy : string;  (** Registry spec, parameters included. *)
+  metrics : (string * Json.t) list;  (** Flat counters, stable order. *)
+  histograms : Json.t option;  (** Registry snapshot when histograms are on. *)
+  events : (string * int) list;  (** Per-kind event counts; [] when off. *)
+}
+
+type t = {
+  version : int;  (** Manifest schema version; currently 1. *)
+  tool : string;
+  command : string;
+  seed : int option;
+  k : int option;
+  trace : trace_info option;
+  wall_time_s : float;
+  runs : run list;
+  extra : (string * Json.t) list;  (** Tool-specific payload (sweeps, ...). *)
+}
+
+val make :
+  tool:string ->
+  command:string ->
+  ?seed:int ->
+  ?k:int ->
+  ?trace:trace_info ->
+  ?wall_time_s:float ->
+  ?extra:(string * Json.t) list ->
+  run list ->
+  t
+
+val zero_volatile : t -> t
+(** Zero the wall time (the only field that differs between identical runs)
+    for golden-file comparison. *)
+
+val to_json : t -> Json.t

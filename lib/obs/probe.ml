@@ -1,0 +1,69 @@
+type t = {
+  registry : Registry.t;
+  eviction_age : Histogram.t;
+  reuse_distance : Histogram.t;
+  load_width : Histogram.t;
+  occupancy_h : Histogram.t;
+  occupancy : Registry.gauge;
+  hit_spatial : Registry.counter;
+  hit_temporal : Registry.counter;
+  miss_cold : Registry.counter;
+  repartitions : Registry.counter;
+  loaded_at : (int, int) Hashtbl.t;  (* item -> index of the load that brought it in *)
+  last_access : (int, int) Hashtbl.t;  (* item -> index of its previous request *)
+}
+
+let create ?(labels = []) registry =
+  (* Sequenced lets, not inline record fields: record fields evaluate in an
+     unspecified order, and registration order is the export order. *)
+  let eviction_age = Registry.histogram registry ~labels "eviction_age" in
+  let reuse_distance = Registry.histogram registry ~labels "reuse_distance" in
+  let load_width = Registry.histogram registry ~labels "load_width" in
+  let occupancy_h = Registry.histogram registry ~labels "occupancy" in
+  let occupancy = Registry.gauge registry ~labels "occupancy_now" in
+  let hit_spatial = Registry.counter registry ~labels "events_hit_spatial" in
+  let hit_temporal = Registry.counter registry ~labels "events_hit_temporal" in
+  let miss_cold = Registry.counter registry ~labels "events_miss_cold" in
+  let repartitions = Registry.counter registry ~labels "repartitions" in
+  {
+    registry;
+    eviction_age;
+    reuse_distance;
+    load_width;
+    occupancy_h;
+    occupancy;
+    hit_spatial;
+    hit_temporal;
+    miss_cold;
+    repartitions;
+    loaded_at = Hashtbl.create 1024;
+    last_access = Hashtbl.create 1024;
+  }
+
+let registry t = t.registry
+
+let on_event t (ev : Event.t) =
+  match ev with
+  | Access { index; item } ->
+      (match Hashtbl.find_opt t.last_access item with
+      | Some prev -> Histogram.observe t.reuse_distance (index - prev)
+      | None -> ());
+      Hashtbl.replace t.last_access item index;
+      Histogram.observe t.occupancy_h (Registry.gauge_value t.occupancy)
+  | Hit { kind = Spatial; _ } -> Registry.incr t.hit_spatial
+  | Hit { kind = Temporal; _ } -> Registry.incr t.hit_temporal
+  | Miss { index; cold; loaded; _ } ->
+      if cold then Registry.incr t.miss_cold;
+      List.iter (fun item -> Hashtbl.replace t.loaded_at item index) loaded;
+      Registry.change t.occupancy (List.length loaded)
+  | Load { width; _ } -> Histogram.observe t.load_width width
+  | Evict { index; item } ->
+      (match Hashtbl.find_opt t.loaded_at item with
+      | Some born ->
+          Histogram.observe t.eviction_age (index - born);
+          Hashtbl.remove t.loaded_at item
+      | None -> ());
+      Registry.change t.occupancy (-1)
+  | Repartition _ -> Registry.incr t.repartitions
+
+let sink t ev = on_event t ev

@@ -1,0 +1,28 @@
+(** Standard event consumer: turns the raw stream into registry metrics.
+
+    Attach [Probe.sink p] as a simulator probe and the registry fills with
+    the per-access distributions the flat counters cannot express:
+
+    - ["eviction_age"]: accesses an item spent cached, from the load that
+      brought it in to its eviction;
+    - ["reuse_distance"]: inter-reference gap in accesses between
+      consecutive requests to the same item (hits and misses alike);
+    - ["load_width"]: items brought in per block load (the granularity
+      actually used — the paper's subset-load freedom, measured);
+    - ["occupancy"]: resident items sampled at every access, maintained
+      from load/evict events (shadow count, so layered policies holding
+      duplicates contribute each item once);
+    - counters ["events_hit_spatial"], ["events_hit_temporal"],
+      ["events_miss_cold"] and ["repartitions"].
+
+    All metrics are registered with the probe's [labels], so one registry
+    can hold the families of several policies side by side. *)
+
+type t
+
+val create : ?labels:(string * string) list -> Registry.t -> t
+(** Registers the metric family in the given registry. *)
+
+val sink : t -> Sink.t
+
+val registry : t -> Registry.t

@@ -1,0 +1,106 @@
+type counter = int ref
+type gauge = int ref
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of Histogram.t
+
+type key = string * (string * string) list
+
+type t = {
+  tbl : (key, metric) Hashtbl.t;
+  mutable order : key list;  (* reversed registration order *)
+}
+
+let create () = { tbl = Hashtbl.create 32; order = [] }
+
+let type_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let register t ~labels name fresh =
+  let key = (name, labels) in
+  match Hashtbl.find_opt t.tbl key with
+  | Some existing -> existing
+  | None ->
+      let m = fresh () in
+      Hashtbl.add t.tbl key m;
+      t.order <- key :: t.order;
+      m
+
+let mismatch name existing wanted =
+  invalid_arg
+    (Printf.sprintf "Registry: metric %S is a %s, not a %s" name
+       (type_name existing) wanted)
+
+let counter t ?(labels = []) name =
+  match register t ~labels name (fun () -> Counter (ref 0)) with
+  | Counter c -> c
+  | other -> mismatch name other "counter"
+
+let gauge t ?(labels = []) name =
+  match register t ~labels name (fun () -> Gauge (ref 0)) with
+  | Gauge g -> g
+  | other -> mismatch name other "gauge"
+
+let histogram t ?(labels = []) name =
+  match register t ~labels name (fun () -> Histogram (Histogram.create ())) with
+  | Histogram h -> h
+  | other -> mismatch name other "histogram"
+
+let incr c = Stdlib.incr c
+let add c n = c := !c + n
+let counter_value c = !c
+let set g v = g := v
+let change g d = g := !g + d
+let gauge_value g = !g
+
+let rows t =
+  List.rev_map
+    (fun ((name, labels) as key) -> (name, labels, Hashtbl.find t.tbl key))
+    t.order
+
+let metric_json = function
+  | Counter c -> [ ("value", Json.Int !c) ]
+  | Gauge g -> [ ("value", Json.Int !g) ]
+  | Histogram h -> (
+      match Histogram.to_json h with
+      | Json.Obj fields -> fields
+      | other -> [ ("value", other) ])
+
+let to_json t =
+  Json.Array
+    (List.map
+       (fun (name, labels, m) ->
+         Json.Obj
+           ([
+              ("name", Json.String name);
+              ( "labels",
+                Json.Obj (List.map (fun (key, v) -> (key, Json.String v)) labels)
+              );
+              ("type", Json.String (type_name m));
+            ]
+           @ metric_json m))
+       (rows t))
+
+let pp_labels fmt labels =
+  if labels <> [] then
+    Format.fprintf fmt "{%s}"
+      (String.concat ","
+         (List.map (fun (key, v) -> Printf.sprintf "%s=%s" key v) labels))
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iteri
+    (fun idx (name, labels, m) ->
+      if idx > 0 then Format.fprintf fmt "@,";
+      match m with
+      | Counter c -> Format.fprintf fmt "%s%a = %d" name pp_labels labels !c
+      | Gauge g -> Format.fprintf fmt "%s%a = %d" name pp_labels labels !g
+      | Histogram h ->
+          Format.fprintf fmt "%s%a:@,  @[<v>%a@]" name pp_labels labels
+            Histogram.pp h)
+    (rows t);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,51 @@
+(** A metric registry: named counters, gauges, and histograms.
+
+    Metrics are identified by [(name, labels)]; registering the same pair
+    twice returns the same metric, so labeled {e families} fall out of the
+    lookup — e.g. [counter reg ~labels:[("policy", p)] "misses"] gives one
+    counter per policy under a single name.  Registration order is
+    preserved by all exports (stable artifacts diff cleanly).
+
+    Registering a name under two different metric types raises
+    [Invalid_argument]. *)
+
+type t
+
+type counter
+type gauge
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of Histogram.t
+
+val create : unit -> t
+
+(** {1 Registration (get-or-create)} *)
+
+val counter : t -> ?labels:(string * string) list -> string -> counter
+val gauge : t -> ?labels:(string * string) list -> string -> gauge
+val histogram : t -> ?labels:(string * string) list -> string -> Histogram.t
+
+(** {1 Updates and reads} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val set : gauge -> int -> unit
+val change : gauge -> int -> unit
+(** Add a (possibly negative) delta. *)
+
+val gauge_value : gauge -> int
+
+(** {1 Enumeration and export} *)
+
+val rows : t -> (string * (string * string) list * metric) list
+(** [(name, labels, metric)] in registration order. *)
+
+val to_json : t -> Json.t
+(** Array of [{"name":..,"labels":{..},"type":..,...}] records; counters and
+    gauges carry ["value"], histograms inline {!Histogram.to_json}. *)
+
+val pp : Format.formatter -> t -> unit

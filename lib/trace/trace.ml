@@ -61,6 +61,30 @@ let universe t =
 
 let max_item t = Array.fold_left max (-1) t.requests
 
+(* FNV-1a (64-bit) over the block size, the length, and each request with
+   its block id.  Covers everything that affects a simulation: the same
+   requests under a different partition digest differently. *)
+let digest t =
+  let prime = 0x100000001B3L in
+  let h = ref 0xCBF29CE484222325L in
+  let mix v =
+    (* Mix an int little-endian, 8 bytes. *)
+    let v = ref (Int64.of_int v) in
+    for _ = 0 to 7 do
+      let byte = Int64.to_int (Int64.logand !v 0xFFL) in
+      h := Int64.mul (Int64.logxor !h (Int64.of_int byte)) prime;
+      v := Int64.shift_right_logical !v 8
+    done
+  in
+  mix (Block_map.block_size t.blocks);
+  mix (Array.length t.requests);
+  Array.iter
+    (fun r ->
+      mix r;
+      mix (Block_map.block_of t.blocks r))
+    t.requests;
+  Printf.sprintf "fnv1a64:%016Lx" !h
+
 let pp fmt t =
   Format.fprintf fmt "trace(len=%d, items=%d, blocks=%d, %a)" (length t)
     (distinct_items t) (distinct_blocks t) Block_map.pp t.blocks

@@ -47,5 +47,11 @@ val universe : t -> int array
 val max_item : t -> int
 (** Largest item id in the trace; [-1] if empty. *)
 
+val digest : t -> string
+(** Content digest ([fnv1a64:] plus 16 hex digits) over the requests and
+    their block assignment, for identifying traces in run manifests.
+    Simulation-equivalent traces digest equal; unequal ones collide only
+    with hash probability. *)
+
 val pp : Format.formatter -> t -> unit
 (** Short human-readable summary (length, universe sizes, block size). *)

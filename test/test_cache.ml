@@ -510,6 +510,65 @@ let test_timeline_detects_phase_change () =
     true
     (late > 10. *. early)
 
+let test_timeline_ragged_last_window () =
+  (* 1000 accesses in windows of 300: the last window holds the 100
+     leftovers, and starts line up on window boundaries. *)
+  let trace =
+    Generators.uniform_random (rng ()) ~n:1000 ~universe:400 ~block_size:4
+  in
+  let p = Registry.make "lru" ~k:64 ~blocks:trace.Trace.blocks ~seed:1 in
+  let points, m = Timeline.run ~window:300 p trace in
+  Alcotest.(check (list int))
+    "starts" [ 0; 300; 600; 900 ]
+    (List.map (fun pt -> pt.Timeline.start) points);
+  Alcotest.(check (list int))
+    "window sizes" [ 300; 300; 300; 100 ]
+    (List.map (fun pt -> pt.Timeline.accesses) points);
+  Alcotest.(check int) "misses sum" m.Metrics.misses
+    (List.fold_left (fun a pt -> a + pt.Timeline.misses) 0 points)
+
+let test_timeline_window_larger_than_trace () =
+  let trace =
+    Generators.uniform_random (rng ()) ~n:57 ~universe:400 ~block_size:4
+  in
+  let p = Registry.make "lru" ~k:64 ~blocks:trace.Trace.blocks ~seed:1 in
+  let points, m = Timeline.run ~window:1000 p trace in
+  match points with
+  | [ pt ] ->
+      Alcotest.(check int) "start" 0 pt.Timeline.start;
+      Alcotest.(check int) "accesses" 57 pt.Timeline.accesses;
+      Alcotest.(check int) "misses" m.Metrics.misses pt.Timeline.misses;
+      Alcotest.(check int) "spatial" m.Metrics.spatial_hits
+        pt.Timeline.spatial_hits
+  | pts ->
+      Alcotest.failf "expected exactly one window, got %d" (List.length pts)
+
+let test_timeline_empty_trace () =
+  let blocks = Gc_trace.Block_map.uniform ~block_size:4 in
+  let trace = Trace.of_list blocks [] in
+  let p = Registry.make "lru" ~k:4 ~blocks ~seed:1 in
+  let points, _ = Timeline.run ~window:10 p trace in
+  Alcotest.(check int) "no windows" 0 (List.length points)
+
+let qcheck_timeline_windows_agree_with_metrics =
+  Test_util.qcheck ~count:50
+    "timeline window sums equal overall metrics (any window)"
+    QCheck.(pair (Test_util.small_trace_arbitrary ()) (int_range 1 500))
+    (fun (small, window) ->
+         let trace = Test_util.trace_of small in
+         let p = Registry.make "iblp" ~k:32 ~blocks:trace.Trace.blocks ~seed:1 in
+         let points, m = Timeline.run ~window p trace in
+         let sum f = List.fold_left (fun a pt -> a + f pt) 0 points in
+         sum (fun pt -> pt.Timeline.accesses) = m.Metrics.accesses
+         && sum (fun pt -> pt.Timeline.misses) = m.Metrics.misses
+         && sum (fun pt -> pt.Timeline.spatial_hits) = m.Metrics.spatial_hits
+         && List.for_all
+              (fun pt ->
+                pt.Timeline.accesses > 0
+                && pt.Timeline.accesses <= window
+                && pt.Timeline.start mod window = 0)
+              points)
+
 (* ------------------------------------------------------------------ ARC *)
 
 let test_arc_promotes_on_second_hit () =
@@ -615,7 +674,7 @@ let test_block_marking_pollutes_vs_gcm =
 
 let test_iblp_adaptive_validation () =
   match
-    Iblp_adaptive.create ~k:8 ~blocks:(Block_map.uniform ~block_size:16)
+    Iblp_adaptive.create ~k:8 ~blocks:(Block_map.uniform ~block_size:16) ()
   with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "k < 2B accepted"
@@ -628,7 +687,7 @@ let qcheck_iblp_adaptive_model =
     (fun ((bs, reqs), mult) ->
       let trace = Test_util.trace_of (bs, reqs) in
       let k = 2 * bs * mult in
-      let p = Iblp_adaptive.create ~k ~blocks:trace.Trace.blocks in
+      let p = Iblp_adaptive.create ~k ~blocks:trace.Trace.blocks () in
       let m = Gc_cache.Simulator.run p trace in
       m.Metrics.hits + m.Metrics.misses = m.Metrics.accesses)
 
@@ -1024,6 +1083,12 @@ let () =
           Alcotest.test_case "sums to metrics" `Quick test_timeline_sums_to_metrics;
           Alcotest.test_case "detects phase change" `Quick
             test_timeline_detects_phase_change;
+          Alcotest.test_case "ragged last window" `Quick
+            test_timeline_ragged_last_window;
+          Alcotest.test_case "window larger than trace" `Quick
+            test_timeline_window_larger_than_trace;
+          Alcotest.test_case "empty trace" `Quick test_timeline_empty_trace;
+          qcheck_timeline_windows_agree_with_metrics;
         ] );
       ( "arc",
         [

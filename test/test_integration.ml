@@ -240,6 +240,102 @@ let test_hierarchy_agrees_with_simulator () =
   Alcotest.(check int) "spatial hits agree" m.Metrics.spatial_hits
     s.Gc_memhier.Hierarchy.spatial_hits
 
+let test_gcsim_run_artifacts () =
+  (* Drive the real gcsim binary (a dune dep of this test) end to end:
+     --json + --events + --histograms on a saved trace, then reconcile the
+     manifest and the event stream against an independent in-process
+     simulation with the same k and seed. *)
+  let k = 128 and seed = 42 in
+  let trace =
+    Generators.spatial_mix (rng ()) ~n:4000 ~universe:1024 ~block_size:8
+      ~p_spatial:0.6
+  in
+  let dir = Filename.temp_file "gcsim_obs" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let trace_path = Filename.concat dir "trace.gct" in
+  let json_path = Filename.concat dir "out.json" in
+  let events_path = Filename.concat dir "events.jsonl" in
+  Trace_io.save trace_path trace;
+  let cmd =
+    Printf.sprintf
+      "../bin/gcsim.exe run --all -k %d --seed %d --no-check --json %s \
+       --events %s --histograms %s > /dev/null"
+      k seed (Filename.quote json_path) (Filename.quote events_path)
+      (Filename.quote trace_path)
+  in
+  Alcotest.(check int) "gcsim exits 0" 0 (Sys.command cmd);
+  let open Gc_obs in
+  let manifest = Test_util.parse_json_file json_path in
+  let events = Test_util.parse_jsonl_file events_path in
+  List.iter Sys.remove [ trace_path; json_path; events_path ];
+  Sys.rmdir dir;
+  let field obj name = Option.get (Json.member name obj) in
+  Alcotest.(check int) "schema version" 1 (Json.get_int (field manifest "version"));
+  Alcotest.(check string) "trace digest recorded" (Trace.digest trace)
+    (Json.get_string (field (field manifest "trace") "digest"));
+  let runs = Json.get_list (field manifest "runs") in
+  Alcotest.(check (list string))
+    "one manifest run per registry policy" Gc_cache.Registry.names
+    (List.map (fun r -> Json.get_string (field r "policy")) runs);
+  (* Per-policy event tallies from the JSONL stream. *)
+  let tally = Hashtbl.create 64 in
+  List.iter
+    (fun ev ->
+      let key =
+        ( Json.get_string (field ev "policy"),
+          Json.get_string (field ev "ev") )
+      in
+      Hashtbl.replace tally key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tally key)))
+    events;
+  let count policy kind =
+    Option.value ~default:0 (Hashtbl.find_opt tally (policy, kind))
+  in
+  List.iter
+    (fun run ->
+      let policy = Json.get_string (field run "policy") in
+      let metrics = field run "metrics" in
+      let metric name = Json.get_int (field metrics name) in
+      (* The manifest's counters equal an independent simulation's. *)
+      let p = Gc_cache.Registry.make policy ~k ~blocks:trace.Trace.blocks ~seed in
+      let m = Simulator.run ~check:false p trace in
+      Alcotest.(check int) (policy ^ ": hits") m.Metrics.hits (metric "hits");
+      Alcotest.(check int) (policy ^ ": misses") m.Metrics.misses
+        (metric "misses");
+      Alcotest.(check int)
+        (policy ^ ": spatial hits")
+        m.Metrics.spatial_hits
+        (metric "spatial_hits");
+      (* The event stream reconciles with the manifest per policy. *)
+      Alcotest.(check int)
+        (policy ^ ": one access event per request")
+        (Trace.length trace) (count policy "access");
+      Alcotest.(check int)
+        (policy ^ ": hit events")
+        m.Metrics.hits (count policy "hit");
+      Alcotest.(check int)
+        (policy ^ ": miss events = load events")
+        (count policy "miss") (count policy "load");
+      Alcotest.(check int)
+        (policy ^ ": hits + misses = accesses")
+        (count policy "access")
+        (count policy "hit" + count policy "miss");
+      Alcotest.(check int)
+        (policy ^ ": evict events")
+        m.Metrics.evictions (count policy "evict");
+      (* And the manifest's own per-kind event counts agree with the
+         stream. *)
+      let manifest_events = field run "events" in
+      List.iter
+        (fun kind ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s: manifest count for %s" policy kind)
+            (count policy kind)
+            (Json.get_int (field manifest_events kind)))
+        Event.kind_names)
+    runs
+
 let test_trace_io_roundtrip_preserves_simulation () =
   let trace =
     Generators.spatial_mix (rng ()) ~n:10_000 ~universe:2048 ~block_size:8
@@ -280,5 +376,6 @@ let () =
         [
           Alcotest.test_case "hierarchy = simulator" `Quick test_hierarchy_agrees_with_simulator;
           Alcotest.test_case "io preserves simulation" `Quick test_trace_io_roundtrip_preserves_simulation;
+          Alcotest.test_case "gcsim run artifacts" `Quick test_gcsim_run_artifacts;
         ] );
     ]

@@ -73,3 +73,175 @@ let check_rel ~rel msg expected actual =
       Alcotest.failf "%s: expected %.6f, got %.6f (rel err > %g)" msg expected
         actual rel
   end
+
+(* ---------------------------------------------------- minimal JSON parser *)
+
+(* Just enough of RFC 8259 to round-trip [Gc_obs.Json] output in tests:
+   an independent decoder, so encoder bugs cannot cancel out. *)
+module Json_parse = struct
+  exception Error of string
+
+  type state = { src : string; mutable pos : int }
+
+  let fail s msg = raise (Error (Printf.sprintf "at %d: %s" s.pos msg))
+  let peek s = if s.pos < String.length s.src then Some s.src.[s.pos] else None
+
+  let advance s = s.pos <- s.pos + 1
+
+  let rec skip_ws s =
+    match peek s with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance s;
+        skip_ws s
+    | _ -> ()
+
+  let expect s c =
+    match peek s with
+    | Some d when d = c -> advance s
+    | _ -> fail s (Printf.sprintf "expected %C" c)
+
+  let literal s word value =
+    String.iter (fun c -> expect s c) word;
+    value
+
+  let parse_string s =
+    expect s '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek s with
+      | None -> fail s "unterminated string"
+      | Some '"' -> advance s
+      | Some '\\' ->
+          advance s;
+          (match peek s with
+          | Some '"' -> Buffer.add_char buf '"'
+          | Some '\\' -> Buffer.add_char buf '\\'
+          | Some '/' -> Buffer.add_char buf '/'
+          | Some 'b' -> Buffer.add_char buf '\b'
+          | Some 'f' -> Buffer.add_char buf '\012'
+          | Some 'n' -> Buffer.add_char buf '\n'
+          | Some 'r' -> Buffer.add_char buf '\r'
+          | Some 't' -> Buffer.add_char buf '\t'
+          | Some 'u' ->
+              advance s;
+              if s.pos + 4 > String.length s.src then fail s "short \\u escape";
+              let hex = String.sub s.src s.pos 4 in
+              s.pos <- s.pos + 3;
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> fail s "bad \\u escape"
+              in
+              (* The encoder only emits \u00XX (control characters). *)
+              if code > 0xff then fail s "non-latin \\u escape unsupported"
+              else Buffer.add_char buf (Char.chr code)
+          | _ -> fail s "bad escape");
+          advance s;
+          go ()
+      | Some c ->
+          Buffer.add_char buf c;
+          advance s;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+
+  let parse_number s =
+    let start = s.pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek s with Some c -> is_num_char c | None -> false) do
+      advance s
+    done;
+    let text = String.sub s.src start (s.pos - start) in
+    match int_of_string_opt text with
+    | Some n -> Gc_obs.Json.Int n
+    | None -> (
+        match float_of_string_opt text with
+        | Some f -> Gc_obs.Json.Float f
+        | None -> fail s (Printf.sprintf "bad number %S" text))
+
+  let rec parse_value s =
+    skip_ws s;
+    match peek s with
+    | None -> fail s "unexpected end of input"
+    | Some 'n' -> literal s "null" Gc_obs.Json.Null
+    | Some 't' -> literal s "true" (Gc_obs.Json.Bool true)
+    | Some 'f' -> literal s "false" (Gc_obs.Json.Bool false)
+    | Some '"' -> Gc_obs.Json.String (parse_string s)
+    | Some '[' ->
+        advance s;
+        skip_ws s;
+        if peek s = Some ']' then begin
+          advance s;
+          Gc_obs.Json.Array []
+        end
+        else
+          let rec items acc =
+            let v = parse_value s in
+            skip_ws s;
+            match peek s with
+            | Some ',' ->
+                advance s;
+                items (v :: acc)
+            | Some ']' ->
+                advance s;
+                List.rev (v :: acc)
+            | _ -> fail s "expected , or ]"
+          in
+          Gc_obs.Json.Array (items [])
+    | Some '{' ->
+        advance s;
+        skip_ws s;
+        if peek s = Some '}' then begin
+          advance s;
+          Gc_obs.Json.Obj []
+        end
+        else
+          let rec fields acc =
+            skip_ws s;
+            let key = parse_string s in
+            skip_ws s;
+            expect s ':';
+            let v = parse_value s in
+            skip_ws s;
+            match peek s with
+            | Some ',' ->
+                advance s;
+                fields ((key, v) :: acc)
+            | Some '}' ->
+                advance s;
+                List.rev ((key, v) :: acc)
+            | _ -> fail s "expected , or }"
+          in
+          Gc_obs.Json.Obj (fields [])
+    | Some _ -> parse_number s
+
+  let parse text =
+    let s = { src = text; pos = 0 } in
+    let v = parse_value s in
+    skip_ws s;
+    if s.pos <> String.length text then fail s "trailing garbage";
+    v
+end
+
+let parse_json = Json_parse.parse
+
+let parse_json_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  Json_parse.parse text
+
+let parse_jsonl_file path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (if line = "" then acc else Json_parse.parse line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
