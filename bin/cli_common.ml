@@ -1,0 +1,107 @@
+(* Shared CLI plumbing for the gc* binaries: one exit-code contract,
+   diagnostic-preserving trace loading, and validated argument converters.
+
+   Exit codes:
+     0  success
+     1  runtime failure (unreadable/corrupt trace, I/O error, policy crash)
+     2  usage error (unknown flag, unknown policy/kind/construction)
+     3  model violation (the shadow audit caught an inconsistent policy) *)
+
+open Cmdliner
+
+let ok = 0
+let runtime_error = 1
+let usage_error = 2
+let model_violation = 3
+
+(* Post-parse failures that already know their exit code. *)
+exception Fatal of int * string
+
+let fail_runtime fmt =
+  Printf.ksprintf (fun m -> raise (Fatal (runtime_error, m))) fmt
+
+let fail_usage fmt =
+  Printf.ksprintf (fun m -> raise (Fatal (usage_error, m))) fmt
+
+(* ------------------------------------------------------------- trace I/O *)
+
+let read_trace path =
+  let result =
+    if path = "-" then Gc_trace.Trace_io.of_channel_result stdin
+    else Gc_trace.Trace_io.load_any_result path
+  in
+  match result with
+  | Ok t -> t
+  | Error e ->
+      fail_runtime "%s: %s"
+        (if path = "-" then "stdin" else path)
+        (Gc_trace.Trace_io.string_of_error e)
+
+let write_trace path t =
+  if path = "-" then Gc_trace.Trace_io.to_channel stdout t
+  else if Filename.check_suffix path ".gctb" then
+    Gc_trace.Trace_io.save_binary path t
+  else Gc_trace.Trace_io.save path t
+
+(* ------------------------------------------------------------ converters *)
+
+(* A registry policy spec, validated by base name at parse time so typos
+   are usage errors listing the valid choices (parameter syntax after ':'
+   is validated at construction time). *)
+let policy_conv =
+  let parse s =
+    let base =
+      match String.index_opt s ':' with
+      | Some i -> String.sub s 0 i
+      | None -> s
+    in
+    if base = "broken" || List.mem base Gc_cache.Registry.names then Ok s
+    else
+      Error
+        (`Msg
+           (Printf.sprintf "unknown policy %S, expected one of: %s, broken" s
+              (String.concat ", " Gc_cache.Registry.names)))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
+(* An exact-choice string: cmdliner's enum reports bad values as usage
+   errors listing every valid choice. *)
+let choice_conv choices = Arg.enum (List.map (fun c -> (c, c)) choices)
+
+let inject_conv =
+  let parse s =
+    match Gc_fault.Spec.parse s with
+    | Ok spec -> Ok spec
+    | Error msg -> Error (`Msg msg)
+  in
+  let pp fmt spec =
+    Format.pp_print_string fmt (Gc_fault.Spec.spec_string spec)
+  in
+  Arg.conv (parse, pp)
+
+(* ------------------------------------------------------------ evaluation *)
+
+(* Commands are int terms returning one of the codes above; everything the
+   command lets escape is mapped onto the same contract here. *)
+let eval cmd =
+  match Cmd.eval' ~catch:false cmd with
+  | code when code = Cmd.Exit.cli_error -> usage_error
+  | code when code = Cmd.Exit.internal_error -> runtime_error
+  | code -> code
+  | exception Fatal (code, msg) ->
+      Printf.eprintf "%s\n%!" msg;
+      code
+  | exception Gc_cache.Simulator.Model_violation msg ->
+      Printf.eprintf "model violation: %s\n%!" msg;
+      model_violation
+  | exception Invalid_argument msg ->
+      (* Parameterized construction rejected the arguments
+         (Registry.make and friends). *)
+      Printf.eprintf "%s\n%!" msg;
+      usage_error
+  | exception Failure msg ->
+      Printf.eprintf "%s\n%!" msg;
+      runtime_error
+  | exception Sys_error msg ->
+      Printf.eprintf "%s\n%!" msg;
+      runtime_error

@@ -6,7 +6,9 @@
      gcbounds figure3 --k 1280000 -B 64 --steps 60
      gcbounds figure6 --k 1280000 -B 64 --h0 10000
      gcbounds table2 --p 2 --size 100000 -B 64
-     gcbounds point --k 1280000 --h 10000 -B 64 *)
+     gcbounds point --k 1280000 --h 10000 -B 64
+
+   Exit codes: 0 ok, 1 runtime failure, 2 usage error. *)
 
 open Cmdliner
 
@@ -45,7 +47,8 @@ let table1 h block_size =
             (row.Gc_bounds.Table1.paper_form family)
             p.Gc_bounds.Table1.augmentation p.Gc_bounds.Table1.ratio)
         families)
-    (Gc_bounds.Table1.rows ~h ~block_size)
+    (Gc_bounds.Table1.rows ~h ~block_size);
+  Cli_common.ok
 
 let table1_cmd =
   Cmd.v
@@ -67,7 +70,8 @@ let table2 p size block_size =
         r.Gc_bounds.Table2.block_asym;
       Format.printf "%-22s %-14.3e %-14.3e %-14.3e@." "" r.Gc_bounds.Table2.lower
         r.Gc_bounds.Table2.item_ub r.Gc_bounds.Table2.block_ub)
-    (Gc_bounds.Table2.rows ~p ~block_size ~size)
+    (Gc_bounds.Table2.rows ~p ~block_size ~size);
+  Cli_common.ok
 
 let p_arg = Arg.(value & opt float 2. & info [ "p" ] ~doc:"Locality exponent.")
 
@@ -92,7 +96,8 @@ let figure3 k block_size steps =
         pt.Gc_bounds.Figures.gc_lower pt.Gc_bounds.Figures.iblp_upper
         pt.Gc_bounds.Figures.item_cache_lower
         pt.Gc_bounds.Figures.block_cache_lower)
-    (Gc_bounds.Figures.figure3 ~k ~block_size ~hs)
+    (Gc_bounds.Figures.figure3 ~k ~block_size ~hs);
+  Cli_common.ok
 
 let figure3_cmd =
   Cmd.v
@@ -112,7 +117,8 @@ let figure6 k block_size h0 steps =
       Format.printf "%.0f\t%.4f\t%.4f@." pt.Gc_bounds.Figures.h
         pt.Gc_bounds.Figures.optimal_split
         (snd (List.hd pt.Gc_bounds.Figures.fixed_splits)))
-    (Gc_bounds.Figures.figure6 ~k ~block_size ~fixed_is:[ i0 ] ~hs)
+    (Gc_bounds.Figures.figure6 ~k ~block_size ~fixed_is:[ i0 ] ~hs);
+  Cli_common.ok
 
 let h0_arg =
   Arg.(value & opt float 10_000. & info [ "h0" ] ~doc:"Design point for the fixed split.")
@@ -139,7 +145,8 @@ let point k h block_size =
   let i = Partitioning.optimal_i ~k ~h ~block_size in
   Format.printf "IBLP optimal split: i = %.1f, b = %.1f@." i (k -. i);
   Format.printf "thm7 IBLP upper: %.4f@."
-    (Partitioning.optimal_ratio ~k ~h ~block_size)
+    (Partitioning.optimal_ratio ~k ~h ~block_size);
+  Cli_common.ok
 
 let point_cmd =
   Cmd.v
@@ -149,5 +156,5 @@ let point_cmd =
 let () =
   let info = Cmd.info "gcbounds" ~doc:"GC-caching bound calculator" in
   exit
-    (Cmd.eval
+    (Cli_common.eval
        (Cmd.group info [ table1_cmd; table2_cmd; figure3_cmd; figure6_cmd; point_cmd ]))

@@ -3,15 +3,14 @@
    Examples:
      gcexp miss-curve --policy lru --policy iblp --k-min 64 --k-max 4096 t.gct
      gcexp split-sweep -k 1024 t.gct
-     gcexp h-sweep --policy lru -k 512 -B 16 --construction thm2 *)
+     gcexp h-sweep --policy lru -k 512 -B 16 --construction thm2
+
+   Exit codes: 0 ok, 1 runtime failure (including any failed sweep cell),
+   2 usage error. *)
 
 open Cmdliner
 
-let read_trace path =
-  if path = "-" then Gc_trace.Trace_io.of_channel stdin
-  else if Filename.check_suffix path ".gctb" then
-    Gc_trace.Trace_io.load_binary path
-  else Gc_trace.Trace_io.load path
+let read_trace = Cli_common.read_trace
 
 let path_arg =
   Arg.(value & pos 0 string "-" & info [] ~docv:"TRACE" ~doc:"Trace file.")
@@ -24,15 +23,19 @@ let geometric_grid lo hi steps =
   List.init (steps + 1) (fun idx ->
       let f = float_of_int idx /. float_of_int steps in
       int_of_float
-        (Float.round (float_of_int lo *. Float.pow (float_of_int hi /. float_of_int lo) f)))
+        (Float.round
+           (float_of_int lo *. Float.pow (float_of_int hi /. float_of_int lo) f)))
   |> List.sort_uniq compare
 
 let miss_curve policies k_min k_max steps offline seed json path =
   let trace = read_trace path in
   let blocks = trace.Gc_trace.Trace.blocks in
-  let policies = if policies = [] then [ "lru"; "block-lru"; "iblp" ] else policies in
+  let policies =
+    if policies = [] then [ "lru"; "block-lru"; "iblp" ] else policies
+  in
   let t0 = Unix.gettimeofday () in
   let rows = ref [] in
+  let failures = ref 0 in
   let record name k (m : Gc_cache.Metrics.t option) misses =
     rows :=
       Gc_obs.Json.Obj
@@ -51,17 +54,41 @@ let miss_curve policies k_min k_max steps offline seed json path =
             ]))
       :: !rows
   in
+  (* A sweep cell whose policy crashes becomes a structured error row; the
+     rest of the grid still runs. *)
+  let record_error name k msg =
+    incr failures;
+    rows :=
+      Gc_obs.Json.Obj
+        [
+          ("policy", Gc_obs.Json.String name);
+          ("k", Gc_obs.Json.Int k);
+          ("error", Gc_obs.Json.String msg);
+        ]
+      :: !rows;
+    Printf.eprintf "gcexp: %s at k=%d failed: %s\n%!" name k msg
+  in
   print_endline "policy,k,misses,hit_rate,spatial_hits,temporal_hits";
   List.iter
     (fun k ->
       List.iter
         (fun name ->
-          let p = Gc_cache.Registry.make name ~k ~blocks ~seed in
-          let m = Gc_cache.Simulator.run ~check:false p trace in
-          record name k (Some m) m.Gc_cache.Metrics.misses;
-          Printf.printf "%s,%d,%d,%.6f,%d,%d\n" name k m.Gc_cache.Metrics.misses
-            (Gc_cache.Metrics.hit_rate m)
-            m.Gc_cache.Metrics.spatial_hits m.Gc_cache.Metrics.temporal_hits)
+          match
+            let p = Gc_cache.Registry.make name ~k ~blocks ~seed in
+            Gc_cache.Simulator.run ~check:false p trace
+          with
+          | m ->
+              record name k (Some m) m.Gc_cache.Metrics.misses;
+              Printf.printf "%s,%d,%d,%.6f,%d,%d\n" name k
+                m.Gc_cache.Metrics.misses
+                (Gc_cache.Metrics.hit_rate m)
+                m.Gc_cache.Metrics.spatial_hits
+                m.Gc_cache.Metrics.temporal_hits
+          | exception Invalid_argument msg ->
+              (* Bad parameters for this construction: a usage problem, not
+                 a per-cell runtime failure. *)
+              Cli_common.fail_usage "%s" msg
+          | exception exn -> record_error name k (Printexc.to_string exn))
         policies;
       if offline then begin
         let belady = Gc_offline.Belady.cost ~k trace in
@@ -72,7 +99,7 @@ let miss_curve policies k_min k_max steps offline seed json path =
         Printf.printf "clairvoyant,%d,%d,,,\n" k clair
       end)
     (geometric_grid k_min k_max steps);
-  match json with
+  (match json with
   | None -> ()
   | Some out ->
       let manifest =
@@ -83,11 +110,13 @@ let miss_curve policies k_min k_max steps offline seed json path =
           []
       in
       Gc_obs.Export.write_json out (Gc_obs.Manifest.to_json manifest);
-      Printf.eprintf "manifest written to %s\n" out
+      Printf.eprintf "manifest written to %s\n" out);
+  if !failures > 0 then Cli_common.runtime_error else Cli_common.ok
 
 let policies_arg =
   Arg.(
-    value & opt_all string []
+    value
+    & opt_all Cli_common.policy_conv []
     & info [ "policy"; "p" ] ~doc:"Policies to sweep (repeatable).")
 
 let k_min_arg = Arg.(value & opt int 64 & info [ "k-min" ] ~doc:"Smallest k.")
@@ -129,7 +158,8 @@ let split_sweep k points seed path =
       let m = Gc_cache.Simulator.run ~check:false p trace in
       Printf.printf "%d,%d,%d,%d,%d\n" i b m.Gc_cache.Metrics.misses
         m.Gc_cache.Metrics.spatial_hits m.Gc_cache.Metrics.temporal_hits)
-    (List.init (points + 1) (fun idx -> idx))
+    (List.init (points + 1) (fun idx -> idx));
+  Cli_common.ok
 
 let k_arg = Arg.(value & opt int 1024 & info [ "k" ] ~doc:"Total cache size.")
 
@@ -146,9 +176,7 @@ let split_sweep_cmd =
 let h_sweep policy k block_size construction cycles seed =
   let blocks = Gc_trace.Block_map.uniform ~block_size in
   print_endline "h,measured_ratio,bound";
-  let hs =
-    geometric_grid (max 2 (2 * block_size)) (k / 2) 8
-  in
+  let hs = geometric_grid (max 2 (2 * block_size)) (k / 2) 8 in
   List.iter
     (fun h ->
       let p = Gc_cache.Registry.make policy ~k ~blocks ~seed in
@@ -157,22 +185,27 @@ let h_sweep policy k block_size construction cycles seed =
         | "st" -> Gc_cache.Attack.sleator_tarjan p ~k ~h ~cycles
         | "thm2" -> Gc_cache.Attack.item_cache p ~k ~h ~block_size ~cycles
         | "thm4" -> Gc_cache.Attack.general_a p ~k ~h ~block_size ~cycles
-        | other -> failwith (Printf.sprintf "unknown construction %S" other)
+        | _ -> assert false (* the enum converter rejects anything else *)
       in
       Printf.printf "%d,%.4f,%.4f\n" h
         (Gc_trace.Adversary.measured_ratio c)
         c.Gc_trace.Adversary.bound)
-    hs
+    hs;
+  Cli_common.ok
 
 let policy_arg =
-  Arg.(value & opt string "lru" & info [ "policy"; "p" ] ~doc:"Target policy.")
+  Arg.(
+    value
+    & opt Cli_common.policy_conv "lru"
+    & info [ "policy"; "p" ] ~doc:"Target policy.")
 
 let block_size_arg =
   Arg.(value & opt int 16 & info [ "block-size"; "B" ] ~doc:"Items per block.")
 
 let construction_arg =
   Arg.(
-    value & opt string "thm2"
+    value
+    & opt (Cli_common.choice_conv [ "st"; "thm2"; "thm4" ]) "thm2"
     & info [ "construction"; "c" ] ~doc:"One of: st, thm2, thm4.")
 
 let cycles_arg = Arg.(value & opt int 20 & info [ "cycles" ] ~doc:"Cycles.")
@@ -187,4 +220,6 @@ let h_sweep_cmd =
 
 let () =
   let info = Cmd.info "gcexp" ~doc:"GC-caching experiment sweeps (CSV)" in
-  exit (Cmd.eval (Cmd.group info [ miss_curve_cmd; split_sweep_cmd; h_sweep_cmd ]))
+  exit
+    (Cli_common.eval
+       (Cmd.group info [ miss_curve_cmd; split_sweep_cmd; h_sweep_cmd ]))

@@ -4,27 +4,34 @@
      gcsim run --policy lru --policy iblp --k 1024 trace.gct
      gcsim run --all --k 1024 --offline trace.gct
      gcsim run --all --json out.json --events events.jsonl --histograms t.gct
-     gcsim attack --construction thm2 --policy lru --k 512 --h 64 -B 16 *)
+     gcsim run --policy lru --inject phantom-hit@100 trace.gct
+     gcsim suite --policy lru --policy broken:crash@50 --json out.json
+     gcsim attack --construction thm2 --policy lru --k 512 --h 64 -B 16
+
+   Exit codes (see doc/ROBUSTNESS.md): 0 ok, 1 runtime failure, 2 usage
+   error, 3 model violation. *)
 
 open Cmdliner
 
-let read_trace path =
-  if path = "-" then Gc_trace.Trace_io.of_channel stdin
-  else if Filename.check_suffix path ".gctb" then
-    Gc_trace.Trace_io.load_binary path
-  else Gc_trace.Trace_io.load path
-
 (* ------------------------------------------------------------------ run *)
 
-let run policies all k seed offline no_check json events histograms path =
-  let trace = read_trace path in
+let is_violation = function
+  | Error f -> f.Gc_cache.Obs_run.kind = "model-violation"
+  | Ok _ -> false
+
+let is_failure = function Error _ -> true | Ok _ -> false
+
+let run policies all k seed offline no_check inject json events histograms path
+    =
+  let trace = Cli_common.read_trace path in
   let blocks = trace.Gc_trace.Trace.blocks in
   let names = if all then Gc_cache.Registry.names else policies in
-  if names = [] then failwith "no policies selected (use --policy or --all)";
+  if names = [] then
+    Cli_common.fail_usage "no policies selected (use --policy or --all)";
   let t0 = Unix.gettimeofday () in
   let events_oc = Option.map open_out events in
   Format.printf "%-14s %s@." "policy" "metrics";
-  let results =
+  let outcomes =
     List.map
       (fun name ->
         let sink =
@@ -32,16 +39,45 @@ let run policies all k seed offline no_check json events histograms path =
             (fun oc -> Gc_obs.Sink.jsonl ~labels:[ ("policy", name) ] oc)
             events_oc
         in
-        let r =
-          Gc_cache.Obs_run.run_policy ~check:(not no_check) ~histograms ?sink
-            ~k ~seed name trace
+        (* Fresh injector per policy; its fired-probe feeds the drill
+           report below. *)
+        let fired = ref (fun () -> None) in
+        let wrap =
+          Option.map
+            (fun spec p ->
+              let p, f = Gc_fault.Injector.wrap spec ~blocks p in
+              fired := f;
+              p)
+            inject
         in
-        Format.printf "%-14s %s@." name
-          (Gc_cache.Metrics.to_row r.Gc_cache.Obs_run.metrics);
-        r)
+        let outcome =
+          Gc_cache.Obs_run.run_policy_result ~check:(not no_check) ~histograms
+            ?sink ?wrap ~k ~seed name trace
+        in
+        (match outcome with
+        | Ok r ->
+            Format.printf "%-14s %s@." name
+              (Gc_cache.Metrics.to_row r.Gc_cache.Obs_run.metrics)
+        | Error f ->
+            Format.printf "%-14s %s: %s@." name f.Gc_cache.Obs_run.kind
+              f.Gc_cache.Obs_run.message);
+        (match inject with
+        | None -> ()
+        | Some spec ->
+            Format.printf "%-14s drill %s: %s@." "" (Gc_fault.Spec.spec_string spec)
+              (match (!fired (), outcome) with
+              | None, _ -> "never became eligible"
+              | Some i, Error { Gc_cache.Obs_run.kind = "model-violation"; _ }
+                ->
+                  Printf.sprintf "fired at access %d, caught by the audit" i
+              | Some i, Error _ -> Printf.sprintf "fired at access %d, run failed" i
+              | Some i, Ok _ ->
+                  Printf.sprintf "fired at access %d, NOT detected" i));
+        outcome)
       names
   in
   Option.iter close_out events_oc;
+  let results = List.filter_map Result.to_option outcomes in
   if offline then begin
     Format.printf "%-14s misses=%d@." "belady"
       (Gc_offline.Belady.cost ~k trace);
@@ -63,21 +99,26 @@ let run policies all k seed offline no_check json events histograms path =
               Gc_obs.Registry.pp reg
         | None -> ())
       results;
-  match json with
+  (match json with
   | None -> ()
   | Some out ->
       let manifest =
-        Gc_cache.Obs_run.manifest ~tool:"gcsim" ~command:"run" ~seed ~k
+        Gc_cache.Obs_run.manifest_of_outcomes ~tool:"gcsim" ~command:"run"
+          ~seed ~k
           ~trace:(Gc_cache.Obs_run.trace_info ~path trace)
           ~wall_time_s:(Unix.gettimeofday () -. t0)
-          results
+          outcomes
       in
       Gc_obs.Export.write_json out (Gc_obs.Manifest.to_json manifest);
-      Format.printf "@.manifest written to %s@." out
+      Format.printf "@.manifest written to %s@." out);
+  if List.exists is_violation outcomes then Cli_common.model_violation
+  else if List.exists is_failure outcomes then Cli_common.runtime_error
+  else Cli_common.ok
 
 let policy_arg =
   Arg.(
-    value & opt_all string []
+    value
+    & opt_all Cli_common.policy_conv []
     & info [ "policy"; "p" ] ~docv:"NAME"
         ~doc:"Policy to simulate (repeatable); see gc_cache registry.")
 
@@ -90,6 +131,19 @@ let offline_arg =
 
 let no_check_arg =
   Arg.(value & flag & info [ "no-check" ] ~doc:"Disable model checking.")
+
+let inject_arg =
+  Arg.(
+    value
+    & opt (some Cli_common.inject_conv) None
+    & info [ "inject" ] ~docv:"SPEC"
+        ~doc:
+          "Fault drill: wrap each policy in a single-shot fault injector \
+           (CLASS or CLASS@INDEX, e.g. $(b,phantom-hit@100)); the checked \
+           simulator should flag it (exit 3).  Classes: phantom-hit, \
+           phantom-miss, drop-requested, wrong-block-load, double-load, \
+           reload-cached, spurious-evict, ghost-evict, hidden-evict, \
+           over-occupancy.")
 
 let json_arg =
   Arg.(
@@ -121,44 +175,86 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Simulate policies over a trace")
     Term.(
       const run $ policy_arg $ all_arg $ k_arg $ seed_arg $ offline_arg
-      $ no_check_arg $ json_arg $ events_arg $ histograms_arg $ path_arg)
+      $ no_check_arg $ inject_arg $ json_arg $ events_arg $ histograms_arg
+      $ path_arg)
 
 (* ---------------------------------------------------------------- suite *)
 
-let suite k seed block_size =
-  let entries =
-    Gc_trace.Workload_suite.standard ~seed ~block_size ()
-  in
-  let policies = Gc_cache.Registry.names in
+let suite policies k seed block_size json =
+  let entries = Gc_trace.Workload_suite.standard ~seed ~block_size () in
+  let policies = if policies = [] then Gc_cache.Registry.names else policies in
+  let t0 = Unix.gettimeofday () in
   Format.printf "misses at k = %d (workload x policy)@.@." k;
   Format.printf "%-14s" "";
-  List.iter (fun e -> Format.printf " %12s" e.Gc_trace.Workload_suite.name) entries;
+  List.iter
+    (fun e -> Format.printf " %12s" e.Gc_trace.Workload_suite.name)
+    entries;
   Format.printf "@.";
+  let outcomes = ref [] in
   List.iter
     (fun pname ->
       Format.printf "%-14s" pname;
       List.iter
         (fun e ->
           let trace = e.Gc_trace.Workload_suite.trace in
-          let p =
-            Gc_cache.Registry.make pname ~k ~blocks:trace.Gc_trace.Trace.blocks
-              ~seed
+          let outcome =
+            Gc_cache.Obs_run.run_policy_result ~check:false ~k ~seed pname
+              trace
           in
-          let m = Gc_cache.Simulator.run ~check:false p trace in
-          Format.printf " %12d" m.Gc_cache.Metrics.misses)
+          (match outcome with
+          | Ok r ->
+              Format.printf " %12d"
+                r.Gc_cache.Obs_run.metrics.Gc_cache.Metrics.misses
+          | Error _ -> Format.printf " %12s" "error");
+          (* One manifest slot per (policy, workload) cell. *)
+          let tag = pname ^ "@" ^ e.Gc_trace.Workload_suite.name in
+          let tagged =
+            match outcome with
+            | Ok r -> Ok { r with Gc_cache.Obs_run.policy = tag }
+            | Error f -> Error { f with Gc_cache.Obs_run.policy = tag }
+          in
+          outcomes := tagged :: !outcomes)
         entries;
       Format.printf "@.")
-    policies
+    policies;
+  let outcomes = List.rev !outcomes in
+  (match json with
+  | None -> ()
+  | Some out ->
+      let manifest =
+        Gc_cache.Obs_run.manifest_of_outcomes ~tool:"gcsim" ~command:"suite"
+          ~seed ~k
+          ~wall_time_s:(Unix.gettimeofday () -. t0)
+          outcomes
+      in
+      Gc_obs.Export.write_json out (Gc_obs.Manifest.to_json manifest);
+      Format.printf "@.manifest written to %s@." out);
+  if List.exists is_failure outcomes then Cli_common.runtime_error
+  else Cli_common.ok
 
 let suite_cmd =
   Cmd.v
     (Cmd.info "suite"
-       ~doc:"Every registry policy on the standard workload suite")
+       ~doc:
+         "Registry policies on the standard workload suite (a failing \
+          policy is reported per-cell instead of killing the sweep)")
     Term.(
       const suite
+      $ Arg.(
+          value
+          & opt_all Cli_common.policy_conv []
+          & info [ "policy"; "p" ] ~docv:"NAME"
+              ~doc:"Policy to include (repeatable; default: all).")
       $ Arg.(value & opt int 512 & info [ "k" ] ~doc:"Cache capacity.")
       $ Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Suite seed.")
-      $ Arg.(value & opt int 16 & info [ "block-size"; "B" ] ~doc:"Block size."))
+      $ Arg.(value & opt int 16 & info [ "block-size"; "B" ] ~doc:"Block size.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "json" ] ~docv:"FILE"
+              ~doc:
+                "Write a run manifest (one slot per policy x workload, \
+                 structured per-cell errors) to $(docv)."))
 
 (* --------------------------------------------------------------- attack *)
 
@@ -171,7 +267,7 @@ let attack construction policy k h block_size cycles seed certify =
     | "thm2" -> Gc_cache.Attack.item_cache p ~k ~h ~block_size ~cycles
     | "thm3" -> Gc_cache.Attack.block_cache p ~k ~h ~block_size ~cycles
     | "thm4" -> Gc_cache.Attack.general_a p ~k ~h ~block_size ~cycles
-    | other -> failwith (Printf.sprintf "unknown construction %S" other)
+    | _ -> assert false (* the enum converter rejects anything else *)
   in
   let open Gc_trace.Adversary in
   Format.printf "construction: %s vs %s (k=%d h=%d B=%d, %d cycles)@."
@@ -184,18 +280,24 @@ let attack construction policy k h block_size cycles seed certify =
   if certify then begin
     let cost = Gc_offline.Clairvoyant.cost ~k:h c.trace in
     let claimed = c.opt_misses + c.warmup_opt_misses in
-    Format.printf "certification: clairvoyant(h) schedule costs %d vs %d claimed%s@."
-      cost claimed
+    Format.printf
+      "certification: clairvoyant(h) schedule costs %d vs %d claimed%s@." cost
+      claimed
       (if cost <= claimed then " (certified)" else " (heuristic gap)")
-  end
+  end;
+  Cli_common.ok
 
 let construction_arg =
   Arg.(
-    value & opt string "thm2"
+    value
+    & opt (Cli_common.choice_conv [ "st"; "thm2"; "thm3"; "thm4" ]) "thm2"
     & info [ "construction"; "c" ] ~doc:"One of: st, thm2, thm3, thm4.")
 
 let one_policy_arg =
-  Arg.(value & opt string "lru" & info [ "policy"; "p" ] ~doc:"Target policy.")
+  Arg.(
+    value
+    & opt Cli_common.policy_conv "lru"
+    & info [ "policy"; "p" ] ~doc:"Target policy.")
 
 let h_arg = Arg.(value & opt int 64 & info [ "h" ] ~doc:"Offline cache size.")
 
@@ -220,5 +322,14 @@ let attack_cmd =
       $ block_size_arg $ cycles_arg $ seed_arg $ certify_arg)
 
 let () =
-  let info = Cmd.info "gcsim" ~doc:"GC-caching policy simulator" in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; suite_cmd; attack_cmd ]))
+  let info =
+    Cmd.info "gcsim" ~doc:"GC-caching policy simulator"
+      ~exits:
+        [
+          Cmd.Exit.info 0 ~doc:"on success.";
+          Cmd.Exit.info 1 ~doc:"on runtime failure (bad trace, policy crash).";
+          Cmd.Exit.info 2 ~doc:"on usage errors.";
+          Cmd.Exit.info 3 ~doc:"on a model violation caught by the audit.";
+        ]
+  in
+  exit (Cli_common.eval (Cmd.group info [ run_cmd; suite_cmd; attack_cmd ]))

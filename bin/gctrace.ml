@@ -1,25 +1,20 @@
-(* gctrace: generate, inspect, and convert GC-caching traces.
+(* gctrace: generate, inspect, validate, and convert GC-caching traces.
 
    Examples:
      gctrace gen --kind spatial-mix --n 100000 --universe 8192 \
        --block-size 16 --p 0.7 --seed 1 -o trace.gct
      gctrace stats trace.gct
-     gctrace locality trace.gct --steps 12 *)
+     gctrace validate trace.gctb
+     gctrace validate --lenient damaged.gct
+     gctrace locality trace.gct --steps 12
+
+   Exit codes: 0 ok, 1 runtime failure (including an invalid trace),
+   2 usage error. *)
 
 open Cmdliner
 
-(* Paths ending in .gctb use the compact binary format. *)
-let read_trace path =
-  if path = "-" then Gc_trace.Trace_io.of_channel stdin
-  else if Filename.check_suffix path ".gctb" then
-    Gc_trace.Trace_io.load_binary path
-  else Gc_trace.Trace_io.load path
-
-let write_trace path t =
-  if path = "-" then Gc_trace.Trace_io.to_channel stdout t
-  else if Filename.check_suffix path ".gctb" then
-    Gc_trace.Trace_io.save_binary path t
-  else Gc_trace.Trace_io.save path t
+let read_trace = Cli_common.read_trace
+let write_trace = Cli_common.write_trace
 
 (* ------------------------------------------------------------------ gen *)
 
@@ -40,22 +35,37 @@ let gen kind n universe block_size alpha p stride seed out =
     | "pointer-chase" -> pointer_chase rng ~n ~universe ~block_size
     | "power-law" ->
         Gc_locality.Synthesis.power_law rng ~n ~p:2.0
-          ~rho:(Float.min (float_of_int block_size) (p *. float_of_int block_size))
+          ~rho:
+            (Float.min (float_of_int block_size) (p *. float_of_int block_size))
           ~block_size
-    | other -> failwith (Printf.sprintf "unknown kind %S" other)
+    | _ -> assert false (* the enum converter rejects anything else *)
   in
   write_trace out trace;
   if out <> "-" then
-    Format.eprintf "wrote %a to %s@." Gc_trace.Trace.pp trace out
+    Format.eprintf "wrote %a to %s@." Gc_trace.Trace.pp trace out;
+  Cli_common.ok
+
+let kinds =
+  [
+    "sequential";
+    "strided";
+    "uniform";
+    "zipf";
+    "zipf-blocks";
+    "spatial-mix";
+    "pointer-chase";
+    "power-law";
+  ]
 
 let kind_arg =
-  let doc =
-    "Workload kind: sequential, strided, uniform, zipf, zipf-blocks, \
-     spatial-mix, pointer-chase, power-law."
-  in
-  Arg.(value & opt string "uniform" & info [ "kind" ] ~docv:"KIND" ~doc)
+  let doc = Printf.sprintf "Workload kind: %s." (String.concat ", " kinds) in
+  Arg.(
+    value
+    & opt (Cli_common.choice_conv kinds) "uniform"
+    & info [ "kind" ] ~docv:"KIND" ~doc)
 
-let n_arg = Arg.(value & opt int 100_000 & info [ "n"; "length" ] ~doc:"Trace length.")
+let n_arg =
+  Arg.(value & opt int 100_000 & info [ "n"; "length" ] ~doc:"Trace length.")
 
 let universe_arg =
   Arg.(value & opt int 8192 & info [ "universe" ] ~doc:"Number of items.")
@@ -107,7 +117,8 @@ let stats path =
     (fun kb ->
       Format.printf "Block-LRU misses at %d blocks: %d@." kb
         (Gc_trace.Stats.lru_misses_at hb kb))
-    [ 16; 64; 256 ]
+    [ 16; 64; 256 ];
+  Cli_common.ok
 
 let path_arg =
   Arg.(value & pos 0 string "-" & info [] ~docv:"TRACE" ~doc:"Trace file.")
@@ -117,12 +128,71 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Print trace statistics and Mattson miss curves")
     Term.(const stats $ path_arg)
 
+(* ------------------------------------------------------------- validate *)
+
+let validate lenient path =
+  if lenient then begin
+    if path = "-" then
+      Cli_common.fail_usage "validate --lenient needs a file path, not stdin";
+    match Gc_trace.Trace_io.load_lenient path with
+    | Error e ->
+        Printf.printf "%s: unrecoverable: %s\n" path
+          (Gc_trace.Trace_io.string_of_error e);
+        Cli_common.runtime_error
+    | Ok r ->
+        let t = r.Gc_trace.Trace_io.trace in
+        Printf.printf "%s: recovered %d requests, dropped %d\n" path
+          (Gc_trace.Trace.length t) r.Gc_trace.Trace_io.dropped;
+        List.iter
+          (fun e ->
+            Printf.printf "  %s\n" (Gc_trace.Trace_io.string_of_error e))
+          r.Gc_trace.Trace_io.diagnostics;
+        if r.Gc_trace.Trace_io.dropped = 0
+           && r.Gc_trace.Trace_io.diagnostics = []
+        then Cli_common.ok
+        else Cli_common.runtime_error
+  end
+  else
+    let result =
+      if path = "-" then Gc_trace.Trace_io.of_channel_result stdin
+      else Gc_trace.Trace_io.load_any_result path
+    in
+    let display = if path = "-" then "stdin" else path in
+    match result with
+    | Ok t ->
+        Printf.printf "%s: ok (%d requests, %d items, block size %d)\n" display
+          (Gc_trace.Trace.length t)
+          (Gc_trace.Trace.distinct_items t)
+          (Gc_trace.Block_map.block_size t.Gc_trace.Trace.blocks);
+        Cli_common.ok
+    | Error e ->
+        Printf.printf "%s: invalid: %s\n" display
+          (Gc_trace.Trace_io.string_of_error e);
+        Cli_common.runtime_error
+
+let lenient_arg =
+  Arg.(
+    value & flag
+    & info [ "lenient" ]
+        ~doc:
+          "Recovery mode: skip malformed records, report what was dropped.  \
+           Exits 0 only if nothing was dropped.")
+
+let validate_cmd =
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Check a trace file (text or .gctb binary, including its checksum \
+          footer); exits 0 iff the file is fully valid")
+    Term.(const validate $ lenient_arg $ path_arg)
+
 (* ------------------------------------------------------------- locality *)
 
 let locality path steps =
   let t = read_trace path in
   let windows =
-    List.filter (fun n -> n >= 4)
+    List.filter
+      (fun n -> n >= 4)
       (Gc_locality.Working_set.geometric_windows t ~steps)
   in
   Format.printf "%10s %10s %10s %8s@." "n" "f(n)" "g(n)" "f/g";
@@ -132,15 +202,16 @@ let locality path steps =
       Format.printf "%10d %10d %10d %8.2f@." n f g
         (float_of_int f /. float_of_int (max 1 g)))
     profile;
-  match
-    Gc_locality.Concave_fit.fit_power
-      (List.map (fun (n, f, _) -> (n, f)) profile)
-  with
+  (match
+     Gc_locality.Concave_fit.fit_power
+       (List.map (fun (n, f, _) -> (n, f)) profile)
+   with
   | fit ->
       Format.printf "fit: f(n) ~ %.2f n^(1/%.2f) (rmse %.3f)@."
         fit.Gc_locality.Concave_fit.coeff fit.Gc_locality.Concave_fit.p
         fit.Gc_locality.Concave_fit.rmse
-  | exception Invalid_argument _ -> ()
+  | exception Invalid_argument _ -> ());
+  Cli_common.ok
 
 let steps_arg =
   Arg.(value & opt int 12 & info [ "steps" ] ~doc:"Window grid resolution.")
@@ -152,4 +223,6 @@ let locality_cmd =
 
 let () =
   let info = Cmd.info "gctrace" ~doc:"GC-caching trace toolkit" in
-  exit (Cmd.eval (Cmd.group info [ gen_cmd; stats_cmd; locality_cmd ]))
+  exit
+    (Cli_common.eval
+       (Cmd.group info [ gen_cmd; stats_cmd; validate_cmd; locality_cmd ]))

@@ -1,0 +1,35 @@
+type mode = Crash | Violate
+
+type state = {
+  inner : Policy.t;
+  mode : mode;
+  at : int;
+  mutable accesses : int;
+}
+
+module M = struct
+  type t = state
+
+  let name = "broken"
+  let k s = Policy.k s.inner
+  let mem s x = Policy.mem s.inner x
+  let occupancy s = Policy.occupancy s.inner
+
+  let access s item =
+    let i = s.accesses in
+    s.accesses <- i + 1;
+    if i < s.at then Policy.access s.inner item
+    else
+      match s.mode with
+      | Crash ->
+          failwith (Printf.sprintf "broken policy: deliberate crash at access %d" i)
+      | Violate ->
+          (* Whichever branch the simulator takes, the outcome contradicts
+             the shadow cache: a hit on an item we do not hold, or a miss
+             that fails to load the requested item. *)
+          if Policy.mem s.inner item then Policy.Miss { loaded = []; evicted = [] }
+          else Policy.Hit { evicted = [] }
+end
+
+let create ~k ~mode ~at =
+  Policy.Instance ((module M), { inner = Fifo.create ~k; mode; at; accesses = 0 })

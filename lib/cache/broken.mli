@@ -1,0 +1,18 @@
+(** A deliberately faulty policy, for robustness drills.
+
+    Behaves as FIFO until a chosen access index, then either raises or
+    starts reporting model-inconsistent outcomes.  Used to prove that
+    multi-policy sweeps degrade gracefully (the failure is captured
+    per-policy instead of killing the run) and that the checked simulator
+    actually flags bad outcomes.  Registry spec: ["broken:crash@N"] /
+    ["broken:violate@N"]. *)
+
+type mode =
+  | Crash  (** Raise [Failure] from [access]. *)
+  | Violate
+      (** Report a hit on an uncached item (or a loadless miss on a cached
+          one) — guaranteed to trip the shadow audit when checking is on. *)
+
+val create : k:int -> mode:mode -> at:int -> Policy.t
+(** [create ~k ~mode ~at] misbehaves on access number [at] (0-based) and
+    every access after it. *)

@@ -5,11 +5,15 @@ type result = {
   events : (string * int) list;
 }
 
-let run_policy ?(check = true) ?(histograms = false) ?sink ~k ~seed name trace =
+type failure = { policy : string; kind : string; message : string }
+
+let run_policy ?(check = true) ?(histograms = false) ?sink ?wrap ~k ~seed name
+    trace =
   let blocks = trace.Gc_trace.Trace.blocks in
+  let build p = match wrap with Some w -> w p | None -> p in
   if not (histograms || Option.is_some sink) then begin
     (* Fully unobserved: no probe, no event allocation. *)
-    let p = Registry.make name ~k ~blocks ~seed in
+    let p = build (Registry.make name ~k ~blocks ~seed) in
     let metrics = Simulator.run ~check p trace in
     { policy = name; metrics; registry = None; events = [] }
   end
@@ -41,7 +45,7 @@ let run_policy ?(check = true) ?(histograms = false) ?sink ~k ~seed name trace =
         (Gc_obs.Event.Repartition
            { index = !current_index; item_budget; block_budget })
     in
-    let p = Registry.make ~repartition name ~k ~blocks ~seed in
+    let p = build (Registry.make ~repartition name ~k ~blocks ~seed) in
     let metrics = Simulator.run ~check ~probe p trace in
     {
       policy = name;
@@ -51,6 +55,14 @@ let run_policy ?(check = true) ?(histograms = false) ?sink ~k ~seed name trace =
     }
   end
 
+let run_policy_result ?check ?histograms ?sink ?wrap ~k ~seed name trace =
+  match run_policy ?check ?histograms ?sink ?wrap ~k ~seed name trace with
+  | r -> Ok r
+  | exception Simulator.Model_violation message ->
+      Error { policy = name; kind = "model-violation"; message }
+  | exception exn ->
+      Error { policy = name; kind = "exception"; message = Printexc.to_string exn }
+
 let trace_info ~path trace =
   {
     Gc_obs.Manifest.path;
@@ -59,19 +71,34 @@ let trace_info ~path trace =
     digest = Gc_trace.Trace.digest trace;
   }
 
+let manifest_run (r : result) =
+  {
+    Gc_obs.Manifest.policy = r.policy;
+    metrics =
+      (match Metrics.to_json r.metrics with
+      | Gc_obs.Json.Obj fields -> fields
+      | other -> [ ("metrics", other) ]);
+    histograms = Option.map Gc_obs.Registry.to_json r.registry;
+    events = r.events;
+    error = None;
+  }
+
+let failed_run (f : failure) =
+  {
+    Gc_obs.Manifest.policy = f.policy;
+    metrics = [];
+    histograms = None;
+    events = [];
+    error = Some (f.kind, f.message);
+  }
+
 let manifest ~tool ~command ?seed ?k ?trace ?wall_time_s ?extra results =
-  let runs =
-    List.map
-      (fun r ->
-        {
-          Gc_obs.Manifest.policy = r.policy;
-          metrics =
-            (match Metrics.to_json r.metrics with
-            | Gc_obs.Json.Obj fields -> fields
-            | other -> [ ("metrics", other) ]);
-          histograms = Option.map Gc_obs.Registry.to_json r.registry;
-          events = r.events;
-        })
-      results
-  in
-  Gc_obs.Manifest.make ~tool ~command ?seed ?k ?trace ?wall_time_s ?extra runs
+  Gc_obs.Manifest.make ~tool ~command ?seed ?k ?trace ?wall_time_s ?extra
+    (List.map manifest_run results)
+
+let manifest_of_outcomes ~tool ~command ?seed ?k ?trace ?wall_time_s ?extra
+    outcomes =
+  Gc_obs.Manifest.make ~tool ~command ?seed ?k ?trace ?wall_time_s ?extra
+    (List.map
+       (function Ok r -> manifest_run r | Error f -> failed_run f)
+       outcomes)

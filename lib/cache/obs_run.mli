@@ -16,10 +16,17 @@ type result = {
       (** Per-kind event counts; [[]] when the run was unobserved. *)
 }
 
+type failure = {
+  policy : string;
+  kind : string;  (** ["model-violation"] or ["exception"]. *)
+  message : string;
+}
+
 val run_policy :
   ?check:bool ->
   ?histograms:bool ->
   ?sink:Gc_obs.Sink.t ->
+  ?wrap:(Policy.t -> Policy.t) ->
   k:int ->
   seed:int ->
   string ->
@@ -30,7 +37,24 @@ val run_policy :
     attached at all — the run is exactly as fast as an unobserved
     {!Simulator.run}.  Otherwise every event is counted, fed to the
     {!Gc_obs.Probe} (if [histograms]), and forwarded to [sink]; adaptive
-    repartitions are injected into the same stream. *)
+    repartitions are injected into the same stream.  [wrap] transforms the
+    constructed policy before simulation (fault injectors hook in here). *)
+
+val run_policy_result :
+  ?check:bool ->
+  ?histograms:bool ->
+  ?sink:Gc_obs.Sink.t ->
+  ?wrap:(Policy.t -> Policy.t) ->
+  k:int ->
+  seed:int ->
+  string ->
+  Gc_trace.Trace.t ->
+  (result, failure) Stdlib.result
+(** Like {!run_policy}, but a policy that raises — a
+    {!Simulator.Model_violation} from the shadow audit, or any other
+    exception from the policy itself — is captured as a structured
+    {!failure} instead of propagating.  This is the graceful-degradation
+    entry point for multi-policy sweeps. *)
 
 val trace_info : path:string -> Gc_trace.Trace.t -> Gc_obs.Manifest.trace_info
 (** Length, block size, and content digest for the manifest. *)
@@ -47,3 +71,17 @@ val manifest :
   Gc_obs.Manifest.t
 (** Package results: each run carries its {!Metrics.fields} (plus derived
     rates), its histogram registry snapshot, and its event counts. *)
+
+val manifest_of_outcomes :
+  tool:string ->
+  command:string ->
+  ?seed:int ->
+  ?k:int ->
+  ?trace:Gc_obs.Manifest.trace_info ->
+  ?wall_time_s:float ->
+  ?extra:(string * Gc_obs.Json.t) list ->
+  (result, failure) Stdlib.result list ->
+  Gc_obs.Manifest.t
+(** Like {!manifest}, but accepts {!run_policy_result} outcomes: a failed
+    policy keeps its slot in the manifest's [runs], with empty metrics and
+    the [error] field set, so a sweep's survivors are never discarded. *)

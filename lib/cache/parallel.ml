@@ -28,6 +28,11 @@ let map ?domains f xs =
          results)
   end
 
+let try_map ?domains f xs =
+  (* The try sits inside the worker, so one faulty task surfaces as its own
+     [Error] and the rest of the stripe still runs. *)
+  map ?domains (fun x -> try Ok (f x) with exn -> Error exn) xs
+
 let run_sweep ?domains ~make ~trace points =
   map ?domains
     (fun point ->

@@ -10,6 +10,11 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
     [Domain.recommended_domain_count () - 1] (min 1).  Exceptions in a task
     are re-raised in the caller. *)
 
+val try_map : ?domains:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** Like {!map}, but a task that raises yields [Error exn] in its slot
+    instead of aborting the whole fan-out — the other tasks' results
+    survive.  Order is preserved. *)
+
 val run_sweep :
   ?domains:int ->
   make:('a -> Policy.t) ->

@@ -174,6 +174,33 @@ let make ?repartition name ~k ~blocks ~seed =
                 invalid_arg "Registry.make: setassoc-lru needs ways | k";
               Set_assoc.create_lru ~sets:(k / ways) ~ways
           | _ -> invalid_arg "Registry.make: setassoc-lru takes one parameter")
+      | "broken" -> (
+          (* Not listed in [all]: only built when explicitly requested, for
+             graceful-degradation drills. *)
+          match parts with
+          | [ p ] ->
+              let mode_str, at =
+                match String.index_opt p '@' with
+                | Some j ->
+                    ( String.sub p 0 j,
+                      int_of "at"
+                        (String.sub p (j + 1) (String.length p - j - 1)) )
+                | None -> (p, 0)
+              in
+              let mode =
+                match mode_str with
+                | "crash" -> Broken.Crash
+                | "violate" -> Broken.Violate
+                | s ->
+                    invalid_arg
+                      (Printf.sprintf
+                         "Registry.make: broken mode %S (want crash|violate)" s)
+              in
+              Broken.create ~k ~mode ~at
+          | _ ->
+              invalid_arg
+                "Registry.make: broken takes one parameter (crash@N | violate@N)"
+          )
       | "iblp" ->
           let i_size = ref (-1) and b_size = ref (-1) in
           List.iter

@@ -5,7 +5,9 @@
     - ["lru"], ["fifo"], ["lfu"], ["clock"], ["random"], ["marking"]
     - ["block-lru"], ["gcm"]
     - ["iblp"] (equal split), ["iblp:i=1024,b=1024"]
-    - ["param-a:4"] (the Theorem-4 family with [a = 4]) *)
+    - ["param-a:4"] (the Theorem-4 family with [a = 4])
+    - ["broken:crash@100"] / ["broken:violate@100"] ({!Broken}; never part
+      of {!all} — built only on explicit request, for robustness drills) *)
 
 type spec = {
   name : string;

@@ -1,0 +1,38 @@
+module Trace = Gc_trace.Trace
+module Block_map = Gc_trace.Block_map
+
+type outcome = {
+  fault : Spec.fault_class;
+  fired : int option;
+  detected : bool;
+  message : string option;
+}
+
+(* Blocks of 4: {0..3} {4..7}.  The sequence provides, in order, a cold
+   miss (0), a same-block neighbour miss with 0 still cached (1), a hit
+   (0), capacity fill (2, 3), an eviction (5), more evictions (6, 7), and
+   re-accesses of the early items (0, 1) so a hidden eviction of either is
+   eventually caught as a miss-on-believed-cached. *)
+let drill_trace () =
+  Trace.make
+    (Block_map.uniform ~block_size:4)
+    [| 0; 1; 0; 2; 3; 5; 6; 7; 0; 1 |]
+
+let check ?(k = 4) ?(at = 0) fault trace =
+  let blocks = trace.Trace.blocks in
+  let inner = Gc_cache.Lru.create ~k in
+  let policy, fired = Injector.wrap { Spec.fault; at } ~blocks inner in
+  match Gc_cache.Simulator.run ~check:true policy trace with
+  | _ -> { fault; fired = fired (); detected = false; message = None }
+  | exception Gc_cache.Simulator.Model_violation msg ->
+      { fault; fired = fired (); detected = true; message = Some msg }
+
+let matrix ?k ?trace () =
+  let trace = match trace with Some t -> t | None -> drill_trace () in
+  List.map (fun fault -> check ?k fault trace) Spec.all
+
+let undetected outcomes =
+  List.filter_map
+    (fun o ->
+      if o.detected && o.fired <> None then None else Some o.fault)
+    outcomes

@@ -1,0 +1,33 @@
+(** The checker-coverage matrix: mutation testing for the shadow audit.
+
+    For each {!Spec.fault_class}, run a fault-injected LRU through the
+    checked simulator on a drill trace designed to make every class
+    eligible, and record whether the audit raised
+    [Gc_cache.Simulator.Model_violation].  A fault that fires without a
+    violation is an audit gap. *)
+
+type outcome = {
+  fault : Spec.fault_class;
+  fired : int option;  (** Access index the fault was injected at. *)
+  detected : bool;  (** Did the checked simulator raise? *)
+  message : string option;  (** The violation message when detected. *)
+}
+
+val drill_trace : unit -> Gc_trace.Trace.t
+(** A short trace (uniform blocks of 4) exercising hits, same-block
+    neighbour misses, capacity evictions, and re-access of an evicted
+    item — the eligibility conditions of all ten fault classes, including
+    the delayed detection of [Hidden_evict]. *)
+
+val check :
+  ?k:int -> ?at:int -> Spec.fault_class -> Gc_trace.Trace.t -> outcome
+(** Run one fault class (default [k = 4], armed at access [at = 0],
+    LRU inner policy) under the checked simulator. *)
+
+val matrix : ?k:int -> ?trace:Gc_trace.Trace.t -> unit -> outcome list
+(** {!check} every class in {!Spec.all} against [trace] (default
+    {!drill_trace}). *)
+
+val undetected : outcome list -> Spec.fault_class list
+(** Classes that fired but were not flagged — audit gaps.  Classes that
+    never fired also count: an ineligible fault proves nothing. *)

@@ -1,0 +1,131 @@
+module Policy = Gc_cache.Policy
+module Block_map = Gc_trace.Block_map
+
+type state = {
+  inner : Policy.t;
+  blocks : Block_map.t;
+  spec : Spec.t;
+  (* What the checker believes is cached, maintained from the outcomes as
+     reported (not as true): fault construction picks items from here so a
+     corruption trips exactly the intended audit check. *)
+  mirror : (int, unit) Hashtbl.t;
+  mutable max_seen : int;
+  mutable index : int;
+  mutable fired : int option;
+}
+
+(* An id the checker has never seen: neither cached nor ever requested. *)
+let fresh s = s.max_seen + 1
+
+(* An id from a different block than [item]'s.  Search upward from a fresh
+   id: uniform maps place consecutive ids in blocks of bounded size, and
+   explicit maps give unlisted ids singleton blocks, so this terminates
+   within one block size. *)
+let foreign s item =
+  let blk = Block_map.block_of s.blocks item in
+  let rec go c = if Block_map.block_of s.blocks c <> blk then c else go (c + 1) in
+  go (fresh s)
+
+(* A checker-believed-cached item passing [keep], or [None]. *)
+let cached_candidate s keep =
+  Hashtbl.fold
+    (fun c () acc -> match acc with Some _ -> acc | None -> if keep c then Some c else None)
+    s.mirror None
+
+(* [Some corrupted] when the fault class is eligible against this truthful
+   outcome, [None] to stay armed. *)
+let mutate s item truth =
+  match (s.spec.Spec.fault, truth) with
+  | Spec.Phantom_hit, Policy.Miss _ -> Some (Policy.Hit { evicted = [] })
+  | Spec.Phantom_miss, Policy.Hit _ ->
+      Some (Policy.Miss { loaded = [ item ]; evicted = [] })
+  | Spec.Drop_requested, Policy.Miss { loaded; evicted } ->
+      Some (Policy.Miss { loaded = List.filter (fun x -> x <> item) loaded; evicted })
+  | Spec.Wrong_block_load, Policy.Miss { loaded; evicted } ->
+      Some (Policy.Miss { loaded = loaded @ [ foreign s item ]; evicted })
+  | Spec.Double_load, Policy.Miss { loaded; evicted } ->
+      Some (Policy.Miss { loaded = loaded @ [ item ]; evicted })
+  | Spec.Reload_cached, Policy.Miss { loaded; evicted } ->
+      (* Must come from the requested item's own block, or the audit's
+         wrong-block check would fire instead of its already-cached one. *)
+      let blk = Block_map.block_of s.blocks item in
+      cached_candidate s (fun c ->
+          Block_map.block_of s.blocks c = blk
+          && (not (List.mem c loaded))
+          && not (List.mem c evicted))
+      |> Option.map (fun c -> Policy.Miss { loaded = loaded @ [ c ]; evicted })
+  | Spec.Spurious_evict, Policy.Hit { evicted } ->
+      Some (Policy.Hit { evicted = evicted @ [ fresh s ] })
+  | Spec.Spurious_evict, Policy.Miss { loaded; evicted } ->
+      Some (Policy.Miss { loaded; evicted = evicted @ [ fresh s ] })
+  | Spec.Ghost_evict, Policy.Hit { evicted } ->
+      cached_candidate s (fun c ->
+          c <> item && Policy.mem s.inner c && not (List.mem c evicted))
+      |> Option.map (fun c -> Policy.Hit { evicted = evicted @ [ c ] })
+  | Spec.Ghost_evict, Policy.Miss { loaded; evicted } ->
+      cached_candidate s (fun c ->
+          c <> item
+          && Policy.mem s.inner c
+          && (not (List.mem c evicted))
+          && not (List.mem c loaded))
+      |> Option.map (fun c -> Policy.Miss { loaded; evicted = evicted @ [ c ] })
+  | Spec.Hidden_evict, Policy.Hit { evicted = _ :: rest } ->
+      Some (Policy.Hit { evicted = rest })
+  | Spec.Hidden_evict, Policy.Miss { loaded; evicted = _ :: rest } ->
+      Some (Policy.Miss { loaded; evicted = rest })
+  | Spec.Over_occupancy, truth -> Some truth
+  | _ -> None
+
+(* Replicate the checker's shadow-cache update for a reported outcome. *)
+let apply_reported s item = function
+  | Policy.Hit { evicted } ->
+      List.iter (Hashtbl.remove s.mirror) evicted;
+      Hashtbl.replace s.mirror item ()
+  | Policy.Miss { loaded; evicted } ->
+      List.iter (Hashtbl.remove s.mirror) evicted;
+      List.iter (fun x -> Hashtbl.replace s.mirror x ()) loaded;
+      Hashtbl.replace s.mirror item ()
+
+module M = struct
+  type t = state
+
+  let name = "inject"
+  let k s = Policy.k s.inner
+  let mem s x = Policy.mem s.inner x
+
+  let occupancy s =
+    match (s.spec.Spec.fault, s.fired) with
+    | Spec.Over_occupancy, Some _ -> Policy.k s.inner + 1
+    | _ -> Policy.occupancy s.inner
+
+  let access s item =
+    let i = s.index in
+    s.index <- i + 1;
+    if item > s.max_seen then s.max_seen <- item;
+    let truth = Policy.access s.inner item in
+    let reported =
+      if s.fired = None && i >= s.spec.Spec.at then
+        match mutate s item truth with
+        | Some corrupted ->
+            s.fired <- Some i;
+            corrupted
+        | None -> truth
+      else truth
+    in
+    apply_reported s item reported;
+    reported
+end
+
+let wrap spec ~blocks inner =
+  let s =
+    {
+      inner;
+      blocks;
+      spec;
+      mirror = Hashtbl.create 256;
+      max_seen = -1;
+      index = 0;
+      fired = None;
+    }
+  in
+  (Policy.Instance ((module M), s), fun () -> s.fired)

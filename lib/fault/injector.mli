@@ -1,0 +1,20 @@
+(** Wrap any policy in a single-shot fault injector.
+
+    The wrapped policy behaves identically to the inner one until the
+    spec's arm index, then corrupts exactly one reported outcome (or, for
+    [Over_occupancy], its occupancy report) in the way the fault class
+    prescribes.  Corruption is constructed against a mirror of what the
+    {e checker} believes is cached — built from the reported outcomes — so
+    each fault provokes precisely its own audit check and not an earlier
+    one by accident. *)
+
+val wrap :
+  Spec.t ->
+  blocks:Gc_trace.Block_map.t ->
+  Gc_cache.Policy.t ->
+  Gc_cache.Policy.t * (unit -> int option)
+(** [wrap spec ~blocks p] is the injected policy plus a [fired] probe:
+    [None] until the fault has been injected, then [Some index] of the
+    access it fired on.  A fault stays armed across accesses where it is
+    not eligible (e.g. [Phantom_miss] waits for a hit), so [fired ()] can
+    remain [None] for a whole run if the trace never makes it eligible. *)

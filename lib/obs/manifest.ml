@@ -10,6 +10,7 @@ type run = {
   metrics : (string * Json.t) list;
   histograms : Json.t option;
   events : (string * int) list;
+  error : (string * string) option;
 }
 
 type t = {
@@ -49,11 +50,24 @@ let run_json r =
     @ (match r.histograms with
       | Some h -> [ ("histograms", h) ]
       | None -> [])
+    @ (match r.events with
+      | [] -> []
+      | events ->
+          [
+            ( "events",
+              Json.Obj (List.map (fun (key, n) -> (key, Json.Int n)) events) );
+          ])
     @
-    match r.events with
-    | [] -> []
-    | events ->
-        [ ("events", Json.Obj (List.map (fun (key, n) -> (key, Json.Int n)) events)) ])
+    match r.error with
+    | None -> []
+    | Some (kind, message) ->
+        [
+          ( "error",
+            Json.Obj
+              [
+                ("kind", Json.String kind); ("message", Json.String message);
+              ] );
+        ])
 
 let to_json t =
   Json.Obj

@@ -20,6 +20,11 @@ type run = {
   metrics : (string * Json.t) list;  (** Flat counters, stable order. *)
   histograms : Json.t option;  (** Registry snapshot when histograms are on. *)
   events : (string * int) list;  (** Per-kind event counts; [] when off. *)
+  error : (string * string) option;
+      (** [(kind, message)] when the policy failed instead of finishing:
+          kind is ["model-violation"] or ["exception"].  A failed run keeps
+          its slot in [runs] (with whatever metrics were gathered before the
+          failure) so one bad policy never erases a sweep's other results. *)
 }
 
 type t = {

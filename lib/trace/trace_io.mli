@@ -1,6 +1,6 @@
-(** Plain-text trace serialization.
+(** Plain-text and binary trace serialization, with hardened decoders.
 
-    Format (line-oriented, ASCII):
+    Text format (line-oriented, ASCII):
     {v
     gctrace 1
     blocks uniform <B>
@@ -14,34 +14,115 @@
     <item> <item> ...   (one line per block)
     requests <n>
     ...
-    v} *)
+    v}
 
+    Decoding is built around a strict, [Result]-returning core with
+    positional diagnostics (line number for text, byte offset for binary).
+    Reads from channels stream through a fixed-size buffer, so decoding a
+    file never materializes its serialized form in memory, and no
+    allocation is sized from an untrusted length field: a hostile header
+    claiming 2^60 requests fails with a clean [Error] after reading only
+    the bytes actually present.  The legacy exception-raising entry points
+    ([of_string], [of_bytes], [load], ...) survive as thin wrappers that
+    [failwith] the rendered diagnostic. *)
+
+(** {1 Diagnostics} *)
+
+type position =
+  | Line of int  (** 1-based line in a text trace. *)
+  | Byte of int  (** 0-based byte offset in a binary trace. *)
+  | Io  (** The failure happened opening or reading the file itself. *)
+
+type error = { position : position; reason : string }
+
+val string_of_error : error -> string
+(** ["line 3: expected integer, got \"x\""] / ["byte 17: varint overflow"]. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+(** {1 Encoding} *)
+
+val to_buffer : Buffer.t -> Trace.t -> unit
+val to_string : Trace.t -> string
 val to_channel : out_channel -> Trace.t -> unit
 
-val of_channel : in_channel -> Trace.t
-(** Raises [Failure] on malformed input. *)
-
 val save : string -> Trace.t -> unit
-(** Write to a file path. *)
+(** Write the text form to a file path. *)
 
-val load : string -> Trace.t
+(** {1 Strict decoding}
 
-val to_string : Trace.t -> string
+    All decoders consume the entire input: trailing non-whitespace after
+    the declared requests is an error, as is a request count that the
+    input cannot back. *)
+
+val of_string_result : string -> (Trace.t, error) result
+
+val of_channel_result : in_channel -> (Trace.t, error) result
+(** Streaming: reads through a fixed 64 KiB buffer. *)
+
+val load_result : string -> (Trace.t, error) result
+(** Text format from a file path; I/O failures yield [Error] with
+    [position = Io]. *)
+
+val load_any_result : string -> (Trace.t, error) result
+(** Dispatch on the file extension: [.gctb] is binary, anything else
+    text. *)
+
+(** {1 Lenient decoding}
+
+    Recovery mode for damaged traces: the header must still parse, but
+    malformed records are skipped rather than fatal.  For the text format
+    that means non-integer or negative request tokens are dropped (and
+    block lines are cleaned of unparsable or duplicate items); for the
+    binary format, decoding stops at the first undecodable byte and the
+    intact prefix is kept.  The report says exactly what was lost. *)
+
+type recovery = {
+  trace : Trace.t;
+  dropped : int;  (** Requests lost: malformed, negative, or truncated. *)
+  diagnostics : error list;
+      (** First {!max_diagnostics} individual problems, in input order. *)
+}
+
+val max_diagnostics : int
+
+val of_string_lenient : string -> (recovery, error) result
+val of_bytes_lenient : bytes -> (recovery, error) result
+
+val load_lenient : string -> (recovery, error) result
+(** Extension-dispatched lenient load, like {!load_any_result}. *)
+
+(** {1 Legacy raising decoders} *)
 
 val of_string : string -> Trace.t
+(** Raises [Failure] on malformed input. *)
+
+val of_channel : in_channel -> Trace.t
+(** Streaming; raises [Failure] on malformed input. *)
+
+val load : string -> Trace.t
 
 (** {1 Binary format}
 
     A compact varint encoding ("GCTB" magic): requests are zigzag-encoded
     deltas from the previous request, so sequential and spatially local
     traces compress to ~1 byte per access.  Explicit block maps are stored
-    as per-block item lists. *)
+    as per-block item lists.
+
+    Version 2 (written by {!to_bytes}) ends with an 8-byte little-endian
+    FNV-1a64 checksum of every preceding byte, so torn writes and bit rot
+    are detected rather than decoded into a silently different trace.
+    Version 1 payloads (no footer) are still read. *)
 
 val to_bytes : Trace.t -> bytes
+
+val of_bytes_result : bytes -> (Trace.t, error) result
+
+val load_binary_result : string -> (Trace.t, error) result
+(** Streaming binary read with incremental checksum verification. *)
 
 val of_bytes : bytes -> Trace.t
 (** Raises [Failure] on malformed input. *)
 
 val save_binary : string -> Trace.t -> unit
-
 val load_binary : string -> Trace.t

@@ -1,0 +1,253 @@
+(* End-to-end tests of the installed CLI surface: golden `gctrace validate`
+   output and the exit-code contract (0 ok, 1 runtime failure, 2 usage
+   error, 3 model violation) shared by every gc* binary.
+
+   The binaries are dune deps of this test; cwd is _build/default/test, so
+   they live at ../bin/*.exe. *)
+
+open Gc_trace
+
+let gcsim = "../bin/gcsim.exe"
+let gctrace = "../bin/gctrace.exe"
+let gcexp = "../bin/gcexp.exe"
+
+(* Run a shell command, returning (exit code, combined stdout+stderr). *)
+let exec ?stdin_from cmd =
+  let out = Filename.temp_file "gc_cli" ".out" in
+  let redirect_in =
+    match stdin_from with
+    | None -> ""
+    | Some path -> Printf.sprintf " < %s" (Filename.quote path)
+  in
+  let code =
+    Sys.command
+      (Printf.sprintf "%s%s > %s 2>&1" cmd redirect_in (Filename.quote out))
+  in
+  let ic = open_in_bin out in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out;
+  (code, s)
+
+let with_tmp suffix f =
+  let path = Filename.temp_file "gc_cli" suffix in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let sample_trace () =
+  Trace.make (Block_map.uniform ~block_size:4) [| 0; 1; 2; 8; 9; 4; 5; 0 |]
+
+let check_run msg ~code ~output cmd =
+  let c, o = exec cmd in
+  Alcotest.(check int) (msg ^ " exit code") code c;
+  Alcotest.(check string) (msg ^ " output") output o
+
+(* --------------------------------------------------------------- validate *)
+
+let test_validate_ok () =
+  with_tmp ".gct" (fun path ->
+      Trace_io.save path (sample_trace ());
+      check_run "validate ok" ~code:0
+        ~output:
+          (Printf.sprintf "%s: ok (8 requests, 7 items, block size 4)\n" path)
+        (Printf.sprintf "%s validate %s" gctrace (Filename.quote path)))
+
+let test_validate_stdin () =
+  with_tmp ".gct" (fun path ->
+      Trace_io.save path (sample_trace ());
+      let code, output =
+        exec ~stdin_from:path (Printf.sprintf "%s validate" gctrace)
+      in
+      Alcotest.(check int) "stdin exit code" 0 code;
+      Alcotest.(check string)
+        "stdin output" "stdin: ok (8 requests, 7 items, block size 4)\n" output)
+
+let test_validate_invalid_text () =
+  with_tmp ".gct" (fun path ->
+      let oc = open_out path in
+      output_string oc "gctrace 1\nblocks uniform 4\nrequests 3\n1 2 x\n";
+      close_out oc;
+      check_run "validate invalid" ~code:1
+        ~output:
+          (Printf.sprintf "%s: invalid: line 4: expected integer, got \"x\"\n"
+             path)
+        (Printf.sprintf "%s validate %s" gctrace (Filename.quote path)))
+
+let test_validate_checksum () =
+  with_tmp ".gctb" (fun path ->
+      Trace_io.save_binary path (sample_trace ());
+      (* Flip the final checksum byte. *)
+      let ic = open_in_bin path in
+      let bytes = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let b = Bytes.of_string bytes in
+      let last = Bytes.length b - 1 in
+      Bytes.set b last (Char.chr (Char.code (Bytes.get b last) lxor 0xFF));
+      let oc = open_out_bin path in
+      output_bytes oc b;
+      close_out oc;
+      let code, output =
+        exec (Printf.sprintf "%s validate %s" gctrace (Filename.quote path))
+      in
+      Alcotest.(check int) "checksum exit code" 1 code;
+      Alcotest.(check bool)
+        "mentions checksum mismatch" true
+        (Test_util.contains output "checksum mismatch"))
+
+let test_validate_lenient () =
+  with_tmp ".gct" (fun path ->
+      let oc = open_out path in
+      output_string oc "gctrace 1\nblocks uniform 4\nrequests 6\n1 2 x 3 4\n";
+      close_out oc;
+      check_run "validate lenient" ~code:1
+        ~output:
+          (Printf.sprintf
+             "%s: recovered 4 requests, dropped 2\n\
+             \  line 4: bad request \"x\" dropped\n\
+             \  line 5: 1 of 6 declared requests missing\n"
+             path)
+        (Printf.sprintf "%s validate --lenient %s" gctrace
+           (Filename.quote path)))
+
+let test_validate_lenient_clean () =
+  with_tmp ".gct" (fun path ->
+      Trace_io.save path (sample_trace ());
+      check_run "validate lenient clean" ~code:0
+        ~output:(Printf.sprintf "%s: recovered 8 requests, dropped 0\n" path)
+        (Printf.sprintf "%s validate --lenient %s" gctrace
+           (Filename.quote path)))
+
+(* ------------------------------------------------------------- exit codes *)
+
+let saved_trace f =
+  with_tmp ".gct" (fun path ->
+      Trace_io.save path
+        (Trace.make (Block_map.uniform ~block_size:4)
+           (Array.init 400 (fun i -> (i * 7) mod 64)));
+      f path)
+
+let test_exit_ok () =
+  saved_trace (fun path ->
+      let code, _ =
+        exec (Printf.sprintf "%s run -p lru -k 16 %s" gcsim path)
+      in
+      Alcotest.(check int) "clean run exits 0" 0 code)
+
+let test_exit_runtime () =
+  let code, output =
+    exec (Printf.sprintf "%s run -p lru -k 16 /nonexistent.gct" gcsim)
+  in
+  Alcotest.(check int) "missing trace exits 1" 1 code;
+  Alcotest.(check bool)
+    "names the file" true
+    (Test_util.contains output "/nonexistent.gct")
+
+let test_exit_usage () =
+  List.iter
+    (fun (msg, cmd, needle) ->
+      let code, output = exec cmd in
+      Alcotest.(check int) (msg ^ " exits 2") 2 code;
+      Alcotest.(check bool)
+        (msg ^ " lists choices") true
+        (Test_util.contains output needle))
+    [
+      ( "unknown policy",
+        Printf.sprintf "%s run -p nosuch -k 16 /dev/null" gcsim,
+        "unknown policy" );
+      ( "unknown workload kind",
+        Printf.sprintf "%s gen --kind bogus" gctrace,
+        "sequential" );
+      ( "unknown construction",
+        Printf.sprintf "%s h-sweep -c bogus" gcexp,
+        "thm2" );
+      ( "unknown subcommand",
+        Printf.sprintf "%s frobnicate" gcsim,
+        "unknown command" );
+      ( "bad inject spec",
+        Printf.sprintf "%s run -p lru --inject nosuch /dev/null" gcsim,
+        "phantom-hit" );
+    ]
+
+let test_exit_violation () =
+  saved_trace (fun path ->
+      let code, output =
+        exec
+          (Printf.sprintf "%s run -p lru -k 16 --inject phantom-hit %s" gcsim
+             path)
+      in
+      Alcotest.(check int) "injected fault exits 3" 3 code;
+      Alcotest.(check bool)
+        "drill reports detection" true
+        (Test_util.contains output "caught by the audit"))
+
+(* ------------------------------------------------------ suite degradation *)
+
+let test_suite_crash_manifest () =
+  with_tmp ".json" (fun json_path ->
+      let code, output =
+        exec
+          (Printf.sprintf
+             "%s suite -k 64 --seed 7 --policy lru --policy broken:crash@50 \
+              --json %s"
+             gcsim (Filename.quote json_path))
+      in
+      Alcotest.(check int) "suite with crashing policy exits 1" 1 code;
+      Alcotest.(check bool)
+        "table shows error cells" true
+        (Test_util.contains output "error");
+      let open Gc_obs in
+      let manifest = Test_util.parse_json_file json_path in
+      let runs =
+        match Json.member "runs" manifest with
+        | Some (Json.Array rs) -> rs
+        | _ -> Alcotest.fail "manifest has no runs array"
+      in
+      let errors =
+        List.filter_map
+          (fun r ->
+            match (Json.member "policy" r, Json.member "error" r) with
+            | Some (Json.String p), Some err -> Some (p, err)
+            | _ -> None)
+          runs
+      in
+      (* 8 standard workloads: every broken cell must carry a structured
+         error, and no lru cell may. *)
+      Alcotest.(check int) "eight error slots" 8 (List.length errors);
+      List.iter
+        (fun (p, err) ->
+          Alcotest.(check bool)
+            "error slots belong to broken" true
+            (Test_util.contains p "broken:crash@50@");
+          match Json.member "kind" err with
+          | Some (Json.String "exception") -> ()
+          | _ -> Alcotest.fail "error slot missing kind \"exception\"")
+        errors)
+
+let () =
+  Alcotest.run "gc_cli"
+    [
+      ( "validate",
+        [
+          Alcotest.test_case "valid text file" `Quick test_validate_ok;
+          Alcotest.test_case "stdin" `Quick test_validate_stdin;
+          Alcotest.test_case "invalid text diagnostics" `Quick
+            test_validate_invalid_text;
+          Alcotest.test_case "binary checksum mismatch" `Quick
+            test_validate_checksum;
+          Alcotest.test_case "lenient recovery report" `Quick
+            test_validate_lenient;
+          Alcotest.test_case "lenient clean file" `Quick
+            test_validate_lenient_clean;
+        ] );
+      ( "exit_codes",
+        [
+          Alcotest.test_case "0 on success" `Quick test_exit_ok;
+          Alcotest.test_case "1 on runtime failure" `Quick test_exit_runtime;
+          Alcotest.test_case "2 on usage errors" `Quick test_exit_usage;
+          Alcotest.test_case "3 on model violation" `Quick test_exit_violation;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "suite crash recorded in manifest" `Quick
+            test_suite_crash_manifest;
+        ] );
+    ]

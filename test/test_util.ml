@@ -245,3 +245,8 @@ let parse_jsonl_file path =
         List.rev acc
   in
   go []
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
