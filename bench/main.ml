@@ -1190,5 +1190,5 @@ let () =
             | rows -> [ ("perf", Gc_obs.Json.Array (List.rev rows)) ])
           []
       in
-      Gc_obs.Export.write_json out (Gc_obs.Manifest.to_json manifest);
+      Gc_obs.Export.write_json_atomic out (Gc_obs.Manifest.to_json manifest);
       Format.eprintf "manifest written to %s@." out

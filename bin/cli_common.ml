@@ -5,7 +5,8 @@
      0  success
      1  runtime failure (unreadable/corrupt trace, I/O error, policy crash)
      2  usage error (unknown flag, unknown policy/kind/construction)
-     3  model violation (the shadow audit caught an inconsistent policy) *)
+     3  model violation (the shadow audit caught an inconsistent policy)
+   130  interrupted (SIGINT/SIGTERM; partial artifacts were written) *)
 
 open Cmdliner
 
@@ -13,6 +14,7 @@ let ok = 0
 let runtime_error = 1
 let usage_error = 2
 let model_violation = 3
+let interrupted = Gc_exec.Supervisor.exit_interrupted
 
 (* Post-parse failures that already know their exit code. *)
 exception Fatal of int * string
@@ -78,6 +80,77 @@ let inject_conv =
     Format.pp_print_string fmt (Gc_fault.Spec.spec_string spec)
   in
   Arg.conv (parse, pp)
+
+(* ----------------------------------------------------- supervised sweeps *)
+
+(* Flags shared by the checkpointed sweep commands (gcexp miss-curve,
+   gcsim suite). *)
+
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Checkpoint completed sweep cells to $(docv) (JSONL, one \
+           checksummed line per cell) so an interrupted run can be \
+           continued with $(b,--resume).  Truncates any existing file.")
+
+let resume_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "resume" ] ~docv:"JOURNAL"
+        ~doc:
+          "Resume from a checkpoint journal written by $(b,--journal): \
+           cells already recorded are not re-simulated, new completions \
+           are appended to the same journal.  The journal must come from \
+           an identical invocation.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Per-cell wall-clock budget.  A cell past its deadline is \
+           cancelled (a wedged one abandoned) and recorded as a \
+           $(b,timeout) error slot; the rest of the sweep continues.")
+
+let retries_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "retries" ] ~docv:"N"
+        ~doc:"Extra attempts for transiently failing cells (default 1).")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Max cells simulated concurrently (default: cores - 1).")
+
+(* [--journal] starts a fresh journal; [--resume] continues one.  Exactly
+   one file can be in play. *)
+let journal_mode ~journal ~resume =
+  match (journal, resume) with
+  | Some _, Some _ -> fail_usage "--journal and --resume are mutually exclusive"
+  | None, Some path -> (Some path, true)
+  | journal, None -> (journal, false)
+
+let pool_config ?domains ?deadline ?retries () =
+  let c = Gc_exec.Pool.default_config () in
+  {
+    c with
+    Gc_exec.Pool.domains =
+      (match domains with
+      | Some d when d >= 1 -> d
+      | Some d -> Printf.ksprintf invalid_arg "--domains must be >= 1, got %d" d
+      | None -> c.Gc_exec.Pool.domains);
+    deadline;
+    retries = Option.value retries ~default:c.Gc_exec.Pool.retries;
+  }
 
 (* ------------------------------------------------------------ evaluation *)
 

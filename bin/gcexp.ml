@@ -2,11 +2,19 @@
 
    Examples:
      gcexp miss-curve --policy lru --policy iblp --k-min 64 --k-max 4096 t.gct
+     gcexp miss-curve --journal sweep.jsonl --deadline 30 big.gct
+     gcexp miss-curve --resume sweep.jsonl big.gct
      gcexp split-sweep -k 1024 t.gct
      gcexp h-sweep --policy lru -k 512 -B 16 --construction thm2
 
+   miss-curve runs on the supervised Gc_exec runtime: cells execute
+   concurrently with optional per-cell deadlines, transient failures
+   retry, SIGINT drains in-flight cells and exits 130 after writing
+   partial artifacts, and a --journal checkpoint makes the sweep
+   resumable with zero re-simulation of completed cells.
+
    Exit codes: 0 ok, 1 runtime failure (including any failed sweep cell),
-   2 usage error. *)
+   2 usage error, 130 interrupted. *)
 
 open Cmdliner
 
@@ -27,91 +35,197 @@ let geometric_grid lo hi steps =
            (float_of_int lo *. Float.pow (float_of_int hi /. float_of_int lo) f)))
   |> List.sort_uniq compare
 
-let miss_curve policies k_min k_max steps offline seed json path =
+(* A sweep cell's identity within the checkpoint journal and progress
+   reporting: which policy at which cache size. *)
+type cell_desc = { cell_policy : string; cell_k : int }
+
+let row_json name k (m : Gc_cache.Metrics.t) =
+  Gc_obs.Json.Obj
+    [
+      ("policy", Gc_obs.Json.String name);
+      ("k", Gc_obs.Json.Int k);
+      ("misses", Gc_obs.Json.Int m.Gc_cache.Metrics.misses);
+      ("hit_rate", Gc_obs.Json.Float (Gc_cache.Metrics.hit_rate m));
+      ("spatial_hits", Gc_obs.Json.Int m.Gc_cache.Metrics.spatial_hits);
+      ("temporal_hits", Gc_obs.Json.Int m.Gc_cache.Metrics.temporal_hits);
+    ]
+
+let offline_row name k misses =
+  Gc_obs.Json.Obj
+    [
+      ("policy", Gc_obs.Json.String name);
+      ("k", Gc_obs.Json.Int k);
+      ("misses", Gc_obs.Json.Int misses);
+    ]
+
+let field payload name =
+  match payload with
+  | Gc_obs.Json.Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+(* One CSV line (or, for a failed cell, one stderr diagnostic) from a
+   journal-shaped row payload; counting failures for the exit code. *)
+let emit_row desc payload failures =
+  match field payload "error" with
+  | Some (Gc_obs.Json.String msg) ->
+      incr failures;
+      Printf.eprintf "gcexp: %s at k=%d failed: %s\n%!" desc.cell_policy
+        desc.cell_k msg
+  | _ -> (
+      let int_field name =
+        match field payload name with
+        | Some (Gc_obs.Json.Int n) -> n
+        | _ -> 0
+      in
+      let misses = int_field "misses" in
+      match field payload "hit_rate" with
+      | Some (Gc_obs.Json.Float hr) ->
+          Printf.printf "%s,%d,%d,%.6f,%d,%d\n" desc.cell_policy desc.cell_k
+            misses hr
+            (int_field "spatial_hits")
+            (int_field "temporal_hits")
+      | _ ->
+          Printf.printf "%s,%d,%d,,,\n" desc.cell_policy desc.cell_k misses)
+
+let miss_curve policies k_min k_max steps offline seed domains deadline retries
+    journal resume json path =
+  let journal, resuming = Cli_common.journal_mode ~journal ~resume in
   let trace = read_trace path in
   let blocks = trace.Gc_trace.Trace.blocks in
   let policies =
     if policies = [] then [ "lru"; "block-lru"; "iblp" ] else policies
   in
   let t0 = Unix.gettimeofday () in
-  let rows = ref [] in
-  let failures = ref 0 in
-  let record name k (m : Gc_cache.Metrics.t option) misses =
-    rows :=
-      Gc_obs.Json.Obj
-        (("policy", Gc_obs.Json.String name)
-        :: ("k", Gc_obs.Json.Int k)
-        :: ("misses", Gc_obs.Json.Int misses)
-        ::
-        (match m with
-        | None -> []
-        | Some m ->
-            [
-              ("hit_rate", Gc_obs.Json.Float (Gc_cache.Metrics.hit_rate m));
-              ("spatial_hits", Gc_obs.Json.Int m.Gc_cache.Metrics.spatial_hits);
-              ( "temporal_hits",
-                Gc_obs.Json.Int m.Gc_cache.Metrics.temporal_hits );
-            ]))
-      :: !rows
-  in
-  (* A sweep cell whose policy crashes becomes a structured error row; the
-     rest of the grid still runs. *)
-  let record_error name k msg =
-    incr failures;
-    rows :=
-      Gc_obs.Json.Obj
-        [
-          ("policy", Gc_obs.Json.String name);
-          ("k", Gc_obs.Json.Int k);
-          ("error", Gc_obs.Json.String msg);
-        ]
-      :: !rows;
-    Printf.eprintf "gcexp: %s at k=%d failed: %s\n%!" name k msg
-  in
-  print_endline "policy,k,misses,hit_rate,spatial_hits,temporal_hits";
+  let grid = geometric_grid k_min k_max steps in
+  (* Bad construction parameters are a usage problem for the whole
+     invocation, not a per-cell runtime failure — reject them before any
+     cell runs or the journal is touched. *)
   List.iter
     (fun k ->
       List.iter
         (fun name ->
-          match
-            let p = Gc_cache.Registry.make name ~k ~blocks ~seed in
-            Gc_cache.Simulator.run ~check:false p trace
-          with
-          | m ->
-              record name k (Some m) m.Gc_cache.Metrics.misses;
-              Printf.printf "%s,%d,%d,%.6f,%d,%d\n" name k
-                m.Gc_cache.Metrics.misses
-                (Gc_cache.Metrics.hit_rate m)
-                m.Gc_cache.Metrics.spatial_hits
-                m.Gc_cache.Metrics.temporal_hits
-          | exception Invalid_argument msg ->
-              (* Bad parameters for this construction: a usage problem, not
-                 a per-cell runtime failure. *)
-              Cli_common.fail_usage "%s" msg
-          | exception exn -> record_error name k (Printexc.to_string exn))
-        policies;
-      if offline then begin
-        let belady = Gc_offline.Belady.cost ~k trace in
-        let clair = Gc_offline.Clairvoyant.cost ~k trace in
-        record "belady" k None belady;
-        record "clairvoyant" k None clair;
-        Printf.printf "belady,%d,%d,,,\n" k belady;
-        Printf.printf "clairvoyant,%d,%d,,,\n" k clair
-      end)
-    (geometric_grid k_min k_max steps);
+          match Gc_cache.Registry.make name ~k ~blocks ~seed with
+          | _ -> ()
+          | exception Invalid_argument msg -> Cli_common.fail_usage "%s" msg)
+        policies)
+    grid;
+  let progress _ = Gc_exec.Cancel.poll () in
+  let descs, cells =
+    List.split
+      (List.concat_map
+         (fun k ->
+           List.map
+             (fun name ->
+               ( { cell_policy = name; cell_k = k },
+                 ( Printf.sprintf "%s@k=%d" name k,
+                   fun ~cancel:_ ->
+                     let p = Gc_cache.Registry.make name ~k ~blocks ~seed in
+                     row_json name k
+                       (Gc_cache.Simulator.run ~check:false ~progress p trace)
+                 ) ))
+             policies
+           @
+           if offline then
+             [
+               ( { cell_policy = "belady"; cell_k = k },
+                 ( Printf.sprintf "belady@k=%d" k,
+                   fun ~cancel:_ ->
+                     offline_row "belady" k (Gc_offline.Belady.cost ~k trace) )
+               );
+               ( { cell_policy = "clairvoyant"; cell_k = k },
+                 ( Printf.sprintf "clairvoyant@k=%d" k,
+                   fun ~cancel:_ ->
+                     offline_row "clairvoyant" k
+                       (Gc_offline.Clairvoyant.cost ~k trace) ) );
+             ]
+           else [])
+         grid)
+  in
+  let by_key = Hashtbl.create 64 in
+  List.iter2 (fun d (key, _) -> Hashtbl.replace by_key key d) descs cells;
+  (* A failed / timed-out cell keeps its slot as a structured error row;
+     the rest of the grid still runs (and the error is journaled, so a
+     resume does not pointlessly retry a deterministic crash). *)
+  let to_error ~key ~kind ~message =
+    let d = Hashtbl.find by_key key in
+    Gc_obs.Json.Obj
+      [
+        ("policy", Gc_obs.Json.String d.cell_policy);
+        ("k", Gc_obs.Json.Int d.cell_k);
+        ("error", Gc_obs.Json.String message);
+        ("error_kind", Gc_obs.Json.String kind);
+      ]
+  in
+  (* The journal header pins everything that determines the grid, so a
+     journal cannot silently resume a different invocation. *)
+  let meta =
+    Gc_obs.Json.Obj
+      [
+        ("tool", Gc_obs.Json.String "gcexp");
+        ("command", Gc_obs.Json.String "miss-curve");
+        ("seed", Gc_obs.Json.Int seed);
+        ("k_min", Gc_obs.Json.Int k_min);
+        ("k_max", Gc_obs.Json.Int k_max);
+        ("steps", Gc_obs.Json.Int steps);
+        ("offline", Gc_obs.Json.Bool offline);
+        ( "policies",
+          Gc_obs.Json.Array
+            (List.map (fun p -> Gc_obs.Json.String p) policies) );
+        ("trace_digest", Gc_obs.Json.String (Gc_trace.Trace.digest trace));
+      ]
+  in
+  let results, stats =
+    Gc_exec.Supervisor.with_interrupt (fun interrupt ->
+        Gc_exec.Checkpoint.run
+          ~config:(Cli_common.pool_config ?domains ?deadline ?retries ())
+          ~interrupt ?journal ~resume:resuming ~meta ~to_error cells)
+  in
+  if stats.Gc_exec.Checkpoint.resumed > 0 then
+    Printf.eprintf "gcexp: resumed %d of %d cells from %s\n%!"
+      stats.Gc_exec.Checkpoint.resumed stats.Gc_exec.Checkpoint.total
+      (Option.value journal ~default:"journal");
+  print_endline "policy,k,misses,hit_rate,spatial_hits,temporal_hits";
+  let failures = ref 0 in
+  List.iter2
+    (fun desc (c : Gc_exec.Checkpoint.cell) ->
+      match c.Gc_exec.Checkpoint.payload with
+      | None -> () (* cancelled by the interrupt; re-run on resume *)
+      | Some payload -> emit_row desc payload failures)
+    descs results;
+  let rows =
+    List.filter_map (fun c -> c.Gc_exec.Checkpoint.payload) results
+  in
   (match json with
   | None -> ()
   | Some out ->
+      let extra =
+        ("sweep", Gc_obs.Json.Array rows)
+        ::
+        (if stats.Gc_exec.Checkpoint.interrupted then
+           [ ("status", Gc_obs.Json.String "interrupted") ]
+         else [])
+      in
       let manifest =
         Gc_cache.Obs_run.manifest ~tool:"gcexp" ~command:"miss-curve" ~seed
           ~trace:(Gc_cache.Obs_run.trace_info ~path trace)
           ~wall_time_s:(Unix.gettimeofday () -. t0)
-          ~extra:[ ("sweep", Gc_obs.Json.Array (List.rev !rows)) ]
-          []
+          ~extra []
       in
-      Gc_obs.Export.write_json out (Gc_obs.Manifest.to_json manifest);
+      (* Atomic write-then-rename; the success message only prints once
+         the manifest is durably in place. *)
+      Gc_obs.Export.write_json_atomic out (Gc_obs.Manifest.to_json manifest);
       Printf.eprintf "manifest written to %s\n" out);
-  if !failures > 0 then Cli_common.runtime_error else Cli_common.ok
+  if stats.Gc_exec.Checkpoint.interrupted then begin
+    Printf.eprintf "gcexp: interrupted; %d of %d cells completed%s\n%!"
+      (stats.Gc_exec.Checkpoint.total - stats.Gc_exec.Checkpoint.cancelled)
+      stats.Gc_exec.Checkpoint.total
+      (match journal with
+      | Some j -> Printf.sprintf " (continue with --resume %s)" j
+      | None -> "");
+    Cli_common.interrupted
+  end
+  else if !failures > 0 then Cli_common.runtime_error
+  else Cli_common.ok
 
 let policies_arg =
   Arg.(
@@ -140,7 +254,9 @@ let miss_curve_cmd =
     (Cmd.info "miss-curve" ~doc:"Misses vs cache size, per policy (CSV)")
     Term.(
       const miss_curve $ policies_arg $ k_min_arg $ k_max_arg $ steps_arg
-      $ offline_arg $ seed_arg $ json_arg $ path_arg)
+      $ offline_arg $ seed_arg $ Cli_common.domains_arg
+      $ Cli_common.deadline_arg $ Cli_common.retries_arg
+      $ Cli_common.journal_arg $ Cli_common.resume_arg $ json_arg $ path_arg)
 
 (* ----------------------------------------------------------- split-sweep *)
 

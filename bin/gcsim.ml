@@ -6,10 +6,12 @@
      gcsim run --all --json out.json --events events.jsonl --histograms t.gct
      gcsim run --policy lru --inject phantom-hit@100 trace.gct
      gcsim suite --policy lru --policy broken:crash@50 --json out.json
+     gcsim suite --journal suite.jsonl --deadline 30   (resumable sweep)
+     gcsim suite --resume suite.jsonl
      gcsim attack --construction thm2 --policy lru --k 512 --h 64 -B 16
 
    Exit codes (see doc/ROBUSTNESS.md): 0 ok, 1 runtime failure, 2 usage
-   error, 3 model violation. *)
+   error, 3 model violation, 130 interrupted. *)
 
 open Cmdliner
 
@@ -109,7 +111,7 @@ let run policies all k seed offline no_check inject json events histograms path
           ~wall_time_s:(Unix.gettimeofday () -. t0)
           outcomes
       in
-      Gc_obs.Export.write_json out (Gc_obs.Manifest.to_json manifest);
+      Gc_obs.Export.write_json_atomic out (Gc_obs.Manifest.to_json manifest);
       Format.printf "@.manifest written to %s@." out);
   if List.exists is_violation outcomes then Cli_common.model_violation
   else if List.exists is_failure outcomes then Cli_common.runtime_error
@@ -180,56 +182,141 @@ let run_cmd =
 
 (* ---------------------------------------------------------------- suite *)
 
-let suite policies k seed block_size json =
+let suite policies k seed block_size domains deadline retries journal resume
+    json =
+  let journal, resuming = Cli_common.journal_mode ~journal ~resume in
   let entries = Gc_trace.Workload_suite.standard ~seed ~block_size () in
   let policies = if policies = [] then Gc_cache.Registry.names else policies in
   let t0 = Unix.gettimeofday () in
+  (* One supervised cell per (policy, workload); the cell's journal
+     payload is its finished manifest slot, so a resumed run replays
+     completed slots verbatim.  A policy that crashes (or violates the
+     model) is captured by run_policy_result inside the cell — only
+     runtime-level outcomes (timeout, retries exhausted) reach the
+     pool's failure path. *)
+  let cells =
+    List.concat_map
+      (fun pname ->
+        List.map
+          (fun e ->
+            let tag = pname ^ "@" ^ e.Gc_trace.Workload_suite.name in
+            ( tag,
+              fun ~cancel:_ ->
+                let outcome =
+                  Gc_cache.Obs_run.run_policy_result ~check:false ~k ~seed
+                    pname e.Gc_trace.Workload_suite.trace
+                in
+                Gc_obs.Manifest.run_to_json
+                  (match outcome with
+                  | Ok r ->
+                      Gc_cache.Obs_run.manifest_run
+                        { r with Gc_cache.Obs_run.policy = tag }
+                  | Error f ->
+                      Gc_cache.Obs_run.failed_run
+                        { f with Gc_cache.Obs_run.policy = tag }) ))
+          entries)
+      policies
+  in
+  let to_error ~key ~kind ~message =
+    Gc_obs.Manifest.run_to_json
+      (Gc_cache.Obs_run.failed_run
+         { Gc_cache.Obs_run.policy = key; kind; message })
+  in
+  let meta =
+    Gc_obs.Json.Obj
+      [
+        ("tool", Gc_obs.Json.String "gcsim");
+        ("command", Gc_obs.Json.String "suite");
+        ("k", Gc_obs.Json.Int k);
+        ("seed", Gc_obs.Json.Int seed);
+        ("block_size", Gc_obs.Json.Int block_size);
+        ( "policies",
+          Gc_obs.Json.Array
+            (List.map (fun p -> Gc_obs.Json.String p) policies) );
+      ]
+  in
+  let results, stats =
+    Gc_exec.Supervisor.with_interrupt (fun interrupt ->
+        Gc_exec.Checkpoint.run
+          ~config:(Cli_common.pool_config ?domains ?deadline ?retries ())
+          ~interrupt ?journal ~resume:resuming ~meta ~to_error cells)
+  in
+  if stats.Gc_exec.Checkpoint.resumed > 0 then
+    Printf.eprintf "gcsim: resumed %d of %d cells from %s\n%!"
+      stats.Gc_exec.Checkpoint.resumed stats.Gc_exec.Checkpoint.total
+      (Option.value journal ~default:"journal");
+  let runs =
+    List.map
+      (fun (c : Gc_exec.Checkpoint.cell) ->
+        match c.Gc_exec.Checkpoint.payload with
+        | None -> None (* cancelled by the interrupt *)
+        | Some payload -> (
+            match Gc_obs.Manifest.run_of_json payload with
+            | Ok run -> Some run
+            | Error msg ->
+                Cli_common.fail_runtime "cell %s: malformed payload: %s"
+                  c.Gc_exec.Checkpoint.key msg))
+      results
+  in
   Format.printf "misses at k = %d (workload x policy)@.@." k;
   Format.printf "%-14s" "";
   List.iter
     (fun e -> Format.printf " %12s" e.Gc_trace.Workload_suite.name)
     entries;
   Format.printf "@.";
-  let outcomes = ref [] in
-  List.iter
-    (fun pname ->
+  let arr = Array.of_list runs in
+  let per_policy = List.length entries in
+  List.iteri
+    (fun pi pname ->
       Format.printf "%-14s" pname;
-      List.iter
-        (fun e ->
-          let trace = e.Gc_trace.Workload_suite.trace in
-          let outcome =
-            Gc_cache.Obs_run.run_policy_result ~check:false ~k ~seed pname
-              trace
-          in
-          (match outcome with
-          | Ok r ->
-              Format.printf " %12d"
-                r.Gc_cache.Obs_run.metrics.Gc_cache.Metrics.misses
-          | Error _ -> Format.printf " %12s" "error");
-          (* One manifest slot per (policy, workload) cell. *)
-          let tag = pname ^ "@" ^ e.Gc_trace.Workload_suite.name in
-          let tagged =
-            match outcome with
-            | Ok r -> Ok { r with Gc_cache.Obs_run.policy = tag }
-            | Error f -> Error { f with Gc_cache.Obs_run.policy = tag }
-          in
-          outcomes := tagged :: !outcomes)
+      List.iteri
+        (fun ei _ ->
+          match arr.((pi * per_policy) + ei) with
+          | None -> Format.printf " %12s" "-"
+          | Some run -> (
+              match run.Gc_obs.Manifest.error with
+              | Some _ -> Format.printf " %12s" "error"
+              | None -> (
+                  match
+                    List.assoc_opt "misses" run.Gc_obs.Manifest.metrics
+                  with
+                  | Some (Gc_obs.Json.Int n) -> Format.printf " %12d" n
+                  | _ -> Format.printf " %12s" "?")))
         entries;
       Format.printf "@.")
     policies;
-  let outcomes = List.rev !outcomes in
+  let completed = List.filter_map Fun.id runs in
   (match json with
   | None -> ()
   | Some out ->
+      let wall_time_s = Unix.gettimeofday () -. t0 in
       let manifest =
-        Gc_cache.Obs_run.manifest_of_outcomes ~tool:"gcsim" ~command:"suite"
-          ~seed ~k
-          ~wall_time_s:(Unix.gettimeofday () -. t0)
-          outcomes
+        if stats.Gc_exec.Checkpoint.interrupted then
+          Gc_obs.Manifest.make ~tool:"gcsim" ~command:"suite" ~seed ~k
+            ~wall_time_s
+            ~extra:[ ("status", Gc_obs.Json.String "interrupted") ]
+            completed
+        else
+          Gc_obs.Manifest.make ~tool:"gcsim" ~command:"suite" ~seed ~k
+            ~wall_time_s completed
       in
-      Gc_obs.Export.write_json out (Gc_obs.Manifest.to_json manifest);
+      Gc_obs.Export.write_json_atomic out (Gc_obs.Manifest.to_json manifest);
       Format.printf "@.manifest written to %s@." out);
-  if List.exists is_failure outcomes then Cli_common.runtime_error
+  if stats.Gc_exec.Checkpoint.interrupted then begin
+    Printf.eprintf "gcsim: interrupted; %d of %d cells completed%s\n%!"
+      (stats.Gc_exec.Checkpoint.total - stats.Gc_exec.Checkpoint.cancelled)
+      stats.Gc_exec.Checkpoint.total
+      (match journal with
+      | Some j -> Printf.sprintf " (continue with --resume %s)" j
+      | None -> "");
+    Cli_common.interrupted
+  end
+  else if
+    List.exists
+      (function
+        | Some { Gc_obs.Manifest.error = Some _; _ } -> true | _ -> false)
+      runs
+  then Cli_common.runtime_error
   else Cli_common.ok
 
 let suite_cmd =
@@ -248,6 +335,9 @@ let suite_cmd =
       $ Arg.(value & opt int 512 & info [ "k" ] ~doc:"Cache capacity.")
       $ Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Suite seed.")
       $ Arg.(value & opt int 16 & info [ "block-size"; "B" ] ~doc:"Block size.")
+      $ Cli_common.domains_arg $ Cli_common.deadline_arg
+      $ Cli_common.retries_arg $ Cli_common.journal_arg
+      $ Cli_common.resume_arg
       $ Arg.(
           value
           & opt (some string) None
@@ -330,6 +420,10 @@ let () =
           Cmd.Exit.info 1 ~doc:"on runtime failure (bad trace, policy crash).";
           Cmd.Exit.info 2 ~doc:"on usage errors.";
           Cmd.Exit.info 3 ~doc:"on a model violation caught by the audit.";
+          Cmd.Exit.info 130
+            ~doc:
+              "when interrupted (partial artifacts written; sweeps with a \
+               journal can continue with $(b,--resume)).";
         ]
   in
   exit (Cli_common.eval (Cmd.group info [ run_cmd; suite_cmd; attack_cmd ]))

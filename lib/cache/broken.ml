@@ -1,4 +1,4 @@
-type mode = Crash | Violate
+type mode = Crash | Violate | Hang | Flaky
 
 type state = {
   inner : Policy.t;
@@ -29,6 +29,25 @@ module M = struct
              that fails to load the requested item. *)
           if Policy.mem s.inner item then Policy.Miss { loaded = []; evicted = [] }
           else Policy.Hit { evicted = [] }
+      | Hang ->
+          (* Spin forever, but keep polling the supervised runtime's cancel
+             token so a deadline can actually stop us.  (The simulator's
+             own progress hook never fires again — we never return — so
+             this loop is the only cancellation point.) *)
+          while true do
+            Gc_exec.Cancel.poll ();
+            Domain.cpu_relax ()
+          done;
+          assert false
+      | Flaky ->
+          (* Transient on the first pool attempt, healthy on retries:
+             demonstrates bounded retry without cross-cell shared state. *)
+          if Gc_exec.Pool.attempt () = 1 then
+            raise
+              (Gc_exec.Pool.Transient
+                 (Printf.sprintf
+                    "broken policy: transient fault at access %d (attempt 1)" i))
+          else Policy.access s.inner item
 end
 
 let create ~k ~mode ~at =

@@ -1,17 +1,27 @@
 (** A deliberately faulty policy, for robustness drills.
 
-    Behaves as FIFO until a chosen access index, then either raises or
-    starts reporting model-inconsistent outcomes.  Used to prove that
-    multi-policy sweeps degrade gracefully (the failure is captured
-    per-policy instead of killing the run) and that the checked simulator
-    actually flags bad outcomes.  Registry spec: ["broken:crash@N"] /
-    ["broken:violate@N"]. *)
+    Behaves as FIFO until a chosen access index, then either raises,
+    starts reporting model-inconsistent outcomes, wedges, or fails
+    transiently.  Used to prove that multi-policy sweeps degrade
+    gracefully (the failure is captured per-policy instead of killing the
+    run), that the checked simulator actually flags bad outcomes, and that
+    the supervised runtime's deadline/retry machinery fires.  Registry
+    spec: ["broken:crash@N"] / ["broken:violate@N"] / ["broken:hang@N"] /
+    ["broken:flaky@N"]. *)
 
 type mode =
   | Crash  (** Raise [Failure] from [access]. *)
   | Violate
       (** Report a hit on an uncached item (or a loadless miss on a cached
           one) — guaranteed to trip the shadow audit when checking is on. *)
+  | Hang
+      (** Spin forever inside [access], polling {!Gc_exec.Cancel.poll} so
+          a supervised deadline (or interrupt) can cancel the cell; used
+          to drill timeout enforcement. *)
+  | Flaky
+      (** Raise {!Gc_exec.Pool.Transient} when the supervised runtime's
+          attempt counter reads 1, behave as FIFO on retries; used to
+          drill bounded retry. *)
 
 val create : k:int -> mode:mode -> at:int -> Policy.t
 (** [create ~k ~mode ~at] misbehaves on access number [at] (0-based) and

@@ -7,6 +7,12 @@ type result = {
 
 type failure = { policy : string; kind : string; message : string }
 
+(* Every run polls the supervised runtime's cancel token from the
+   simulator's progress hook.  Outside a supervised pool the poll is a
+   domain-local [None] read — effectively free — so there is no separate
+   "cancellable" entry point to keep in sync. *)
+let progress _index = Gc_exec.Cancel.poll ()
+
 let run_policy ?(check = true) ?(histograms = false) ?sink ?wrap ~k ~seed name
     trace =
   let blocks = trace.Gc_trace.Trace.blocks in
@@ -14,7 +20,7 @@ let run_policy ?(check = true) ?(histograms = false) ?sink ?wrap ~k ~seed name
   if not (histograms || Option.is_some sink) then begin
     (* Fully unobserved: no probe, no event allocation. *)
     let p = build (Registry.make name ~k ~blocks ~seed) in
-    let metrics = Simulator.run ~check p trace in
+    let metrics = Simulator.run ~check ~progress p trace in
     { policy = name; metrics; registry = None; events = [] }
   end
   else begin
@@ -46,7 +52,7 @@ let run_policy ?(check = true) ?(histograms = false) ?sink ?wrap ~k ~seed name
            { index = !current_index; item_budget; block_budget })
     in
     let p = build (Registry.make ~repartition name ~k ~blocks ~seed) in
-    let metrics = Simulator.run ~check ~probe p trace in
+    let metrics = Simulator.run ~check ~probe ~progress p trace in
     {
       policy = name;
       metrics;
@@ -60,6 +66,14 @@ let run_policy_result ?check ?histograms ?sink ?wrap ~k ~seed name trace =
   | r -> Ok r
   | exception Simulator.Model_violation message ->
       Error { policy = name; kind = "model-violation"; message }
+  | exception (Gc_exec.Cancel.Cancelled _ as cancelled) ->
+      (* Cancellation is the supervised runtime's signal, not a policy
+         failure: let the pool classify it (timeout vs. interrupt). *)
+      raise cancelled
+  | exception (Gc_exec.Pool.Transient _ as transient) ->
+      (* Likewise retryable faults: swallowing one here would defeat the
+         pool's bounded-retry machinery. *)
+      raise transient
   | exception exn ->
       Error { policy = name; kind = "exception"; message = Printexc.to_string exn }
 

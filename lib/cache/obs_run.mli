@@ -54,7 +54,21 @@ val run_policy_result :
     {!Simulator.Model_violation} from the shadow audit, or any other
     exception from the policy itself — is captured as a structured
     {!failure} instead of propagating.  This is the graceful-degradation
-    entry point for multi-policy sweeps. *)
+    entry point for multi-policy sweeps.
+
+    Two exceptions stay exceptional because they belong to the supervised
+    runtime, not the policy: {!Gc_exec.Cancel.Cancelled} (deadline or
+    interrupt — the pool turns it into a [Timed_out]/[Cancelled] outcome)
+    and {!Gc_exec.Pool.Transient} (retryable; capturing it would defeat
+    bounded retry). *)
+
+val manifest_run : result -> Gc_obs.Manifest.run
+(** One successful run's manifest slot (metrics fields, histogram
+    snapshot, event counts, no error). *)
+
+val failed_run : failure -> Gc_obs.Manifest.run
+(** One failed run's manifest slot: empty metrics, [error] set to the
+    failure's kind and message. *)
 
 val trace_info : path:string -> Gc_trace.Trace.t -> Gc_obs.Manifest.trace_info
 (** Length, block size, and content digest for the manifest. *)

@@ -1,41 +1,71 @@
 let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
 
-let map ?domains f xs =
+(* Work-stealing off a shared counter: each worker repeatedly claims the
+   next unclaimed index, so a few slow cells no longer stall a whole
+   static stripe.  Every task's outcome is captured in its slot — a raise
+   cannot discard sibling results or leave domains unjoined. *)
+let outcomes ?domains f xs =
   let n_domains = match domains with Some d -> max 1 d | None -> default_domains () in
   let items = Array.of_list xs in
   let n = Array.length items in
-  if n = 0 then []
+  if n = 0 then [||]
   else begin
     let results = Array.make n None in
-    (* Static chunking: task i goes to domain (i mod d); each domain walks
-       its stripe.  Simulations dominate, so load balance is adequate. *)
-    let worker d () =
-      let rec go i =
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          results.(i) <- Some (f items.(i));
-          go (i + n_domains)
+          results.(i) <- Some (try Ok (f items.(i)) with exn -> Error exn);
+          go ()
         end
       in
-      go d
+      go ()
     in
-    let handles =
-      List.init (min n_domains n) (fun d -> Domain.spawn (worker d))
-    in
+    let handles = List.init (min n_domains n) (fun _ -> Domain.spawn worker) in
     List.iter Domain.join handles;
-    Array.to_list
-      (Array.map
-         (function Some v -> v | None -> failwith "Parallel.map: missing result")
-         results)
+    Array.map
+      (function Some r -> r | None -> failwith "Parallel: missing result")
+      results
   end
 
-let try_map ?domains f xs =
-  (* The try sits inside the worker, so one faulty task surfaces as its own
-     [Error] and the rest of the stripe still runs. *)
-  map ?domains (fun x -> try Ok (f x) with exn -> Error exn) xs
+let try_map ?domains f xs = Array.to_list (outcomes ?domains f xs)
+
+let map ?domains f xs =
+  (* Every task runs and every domain is joined before the first failure
+     (in index order) is re-raised. *)
+  List.map (function Ok v -> v | Error exn -> raise exn)
+    (try_map ?domains f xs)
+
+let sweep_task ~make ~trace point ~cancel:_ =
+  let m =
+    Simulator.run ~check:false
+      ~progress:(fun _ -> Gc_exec.Cancel.poll ())
+      (make point) trace
+  in
+  (point, m)
+
+let run_sweep_outcomes ?domains ?deadline ?retries ?interrupt ~make ~trace
+    points =
+  let config =
+    let c = Gc_exec.Pool.default_config () in
+    {
+      c with
+      Gc_exec.Pool.domains =
+        (match domains with Some d -> max 1 d | None -> c.Gc_exec.Pool.domains);
+      deadline;
+      retries = Option.value retries ~default:c.Gc_exec.Pool.retries;
+    }
+  in
+  Gc_exec.Pool.run ~config ?interrupt
+    (List.map (fun point -> sweep_task ~make ~trace point) points)
 
 let run_sweep ?domains ~make ~trace points =
-  map ?domains
-    (fun point ->
-      let m = Simulator.run ~check:false (make point) trace in
-      (point, m))
-    points
+  List.map
+    (function
+      | Gc_exec.Pool.Done r -> r
+      | Gc_exec.Pool.Failed exn -> raise exn
+      | Gc_exec.Pool.Timed_out _ | Gc_exec.Pool.Cancelled ->
+          (* No deadline and no interrupt token were supplied. *)
+          assert false)
+    (run_sweep_outcomes ?domains ~make ~trace points)

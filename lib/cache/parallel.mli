@@ -1,14 +1,18 @@
 (** Multicore fan-out for independent simulations (OCaml 5 domains).
 
     Cache experiments are embarrassingly parallel across (policy, size,
-    seed) points; this helper maps a pure-ish function over a work list
-    with one domain per chunk.  Each task must build its own state
-    (policies, RNGs, traces are not shared across domains). *)
+    seed) points.  [map]/[try_map] are bare fan-outs over a shared work
+    counter; sweeps run on the supervised {!Gc_exec.Pool} runtime, which
+    adds per-cell deadlines, retry, and cooperative cancellation (polled
+    from the {!Simulator} progress hook).  Each task must build its own
+    state (policies, RNGs, traces are not shared across domains). *)
 
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map f xs] preserves order.  [domains] defaults to
-    [Domain.recommended_domain_count () - 1] (min 1).  Exceptions in a task
-    are re-raised in the caller. *)
+    [Domain.recommended_domain_count () - 1] (min 1).  Work is claimed
+    dynamically off a shared counter, so skewed task costs balance.  If
+    tasks raise, every task still runs, every domain is joined, and the
+    lowest-index exception is re-raised in the caller. *)
 
 val try_map : ?domains:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
 (** Like {!map}, but a task that raises yields [Error exn] in its slot
@@ -22,5 +26,20 @@ val run_sweep :
   'a list ->
   ('a * Metrics.t) list
 (** Simulate the same trace under many independently constructed policies
-    in parallel (unchecked runs; the checked single-run path is for
-    tests). *)
+    on the supervised pool (unchecked runs; the checked single-run path is
+    for tests).  A failing point re-raises in the caller; use
+    {!run_sweep_outcomes} to keep the survivors. *)
+
+val run_sweep_outcomes :
+  ?domains:int ->
+  ?deadline:float ->
+  ?retries:int ->
+  ?interrupt:Gc_exec.Cancel.t ->
+  make:('a -> Policy.t) ->
+  trace:Gc_trace.Trace.t ->
+  'a list ->
+  ('a * Metrics.t) Gc_exec.Pool.outcome list
+(** The supervised form: per-point wall-clock [deadline] (cooperatively
+    cancelled via the simulator's progress hook, abandoned after a grace
+    period if wedged), [retries] for {!Gc_exec.Pool.Transient} failures,
+    and graceful draining when [interrupt] is requested. *)

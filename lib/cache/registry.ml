@@ -191,16 +191,20 @@ let make ?repartition name ~k ~blocks ~seed =
                 match mode_str with
                 | "crash" -> Broken.Crash
                 | "violate" -> Broken.Violate
+                | "hang" -> Broken.Hang
+                | "flaky" -> Broken.Flaky
                 | s ->
                     invalid_arg
                       (Printf.sprintf
-                         "Registry.make: broken mode %S (want crash|violate)" s)
+                         "Registry.make: broken mode %S (want \
+                          crash|violate|hang|flaky)"
+                         s)
               in
               Broken.create ~k ~mode ~at
           | _ ->
               invalid_arg
-                "Registry.make: broken takes one parameter (crash@N | violate@N)"
-          )
+                "Registry.make: broken takes one parameter (crash@N | \
+                 violate@N | hang@N | flaky@N)")
       | "iblp" ->
           let i_size = ref (-1) and b_size = ref (-1) in
           List.iter

@@ -4,10 +4,17 @@ let violation fmt = Format.kasprintf (fun s -> raise (Model_violation s)) fmt
 
 type referenced_state = Loaded_unreferenced | Referenced
 
+(* Progress callbacks fire every [progress_stride] accesses (and on access
+   0): frequent enough that cooperative cancellation reacts in well under a
+   millisecond of simulation, rare enough to cost one masked branch per
+   access. *)
+let progress_stride = 4096
+
 type t = {
   policy_ : Policy.t;
   check : bool;
   probe : (Gc_obs.Event.t -> unit) option;
+  progress : (int -> unit) option;
   metrics_ : Metrics.t;
   blocks : Gc_trace.Block_map.t;
   (* Shadow cache: item -> whether it has been referenced since loaded.
@@ -17,11 +24,12 @@ type t = {
   seen_ever : (int, unit) Hashtbl.t;
 }
 
-let create ?(check = true) ?probe policy blocks =
+let create ?(check = true) ?probe ?progress policy blocks =
   {
     policy_ = policy;
     check;
     probe;
+    progress;
     metrics_ = Metrics.create ();
     blocks;
     ref_state = Hashtbl.create 1024;
@@ -61,6 +69,9 @@ let access d item =
   let m = d.metrics_ in
   let index = m.Metrics.accesses in
   m.Metrics.accesses <- index + 1;
+  (match d.progress with
+  | Some f when index land (progress_stride - 1) = 0 -> f index
+  | _ -> ());
   (* Event construction stays inside the [Some] branches: a probe-less run
      allocates nothing and pays one branch per emission point. *)
   (match d.probe with
@@ -143,8 +154,8 @@ let access d item =
   end;
   outcome
 
-let run_with ?check ?probe ~f policy trace =
-  let d = create ?check ?probe policy trace.Gc_trace.Trace.blocks in
+let run_with ?check ?probe ?progress ~f policy trace =
+  let d = create ?check ?probe ?progress policy trace.Gc_trace.Trace.blocks in
   Gc_trace.Trace.iteri
     (fun pos item ->
       let outcome = access d item in
@@ -152,5 +163,5 @@ let run_with ?check ?probe ~f policy trace =
     trace;
   d.metrics_
 
-let run ?check ?probe policy trace =
-  run_with ?check ?probe ~f:(fun _ _ _ -> ()) policy trace
+let run ?check ?probe ?progress policy trace =
+  run_with ?check ?probe ?progress ~f:(fun _ _ _ -> ()) policy trace

@@ -19,7 +19,16 @@
     [probe] — a {!Gc_obs.Sink.t} receiving the structured event stream
     documented in {!Gc_obs.Event}.  Without a probe the simulator
     constructs no events (emission points are guarded on the option), so
-    the unobserved hot path is unchanged. *)
+    the unobserved hot path is unchanged.
+
+    {2 Supervision}
+
+    A [progress] callback, when supplied, fires with the access index every
+    4096 accesses (and on access 0).  It exists as a cooperative
+    cancellation point for supervised sweeps: passing
+    [fun _ -> Gc_exec.Cancel.poll ()] lets a deadline or interrupt stop a
+    long simulation mid-trace by raising {!Gc_exec.Cancel.Cancelled}.
+    Without it the hot path pays one branch per access. *)
 
 exception Model_violation of string
 
@@ -29,11 +38,12 @@ type t
 val create :
   ?check:bool ->
   ?probe:(Gc_obs.Event.t -> unit) ->
+  ?progress:(int -> unit) ->
   Policy.t ->
   Gc_trace.Block_map.t ->
   t
 (** [create policy blocks] prepares a driver.  [check] defaults to [true];
-    [probe] defaults to absent (no events). *)
+    [probe] and [progress] default to absent (no events, no callbacks). *)
 
 val access : t -> int -> Policy.outcome
 (** Feed one request; updates metrics and (in check mode) audits the
@@ -47,6 +57,7 @@ val policy : t -> Policy.t
 val run :
   ?check:bool ->
   ?probe:(Gc_obs.Event.t -> unit) ->
+  ?progress:(int -> unit) ->
   Policy.t ->
   Gc_trace.Trace.t ->
   Metrics.t
@@ -55,6 +66,7 @@ val run :
 val run_with :
   ?check:bool ->
   ?probe:(Gc_obs.Event.t -> unit) ->
+  ?progress:(int -> unit) ->
   f:(int -> int -> Policy.outcome -> unit) ->
   Policy.t ->
   Gc_trace.Trace.t ->

@@ -1,0 +1,33 @@
+type t = { flag : string option Atomic.t }
+
+exception Cancelled of string
+
+let deadline_reason = "deadline"
+let interrupt_reason = "interrupt"
+
+let create () = { flag = Atomic.make None }
+
+let request t ~reason =
+  (* First reason wins: a deadline firing after an interrupt (or vice
+     versa) must not reclassify the cancellation. *)
+  ignore (Atomic.compare_and_set t.flag None (Some reason))
+
+let requested t = Atomic.get t.flag <> None
+let reason t = Atomic.get t.flag
+
+let check t =
+  match Atomic.get t.flag with Some r -> raise (Cancelled r) | None -> ()
+
+(* The current token travels in domain-local storage so deep call stacks
+   (a Simulator progress hook, a drill policy) can poll without explicit
+   plumbing through every layer. *)
+let key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let current () = Domain.DLS.get key
+
+let with_current t f =
+  let previous = Domain.DLS.get key in
+  Domain.DLS.set key (Some t);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set key previous) f
+
+let poll () = match current () with Some t -> check t | None -> ()

@@ -1,0 +1,41 @@
+(** Cooperative cancellation tokens.
+
+    A token is an atomic flag plus the reason it was raised.  The
+    supervised pool arms one per task and requests it when the task's
+    deadline expires or the run is interrupted; cancellation points deep
+    inside the task (the {!Gc_cache.Simulator} progress hook, the
+    [broken:hang] drill policy) observe it through the domain-local
+    "current token" and raise {!Cancelled}. *)
+
+type t
+
+exception Cancelled of string
+(** Raised by {!check}/{!poll} with the cancellation reason. *)
+
+val deadline_reason : string
+(** ["deadline"] — the monitor cancelled the task at its deadline. *)
+
+val interrupt_reason : string
+(** ["interrupt"] — the whole run is shutting down (SIGINT/SIGTERM). *)
+
+val create : unit -> t
+
+val request : t -> reason:string -> unit
+(** Idempotent; the first reason wins.  Safe from any domain and from
+    signal handlers. *)
+
+val requested : t -> bool
+val reason : t -> string option
+
+val check : t -> unit
+(** Raise {!Cancelled} if the token has been requested. *)
+
+val with_current : t -> (unit -> 'a) -> 'a
+(** Run a thunk with the token installed as the calling domain's current
+    token (restored afterwards, exceptions included). *)
+
+val current : unit -> t option
+
+val poll : unit -> unit
+(** {!check} the current domain's token; a no-op when none is installed,
+    so unsupervised code paths pay one domain-local read. *)

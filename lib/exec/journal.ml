@@ -1,0 +1,135 @@
+(* Checkpoint journal: one checksummed JSON object per line.
+
+   Line format (fixed-width prefix, so the checksummed region is
+   recoverable without parsing):
+
+     {"sum":"<16 hex chars>","entry":{"cell":"...","payload":...}}
+
+   [sum] is the FNV-1a 64 hash of the raw bytes of the [entry] value.  The
+   writer flushes after every line, so the only damage a crash can inflict
+   is an unterminated final line — which [load] drops (the cell simply
+   re-runs on resume) while any corruption of a complete line is rejected
+   with a line-numbered diagnostic. *)
+
+type error = { line : int; reason : string }
+
+let string_of_error e = Printf.sprintf "line %d: %s" e.line e.reason
+
+let fnv1a64 s =
+  let prime = 0x100000001B3L in
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) prime)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let meta_cell = "@meta"
+
+let entry_json cell payload =
+  Gc_obs.Json.to_string
+    (Gc_obs.Json.Obj
+       [ ("cell", Gc_obs.Json.String cell); ("payload", payload) ])
+
+let line_of cell payload =
+  let entry = entry_json cell payload in
+  Printf.sprintf "{\"sum\":\"%s\",\"entry\":%s}" (fnv1a64 entry) entry
+
+(* {"sum":" = 8 chars, 16 hex chars, ","entry": = 10 chars. *)
+let prefix_len = 34
+
+type writer = { oc : out_channel }
+
+let append w cell payload =
+  output_string w.oc (line_of cell payload);
+  output_char w.oc '\n';
+  flush w.oc
+
+let create path ~meta =
+  let oc = open_out path in
+  let w = { oc } in
+  append w meta_cell meta;
+  w
+
+let close w = close_out w.oc
+
+type loaded = {
+  meta : Gc_obs.Json.t;
+  entries : (string * Gc_obs.Json.t) list;
+  valid_bytes : int;
+  torn : bool;
+}
+
+let decode_line lineno line =
+  let fail reason = Error { line = lineno; reason } in
+  let len = String.length line in
+  if len < prefix_len + 2 then fail "malformed journal line (too short)"
+  else if String.sub line 0 8 <> "{\"sum\":\"" then
+    fail "malformed journal line (bad prefix)"
+  else if String.sub line 24 10 <> "\",\"entry\":" then
+    fail "malformed journal line (bad prefix)"
+  else if line.[len - 1] <> '}' then
+    fail "malformed journal line (bad suffix)"
+  else begin
+    let sum = String.sub line 8 16 in
+    let entry = String.sub line prefix_len (len - prefix_len - 1) in
+    if fnv1a64 entry <> sum then fail "checksum mismatch"
+    else
+      match Gc_obs.Json.parse entry with
+      | Error e -> fail (Gc_obs.Json.string_of_parse_error e)
+      | Ok json -> (
+          match
+            (Gc_obs.Json.member "cell" json, Gc_obs.Json.member "payload" json)
+          with
+          | Some (Gc_obs.Json.String cell), Some payload -> Ok (cell, payload)
+          | _ -> fail "journal entry lacks cell/payload")
+  end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  match read_file path with
+  | exception Sys_error msg -> Error { line = 0; reason = msg }
+  | text ->
+      let len = String.length text in
+      let ( let* ) r f = Result.bind r f in
+      let rec go lineno pos meta acc =
+        if pos >= len then
+          Ok { meta; entries = List.rev acc; valid_bytes = pos; torn = false }
+        else
+          match String.index_from_opt text pos '\n' with
+          | None ->
+              (* Unterminated final line: a crash mid-append, not
+                 corruption.  Drop it; the cell re-runs. *)
+              Ok { meta; entries = List.rev acc; valid_bytes = pos; torn = true }
+          | Some nl ->
+              let line = String.sub text pos (nl - pos) in
+              let* cell, payload = decode_line lineno line in
+              if lineno = 1 then
+                if cell = meta_cell then go 2 (nl + 1) payload acc
+                else Error { line = 1; reason = "missing journal header" }
+              else
+                (* First occurrence wins: a duplicate can only arise from a
+                   cell journaled, torn on a later crash, and re-run. *)
+                let acc =
+                  if List.mem_assoc cell acc then acc
+                  else (cell, payload) :: acc
+                in
+                go (lineno + 1) (nl + 1) meta acc
+      in
+      if len = 0 then Error { line = 1; reason = "empty journal" }
+      else go 1 0 Gc_obs.Json.Null []
+
+let resume path =
+  match load path with
+  | Error e -> Error e
+  | Ok loaded ->
+      if loaded.torn then Unix.truncate path loaded.valid_bytes;
+      let oc =
+        open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
+      in
+      Ok (loaded, { oc })

@@ -1,0 +1,40 @@
+(** Crash-safe checkpoint journal for long sweeps.
+
+    An append-only JSONL file recording one line per completed sweep cell
+    (plus a metadata header line identifying the run).  Every line carries
+    an FNV-1a 64 checksum of its entry and is flushed as written, so after
+    a crash or SIGKILL the journal is a valid prefix of the run: at worst
+    the final line is unterminated, which {!load} drops (that cell simply
+    re-runs).  Corruption of any complete line — bit flips, truncation
+    mid-file, editing — is rejected with a line-numbered diagnostic. *)
+
+type error = { line : int; reason : string }
+
+val string_of_error : error -> string
+(** ["line N: reason"]. *)
+
+type writer
+
+val create : string -> meta:Gc_obs.Json.t -> writer
+(** Start a fresh journal (truncating any existing file), writing [meta]
+    as the header line.  Raises [Sys_error] on I/O failure. *)
+
+val append : writer -> string -> Gc_obs.Json.t -> unit
+(** [append w cell payload] — one checksummed line, flushed. *)
+
+val close : writer -> unit
+
+type loaded = {
+  meta : Gc_obs.Json.t;  (** The header payload. *)
+  entries : (string * Gc_obs.Json.t) list;
+      (** Completed cells in journal order, duplicates dropped
+          (first occurrence wins). *)
+  valid_bytes : int;  (** File prefix covered by intact lines. *)
+  torn : bool;  (** An unterminated final line was dropped. *)
+}
+
+val load : string -> (loaded, error) result
+
+val resume : string -> (loaded * writer, error) result
+(** {!load}, truncate any torn tail, and reopen for appending — the
+    one-call entry point for [--resume]. *)

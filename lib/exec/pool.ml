@@ -1,0 +1,153 @@
+exception Transient of string
+
+let attempt_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 1)
+let attempt () = Domain.DLS.get attempt_key
+
+type 'a outcome =
+  | Done of 'a
+  | Failed of exn
+  | Timed_out of float
+  | Cancelled
+
+type config = {
+  domains : int;
+  deadline : float option;
+  grace : float;
+  retries : int;
+  backoff : float;
+  retryable : exn -> bool;
+  tick : float;
+}
+
+let default_config () =
+  {
+    domains = max 1 (Domain.recommended_domain_count () - 1);
+    deadline = None;
+    grace = 0.25;
+    retries = 1;
+    backoff = 0.05;
+    retryable = (function Transient _ -> true | _ -> false);
+    tick = 0.002;
+  }
+
+(* sleepf can be interrupted by the very SIGINT we are supervising. *)
+let nap s = try Unix.sleepf s with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+type 'a slot = {
+  idx : int;
+  cell : 'a outcome option Atomic.t;
+  cancel : Cancel.t;
+  started : float Atomic.t;
+  domain : unit Domain.t;
+}
+
+(* Runs inside the worker domain.  Everything is caught: the domain itself
+   never raises, so joining it is always safe. *)
+let worker config task cancel started cell () =
+  let classify_cancel reason =
+    if reason = Cancel.deadline_reason then
+      Timed_out (Option.value config.deadline ~default:0.)
+    else Cancelled
+  in
+  let outcome =
+    let rec go i =
+      Domain.DLS.set attempt_key i;
+      Atomic.set started (Unix.gettimeofday ());
+      match Cancel.with_current cancel (fun () -> task ~cancel) with
+      | v -> Done v
+      | exception Cancel.Cancelled reason -> classify_cancel reason
+      | exception exn when i <= config.retries && config.retryable exn ->
+          (* Exponential backoff; the deadline clock restarts with the
+             attempt, not the sleep. *)
+          Atomic.set started (Unix.gettimeofday ());
+          nap (config.backoff *. Float.pow 2. (float_of_int (i - 1)));
+          if Cancel.requested cancel then
+            classify_cancel (Option.value (Cancel.reason cancel) ~default:"")
+          else go (i + 1)
+      | exception exn -> Failed exn
+    in
+    try go 1 with exn -> Failed exn
+  in
+  Atomic.set cell (Some outcome)
+
+let run ?config ?interrupt ?on_outcome tasks =
+  let config = match config with Some c -> c | None -> default_config () in
+  let tasks = Array.of_list tasks in
+  let n = Array.length tasks in
+  let results = Array.make n None in
+  let settle idx o =
+    (* An abandoned task's late completion must not overwrite the timeout
+       already recorded for it. *)
+    if results.(idx) = None then begin
+      results.(idx) <- Some o;
+      match on_outcome with Some f -> f idx o | None -> ()
+    end
+  in
+  let interrupted () =
+    match interrupt with Some t -> Cancel.requested t | None -> false
+  in
+  let max_workers = max 1 (min config.domains (max n 1)) in
+  let running = ref [] in
+  let next = ref 0 in
+  let rec loop () =
+    let now = Unix.gettimeofday () in
+    let progressed = ref false in
+    let still =
+      List.filter
+        (fun s ->
+          match Atomic.get s.cell with
+          | Some o ->
+              Domain.join s.domain;
+              settle s.idx o;
+              progressed := true;
+              false
+          | None -> true)
+        !running
+    in
+    let still =
+      match config.deadline with
+      | None -> still
+      | Some d ->
+          List.filter
+            (fun s ->
+              let elapsed = now -. Atomic.get s.started in
+              if elapsed > d then
+                Cancel.request s.cancel ~reason:Cancel.deadline_reason;
+              if elapsed > d +. config.grace then begin
+                (* The task never reached a cancellation point: abandon its
+                   domain (never joined; the process exit reaps it) so the
+                   rest of the grid keeps moving. *)
+                settle s.idx (Timed_out d);
+                progressed := true;
+                false
+              end
+              else true)
+            still
+    in
+    running := still;
+    while
+      List.length !running < max_workers && !next < n && not (interrupted ())
+    do
+      let idx = !next in
+      incr next;
+      let cancel = Cancel.create () in
+      let started = Atomic.make (Unix.gettimeofday ()) in
+      let cell = Atomic.make None in
+      let domain =
+        Domain.spawn (worker config tasks.(idx) cancel started cell)
+      in
+      running := { idx; cell; cancel; started; domain } :: !running;
+      progressed := true
+    done;
+    if !running = [] && (!next >= n || interrupted ()) then
+      for i = 0 to n - 1 do
+        if results.(i) = None then settle i Cancelled
+      done
+    else begin
+      if not !progressed then nap config.tick;
+      loop ()
+    end
+  in
+  if n > 0 then loop ();
+  Array.to_list
+    (Array.map (function Some o -> o | None -> assert false) results)

@@ -1,0 +1,59 @@
+(** A supervised task pool over OCaml 5 domains.
+
+    Where {!Gc_cache.Parallel.map} is a bare fan-out, this pool is the
+    runtime for long parameter sweeps: every task gets its own domain and
+    {!Cancel.t} token, a monitor enforces per-task wall-clock deadlines,
+    transient failures retry with exponential backoff, and an interrupt
+    token drains the pool gracefully (in-flight tasks finish, pending ones
+    settle as {!Cancelled}).
+
+    Deadline enforcement is two-tier.  At the deadline the task's token is
+    requested with {!Cancel.deadline_reason}; a cooperative task (anything
+    running under the {!Gc_cache.Simulator} progress hook) raises
+    {!Cancel.Cancelled} at its next cancellation point and settles as
+    {!Timed_out}.  A task that never reaches a cancellation point is
+    abandoned after a grace period — its domain is left running, never
+    joined, and reaped when the process exits — so one wedged cell cannot
+    hang the grid. *)
+
+exception Transient of string
+(** A retryable task failure.  The default {!config} retries only these. *)
+
+val attempt : unit -> int
+(** 1-based attempt number of the task running on the calling domain; [1]
+    outside the pool.  The [broken:flaky] drill policy keys off this. *)
+
+type 'a outcome =
+  | Done of 'a
+  | Failed of exn  (** Non-retryable, or retries exhausted. *)
+  | Timed_out of float  (** The per-task deadline, in seconds. *)
+  | Cancelled  (** Interrupted before completion. *)
+
+type config = {
+  domains : int;  (** Max in-flight tasks (each on its own domain). *)
+  deadline : float option;  (** Per-attempt wall-clock budget, seconds. *)
+  grace : float;
+      (** Extra seconds after the deadline before an uncooperative task is
+          abandoned. *)
+  retries : int;  (** Extra attempts granted to retryable failures. *)
+  backoff : float;  (** Base retry sleep, doubling per attempt. *)
+  retryable : exn -> bool;
+  tick : float;  (** Monitor poll interval, seconds. *)
+}
+
+val default_config : unit -> config
+(** [domains = recommended_domain_count () - 1] (min 1), no deadline,
+    grace 0.25s, 1 retry of {!Transient} with 50ms base backoff. *)
+
+val run :
+  ?config:config ->
+  ?interrupt:Cancel.t ->
+  ?on_outcome:(int -> 'a outcome -> unit) ->
+  (cancel:Cancel.t -> 'a) list ->
+  'a outcome list
+(** Execute the tasks, at most [config.domains] concurrently, returning
+    outcomes in input order.  [on_outcome] runs on the calling domain the
+    moment each task settles (checkpoint journals hook in here).  When
+    [interrupt] is requested, no further tasks start; in-flight tasks
+    drain (subject to their deadline) and unstarted ones settle as
+    {!Cancelled}. *)

@@ -1,0 +1,24 @@
+let exit_interrupted = 130
+
+let with_interrupt ?(message = "interrupt: draining in-flight cells (interrupt again to abort)") f =
+  let token = Cancel.create () in
+  let handler _ =
+    if Cancel.requested token then Stdlib.exit exit_interrupted
+    else begin
+      Cancel.request token ~reason:Cancel.interrupt_reason;
+      prerr_endline message
+    end
+  in
+  let install s =
+    match Sys.signal s (Sys.Signal_handle handler) with
+    | previous -> Some (s, previous)
+    | exception (Invalid_argument _ | Sys_error _) -> None
+  in
+  let saved = List.filter_map install [ Sys.sigint; Sys.sigterm ] in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun (s, previous) ->
+          try Sys.set_signal s previous with Invalid_argument _ | Sys_error _ -> ())
+        saved)
+    (fun () -> f token)

@@ -1,0 +1,16 @@
+(** Graceful-shutdown signal supervision for sweep commands.
+
+    The first SIGINT/SIGTERM requests the returned interrupt token (the
+    {!Pool} stops launching cells and drains the ones in flight, the CLI
+    writes its partial, [interrupted]-stamped artifacts and exits
+    {!exit_interrupted}); a second signal hard-exits the process with the
+    same code immediately. *)
+
+val exit_interrupted : int
+(** 130, the conventional fatal-SIGINT exit status; shared with
+    [Cli_common.interrupted]. *)
+
+val with_interrupt : ?message:string -> (Cancel.t -> 'a) -> 'a
+(** Install the two-stage handlers around [f], passing it the interrupt
+    token; the previous handlers are restored afterwards.  [message] is
+    printed to stderr on the first signal. *)

@@ -64,3 +64,28 @@ let write_string path s =
 
 let write_json path json =
   write_string path (Format.asprintf "%a@." Json.pp json)
+
+let write_string_atomic path s =
+  let tmp = path ^ ".tmp" in
+  (match
+     let oc = open_out tmp in
+     match
+       output_string oc s;
+       close_out oc
+     with
+     | () -> ()
+     | exception e ->
+         (try close_out_noerr oc with _ -> ());
+         raise e
+   with
+  | () -> ()
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e);
+  try Sys.rename tmp path
+  with e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
+
+let write_json_atomic path json =
+  write_string_atomic path (Format.asprintf "%a@." Json.pp json)

@@ -19,3 +19,13 @@ val write_json : string -> Json.t -> unit
 (** Pretty-printed JSON to a file path, trailing newline included. *)
 
 val write_string : string -> string -> unit
+
+val write_string_atomic : string -> string -> unit
+(** Crash-safe replacement write: the content goes to [path ^ ".tmp"] and
+    is renamed over [path] only after a successful close, so a crash or
+    full disk mid-write can never leave a truncated artifact under the
+    final name.  Failures raise [Sys_error] with the temp file removed. *)
+
+val write_json_atomic : string -> Json.t -> unit
+(** {!write_json} through {!write_string_atomic}; every run-artifact
+    writer should use this. *)

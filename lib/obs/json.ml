@@ -96,6 +96,219 @@ let rec pp fmt t =
            (fun fmt (key, v) -> Format.fprintf fmt "@[<hv 2>\"%s\":@ %a@]" (escape key) pp v))
         fields
 
+(* ------------------------------------------------------------- decoding *)
+
+type parse_error = { offset : int; reason : string }
+
+let string_of_parse_error e =
+  Printf.sprintf "offset %d: %s" e.offset e.reason
+
+exception Parse of parse_error
+
+(* Recursive descent over a string.  Depth-limited so hostile input (a
+   checkpoint journal corrupted into "[[[[[...") is rejected with a
+   diagnostic instead of a stack overflow. *)
+let max_depth = 256
+
+let parse src =
+  let pos = ref 0 in
+  let len = String.length src in
+  let fail reason = raise (Parse { offset = !pos; reason }) in
+  let peek () = if !pos < len then Some src.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | Some d -> fail (Printf.sprintf "expected %C, got %C" c d)
+    | None -> fail (Printf.sprintf "expected %C, got end of input" c)
+  in
+  let literal word value =
+    String.iter expect word;
+    value
+  in
+  let hex4 () =
+    if !pos + 4 > len then fail "truncated \\u escape";
+    let h = String.sub src !pos 4 in
+    pos := !pos + 4;
+    match int_of_string_opt ("0x" ^ h) with
+    | Some code -> code
+    | None -> fail (Printf.sprintf "bad \\u escape %S" h)
+  in
+  let add_utf8 buf code =
+    (* Codepoint to UTF-8; surrogates and out-of-range rejected upstream. *)
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some '"' -> advance (); Buffer.add_char buf '"'
+          | Some '\\' -> advance (); Buffer.add_char buf '\\'
+          | Some '/' -> advance (); Buffer.add_char buf '/'
+          | Some 'b' -> advance (); Buffer.add_char buf '\b'
+          | Some 'f' -> advance (); Buffer.add_char buf '\012'
+          | Some 'n' -> advance (); Buffer.add_char buf '\n'
+          | Some 'r' -> advance (); Buffer.add_char buf '\r'
+          | Some 't' -> advance (); Buffer.add_char buf '\t'
+          | Some 'u' ->
+              advance ();
+              let code = hex4 () in
+              if code >= 0xD800 && code <= 0xDFFF then
+                fail "surrogate \\u escape unsupported"
+              else add_utf8 buf code
+          | Some c -> fail (Printf.sprintf "bad escape \\%C" c)
+          | None -> fail "unterminated escape");
+          go ()
+      | Some c when Char.code c < 0x20 ->
+          fail (Printf.sprintf "unescaped control character %C" c)
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    let text = String.sub src start (!pos - start) in
+    (* OCaml's numeric conversions are laxer than RFC 8259 (leading zeros,
+       leading '+', '1.'), so validate the grammar — an optional minus, then
+       0 or a nonzero-led digit run, then optional frac and exp parts —
+       before converting. *)
+    let grammatical =
+      let n = String.length text in
+      let i = ref 0 in
+      let digits () =
+        let s = !i in
+        while
+          !i < n && match text.[!i] with '0' .. '9' -> true | _ -> false
+        do
+          incr i
+        done;
+        !i > s
+      in
+      let ok = ref true in
+      if !i < n && text.[!i] = '-' then incr i;
+      (match if !i < n then Some text.[!i] else None with
+      | Some '0' -> incr i
+      | Some ('1' .. '9') -> ignore (digits ())
+      | _ -> ok := false);
+      if !ok && !i < n && text.[!i] = '.' then begin
+        incr i;
+        if not (digits ()) then ok := false
+      end;
+      if !ok && !i < n && (text.[!i] = 'e' || text.[!i] = 'E') then begin
+        incr i;
+        if !i < n && (text.[!i] = '+' || text.[!i] = '-') then incr i;
+        if not (digits ()) then ok := false
+      end;
+      !ok && !i = n
+    in
+    if not grammatical then fail (Printf.sprintf "bad number %S" text)
+    else
+      match int_of_string_opt text with
+      | Some n -> Int n
+      | None -> (
+          match float_of_string_opt text with
+          | Some f -> Float f
+          | None -> fail (Printf.sprintf "bad number %S" text))
+  in
+  let rec parse_value depth =
+    if depth > max_depth then fail "nesting too deep";
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Array []
+        end
+        else
+          let rec items acc =
+            let v = parse_value (depth + 1) in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                items (v :: acc)
+            | Some ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          Array (items [])
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else
+          let rec fields acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value (depth + 1) in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                fields ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                List.rev ((key, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          Obj (fields [])
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value 0 in
+    skip_ws ();
+    if !pos <> len then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse e -> Error e
+
 let member key = function
   | Obj fields -> List.assoc_opt key fields
   | _ -> None

@@ -26,6 +26,20 @@ val to_channel : out_channel -> t -> unit
 val pp : Format.formatter -> t -> unit
 (** Indented multi-line encoding, for files meant to be read by humans. *)
 
+(** {1 Decoding} *)
+
+type parse_error = { offset : int; reason : string }
+
+val string_of_parse_error : parse_error -> string
+(** ["offset N: reason"]. *)
+
+val parse : string -> (t, parse_error) result
+(** Strict RFC-8259 decoding of a complete document (trailing garbage is an
+    error).  Nesting is depth-limited so corrupted input cannot overflow
+    the stack; [\u] surrogate escapes are unsupported (the encoder never
+    emits them).  Numbers that fit an OCaml [int] decode as [Int], others
+    as [Float]. *)
+
 (** {1 Accessors}
 
     Partial; meant for consumers that know the schema. *)

@@ -69,6 +69,47 @@ let run_json r =
               ] );
         ])
 
+let run_to_json = run_json
+
+let run_of_json json =
+  let ( let* ) r f = Result.bind r f in
+  let* policy =
+    match Json.member "policy" json with
+    | Some (Json.String p) -> Ok p
+    | _ -> Error "run slot: missing or non-string \"policy\""
+  in
+  let* metrics =
+    match Json.member "metrics" json with
+    | Some (Json.Obj fields) -> Ok fields
+    | None -> Ok []
+    | Some _ -> Error "run slot: \"metrics\" is not an object"
+  in
+  let histograms = Json.member "histograms" json in
+  let* events =
+    match Json.member "events" json with
+    | None -> Ok []
+    | Some (Json.Obj fields) ->
+        List.fold_left
+          (fun acc (key, v) ->
+            let* acc = acc in
+            match v with
+            | Json.Int n -> Ok ((key, n) :: acc)
+            | _ -> Error "run slot: non-integer event count")
+          (Ok []) fields
+        |> Result.map List.rev
+    | Some _ -> Error "run slot: \"events\" is not an object"
+  in
+  let* error =
+    match Json.member "error" json with
+    | None -> Ok None
+    | Some err -> (
+        match (Json.member "kind" err, Json.member "message" err) with
+        | Some (Json.String kind), Some (Json.String message) ->
+            Ok (Some (kind, message))
+        | _ -> Error "run slot: \"error\" lacks string kind/message")
+  in
+  Ok { policy; metrics; histograms; events; error }
+
 let to_json t =
   Json.Obj
     ([

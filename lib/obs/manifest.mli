@@ -22,9 +22,13 @@ type run = {
   events : (string * int) list;  (** Per-kind event counts; [] when off. *)
   error : (string * string) option;
       (** [(kind, message)] when the policy failed instead of finishing:
-          kind is ["model-violation"] or ["exception"].  A failed run keeps
-          its slot in [runs] (with whatever metrics were gathered before the
-          failure) so one bad policy never erases a sweep's other results. *)
+          ["model-violation"] (the shadow audit raised), ["exception"] (the
+          policy crashed), ["timeout"] (a supervised cell exceeded its
+          wall-clock deadline), ["cancelled"] (a supervised cell was never
+          started because the run was interrupted), or ["interrupted"]
+          (reserved for whole-run stamps).  A failed run keeps its slot in
+          [runs] (with whatever metrics were gathered before the failure)
+          so one bad policy never erases a sweep's other results. *)
 }
 
 type t = {
@@ -55,3 +59,12 @@ val zero_volatile : t -> t
     for golden-file comparison. *)
 
 val to_json : t -> Json.t
+
+val run_to_json : run -> Json.t
+(** One run slot, exactly as it appears inside [to_json]'s [runs] array.
+    Checkpoint journals store completed cells in this shape. *)
+
+val run_of_json : Json.t -> (run, string) result
+(** Inverse of {!run_to_json}; tolerant of the optional fields being
+    absent.  [run_to_json (Result.get_ok (run_of_json j))] re-encodes
+    byte-identically, which resume paths rely on. *)
