@@ -1,0 +1,307 @@
+(* gcserved: the supervised simulation service.
+
+   Examples:
+     gcserved serve --socket /tmp/gc.sock --workers 4 --deadline 30
+     gcserved serve --socket /tmp/gc.sock --manifest shutdown.json
+     gcserved client --socket /tmp/gc.sock health
+     gcserved client --socket /tmp/gc.sock sim --policy lru --k 1024 \
+         --workload zipf --n 20000
+     gcserved client --socket /tmp/gc.sock miss-curve --policy iblp \
+         --ks 64,256,1024
+     gcserved client --socket /tmp/gc.sock raw --json '{"op":"stats"}'
+
+   Protocol, overload semantics, and drain behavior: doc/SERVING.md.
+   Exit codes (see doc/ROBUSTNESS.md): serve exits 0 after a clean
+   SIGTERM/SIGINT drain (a second signal hard-exits 130), 1 on runtime
+   failure, 2 on usage errors.  client maps the reply's error kind onto
+   the shared contract: 0 ok, 1 runtime-ish kinds (exception, timeout,
+   overloaded, draining, cancelled), 2 usage/protocol, 3 model-violation. *)
+
+open Cmdliner
+module Json = Gc_obs.Json
+
+(* ---------------------------------------------------------------- serve *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket to serve on (or connect to).")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tcp" ] ~docv:"PORT" ~doc:"Also listen on (connect to) TCP $(docv).")
+
+let tcp_host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "tcp-host" ] ~docv:"HOST" ~doc:"Host for $(b,--tcp).")
+
+let listeners ~socket ~tcp ~tcp_host =
+  let socket = if socket = None && tcp = None then Some "gcserved.sock" else socket in
+  (socket, Option.map (fun p -> (tcp_host, p)) tcp)
+
+let serve socket tcp tcp_host workers queue_depth deadline retries max_frame
+    frame_timeout max_conns manifest =
+  let socket_path, tcp = listeners ~socket ~tcp ~tcp_host in
+  let base = Gc_serve.Server.default_config in
+  let config =
+    {
+      base with
+      Gc_serve.Server.socket_path;
+      tcp;
+      queue_depth = Option.value queue_depth ~default:base.Gc_serve.Server.queue_depth;
+      workers = Option.value workers ~default:base.Gc_serve.Server.workers;
+      deadline = Option.value deadline ~default:base.Gc_serve.Server.deadline;
+      retries = Option.value retries ~default:base.Gc_serve.Server.retries;
+      max_frame = Option.value max_frame ~default:base.Gc_serve.Server.max_frame;
+      frame_timeout =
+        Option.value frame_timeout ~default:base.Gc_serve.Server.frame_timeout;
+      max_connections =
+        Option.value max_conns ~default:base.Gc_serve.Server.max_connections;
+    }
+  in
+  Printf.eprintf "gcserved: serving%s%s (workers %d, queue %d, deadline %gs)\n%!"
+    (match socket_path with
+    | Some p -> Printf.sprintf " on %s" p
+    | None -> "")
+    (match tcp with
+    | Some (h, p) -> Printf.sprintf " and tcp %s:%d" h p
+    | None -> "")
+    config.Gc_serve.Server.workers config.Gc_serve.Server.queue_depth
+    config.Gc_serve.Server.deadline;
+  Gc_serve.Server.run ?manifest_path:manifest config;
+  prerr_endline "gcserved: drained";
+  Cli_common.ok
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Run the simulation daemon until SIGTERM/SIGINT")
+    Term.(
+      const serve $ socket_arg $ tcp_arg $ tcp_host_arg
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "workers" ] ~docv:"N"
+              ~doc:"Concurrent simulations (default: cores - 1).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "queue-depth" ] ~docv:"N"
+              ~doc:
+                "Admission-queue bound; beyond it requests are shed with \
+                 an $(b,overloaded) reply (default 64).")
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "deadline" ] ~docv:"SECONDS"
+              ~doc:"Per-request wall-clock budget (default 30).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "retries" ] ~docv:"N"
+              ~doc:"Extra attempts for transiently failing requests (default 1).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "max-frame" ] ~docv:"BYTES"
+              ~doc:"Frame payload cap (default 1MiB).")
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "frame-timeout" ] ~docv:"SECONDS"
+              ~doc:
+                "Whole-frame delivery budget; slower senders are cut off \
+                 (default 10).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "max-conns" ] ~docv:"N"
+              ~doc:"Concurrent connection cap (default 256).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "manifest" ] ~docv:"FILE"
+              ~doc:
+                "Write a shutdown manifest (final metric registry: queue \
+                 depth, shed count, latency histograms) to $(docv) after \
+                 the drain."))
+
+(* --------------------------------------------------------------- client *)
+
+let addr ~socket ~tcp ~tcp_host =
+  match (socket, tcp) with
+  | Some _, Some _ ->
+      Cli_common.fail_usage "--socket and --tcp are mutually exclusive"
+  | None, Some port -> Gc_serve.Client.Tcp (tcp_host, port)
+  | Some path, None -> Gc_serve.Client.Unix_path path
+  | None, None -> Gc_serve.Client.Unix_path "gcserved.sock"
+
+let ks_conv =
+  let parse s =
+    try
+      let ks =
+        List.map
+          (fun x ->
+            match int_of_string_opt (String.trim x) with
+            | Some k -> k
+            | None -> failwith x)
+          (String.split_on_char ',' s)
+      in
+      if ks = [] then Error (`Msg "empty capacity list") else Ok ks
+    with Failure x -> Error (`Msg (Printf.sprintf "bad capacity %S in %S" x s))
+  in
+  Arg.conv
+    ( parse,
+      fun fmt ks ->
+        Format.pp_print_string fmt
+          (String.concat "," (List.map string_of_int ks)) )
+
+let exit_of_reply = function
+  | Gc_serve.Protocol.Ok_result _ -> Cli_common.ok
+  | Gc_serve.Protocol.Err (kind, _) ->
+      if kind = "model-violation" then Cli_common.model_violation
+      else if
+        kind = Gc_serve.Protocol.kind_usage
+        || kind = Gc_serve.Protocol.kind_protocol
+      then Cli_common.usage_error
+      else Cli_common.runtime_error
+
+let client socket tcp tcp_host op policy k seed workload n universe block_size
+    check ks raw timeout =
+  let addr = addr ~socket ~tcp ~tcp_host in
+  let load =
+    {
+      Gc_serve.Protocol.workload;
+      n = Option.value n ~default:20_000;
+      universe = Option.value universe ~default:16_384;
+      block_size = Option.value block_size ~default:16;
+    }
+  in
+  let request =
+    match op with
+    | "health" -> Json.Obj [ ("op", Json.String "health") ]
+    | "stats" -> Json.Obj [ ("op", Json.String "stats") ]
+    | "sim" ->
+        Gc_serve.Protocol.request_to_json
+          {
+            Gc_serve.Protocol.id = None;
+            op = Gc_serve.Protocol.Sim
+                { Gc_serve.Protocol.policy; k; seed; load; check };
+          }
+    | "miss-curve" ->
+        Gc_serve.Protocol.request_to_json
+          {
+            Gc_serve.Protocol.id = None;
+            op =
+              Gc_serve.Protocol.Miss_curve
+                {
+                  Gc_serve.Protocol.curve_policy = policy;
+                  ks;
+                  curve_seed = seed;
+                  curve_load = load;
+                };
+          }
+    | "raw" -> (
+        match raw with
+        | None -> Cli_common.fail_usage "raw needs --json REQUEST"
+        | Some s -> (
+            match Json.parse s with
+            | Ok j -> j
+            | Error e ->
+                Cli_common.fail_usage "--json: %s"
+                  (Json.string_of_parse_error e)))
+    | _ -> assert false (* the enum converter rejects anything else *)
+  in
+  match Gc_serve.Client.request ~timeout addr request with
+  | Error msg -> Cli_common.fail_runtime "%s" msg
+  | Ok reply_json -> (
+      Format.printf "%a@." Json.pp reply_json;
+      match Gc_serve.Protocol.reply_of_json reply_json with
+      | Ok (_id, reply) -> exit_of_reply reply
+      | Error msg -> Cli_common.fail_runtime "malformed reply: %s" msg)
+
+let client_cmd =
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one request to a running daemon and print the framed reply")
+    Term.(
+      const client $ socket_arg $ tcp_arg $ tcp_host_arg
+      $ Arg.(
+          value
+          & pos 0
+              (Cli_common.choice_conv
+                 [ "health"; "stats"; "sim"; "miss-curve"; "raw" ])
+              "health"
+          & info [] ~docv:"OP"
+              ~doc:"One of: health, stats, sim, miss-curve, raw.")
+      $ Arg.(
+          value
+          & opt Cli_common.policy_conv "lru"
+          & info [ "policy"; "p" ] ~docv:"NAME" ~doc:"Policy to simulate.")
+      $ Arg.(value & opt int 1024 & info [ "k" ] ~doc:"Cache capacity.")
+      $ Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Workload seed.")
+      $ Arg.(
+          value
+          & opt
+              (Cli_common.choice_conv Gc_trace.Workload_suite.standard_names)
+              "zipf"
+          & info [ "workload" ] ~docv:"NAME" ~doc:"Synthetic workload.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "n" ] ~docv:"N" ~doc:"Trace length (default 20000).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "universe" ] ~docv:"N" ~doc:"Item universe (default 16384).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "block-size"; "B" ] ~docv:"N" ~doc:"Block size (default 16).")
+      $ Arg.(
+          value & flag
+          & info [ "check" ] ~doc:"Run the shadow-model audit server-side.")
+      $ Arg.(
+          value
+          & opt ks_conv [ 64; 256; 1024 ]
+          & info [ "ks" ] ~docv:"K1,K2,..."
+              ~doc:"Capacities for miss-curve.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "json" ] ~docv:"REQUEST"
+              ~doc:"Raw JSON request body for the $(b,raw) op.")
+      $ Arg.(
+          value
+          & opt float 60.
+          & info [ "timeout" ] ~docv:"SECONDS"
+              ~doc:"Give up waiting for the reply after $(docv)."))
+
+let () =
+  let info =
+    Cmd.info "gcserved" ~doc:"GC-caching simulation service"
+      ~exits:
+        [
+          Cmd.Exit.info 0
+            ~doc:
+              "on success ($(b,serve): clean drain after SIGTERM/SIGINT; \
+               $(b,client): an $(i,ok) reply).";
+          Cmd.Exit.info 1
+            ~doc:
+              "on runtime failure (cannot bind or connect; error replies \
+               of kind exception, timeout, overloaded, draining).";
+          Cmd.Exit.info 2
+            ~doc:"on usage errors (bad flags; usage/protocol error replies).";
+          Cmd.Exit.info 3 ~doc:"on a model-violation reply.";
+          Cmd.Exit.info 130
+            ~doc:
+              "when a second signal hard-exits a drain already in progress.";
+        ]
+  in
+  exit (Cli_common.eval (Cmd.group info [ serve_cmd; client_cmd ]))

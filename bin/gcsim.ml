@@ -31,6 +31,9 @@ let run policies all k seed offline no_check inject json events histograms path
   if names = [] then
     Cli_common.fail_usage "no policies selected (use --policy or --all)";
   let t0 = Unix.gettimeofday () in
+  (* Streaming JSONL: incremental by nature, so unlike the manifest it
+     cannot go through the atomic temp-file path — a crash can only tear
+     the final line, which JSONL consumers skip. *)
   let events_oc = Option.map open_out events in
   Format.printf "%-14s %s@." "policy" "metrics";
   let outcomes =

@@ -30,8 +30,20 @@ let default_config () =
     tick = 0.002;
   }
 
-(* sleepf can be interrupted by the very SIGINT we are supervising. *)
-let nap s = try Unix.sleepf s with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+(* sleepf can be interrupted by the very SIGINT we are supervising — and
+   under a signal storm, repeatedly.  Retry the *remaining* duration so
+   monitor ticks and backoff sleeps keep their intended length instead of
+   collapsing to busy-spins. *)
+let nap s =
+  let until = Unix.gettimeofday () +. s in
+  let rec go remaining =
+    if remaining > 0. then
+      match Unix.sleepf remaining with
+      | () -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+          go (until -. Unix.gettimeofday ())
+  in
+  go s
 
 type 'a slot = {
   idx : int;
@@ -70,7 +82,7 @@ let worker config task cancel started cell () =
   in
   Atomic.set cell (Some outcome)
 
-let run ?config ?interrupt ?on_outcome tasks =
+let run ?config ?interrupt ?on_start ?on_outcome tasks =
   let config = match config with Some c -> c | None -> default_config () in
   let tasks = Array.of_list tasks in
   let n = Array.length tasks in
@@ -131,6 +143,10 @@ let run ?config ?interrupt ?on_outcome tasks =
       let idx = !next in
       incr next;
       let cancel = Cancel.create () in
+      (* Expose the task's token before its domain runs, so an external
+         event (a client disconnect, say) can never race the launch and
+         miss its chance to cancel. *)
+      (match on_start with Some f -> f idx cancel | None -> ());
       let started = Atomic.make (Unix.gettimeofday ()) in
       let cell = Atomic.make None in
       let domain =

@@ -48,12 +48,17 @@ val default_config : unit -> config
 val run :
   ?config:config ->
   ?interrupt:Cancel.t ->
+  ?on_start:(int -> Cancel.t -> unit) ->
   ?on_outcome:(int -> 'a outcome -> unit) ->
   (cancel:Cancel.t -> 'a) list ->
   'a outcome list
 (** Execute the tasks, at most [config.domains] concurrently, returning
-    outcomes in input order.  [on_outcome] runs on the calling domain the
-    moment each task settles (checkpoint journals hook in here).  When
-    [interrupt] is requested, no further tasks start; in-flight tasks
-    drain (subject to their deadline) and unstarted ones settle as
-    {!Cancelled}. *)
+    outcomes in input order.  [on_start] runs on the calling domain just
+    before each task's domain is spawned, exposing the task's own cancel
+    token so an external event can cancel one in-flight task without
+    touching the rest — the serving layer requests it when the client that
+    asked for the task disconnects.  [on_outcome] runs on the calling
+    domain the moment each task settles (checkpoint journals hook in
+    here).  When [interrupt] is requested, no further tasks start;
+    in-flight tasks drain (subject to their deadline) and unstarted ones
+    settle as {!Cancelled}. *)

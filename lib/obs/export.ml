@@ -56,21 +56,27 @@ let registry_csv reg =
       [ "name"; "labels"; "type"; "value"; "count"; "sum"; "mean"; "min"; "max" ]
     rows
 
-let write_string path s =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc s)
-
-let write_json path json =
-  write_string path (Format.asprintf "%a@." Json.pp json)
+(* A per-process counter makes the temp name unique even when two threads
+   of one process write the same artifact concurrently; the pid covers
+   concurrent processes.  A fixed ".tmp" suffix would let two writers
+   clobber each other's temp file and rename a half-written one into
+   place. *)
+let tmp_seq = Atomic.make 0
 
 let write_string_atomic path s =
-  let tmp = path ^ ".tmp" in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_seq 1)
+  in
   (match
      let oc = open_out tmp in
      match
        output_string oc s;
+       (* "Atomic" must also mean durable: without the fsync the rename
+          can hit the disk before the data, and a power cut leaves the
+          final name pointing at a truncated file. *)
+       flush oc;
+       Unix.fsync (Unix.descr_of_out_channel oc);
        close_out oc
      with
      | () -> ()
@@ -82,10 +88,24 @@ let write_string_atomic path s =
   | exception e ->
       (try Sys.remove tmp with Sys_error _ -> ());
       raise e);
-  try Sys.rename tmp path
-  with e ->
-    (try Sys.remove tmp with Sys_error _ -> ());
-    raise e
+  (try Sys.rename tmp path
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  (* Persist the rename itself (the directory entry).  Best-effort: some
+     platforms refuse to open or fsync directories. *)
+  match Unix.openfile (Filename.dirname path) [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
+(* The plain (non-atomic) write_string/write_json variants are gone on
+   purpose: every artifact writer goes through the atomic path so a crash
+   or full disk can never leave a truncated file under a final name. *)
+let write_string = write_string_atomic
 
 let write_json_atomic path json =
   write_string_atomic path (Format.asprintf "%a@." Json.pp json)
+
+let write_json = write_json_atomic

@@ -15,17 +15,25 @@ val registry_csv : Registry.t -> string
     [name,labels,type,value,count,sum,mean,min,max] — counters and gauges
     fill [value]; histograms fill the summary columns. *)
 
-val write_json : string -> Json.t -> unit
-(** Pretty-printed JSON to a file path, trailing newline included. *)
+val write_string_atomic : string -> string -> unit
+(** Crash-safe, durable replacement write: the content goes to a
+    per-process-unique temp name ([path ^ ".tmp.<pid>.<seq>"], so two
+    concurrent writers of the same artifact cannot clobber each other's
+    temp file), is flushed and [fsync]ed, and only then renamed over
+    [path] — a crash, full disk, or power loss mid-write can never leave
+    a truncated artifact under the final name.  The containing directory
+    is fsynced after the rename where the platform allows it.  Failures
+    raise [Sys_error] with the temp file removed. *)
 
 val write_string : string -> string -> unit
-
-val write_string_atomic : string -> string -> unit
-(** Crash-safe replacement write: the content goes to [path ^ ".tmp"] and
-    is renamed over [path] only after a successful close, so a crash or
-    full disk mid-write can never leave a truncated artifact under the
-    final name.  Failures raise [Sys_error] with the temp file removed. *)
+(** Alias of {!write_string_atomic}.  The plain non-atomic variant was
+    removed so that every artifact writer shares the same crash-safety
+    guarantee; streaming writers (JSONL event sinks, checkpoint journals)
+    manage their own channels instead. *)
 
 val write_json_atomic : string -> Json.t -> unit
-(** {!write_json} through {!write_string_atomic}; every run-artifact
-    writer should use this. *)
+(** Pretty-printed JSON (trailing newline included) through
+    {!write_string_atomic}; every run-artifact writer should use this. *)
+
+val write_json : string -> Json.t -> unit
+(** Alias of {!write_json_atomic}. *)

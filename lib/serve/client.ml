@@ -1,0 +1,59 @@
+type addr =
+  | Unix_path of string
+  | Tcp of string * int
+
+type conn = Unix.file_descr
+
+let sockaddr = function
+  | Unix_path p -> (Unix.PF_UNIX, Unix.ADDR_UNIX p)
+  | Tcp (host, port) ->
+      let a =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+          | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+          | _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+      in
+      (Unix.PF_INET, Unix.ADDR_INET (a, port))
+
+let connect ?(timeout = 5.) addr =
+  let domain, sa = sockaddr addr in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout;
+     Unix.connect fd sa
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let close fd = try Unix.close fd with Unix.Unix_error _ -> ()
+let send fd json = Frame.write_fd fd json
+let fd c = c
+
+let recv ?max_frame ?(timeout = 60.) fd =
+  match
+    Frame.read_fd ?max_frame ~idle_timeout:timeout ~frame_timeout:timeout fd
+  with
+  | Frame.Frame json -> Ok json
+  | Frame.Eof -> Error "connection closed by server"
+  | Frame.Bad_payload e | Frame.Fault e ->
+      Error ("protocol fault: " ^ Frame.string_of_error e)
+  | Frame.Timed_out ->
+      Error (Printf.sprintf "no reply within %gs" timeout)
+
+let request ?timeout addr json =
+  match connect ?timeout:(Option.map (fun t -> Float.min t 5.) timeout) addr with
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> close fd)
+        (fun () ->
+          send fd json;
+          recv ?timeout fd)
+  | exception Unix.Unix_error (e, _, _) ->
+      Error
+        (Printf.sprintf "cannot connect to %s: %s"
+           (match addr with
+           | Unix_path p -> p
+           | Tcp (h, p) -> Printf.sprintf "%s:%d" h p)
+           (Unix.error_message e))

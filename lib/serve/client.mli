@@ -1,0 +1,35 @@
+(** Client side of the simulation service: connect, frame, await.
+
+    Used by [gcserved client], the test harnesses, and anything scripted.
+    Every call takes a wall-clock [timeout] so a dead or wedged server can
+    never hang the caller — the mirror image of the server's own
+    slow-loris guard. *)
+
+type addr =
+  | Unix_path of string
+  | Tcp of string * int
+
+type conn
+
+val connect : ?timeout:float -> addr -> conn
+(** Raises [Unix.Unix_error] (e.g. [ECONNREFUSED]) on failure.  [timeout]
+    (default 5s) bounds the TCP connect. *)
+
+val close : conn -> unit
+
+val send : conn -> Gc_obs.Json.t -> unit
+(** Frame and send one document. *)
+
+val recv : ?max_frame:int -> ?timeout:float -> conn -> (Gc_obs.Json.t, string) result
+(** Await one framed document (default timeout 60s).  [Error] describes a
+    protocol fault, EOF, or timeout. *)
+
+val request :
+  ?timeout:float ->
+  addr ->
+  Gc_obs.Json.t ->
+  (Gc_obs.Json.t, string) result
+(** One-shot: connect, send, await the reply, close. *)
+
+val fd : conn -> Unix.file_descr
+(** The raw socket, for adversarial tests that need to write garbage. *)

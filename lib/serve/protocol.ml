@@ -1,0 +1,255 @@
+module Json = Gc_obs.Json
+
+type workload = {
+  workload : string;
+  n : int;
+  universe : int;
+  block_size : int;
+}
+
+type sim = {
+  policy : string;
+  k : int;
+  seed : int;
+  load : workload;
+  check : bool;
+}
+
+type curve = {
+  curve_policy : string;
+  ks : int list;
+  curve_seed : int;
+  curve_load : workload;
+}
+
+type op =
+  | Sim of sim
+  | Miss_curve of curve
+  | Health
+  | Stats
+
+type request = { id : Json.t option; op : op }
+
+let max_trace_n = 5_000_000
+let max_universe = 1 lsl 24
+let max_k = 1 lsl 28
+let max_curve_points = 64
+
+(* ----------------------------------------------------------- validation *)
+
+let ( let* ) = Result.bind
+
+let field_int ~default ~min ~max name json =
+  match Json.member name json with
+  | None -> Ok default
+  | Some (Json.Int v) ->
+      if v < min || v > max then
+        Error (Printf.sprintf "%s must be in [%d, %d], got %d" name min max v)
+      else Ok v
+  | Some other ->
+      Error
+        (Printf.sprintf "%s must be an integer, got %s" name
+           (Json.to_string other))
+
+let field_bool ~default name json =
+  match Json.member name json with
+  | None -> Ok default
+  | Some (Json.Bool b) -> Ok b
+  | Some other ->
+      Error
+        (Printf.sprintf "%s must be a boolean, got %s" name
+           (Json.to_string other))
+
+let field_string ~default name json =
+  match Json.member name json with
+  | None -> Ok default
+  | Some (Json.String s) -> Ok s
+  | Some other ->
+      Error
+        (Printf.sprintf "%s must be a string, got %s" name
+           (Json.to_string other))
+
+let valid_policy spec =
+  let base =
+    match String.index_opt spec ':' with
+    | Some i -> String.sub spec 0 i
+    | None -> spec
+  in
+  if base = "broken" || List.mem base Gc_cache.Registry.names then Ok spec
+  else
+    Error
+      (Printf.sprintf "unknown policy %S, expected one of: %s, broken" spec
+         (String.concat ", " Gc_cache.Registry.names))
+
+let parse_workload json =
+  let* name = field_string ~default:"zipf" "workload" json in
+  let* () =
+    if List.mem name Gc_trace.Workload_suite.standard_names then Ok ()
+    else
+      Error
+        (Printf.sprintf "unknown workload %S, expected one of: %s" name
+           (String.concat ", " Gc_trace.Workload_suite.standard_names))
+  in
+  let* n = field_int ~default:20_000 ~min:1 ~max:max_trace_n "n" json in
+  let* universe =
+    field_int ~default:16_384 ~min:1 ~max:max_universe "universe" json
+  in
+  let* block_size =
+    field_int ~default:16 ~min:1 ~max:4096 "block_size" json
+  in
+  Ok { workload = name; n; universe; block_size }
+
+let parse_id json =
+  match Json.member "id" json with
+  | None -> Ok None
+  | Some (Json.Int _ as id) | Some (Json.String _ as id) -> Ok (Some id)
+  | Some other ->
+      Error
+        (Printf.sprintf "id must be an integer or string, got %s"
+           (Json.to_string other))
+
+let parse_ks json =
+  match Json.member "ks" json with
+  | None -> Error "ks is required for miss-curve (an array of capacities)"
+  | Some (Json.Array ks) ->
+      if ks = [] then Error "ks must not be empty"
+      else if List.length ks > max_curve_points then
+        Error
+          (Printf.sprintf "ks must have at most %d points" max_curve_points)
+      else
+        List.fold_left
+          (fun acc v ->
+            let* acc = acc in
+            match v with
+            | Json.Int k when k >= 1 && k <= max_k -> Ok (k :: acc)
+            | Json.Int k ->
+                Error (Printf.sprintf "ks entries must be in [1, %d], got %d" max_k k)
+            | other ->
+                Error
+                  (Printf.sprintf "ks entries must be integers, got %s"
+                     (Json.to_string other)))
+          (Ok []) ks
+        |> Result.map List.rev
+  | Some other ->
+      Error
+        (Printf.sprintf "ks must be an array, got %s" (Json.to_string other))
+
+let parse_request json =
+  match json with
+  | Json.Obj _ -> (
+      let* id = parse_id json in
+      let* op = field_string ~default:"" "op" json in
+      match op with
+      | "" -> Error "op is required (sim | miss-curve | health | stats)"
+      | "health" -> Ok { id; op = Health }
+      | "stats" -> Ok { id; op = Stats }
+      | "sim" ->
+          let* policy = field_string ~default:"lru" "policy" json in
+          let* policy = valid_policy policy in
+          let* k = field_int ~default:1024 ~min:1 ~max:max_k "k" json in
+          let* seed = field_int ~default:42 ~min:min_int ~max:max_int "seed" json in
+          let* load = parse_workload json in
+          let* check = field_bool ~default:false "check" json in
+          Ok { id; op = Sim { policy; k; seed; load; check } }
+      | "miss-curve" ->
+          let* policy = field_string ~default:"lru" "policy" json in
+          let* curve_policy = valid_policy policy in
+          let* ks = parse_ks json in
+          let* curve_seed =
+            field_int ~default:42 ~min:min_int ~max:max_int "seed" json
+          in
+          let* curve_load = parse_workload json in
+          Ok { id; op = Miss_curve { curve_policy; ks; curve_seed; curve_load } }
+      | other ->
+          Error
+            (Printf.sprintf
+               "unknown op %S, expected one of: sim, miss-curve, health, stats"
+               other))
+  | other ->
+      Error
+        (Printf.sprintf "request must be a JSON object, got %s"
+           (Json.to_string other))
+
+(* ------------------------------------------------------------- encoding *)
+
+let workload_fields w =
+  [
+    ("workload", Json.String w.workload);
+    ("n", Json.Int w.n);
+    ("universe", Json.Int w.universe);
+    ("block_size", Json.Int w.block_size);
+  ]
+
+let request_to_json r =
+  let id = match r.id with Some id -> [ ("id", id) ] | None -> [] in
+  let rest =
+    match r.op with
+    | Health -> [ ("op", Json.String "health") ]
+    | Stats -> [ ("op", Json.String "stats") ]
+    | Sim s ->
+        [
+          ("op", Json.String "sim");
+          ("policy", Json.String s.policy);
+          ("k", Json.Int s.k);
+          ("seed", Json.Int s.seed);
+        ]
+        @ workload_fields s.load
+        @ [ ("check", Json.Bool s.check) ]
+    | Miss_curve c ->
+        [
+          ("op", Json.String "miss-curve");
+          ("policy", Json.String c.curve_policy);
+          ("ks", Json.Array (List.map (fun k -> Json.Int k) c.ks));
+          ("seed", Json.Int c.curve_seed);
+        ]
+        @ workload_fields c.curve_load
+  in
+  Json.Obj (id @ rest)
+
+let kind_usage = "usage"
+let kind_protocol = "protocol"
+let kind_overloaded = "overloaded"
+let kind_draining = "draining"
+let kind_timeout = "timeout"
+let kind_cancelled = "cancelled"
+let kind_exception = "exception"
+
+let with_id id fields =
+  match id with Some id -> ("id", id) :: fields | None -> fields
+
+let ok ?id result =
+  Json.Obj
+    (with_id id [ ("status", Json.String "ok"); ("result", result) ])
+
+let error ?id ~kind message =
+  Json.Obj
+    (with_id id
+       [
+         ("status", Json.String "error");
+         ("kind", Json.String kind);
+         ("message", Json.String message);
+       ])
+
+type reply =
+  | Ok_result of Json.t
+  | Err of string * string
+
+let reply_of_json json =
+  let id = Json.member "id" json in
+  match Json.member "status" json with
+  | Some (Json.String "ok") -> (
+      match Json.member "result" json with
+      | Some r -> Ok (id, Ok_result r)
+      | None -> Error "ok response without result")
+  | Some (Json.String "error") -> (
+      match (Json.member "kind" json, Json.member "message" json) with
+      | Some (Json.String kind), Some (Json.String message) ->
+          Ok (id, Err (kind, message))
+      | _ -> Error "error response without kind/message")
+  | _ -> Error ("response without status: " ^ Json.to_string json)
+
+let op_name = function
+  | Sim _ -> "sim"
+  | Miss_curve _ -> "miss-curve"
+  | Health -> "health"
+  | Stats -> "stats"

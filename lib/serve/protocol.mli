@@ -1,0 +1,91 @@
+(** The simulation service's request/response vocabulary.
+
+    One JSON document per frame.  Requests carry an optional [id] (JSON
+    int or string, echoed verbatim in the reply so clients can pipeline),
+    an [op], and op-specific fields.  Responses are
+    [{"id":..,"status":"ok","result":..}] or
+    [{"id":..,"status":"error","kind":..,"message":..}].
+
+    The error-kind taxonomy extends the run-manifest one (["exception"],
+    ["model-violation"], ["timeout"], ["cancelled"]) with the server-side
+    kinds ["usage"] (malformed or invalid request body), ["protocol"]
+    (broken framing or JSON), ["overloaded"] (admission queue full — load
+    was shed), and ["draining"] (the server is shutting down and refuses
+    new work). *)
+
+type workload = {
+  workload : string;  (** A {!Gc_trace.Workload_suite.standard} name. *)
+  n : int;
+  universe : int;
+  block_size : int;
+}
+
+type sim = {
+  policy : string;
+  k : int;
+  seed : int;
+  load : workload;
+  check : bool;  (** Run the shadow-model audit. *)
+}
+
+type curve = {
+  curve_policy : string;
+  ks : int list;
+  curve_seed : int;
+  curve_load : workload;
+}
+
+type op =
+  | Sim of sim
+  | Miss_curve of curve
+  | Health
+  | Stats
+
+type request = { id : Gc_obs.Json.t option; op : op }
+
+(** {1 Validation limits}
+
+    Every request is validated against hard caps before any work is
+    admitted, so a single request cannot ask for an unbounded amount of
+    memory or compute. *)
+
+val max_trace_n : int
+(** 5_000_000 requests per generated trace. *)
+
+val max_universe : int
+val max_k : int
+val max_curve_points : int
+
+val parse_request : Gc_obs.Json.t -> (request, string) result
+(** Validate a decoded frame into a request.  [Error] messages name the
+    offending field and the valid choices or range (they travel back to
+    the client in a ["usage"]-kind reply). *)
+
+val request_to_json : request -> Gc_obs.Json.t
+(** Encode a request (the client side of the wire). *)
+
+(** {1 Error kinds} *)
+
+val kind_usage : string
+val kind_protocol : string
+val kind_overloaded : string
+val kind_draining : string
+val kind_timeout : string
+val kind_cancelled : string
+val kind_exception : string
+
+(** {1 Response encoders} *)
+
+val ok : ?id:Gc_obs.Json.t -> Gc_obs.Json.t -> Gc_obs.Json.t
+val error : ?id:Gc_obs.Json.t -> kind:string -> string -> Gc_obs.Json.t
+
+type reply =
+  | Ok_result of Gc_obs.Json.t
+  | Err of string * string  (** (kind, message). *)
+
+val reply_of_json : Gc_obs.Json.t -> (Gc_obs.Json.t option * reply, string) result
+(** Decode a response frame into (echoed id, reply); [Error] for a
+    document that is not a well-formed response envelope. *)
+
+val op_name : op -> string
+(** ["sim"], ["miss-curve"], ["health"], ["stats"] — metric label values. *)

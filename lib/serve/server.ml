@@ -1,0 +1,663 @@
+module Json = Gc_obs.Json
+module Registry = Gc_obs.Registry
+module Cancel = Gc_exec.Cancel
+module Pool = Gc_exec.Pool
+
+type config = {
+  socket_path : string option;
+  tcp : (string * int) option;
+  queue_depth : int;
+  workers : int;
+  deadline : float;
+  grace : float;
+  retries : int;
+  backoff : float;
+  max_frame : int;
+  frame_timeout : float;
+  write_timeout : float;
+  max_connections : int;
+}
+
+let default_config =
+  {
+    socket_path = None;
+    tcp = None;
+    queue_depth = 64;
+    workers = max 1 (Domain.recommended_domain_count () - 1);
+    deadline = 30.;
+    grace = 0.25;
+    retries = 1;
+    backoff = 0.05;
+    max_frame = Frame.default_max_frame;
+    frame_timeout = 10.;
+    write_timeout = 5.;
+    max_connections = 256;
+  }
+
+(* A task raises this to pick the error kind of its reply (policy crash,
+   model violation, bad parameters discovered at construction time). *)
+exception Reply_error of string * string
+
+let disconnect_reason = "client disconnected"
+
+type conn = {
+  fd : Unix.file_descr;
+  wmu : Mutex.t;  (** Serialises response frames from worker threads. *)
+  mutable alive : bool;
+  mutable refs : int;  (** Reader thread + unsettled jobs; close at 0. *)
+  mutable jobs : job list;  (** Admitted, unsettled. *)
+}
+
+and job = {
+  req_id : Json.t option;
+  jop : Protocol.op;
+  jconn : conn;
+  admitted_at : float;
+  jcancel : Cancel.t;  (** Requested when the client disconnects. *)
+  mutable pool_cancel : Cancel.t option;
+      (** The in-flight pool task's own token, via [Pool.run ~on_start]. *)
+}
+
+type t = {
+  config : config;
+  reg : Registry.t;
+  mu : Mutex.t;
+  nonempty : Condition.t;  (** Queue gained a job, or drain began. *)
+  idle : Condition.t;  (** Queue empty and nothing in flight. *)
+  queue : job Queue.t;
+  mutable inflight : int;
+  mutable is_draining : bool;
+  mutable stopped : bool;
+  mutable conns : conn list;
+  started_at : float;
+  listeners : Unix.file_descr list;
+  mutable acceptors : Thread.t list;
+  mutable workers : Thread.t list;
+  (* Metric handles, all registered up front so no thread ever mutates the
+     registry's table concurrently. *)
+  c_requests : (string * Registry.counter) list;  (* by op, + "invalid" *)
+  c_replies : (string * Registry.counter) list;  (* by status kind *)
+  c_shed : Registry.counter;
+  c_faults : Registry.counter;  (* framing-level protocol faults *)
+  c_disconnects : Registry.counter;
+  c_accepted : Registry.counter;
+  g_queue : Registry.gauge;
+  g_inflight : Registry.gauge;
+  g_conns : Registry.gauge;
+  h_latency : (string * Gc_obs.Histogram.t) list;  (* by op, microseconds *)
+  h_queue_wait : Gc_obs.Histogram.t;
+}
+
+let ops = [ "sim"; "miss-curve"; "health"; "stats"; "invalid" ]
+
+let reply_kinds =
+  [
+    "ok";
+    Protocol.kind_usage;
+    Protocol.kind_protocol;
+    Protocol.kind_overloaded;
+    Protocol.kind_draining;
+    Protocol.kind_timeout;
+    Protocol.kind_cancelled;
+    Protocol.kind_exception;
+    "model-violation";
+    "other";
+  ]
+
+let counter_for table key =
+  match List.assoc_opt key table with
+  | Some c -> c
+  | None -> List.assoc "other" table
+
+let micros dt = int_of_float (dt *. 1e6)
+
+(* ------------------------------------------------------------ responses *)
+
+(* Serialised, bounded (SO_SNDTIMEO), and total: any write failure just
+   marks the connection dead — the peer is gone, which is its problem. *)
+let try_write conn json =
+  Mutex.lock conn.wmu;
+  (match
+     if conn.alive then Frame.write_fd conn.fd json
+   with
+  | () -> ()
+  | exception (Unix.Unix_error _ | Sys_error _) -> conn.alive <- false);
+  Mutex.unlock conn.wmu
+
+let count_reply t kind = Registry.incr (counter_for t.c_replies kind)
+
+let reply_error t conn ?id kind message =
+  count_reply t kind;
+  try_write conn (Protocol.error ?id ~kind message)
+
+let reply_ok t conn ?id result =
+  count_reply t "ok";
+  try_write conn (Protocol.ok ?id result)
+
+(* -------------------------------------------------------------- lifecycle *)
+
+let release_locked t conn =
+  conn.refs <- conn.refs - 1;
+  if conn.refs = 0 then begin
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    t.conns <- List.filter (fun c -> c != conn) t.conns;
+    Registry.set t.g_conns (List.length t.conns)
+  end
+
+(* The reader saw EOF or gave up on the stream: cancel everything this
+   client still has in flight (queued jobs are skipped by the worker;
+   running ones are cooperatively cancelled through their pool token). *)
+let disconnect t conn =
+  Mutex.lock t.mu;
+  conn.alive <- false;
+  if conn.jobs <> [] then Registry.incr t.c_disconnects;
+  List.iter
+    (fun j ->
+      Cancel.request j.jcancel ~reason:disconnect_reason;
+      match j.pool_cancel with
+      | Some c -> Cancel.request c ~reason:disconnect_reason
+      | None -> ())
+    conn.jobs;
+  release_locked t conn;
+  Mutex.unlock t.mu
+
+let settle t job =
+  Mutex.lock t.mu;
+  job.jconn.jobs <- List.filter (fun j -> j != job) job.jconn.jobs;
+  release_locked t job.jconn;
+  Mutex.unlock t.mu
+
+(* ------------------------------------------------------------- execution *)
+
+let build_trace (w : Protocol.workload) ~seed =
+  match
+    Gc_trace.Workload_suite.build ~seed ~n:w.n ~universe:w.universe
+      ~block_size:w.block_size w.workload
+  with
+  | Ok trace -> trace
+  | Error msg -> raise (Reply_error (Protocol.kind_usage, msg))
+
+let run_or_reply_error ?(check = false) ~k ~seed policy trace =
+  match Gc_cache.Obs_run.run_policy_result ~check ~k ~seed policy trace with
+  | Ok r -> r
+  | Error f -> raise (Reply_error (f.kind, f.message))
+
+(* Runs inside the pool's task domain, under its cancel token. *)
+let execute op ~cancel:_ =
+  match op with
+  | Protocol.Sim s ->
+      let trace = build_trace s.load ~seed:s.seed in
+      let r = run_or_reply_error ~check:s.check ~k:s.k ~seed:s.seed s.policy trace in
+      Json.Obj
+        [
+          ("policy", Json.String s.policy);
+          ("workload", Json.String s.load.workload);
+          ("k", Json.Int s.k);
+          ("metrics", Gc_cache.Metrics.to_json r.Gc_cache.Obs_run.metrics);
+        ]
+  | Protocol.Miss_curve c ->
+      let trace = build_trace c.curve_load ~seed:c.curve_seed in
+      let rows =
+        List.map
+          (fun k ->
+            Cancel.poll ();
+            let r =
+              run_or_reply_error ~k ~seed:c.curve_seed c.curve_policy trace
+            in
+            let m = r.Gc_cache.Obs_run.metrics in
+            Json.Obj
+              [
+                ("k", Json.Int k);
+                ("misses", Json.Int m.Gc_cache.Metrics.misses);
+                ("miss_rate", Json.Float (Gc_cache.Metrics.miss_rate m));
+              ])
+          c.ks
+      in
+      Json.Obj
+        [
+          ("policy", Json.String c.curve_policy);
+          ("workload", Json.String c.curve_load.workload);
+          ("curve", Json.Array rows);
+        ]
+  | Protocol.Health | Protocol.Stats ->
+      (* Answered inline by the reader; never admitted. *)
+      assert false
+
+let pool_config t =
+  {
+    (Pool.default_config ()) with
+    Pool.domains = 1;
+    deadline = Some t.config.deadline;
+    grace = t.config.grace;
+    retries = t.config.retries;
+    backoff = t.config.backoff;
+  }
+
+let process t job =
+  let op = Protocol.op_name job.jop in
+  Gc_obs.Histogram.observe t.h_queue_wait
+    (micros (Unix.gettimeofday () -. job.admitted_at));
+  if Cancel.requested job.jcancel then count_reply t Protocol.kind_cancelled
+  else begin
+    let outcome =
+      match
+        Pool.run ~config:(pool_config t)
+          ~on_start:(fun _ c ->
+            (* Publish the live token; if the disconnect already happened,
+               cancel immediately — the hook runs before the task's domain
+               is spawned, so this cannot lose the race. *)
+            Mutex.lock t.mu;
+            job.pool_cancel <- Some c;
+            if Cancel.requested job.jcancel then
+              Cancel.request c ~reason:disconnect_reason;
+            Mutex.unlock t.mu)
+          [ execute job.jop ]
+      with
+      | [ o ] -> o
+      | _ -> assert false
+    in
+    let conn = job.jconn in
+    let id = job.req_id in
+    (match outcome with
+    | Pool.Done result -> reply_ok t conn ?id result
+    | Pool.Failed (Reply_error (kind, message)) ->
+        reply_error t conn ?id kind message
+    | Pool.Failed (Invalid_argument message) ->
+        (* Parameterized policy construction rejected its arguments. *)
+        reply_error t conn ?id Protocol.kind_usage message
+    | Pool.Failed exn ->
+        reply_error t conn ?id Protocol.kind_exception (Printexc.to_string exn)
+    | Pool.Timed_out d ->
+        reply_error t conn ?id Protocol.kind_timeout
+          (Printf.sprintf "request exceeded its %gs deadline" d)
+    | Pool.Cancelled ->
+        (* Only the disconnect path cancels a job token; the client is
+           gone, so there is nobody to answer — just account for it. *)
+        count_reply t Protocol.kind_cancelled);
+    match List.assoc_opt op t.h_latency with
+    | Some h ->
+        Gc_obs.Histogram.observe h
+          (micros (Unix.gettimeofday () -. job.admitted_at))
+    | None -> ()
+  end
+
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.mu;
+    while Queue.is_empty t.queue && not t.is_draining do
+      Condition.wait t.nonempty t.mu
+    done;
+    if Queue.is_empty t.queue then Mutex.unlock t.mu (* draining: exit *)
+    else begin
+      let job = Queue.pop t.queue in
+      Registry.set t.g_queue (Queue.length t.queue);
+      t.inflight <- t.inflight + 1;
+      Registry.set t.g_inflight t.inflight;
+      Mutex.unlock t.mu;
+      (match process t job with
+      | () -> ()
+      | exception _ -> ());
+      settle t job;
+      Mutex.lock t.mu;
+      t.inflight <- t.inflight - 1;
+      Registry.set t.g_inflight t.inflight;
+      if t.inflight = 0 && Queue.is_empty t.queue then
+        Condition.broadcast t.idle;
+      Mutex.unlock t.mu;
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------- admission *)
+
+let stats_json t =
+  Mutex.lock t.mu;
+  let queue = Queue.length t.queue
+  and inflight = t.inflight
+  and conns = List.length t.conns
+  and draining = t.is_draining in
+  Mutex.unlock t.mu;
+  Json.Obj
+    [
+      ("state", Json.String (if draining then "draining" else "serving"));
+      ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started_at));
+      ("queue_depth", Json.Int queue);
+      ("inflight", Json.Int inflight);
+      ("connections", Json.Int conns);
+      ("metrics", Registry.to_json t.reg);
+    ]
+
+let health_json t =
+  Mutex.lock t.mu;
+  let draining = t.is_draining in
+  Mutex.unlock t.mu;
+  Json.Obj
+    [
+      ("state", Json.String (if draining then "draining" else "serving"));
+      ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started_at));
+    ]
+
+let admit t conn id op =
+  Mutex.lock t.mu;
+  if t.is_draining then begin
+    Mutex.unlock t.mu;
+    reply_error t conn ?id Protocol.kind_draining
+      "server is draining and refuses new requests"
+  end
+  else if Queue.length t.queue >= t.config.queue_depth then begin
+    (* Load shedding: overload is an immediate, explicit answer — the one
+       thing the server never does with excess work is buffer it
+       silently. *)
+    Registry.incr t.c_shed;
+    Mutex.unlock t.mu;
+    reply_error t conn ?id Protocol.kind_overloaded
+      (Printf.sprintf "admission queue full (%d queued, %d in flight)"
+         t.config.queue_depth t.inflight)
+  end
+  else begin
+    let job =
+      {
+        req_id = id;
+        jop = op;
+        jconn = conn;
+        admitted_at = Unix.gettimeofday ();
+        jcancel = Cancel.create ();
+        pool_cancel = None;
+      }
+    in
+    conn.refs <- conn.refs + 1;
+    conn.jobs <- job :: conn.jobs;
+    Queue.push job t.queue;
+    Registry.set t.g_queue (Queue.length t.queue);
+    Condition.signal t.nonempty;
+    Mutex.unlock t.mu
+  end
+
+(* Best-effort id recovery for requests that fail validation: echo the id
+   if it is at least shaped like one. *)
+let salvage_id json =
+  match Json.member "id" json with
+  | Some (Json.Int _ as id) | Some (Json.String _ as id) -> Some id
+  | _ -> None
+
+let handle t conn json =
+  match Protocol.parse_request json with
+  | Error message ->
+      Registry.incr (counter_for t.c_requests "invalid");
+      reply_error t conn ?id:(salvage_id json) Protocol.kind_usage message
+  | Ok { id; op } -> (
+      Registry.incr (counter_for t.c_requests (Protocol.op_name op));
+      match op with
+      | Protocol.Health -> reply_ok t conn ?id (health_json t)
+      | Protocol.Stats -> reply_ok t conn ?id (stats_json t)
+      | Protocol.Sim _ | Protocol.Miss_curve _ -> admit t conn id op)
+
+let reader t conn =
+  let rec loop () =
+    match
+      Frame.read_fd ~max_frame:t.config.max_frame
+        ~frame_timeout:t.config.frame_timeout conn.fd
+    with
+    | Frame.Eof -> ()
+    | Frame.Frame json ->
+        handle t conn json;
+        if conn.alive then loop ()
+    | Frame.Bad_payload e ->
+        (* The frame boundary is intact: answer and keep serving. *)
+        Registry.incr t.c_faults;
+        reply_error t conn Protocol.kind_protocol (Frame.string_of_error e);
+        if conn.alive then loop ()
+    | Frame.Fault e ->
+        Registry.incr t.c_faults;
+        reply_error t conn Protocol.kind_protocol (Frame.string_of_error e)
+    | Frame.Timed_out ->
+        Registry.incr t.c_faults;
+        reply_error t conn Protocol.kind_protocol
+          (Printf.sprintf
+             "frame not delivered within %gs (slow-loris guard)"
+             t.config.frame_timeout)
+  in
+  (match loop () with () -> () | exception _ -> ());
+  disconnect t conn
+
+(* ------------------------------------------------------------- accepting *)
+
+let register_conn t cfd =
+  (try Unix.setsockopt_float cfd Unix.SO_SNDTIMEO t.config.write_timeout
+   with Unix.Unix_error _ | Invalid_argument _ -> ());
+  Registry.incr t.c_accepted;
+  Mutex.lock t.mu;
+  if List.length t.conns >= t.config.max_connections then begin
+    Mutex.unlock t.mu;
+    let tmp =
+      { fd = cfd; wmu = Mutex.create (); alive = true; refs = 1; jobs = [] }
+    in
+    Registry.incr t.c_shed;
+    reply_error t tmp Protocol.kind_overloaded
+      (Printf.sprintf "connection limit reached (%d)" t.config.max_connections);
+    try Unix.close cfd with Unix.Unix_error _ -> ()
+  end
+  else begin
+    let conn =
+      { fd = cfd; wmu = Mutex.create (); alive = true; refs = 1; jobs = [] }
+    in
+    t.conns <- conn :: t.conns;
+    Registry.set t.g_conns (List.length t.conns);
+    Mutex.unlock t.mu;
+    ignore (Thread.create (reader t) conn)
+  end
+
+let acceptor t fd =
+  let rec loop () =
+    if not t.is_draining then begin
+      (match Unix.select [ fd ] [] [] 0.1 with
+      | [], _, _ -> ()
+      | _ -> (
+          match Unix.accept ~cloexec:true fd with
+          | cfd, _ -> register_conn t cfd
+          | exception
+              Unix.Unix_error
+                ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNABORTED), _, _)
+            -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  (match loop () with () -> () | exception _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* -------------------------------------------------------------- creation *)
+
+let bind_unix path =
+  (* A socket file left by a dead server must not block restarts, but a
+     live server's must: probe it. *)
+  if Sys.file_exists path then begin
+    match (Unix.stat path).Unix.st_kind with
+    | Unix.S_SOCK -> (
+        let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        match Unix.connect probe (Unix.ADDR_UNIX path) with
+        | () ->
+            Unix.close probe;
+            failwith
+              (Printf.sprintf "socket %s is already being served" path)
+        | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
+            Unix.close probe;
+            Sys.remove path
+        | exception e ->
+            (try Unix.close probe with Unix.Unix_error _ -> ());
+            raise e)
+    | _ ->
+        failwith (Printf.sprintf "%s exists and is not a socket" path)
+  end;
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.bind fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  Unix.listen fd 64;
+  fd
+
+let bind_tcp host port =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+      | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+      | _ -> failwith (Printf.sprintf "cannot resolve host %S" host))
+  in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (addr, port));
+     Unix.listen fd 64
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  fd
+
+let create config =
+  if config.socket_path = None && config.tcp = None then
+    invalid_arg "Server.create: no listener configured (socket_path or tcp)";
+  if config.queue_depth < 1 then invalid_arg "Server.create: queue_depth < 1";
+  if config.workers < 1 then invalid_arg "Server.create: workers < 1";
+  (* A client closing mid-write must be an EPIPE, not a process kill. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let reg = Registry.create () in
+  let listeners =
+    List.filter_map Fun.id
+      [
+        Option.map bind_unix config.socket_path;
+        Option.map (fun (h, p) -> bind_tcp h p) config.tcp;
+      ]
+  in
+  let t =
+    {
+      config;
+      reg;
+      mu = Mutex.create ();
+      nonempty = Condition.create ();
+      idle = Condition.create ();
+      queue = Queue.create ();
+      inflight = 0;
+      is_draining = false;
+      stopped = false;
+      conns = [];
+      started_at = Unix.gettimeofday ();
+      listeners;
+      acceptors = [];
+      workers = [];
+      c_requests =
+        List.map
+          (fun op -> (op, Registry.counter reg ~labels:[ ("op", op) ] "requests"))
+          ops;
+      c_replies =
+        List.map
+          (fun k -> (k, Registry.counter reg ~labels:[ ("status", k) ] "replies"))
+          reply_kinds;
+      c_shed = Registry.counter reg "shed";
+      c_faults = Registry.counter reg "protocol_faults";
+      c_disconnects = Registry.counter reg "mid_request_disconnects";
+      c_accepted = Registry.counter reg "connections_accepted";
+      g_queue = Registry.gauge reg "queue_depth";
+      g_inflight = Registry.gauge reg "inflight";
+      g_conns = Registry.gauge reg "connections";
+      h_latency =
+        List.filter_map
+          (fun op ->
+            if op = "health" || op = "stats" || op = "invalid" then None
+            else
+              Some
+                (op, Registry.histogram reg ~labels:[ ("op", op) ] "latency_us"))
+          ops;
+      h_queue_wait = Registry.histogram reg "queue_wait_us";
+    }
+  in
+  t.workers <-
+    List.init config.workers (fun _ -> Thread.create worker_loop t);
+  t.acceptors <- List.map (fun fd -> Thread.create (acceptor t) fd) listeners;
+  t
+
+(* ---------------------------------------------------------------- drain *)
+
+let draining t =
+  Mutex.lock t.mu;
+  let d = t.is_draining in
+  Mutex.unlock t.mu;
+  d
+
+let registry t = t.reg
+
+let drain t =
+  Mutex.lock t.mu;
+  let first = not t.is_draining in
+  t.is_draining <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mu;
+  if not first then
+    (* A concurrent drain is already running; wait for it to finish. *)
+    while not t.stopped do Thread.delay 0.02 done
+  else begin
+    (* Stage 1: stop accepting.  The acceptors see the flag within one
+       select tick and close the listener fds. *)
+    List.iter Thread.join t.acceptors;
+    (match t.config.socket_path with
+    | Some p -> ( try Sys.remove p with Sys_error _ -> ())
+    | None -> ());
+    (* Stage 2: answer everything already admitted.  Readers still answer
+       health/stats and refuse new work with a "draining" reply. *)
+    Mutex.lock t.mu;
+    while not (Queue.is_empty t.queue && t.inflight = 0) do
+      Condition.wait t.idle t.mu
+    done;
+    Mutex.unlock t.mu;
+    List.iter Thread.join t.workers;
+    (* Stage 3: release the connections.  Shutting down the receive side
+       pops every reader out of its blocking read with a clean EOF; the
+       last reference closes each fd. *)
+    let rec sweep () =
+      Mutex.lock t.mu;
+      let remaining = t.conns in
+      Mutex.unlock t.mu;
+      if remaining <> [] then begin
+        List.iter
+          (fun c ->
+            try Unix.shutdown c.fd Unix.SHUTDOWN_RECEIVE
+            with Unix.Unix_error _ -> ())
+          remaining;
+        Thread.delay 0.02;
+        sweep ()
+      end
+    in
+    sweep ();
+    t.stopped <- true
+  end
+
+let manifest t =
+  Gc_obs.Manifest.make ~tool:"gcserved" ~command:"serve"
+    ~wall_time_s:(Unix.gettimeofday () -. t.started_at)
+    ~extra:
+      [
+        ("status", Json.String (if t.stopped then "drained" else "serving"));
+        ("server", Registry.to_json t.reg);
+      ]
+    []
+
+let run ?manifest_path config =
+  let t = create config in
+  Gc_exec.Supervisor.with_interrupt
+    ~message:"gcserved: draining (signal again to hard-exit)" (fun token ->
+      let rec wait () =
+        if not (Cancel.requested token) then begin
+          (try Thread.delay 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          wait ()
+        end
+      in
+      wait ();
+      drain t;
+      match manifest_path with
+      | Some path ->
+          Gc_obs.Export.write_json_atomic path
+            (Gc_obs.Manifest.to_json (manifest t))
+      | None -> ())

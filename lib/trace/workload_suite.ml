@@ -4,65 +4,132 @@ type entry = {
   trace : Trace.t;
 }
 
+(* One catalog row per workload.  [splits] is how many times the row's
+   generator draws from the master RNG; building a single workload (the
+   serving layer does this per request) skips the preceding rows by
+   consuming their splits, so a workload built alone is byte-identical to
+   the same workload inside {!standard}. *)
+type row = {
+  row_name : string;
+  row_description : string;
+  splits : int;
+  gen : n:int -> universe:int -> block_size:int -> Rng.t -> Trace.t;
+}
+
+let catalog =
+  [
+    {
+      row_name = "sequential";
+      row_description = "cyclic scan: maximal spatial locality, zero reuse";
+      splits = 0;
+      gen =
+        (fun ~n ~universe ~block_size _r ->
+          Generators.sequential ~n ~universe:(universe / 8) ~block_size);
+    };
+    {
+      row_name = "uniform";
+      row_description = "independent uniform requests: neither locality";
+      splits = 1;
+      gen =
+        (fun ~n ~universe ~block_size r ->
+          Generators.uniform_random (Rng.split r) ~n ~universe:(universe / 8)
+            ~block_size);
+    };
+    {
+      row_name = "zipf";
+      row_description = "skewed item popularity: temporal locality only";
+      splits = 1;
+      gen =
+        (fun ~n ~universe ~block_size r ->
+          Generators.zipf_items (Rng.split r) ~n ~universe:(universe / 8)
+            ~block_size ~alpha:1.0);
+    };
+    {
+      row_name = "zipf-blocks";
+      row_description = "skewed block popularity with in-block walks";
+      splits = 1;
+      gen =
+        (fun ~n ~universe ~block_size r ->
+          Generators.zipf_blocks (Rng.split r) ~n
+            ~blocks:(universe / block_size / 8)
+            ~block_size ~alpha:0.8 ~within:`Sequential);
+    };
+    {
+      row_name = "spatial-mix";
+      row_description = "60% same-block continuation: both localities";
+      splits = 1;
+      gen =
+        (fun ~n ~universe ~block_size r ->
+          Generators.spatial_mix (Rng.split r) ~n ~universe:(universe / 4)
+            ~block_size ~p_spatial:0.6);
+    };
+    {
+      row_name = "pointer-chase";
+      row_description = "permutation cycle: perfect reuse, no spatial structure";
+      splits = 1;
+      gen =
+        (fun ~n ~universe ~block_size r ->
+          Generators.pointer_chase (Rng.split r) ~n ~universe:(universe / 16)
+            ~block_size);
+    };
+    {
+      row_name = "phases";
+      row_description = "working set grows 8x then shrinks: phase changes";
+      splits = 1;
+      gen =
+        (fun ~n ~universe ~block_size r ->
+          Generators.working_set_phases (Rng.split r) ~block_size
+            ~phases:
+              [
+                (universe / 64, n / 4);
+                (universe / 8, n / 2);
+                (universe / 128, n / 4);
+              ]);
+    };
+    {
+      row_name = "markov";
+      row_description = "bursty streaming/random alternation";
+      splits = 1;
+      gen =
+        (fun ~n ~universe ~block_size r ->
+          Generators.markov (Rng.split r) ~n ~universe ~block_size
+            ~p_switch:0.01);
+    };
+  ]
+
 let standard ?(seed = 1) ?(n = 20_000) ?(universe = 16_384) ?(block_size = 16)
     () =
   let r = Rng.create seed in
-  let sub () = Rng.split r in
-  [
-    {
-      name = "sequential";
-      description = "cyclic scan: maximal spatial locality, zero reuse";
-      trace = Generators.sequential ~n ~universe:(universe / 8) ~block_size;
-    };
-    {
-      name = "uniform";
-      description = "independent uniform requests: neither locality";
-      trace = Generators.uniform_random (sub ()) ~n ~universe:(universe / 8) ~block_size;
-    };
-    {
-      name = "zipf";
-      description = "skewed item popularity: temporal locality only";
-      trace =
-        Generators.zipf_items (sub ()) ~n ~universe:(universe / 8) ~block_size
-          ~alpha:1.0;
-    };
-    {
-      name = "zipf-blocks";
-      description = "skewed block popularity with in-block walks";
-      trace =
-        Generators.zipf_blocks (sub ()) ~n
-          ~blocks:(universe / block_size / 8)
-          ~block_size ~alpha:0.8 ~within:`Sequential;
-    };
-    {
-      name = "spatial-mix";
-      description = "60% same-block continuation: both localities";
-      trace =
-        Generators.spatial_mix (sub ()) ~n ~universe:(universe / 4) ~block_size
-          ~p_spatial:0.6;
-    };
-    {
-      name = "pointer-chase";
-      description = "permutation cycle: perfect reuse, no spatial structure";
-      trace =
-        Generators.pointer_chase (sub ()) ~n ~universe:(universe / 16)
-          ~block_size;
-    };
-    {
-      name = "phases";
-      description = "working set grows 8x then shrinks: phase changes";
-      trace =
-        Generators.working_set_phases (sub ()) ~block_size
-          ~phases:
-            [ (universe / 64, n / 4); (universe / 8, n / 2); (universe / 128, n / 4) ];
-    };
-    {
-      name = "markov";
-      description = "bursty streaming/random alternation";
-      trace =
-        Generators.markov (sub ()) ~n ~universe ~block_size ~p_switch:0.01;
-    };
-  ]
+  List.map
+    (fun row ->
+      {
+        name = row.row_name;
+        description = row.row_description;
+        trace = row.gen ~n ~universe ~block_size r;
+      })
+    catalog
+
+let standard_names = List.map (fun row -> row.row_name) catalog
+
+let build ?(seed = 1) ?(n = 20_000) ?(universe = 16_384) ?(block_size = 16)
+    name =
+  let r = Rng.create seed in
+  let rec go = function
+    | [] ->
+        Error
+          (Printf.sprintf "unknown workload %S, expected one of: %s" name
+             (String.concat ", " standard_names))
+    | row :: rest ->
+        if row.row_name = name then
+          Ok (row.gen ~n ~universe ~block_size r)
+        else begin
+          for _ = 1 to row.splits do
+            ignore (Rng.split r)
+          done;
+          go rest
+        end
+  in
+  go catalog
 
 let find name entries =
   match List.find_opt (fun e -> e.name = name) entries with

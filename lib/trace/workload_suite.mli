@@ -17,6 +17,21 @@ val standard :
     sequential, uniform, zipf, zipf-blocks, spatial-mix, pointer-chase,
     phases, markov. *)
 
+val standard_names : string list
+(** The names of {!standard}'s entries, without generating any trace. *)
+
+val build :
+  ?seed:int ->
+  ?n:int ->
+  ?universe:int ->
+  ?block_size:int ->
+  string ->
+  (Trace.t, string) result
+(** Generate a single workload by name, byte-identical to the entry of the
+    same name in {!standard} with the same parameters but without paying
+    for the other seven (the simulation service builds request traces
+    through this).  [Error] names the valid choices. *)
+
 val find : string -> entry list -> Trace.t
 (** Lookup by name; raises [Not_found]. *)
 

@@ -1,0 +1,870 @@
+(* The simulation service under test: frame-codec units and fuzzers
+   (GC_FUZZ_COUNT scales the corpus, the @fuzz alias raises it), protocol
+   validation, and an in-process adversarial client suite that boots real
+   servers on throwaway Unix sockets — malformed JSON, oversized frames,
+   slow-loris dribble, mid-request disconnects, overload shedding, and
+   graceful drain, asserting the daemon always answers with a well-formed
+   framed reply and never wedges.
+
+   The "soak" group is the full e2e drill against the ../bin/gcserved.exe
+   binary: concurrent + adversarial clients, SIGTERM mid-load, clean-drain
+   exit 0 with a shutdown manifest, and the second-signal 130 hard exit.
+   It only runs when GC_SERVE_SOAK is set — `dune build @serve-soak`. *)
+
+module Json = Gc_obs.Json
+module Frame = Gc_serve.Frame
+module Protocol = Gc_serve.Protocol
+module Server = Gc_serve.Server
+module Client = Gc_serve.Client
+
+let fuzz_count =
+  match Option.bind (Sys.getenv_opt "GC_FUZZ_COUNT") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> 2500
+
+let fuzz name gen prop = Test_util.qcheck ~count:fuzz_count name gen prop
+
+(* ----------------------------------------------------------- JSON poking *)
+
+let field name = function
+  | Json.Obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let int_field name j =
+  match field name j with
+  | Some (Json.Int n) -> n
+  | _ -> Alcotest.failf "reply has no int field %S in %s" name (Json.to_string j)
+
+let string_field name j =
+  match field name j with
+  | Some (Json.String s) -> s
+  | _ ->
+      Alcotest.failf "reply has no string field %S in %s" name (Json.to_string j)
+
+(* The value of a labelless counter/gauge row in a stats reply's metric
+   dump ([registry.to_json] shape). *)
+let metric_value stats name =
+  match field "metrics" stats with
+  | Some (Json.Array rows) -> (
+      let hit = function
+        | Json.Obj _ as row -> string_field "name" row = name
+        | _ -> false
+      in
+      match List.find_opt hit rows with
+      | Some row -> int_field "value" row
+      | None -> Alcotest.failf "no metric %S in stats" name)
+  | _ -> Alcotest.fail "stats reply has no metrics array"
+
+let reply_exn = function
+  | Ok j -> (
+      match Protocol.reply_of_json j with
+      | Ok (id, reply) -> (id, reply)
+      | Error msg -> Alcotest.failf "malformed reply %s: %s" (Json.to_string j) msg)
+  | Error msg -> Alcotest.failf "request failed: %s" msg
+
+let kind_of = function
+  | _, Protocol.Ok_result _ -> "ok"
+  | _, Protocol.Err (kind, _) -> kind
+
+let result_exn r =
+  match reply_exn r with
+  | _, Protocol.Ok_result result -> result
+  | _, Protocol.Err (kind, msg) -> Alcotest.failf "error reply %s: %s" kind msg
+
+(* ------------------------------------------------------- request builders *)
+
+let load ?(workload = "zipf") ?(n = 5000) () =
+  { Protocol.workload; n; universe = 4096; block_size = 16 }
+
+let sim_req ?id ?(policy = "lru") ?(k = 256) ?load:(l = load ()) ?(check = false)
+    () =
+  Protocol.request_to_json
+    { Protocol.id; op = Protocol.Sim { Protocol.policy; k; seed = 7; load = l; check } }
+
+let curve_req ?id ?(policy = "lru") ?(ks = [ 64; 256 ]) () =
+  Protocol.request_to_json
+    {
+      Protocol.id;
+      op =
+        Protocol.Miss_curve
+          { Protocol.curve_policy = policy; ks; curve_seed = 7; curve_load = load () };
+    }
+
+let op_req name = Json.Obj [ ("op", Json.String name) ]
+
+(* --------------------------------------------------------- frame: units *)
+
+let docs =
+  [
+    Json.Null;
+    Json.Bool true;
+    Json.Int (-42);
+    Json.String "he\"llo\n";
+    Json.Array [ Json.Int 1; Json.Float 2.5 ];
+    sim_req ~id:(Json.Int 9) ();
+  ]
+
+let test_frame_roundtrip () =
+  List.iter
+    (fun doc ->
+      let s = Frame.encode doc in
+      match Frame.decode s with
+      | Ok (back, consumed) ->
+          Alcotest.(check string)
+            "roundtrip" (Json.to_string doc) (Json.to_string back);
+          Alcotest.(check int) "consumed whole frame" (String.length s) consumed
+      | Error e -> Alcotest.failf "decode failed: %s" (Frame.string_of_error e))
+    docs
+
+let test_frame_stream () =
+  let s = String.concat "" (List.map Frame.encode docs) in
+  let rec go pos acc =
+    if pos = String.length s then List.rev acc
+    else
+      match Frame.decode ~pos s with
+      | Ok (doc, next) -> go next (doc :: acc)
+      | Error e ->
+          Alcotest.failf "stream decode at %d: %s" pos (Frame.string_of_error e)
+  in
+  Alcotest.(check (list string))
+    "all frames, in order"
+    (List.map Json.to_string docs)
+    (List.map Json.to_string (go 0 []))
+
+let check_decode_error ~reason_has s =
+  match Frame.decode s with
+  | Ok (doc, _) -> Alcotest.failf "decoded %s from garbage" (Json.to_string doc)
+  | Error e ->
+      if not (Test_util.contains e.Frame.reason reason_has) then
+        Alcotest.failf "diagnostic %S does not mention %S"
+          (Frame.string_of_error e) reason_has
+
+let test_frame_errors () =
+  check_decode_error ~reason_has:"truncated header" "\x00\x00\x01";
+  check_decode_error ~reason_has:"empty frame" "\x00\x00\x00\x00";
+  check_decode_error ~reason_has:"truncated header" "";
+  (* Complete frame, junk payload: positioned past the header. *)
+  (match Frame.decode "\x00\x00\x00\x03{x}" with
+  | Ok _ -> Alcotest.fail "decoded junk payload"
+  | Error e ->
+      Alcotest.(check bool)
+        "payload error positioned past header" true
+        (e.Frame.offset >= Frame.header_bytes));
+  (* Truncated payload. *)
+  check_decode_error ~reason_has:"truncated frame" "\x00\x00\x00\x09{\"a\":1}"
+
+let test_frame_length_bomb () =
+  (* A maximal declared length with no payload: rejected on the declared
+     length alone, allocating nothing close to the claim. *)
+  let bomb = "\xff\xff\xff\xff" in
+  (* Empty the minor heap first so no collection lands inside the
+     measurement bracket and inflates the delta. *)
+  Gc.minor ();
+  let before = Gc.allocated_bytes () in
+  check_decode_error ~reason_has:"frame cap" bomb;
+  let allocated = Gc.allocated_bytes () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "bounded allocation (%.0f bytes)" allocated)
+    true
+    (allocated < 65_536.);
+  (* Over a tiny explicit cap, same story. *)
+  match Frame.decode ~max_frame:16 (Frame.encode (sim_req ())) with
+  | Error e ->
+      Alcotest.(check bool)
+        "names the cap" true
+        (Test_util.contains e.Frame.reason "16-byte frame cap")
+  | Ok _ -> Alcotest.fail "decoded a frame over the cap"
+
+(* -------------------------------------------------------- frame: fuzzers *)
+
+(* Every property asserts totality (no exception) plus a positioned,
+   non-empty diagnostic on rejection. *)
+let total_decode ?max_frame s =
+  match Frame.decode ?max_frame s with
+  | Ok _ -> true
+  | Error e ->
+      String.length e.Frame.reason > 0
+      && e.Frame.offset >= 0
+      && e.Frame.offset <= String.length s + Frame.header_bytes
+  | exception e ->
+      QCheck.Test.fail_reportf "decode raised %s" (Printexc.to_string e)
+
+let arbitrary_bytes =
+  QCheck.string_gen_of_size QCheck.Gen.(0 -- 200) QCheck.Gen.char
+
+let fuzz_random_bytes =
+  fuzz "decode is total on random bytes" arbitrary_bytes total_decode
+
+let fuzz_truncations =
+  (* Truncating a valid frame anywhere strictly inside it must produce a
+     positioned error, never a decode or a crash. *)
+  let gen =
+    QCheck.(pair (int_range 0 (List.length docs - 1)) (float_range 0. 1.))
+  in
+  fuzz "truncated frames are positioned errors" gen (fun (which, frac) ->
+      let full = Frame.encode (List.nth docs which) in
+      let cut = int_of_float (frac *. float_of_int (String.length full - 1)) in
+      let s = String.sub full 0 cut in
+      match Frame.decode s with
+      | Ok (doc, _) ->
+          QCheck.Test.fail_reportf "decoded %s from a %d/%d-byte truncation"
+            (Json.to_string doc) cut (String.length full)
+      | Error e -> String.length e.Frame.reason > 0 && e.Frame.offset >= 0)
+
+let fuzz_length_bombs =
+  (* A declared length beyond the cap is always rejected naming the cap,
+     without allocating anything near the declared length. *)
+  let gen = QCheck.(pair (int_range 1025 Stdlib.max_int) small_string) in
+  fuzz "length bombs never allocate" gen (fun (declared, junk) ->
+      let declared = 1025 + (declared mod ((1 lsl 32) - 1025)) in
+      let b = Bytes.create 4 in
+      Bytes.set b 0 (Char.chr ((declared lsr 24) land 0xFF));
+      Bytes.set b 1 (Char.chr ((declared lsr 16) land 0xFF));
+      Bytes.set b 2 (Char.chr ((declared lsr 8) land 0xFF));
+      Bytes.set b 3 (Char.chr (declared land 0xFF));
+      let s = Bytes.to_string b ^ junk in
+      Gc.minor ();
+      let before = Gc.allocated_bytes () in
+      match Frame.decode ~max_frame:1024 s with
+      | Ok _ -> QCheck.Test.fail_reportf "accepted a %d-byte claim" declared
+      | Error e ->
+          let allocated = Gc.allocated_bytes () -. before in
+          if allocated >= 65_536. then
+            QCheck.Test.fail_reportf "allocated %.0f bytes rejecting the bomb"
+              allocated;
+          Test_util.contains e.Frame.reason "frame cap")
+
+(* ------------------------------------------------------------- protocol *)
+
+let test_protocol_roundtrip () =
+  let reqs =
+    [
+      { Protocol.id = Some (Json.Int 3); op = Protocol.Health };
+      { Protocol.id = Some (Json.String "a"); op = Protocol.Stats };
+      {
+        Protocol.id = None;
+        op =
+          Protocol.Sim
+            {
+              Protocol.policy = "arc";
+              k = 128;
+              seed = 5;
+              load = load ~workload:"phases" ~n:777 ();
+              check = true;
+            };
+      };
+      {
+        Protocol.id = Some (Json.Int 0);
+        op =
+          Protocol.Miss_curve
+            {
+              Protocol.curve_policy = "lru";
+              ks = [ 1; 2; 3 ];
+              curve_seed = 9;
+              curve_load = load ();
+            };
+      };
+    ]
+  in
+  List.iter
+    (fun req ->
+      match Protocol.parse_request (Protocol.request_to_json req) with
+      | Ok back ->
+          Alcotest.(check string)
+            "roundtrip"
+            (Json.to_string (Protocol.request_to_json req))
+            (Json.to_string (Protocol.request_to_json back))
+      | Error msg -> Alcotest.failf "roundtrip rejected: %s" msg)
+    reqs
+
+let check_rejected ~mentions j =
+  match Protocol.parse_request j with
+  | Ok _ -> Alcotest.failf "accepted %s" (Json.to_string j)
+  | Error msg ->
+      if not (Test_util.contains msg mentions) then
+        Alcotest.failf "error %S does not mention %S" msg mentions
+
+let test_protocol_validation () =
+  check_rejected ~mentions:"op" (Json.Obj [ ("op", Json.String "reboot") ]);
+  check_rejected ~mentions:"op" (Json.Obj []);
+  check_rejected ~mentions:"object" (Json.Array []);
+  check_rejected ~mentions:"policy"
+    (Json.Obj [ ("op", Json.String "sim"); ("policy", Json.String "magic") ]);
+  check_rejected ~mentions:"workload"
+    (Json.Obj [ ("op", Json.String "sim"); ("workload", Json.String "nope") ]);
+  check_rejected ~mentions:"n"
+    (Json.Obj
+       [ ("op", Json.String "sim"); ("n", Json.Int (Protocol.max_trace_n + 1)) ]);
+  check_rejected ~mentions:"k"
+    (Json.Obj [ ("op", Json.String "sim"); ("k", Json.Int 0) ]);
+  check_rejected ~mentions:"id"
+    (Json.Obj [ ("op", Json.String "health"); ("id", Json.Obj []) ]);
+  check_rejected ~mentions:"ks"
+    (Json.Obj
+       [
+         ("op", Json.String "miss-curve");
+         ( "ks",
+           Json.Array
+             (List.init (Protocol.max_curve_points + 1) (fun i -> Json.Int (i + 1)))
+         );
+       ]);
+  (* Defaults make the empty sim valid. *)
+  match Protocol.parse_request (Json.Obj [ ("op", Json.String "sim") ]) with
+  | Ok { Protocol.op = Protocol.Sim s; _ } ->
+      Alcotest.(check string) "default policy" "lru" s.Protocol.policy
+  | Ok _ -> Alcotest.fail "parsed to a non-sim op"
+  | Error msg -> Alcotest.failf "defaults rejected: %s" msg
+
+let test_protocol_reply_envelope () =
+  let id = Json.String "req-1" in
+  (match Protocol.reply_of_json (Protocol.ok ~id (Json.Int 5)) with
+  | Ok (Some echoed, Protocol.Ok_result (Json.Int 5)) ->
+      Alcotest.(check string) "id echo" "\"req-1\"" (Json.to_string echoed)
+  | _ -> Alcotest.fail "ok envelope did not round-trip");
+  (match Protocol.reply_of_json (Protocol.error ~kind:"overloaded" "full") with
+  | Ok (None, Protocol.Err ("overloaded", "full")) -> ()
+  | _ -> Alcotest.fail "error envelope did not round-trip");
+  match Protocol.reply_of_json (Json.Obj [ ("status", Json.String "weird") ]) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a malformed envelope"
+
+(* ------------------------------------------------- workload_suite.build *)
+
+let test_build_matches_standard () =
+  let entries = Gc_trace.Workload_suite.standard ~n:4000 () in
+  Alcotest.(check (list string))
+    "catalog order"
+    (List.map (fun e -> e.Gc_trace.Workload_suite.name) entries)
+    Gc_trace.Workload_suite.standard_names;
+  List.iter
+    (fun e ->
+      match Gc_trace.Workload_suite.build ~n:4000 e.Gc_trace.Workload_suite.name with
+      | Error msg -> Alcotest.failf "build rejected %s: %s" e.Gc_trace.Workload_suite.name msg
+      | Ok t ->
+          let digest x =
+            Digest.to_hex
+              (Digest.bytes (Gc_trace.Trace_io.to_bytes x))
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "%s identical to catalog entry" e.Gc_trace.Workload_suite.name)
+            (digest e.Gc_trace.Workload_suite.trace)
+            (digest t))
+    (entries : Gc_trace.Workload_suite.entry list);
+  match Gc_trace.Workload_suite.build "warp" with
+  | Error msg ->
+      Alcotest.(check bool)
+        "lists the valid choices" true
+        (Test_util.contains msg "zipf")
+  | Ok _ -> Alcotest.fail "built an unknown workload"
+
+(* ------------------------------------------- adversarial clients, live *)
+
+let sock_seq = ref 0
+
+let fresh_sock () =
+  incr sock_seq;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "gcserve-%d-%d.sock" (Unix.getpid ()) !sock_seq)
+
+(* Boot a real in-process server on a throwaway Unix socket, run the test
+   body, then drain — the drain is part of every test's assertion set: a
+   wedged server makes it hang visibly. *)
+let with_server ?(config = Server.default_config) f =
+  let path = fresh_sock () in
+  let t = Server.create { config with Server.socket_path = Some path } in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.drain t;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f (Client.Unix_path path) t)
+
+let small_server =
+  { Server.default_config with Server.workers = 2; deadline = 20.; grace = 0.25 }
+
+(* Poll the live stats endpoint until [pred] holds (the server settles
+   asynchronously after disconnects). *)
+let await_stats ?(timeout = 10.) addr pred ~what =
+  let give_up = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    let stats = result_exn (Client.request addr (op_req "stats")) in
+    if pred stats then stats
+    else if Unix.gettimeofday () > give_up then
+      Alcotest.failf "server never settled: %s (last: %s)" what
+        (Json.to_string stats)
+    else begin
+      Thread.delay 0.05;
+      go ()
+    end
+  in
+  go ()
+
+let test_serve_happy_path () =
+  with_server ~config:small_server (fun addr _t ->
+      let health = result_exn (Client.request addr (op_req "health")) in
+      Alcotest.(check string) "serving" "serving" (string_field "state" health);
+      let sim = result_exn (Client.request addr (sim_req ())) in
+      let metrics =
+        match field "metrics" sim with
+        | Some m -> m
+        | None -> Alcotest.fail "sim result has no metrics"
+      in
+      Alcotest.(check int) "all accesses simulated" 5000
+        (int_field "accesses" metrics);
+      let curve = result_exn (Client.request addr (curve_req ())) in
+      match field "curve" curve with
+      | Some (Json.Array [ _; _ ]) -> ()
+      | _ -> Alcotest.failf "unexpected curve %s" (Json.to_string curve))
+
+let test_serve_pipelined_ids () =
+  (* Two requests down one connection; replies match up by echoed id. *)
+  with_server ~config:small_server (fun addr _t ->
+      let c = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          Client.send c (sim_req ~id:(Json.Int 1) ());
+          Client.send c (sim_req ~id:(Json.Int 2) ~policy:"fifo" ());
+          let take () =
+            match Client.recv ~timeout:30. c with
+            | Ok j -> reply_exn (Ok j)
+            | Error e -> Alcotest.failf "recv: %s" e
+          in
+          let ids =
+            List.sort compare
+              (List.map
+                 (fun (id, reply) ->
+                   (match reply with
+                   | Protocol.Ok_result _ -> ()
+                   | Protocol.Err (k, m) -> Alcotest.failf "error %s: %s" k m);
+                   match id with
+                   | Some (Json.Int i) -> i
+                   | _ -> Alcotest.fail "missing id echo")
+                 [ take (); take () ])
+          in
+          Alcotest.(check (list int)) "both answered, ids echoed" [ 1; 2 ] ids))
+
+let test_serve_malformed_json_keeps_connection () =
+  with_server ~config:small_server (fun addr _t ->
+      let c = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          (* A complete frame whose payload is not JSON: framed usage-layer
+             error, connection survives. *)
+          let junk = "{\"op\": \x01}" in
+          let header =
+            let n = String.length junk in
+            let b = Bytes.create 4 in
+            Bytes.set b 0 '\x00';
+            Bytes.set b 1 '\x00';
+            Bytes.set b 2 '\x00';
+            Bytes.set b 3 (Char.chr n);
+            Bytes.to_string b
+          in
+          let (_ : int) =
+            Unix.write_substring (Client.fd c) (header ^ junk) 0
+              (String.length header + String.length junk)
+          in
+          (match reply_exn (Client.recv ~timeout:10. c) with
+          | _, Protocol.Err (kind, msg) ->
+              Alcotest.(check string) "protocol kind" Protocol.kind_protocol kind;
+              Alcotest.(check bool) "positioned diagnostic" true
+                (Test_util.contains msg "offset")
+          | _ -> Alcotest.fail "junk payload got an ok reply");
+          (* Same connection still serves. *)
+          Client.send c (op_req "health");
+          match reply_exn (Client.recv ~timeout:10. c) with
+          | _, Protocol.Ok_result h ->
+              Alcotest.(check string) "still serving" "serving"
+                (string_field "state" h)
+          | _ -> Alcotest.fail "connection did not survive junk payload"))
+
+let test_serve_oversized_frame () =
+  let config = { small_server with Server.max_frame = 512 } in
+  with_server ~config (fun addr _t ->
+      let c = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          (* Claim 64 KiB: the reply must name the cap and the connection
+             must close (stream position is unrecoverable). *)
+          let (_ : int) =
+            Unix.write_substring (Client.fd c) "\x00\x01\x00\x00" 0 4
+          in
+          (match reply_exn (Client.recv ~timeout:10. c) with
+          | _, Protocol.Err (kind, msg) ->
+              Alcotest.(check string) "protocol kind" Protocol.kind_protocol kind;
+              Alcotest.(check bool) "names the cap" true
+                (Test_util.contains msg "frame cap")
+          | _ -> Alcotest.fail "oversized frame got an ok reply");
+          (match Client.recv ~timeout:5. c with
+          | Error _ -> ()
+          | Ok j ->
+              Alcotest.failf "connection survived an oversized frame: %s"
+                (Json.to_string j)));
+      (* And the server itself is still perfectly serviceable. *)
+      let sim = result_exn (Client.request addr (sim_req ())) in
+      Alcotest.(check bool) "server still serves" true (field "metrics" sim <> None))
+
+let test_serve_slow_loris () =
+  let config = { small_server with Server.frame_timeout = 0.3 } in
+  with_server ~config (fun addr _t ->
+      let c = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          (* Start a frame, then dribble: one header byte, then silence.
+             The server must cut us off with a framed protocol error
+             instead of pinning the reader. *)
+          let started = Unix.gettimeofday () in
+          let (_ : int) = Unix.write_substring (Client.fd c) "\x00" 0 1 in
+          (match reply_exn (Client.recv ~timeout:10. c) with
+          | _, Protocol.Err (kind, _) ->
+              Alcotest.(check string) "protocol kind" Protocol.kind_protocol kind
+          | _ -> Alcotest.fail "slow-loris got an ok reply");
+          let elapsed = Unix.gettimeofday () -. started in
+          Alcotest.(check bool)
+            (Printf.sprintf "cut off promptly (%.2fs)" elapsed)
+            true (elapsed < 5.));
+      let health = result_exn (Client.request addr (op_req "health")) in
+      Alcotest.(check string) "still serving" "serving"
+        (string_field "state" health))
+
+let test_serve_disconnect_cancels () =
+  with_server ~config:small_server (fun addr _t ->
+      (* Park a request on a policy that spins until cancelled, then
+         vanish.  The disconnect must cancel the in-flight work and
+         reclaim the worker — in-flight returns to 0 long before the 20s
+         deadline could. *)
+      let c = Client.connect addr in
+      Client.send c (sim_req ~policy:"broken:hang@0" ());
+      let (_ : Json.t) =
+        await_stats addr ~what:"hang admitted"
+          (fun stats -> int_field "inflight" stats >= 1)
+      in
+      Client.close c;
+      let stats =
+        await_stats addr ~what:"disconnect cancels the in-flight hang"
+          (fun stats ->
+            int_field "inflight" stats = 0
+            && metric_value stats "mid_request_disconnects" >= 1)
+      in
+      Alcotest.(check int) "queue drained too" 0 (int_field "queue_depth" stats);
+      (* The reclaimed worker still serves. *)
+      let sim = result_exn (Client.request addr (sim_req ())) in
+      Alcotest.(check bool) "worker reclaimed" true (field "metrics" sim <> None))
+
+let test_serve_deadline_timeout () =
+  let config = { small_server with Server.deadline = 0.3; grace = 0.2 } in
+  with_server ~config (fun addr _t ->
+      match reply_exn (Client.request ~timeout:20. addr (sim_req ~policy:"broken:hang@0" ())) with
+      | _, Protocol.Err (kind, msg) ->
+          Alcotest.(check string) "timeout kind" Protocol.kind_timeout kind;
+          Alcotest.(check bool) "names the deadline" true
+            (Test_util.contains msg "deadline")
+      | _ -> Alcotest.fail "a hung request produced an ok reply")
+
+let test_serve_transient_retry () =
+  (* broken:flaky raises Transient on pool attempt 1 and succeeds on the
+     retry, so with one retry the client just sees an ok reply. *)
+  with_server ~config:{ small_server with Server.retries = 1 } (fun addr _t ->
+      let sim =
+        result_exn (Client.request ~timeout:30. addr (sim_req ~policy:"broken:flaky@0" ()))
+      in
+      Alcotest.(check bool) "retried to success" true (field "metrics" sim <> None))
+
+let test_serve_overload_sheds () =
+  let config =
+    { small_server with Server.workers = 1; queue_depth = 1; deadline = 1.5; grace = 0.25 }
+  in
+  with_server ~config (fun addr _t ->
+      (* Pin the single worker, fill the depth-1 queue, then watch the
+         next request get an explicit overloaded reply immediately. *)
+      let pin = Client.connect addr in
+      Client.send pin (sim_req ~id:(Json.Int 1) ~policy:"broken:hang@0" ());
+      let (_ : Json.t) =
+        await_stats addr ~what:"hang admitted"
+          (fun stats -> int_field "inflight" stats >= 1)
+      in
+      let filler = Client.connect addr in
+      Client.send filler (sim_req ~id:(Json.Int 2) ());
+      let (_ : Json.t) =
+        await_stats addr ~what:"queue full"
+          (fun stats -> int_field "queue_depth" stats >= 1)
+      in
+      let started = Unix.gettimeofday () in
+      (match reply_exn (Client.request ~timeout:10. addr (sim_req ~id:(Json.Int 3) ())) with
+      | _, Protocol.Err (kind, msg) ->
+          Alcotest.(check string) "shed with overloaded" Protocol.kind_overloaded
+            kind;
+          Alcotest.(check bool) "explains the queue" true
+            (Test_util.contains msg "queue")
+      | _ -> Alcotest.fail "request admitted past a full queue");
+      Alcotest.(check bool) "shed in bounded time" true
+        (Unix.gettimeofday () -. started < 2.);
+      let stats =
+        await_stats addr ~what:"shed counted"
+          (fun stats -> metric_value stats "shed" >= 1)
+      in
+      Alcotest.(check bool) "latency histogram live" true
+        (List.length (match field "metrics" stats with
+          | Some (Json.Array rows) -> rows
+          | _ -> []) > 0);
+      Client.close pin;
+      Client.close filler)
+
+let test_serve_graceful_drain () =
+  with_server ~config:small_server (fun addr t ->
+      (* A meaty request rides through the drain; a request sent after the
+         drain begins is refused with a draining reply; both verdicts come
+         back on the same connection, matched by id. *)
+      let c = Client.connect addr in
+      Client.send c
+        (sim_req ~id:(Json.Int 1) ~load:(load ~workload:"zipf" ~n:2_000_000 ()) ());
+      let (_ : Json.t) =
+        await_stats addr ~what:"big sim admitted"
+          (fun stats -> int_field "inflight" stats >= 1)
+      in
+      let drainer = Thread.create (fun () -> Server.drain t) () in
+      let give_up = Unix.gettimeofday () +. 5. in
+      while (not (Server.draining t)) && Unix.gettimeofday () < give_up do
+        Thread.delay 0.01
+      done;
+      Alcotest.(check bool) "drain flag up" true (Server.draining t);
+      Client.send c (sim_req ~id:(Json.Int 2) ());
+      let take () =
+        match Client.recv ~timeout:60. c with
+        | Ok j -> reply_exn (Ok j)
+        | Error e -> Alcotest.failf "recv during drain: %s" e
+      in
+      let verdicts =
+        List.map
+          (fun (id, reply) ->
+            match id with
+            | Some (Json.Int i) -> (i, kind_of (id, reply))
+            | _ -> Alcotest.fail "missing id echo")
+          [ take (); take () ]
+      in
+      Alcotest.(check string) "in-flight answered" "ok" (List.assoc 1 verdicts);
+      Alcotest.(check string) "new work refused" Protocol.kind_draining
+        (List.assoc 2 verdicts);
+      Thread.join drainer;
+      Client.close c;
+      (* Fully stopped: the socket no longer accepts. *)
+      match Client.connect addr with
+      | c2 ->
+          Client.close c2;
+          Alcotest.fail "drained server still accepts connections"
+      | exception Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------- e2e soak *)
+
+let gcserved = "../bin/gcserved.exe"
+
+let spawn_gcserved args =
+  let err = Filename.temp_file "gcserved" ".err" in
+  let err_fd = Unix.openfile err [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600 in
+  let pid =
+    Unix.create_process gcserved
+      (Array.of_list (gcserved :: args))
+      Unix.stdin Unix.stdout err_fd
+  in
+  Unix.close err_fd;
+  (pid, err)
+
+let await_ready addr =
+  let give_up = Unix.gettimeofday () +. 15. in
+  let rec go () =
+    match Client.request ~timeout:2. addr (op_req "health") with
+    | Ok _ -> ()
+    | Error _ when Unix.gettimeofday () < give_up ->
+        Thread.delay 0.05;
+        go ()
+    | Error e -> Alcotest.failf "gcserved never became ready: %s" e
+  in
+  go ()
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_soak_drain () =
+  match Sys.getenv_opt "GC_SERVE_SOAK" with
+  | None ->
+      print_endline
+        "serve soak skipped (GC_SERVE_SOAK unset; run it with `dune build \
+         @serve-soak`)"
+  | Some _ ->
+      let sock = fresh_sock () in
+      let manifest = Filename.temp_file "gcserved" ".json" in
+      let pid, err =
+        spawn_gcserved
+          [
+            "serve"; "--socket"; sock; "--workers"; "2"; "--queue-depth"; "4";
+            "--deadline"; "5"; "--manifest"; manifest;
+          ]
+      in
+      let addr = Client.Unix_path sock in
+      await_ready addr;
+      let term_sent = Atomic.make false in
+      let well_formed = Atomic.make 0
+      and malformed = Atomic.make 0
+      and refused_live = Atomic.make 0 in
+      let hammer i =
+        for j = 0 to 23 do
+          let req =
+            match (i + j) mod 4 with
+            | 0 -> sim_req ~id:(Json.Int j) ~load:(load ~n:20_000 ()) ()
+            | 1 -> sim_req ~id:(Json.Int j) ~policy:"broken:flaky@0" ()
+            | 2 -> curve_req ~id:(Json.Int j) ()
+            | _ -> op_req "stats"
+          in
+          match Client.request ~timeout:30. addr req with
+          | Ok j -> (
+              match Protocol.reply_of_json j with
+              | Ok _ -> Atomic.incr well_formed
+              | Error _ -> Atomic.incr malformed)
+          | Error _ ->
+              (* Connection refused/reset: fine once the drain began,
+                 a failure before it. *)
+              if not (Atomic.get term_sent) then Atomic.incr refused_live
+        done
+      in
+      let adversary () =
+        (* Garbage, partial frames, bogus lengths, instant hangups — all
+           while the real clients hammer. *)
+        for j = 0 to 40 do
+          match Client.connect ~timeout:2. addr with
+          | exception Unix.Unix_error _ -> ()
+          | c ->
+              (try
+                 let payload =
+                   match j mod 4 with
+                   | 0 -> "\xde\xad\xbe\xef\x00garbage"
+                   | 1 -> "\x00" (* partial header, then hangup *)
+                   | 2 -> "\xff\xff\xff\xff" (* length bomb *)
+                   | _ -> String.sub (Frame.encode (sim_req ())) 0 7
+                 in
+                 let (_ : int) =
+                   Unix.write_substring (Client.fd c) payload 0
+                     (String.length payload)
+                 in
+                 ()
+               with Unix.Unix_error _ -> ());
+              Thread.delay 0.002;
+              Client.close c
+        done
+      in
+      let clients = List.init 6 (fun i -> Thread.create hammer i) in
+      let adv = Thread.create adversary () in
+      Thread.delay 1.5;
+      Atomic.set term_sent true;
+      Unix.kill pid Sys.sigterm;
+      List.iter Thread.join clients;
+      Thread.join adv;
+      let _, status = Unix.waitpid [] pid in
+      (match status with
+      | Unix.WEXITED 0 -> ()
+      | Unix.WEXITED n ->
+          Alcotest.failf "gcserved exited %d; stderr:\n%s" n (read_file err)
+      | Unix.WSIGNALED s -> Alcotest.failf "gcserved killed by signal %d" s
+      | Unix.WSTOPPED s -> Alcotest.failf "gcserved stopped by signal %d" s);
+      Alcotest.(check int) "no malformed replies" 0 (Atomic.get malformed);
+      Alcotest.(check int) "no refusals while live" 0 (Atomic.get refused_live);
+      Alcotest.(check bool) "real work was answered" true
+        (Atomic.get well_formed > 0);
+      let m = read_file manifest in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            (Printf.sprintf "manifest mentions %s" needle)
+            true (Test_util.contains m needle))
+        [ "drained"; "shed"; "latency_us"; "queue_depth"; "gcserved" ];
+      Alcotest.(check bool) "socket removed" false (Sys.file_exists sock);
+      Sys.remove manifest;
+      Sys.remove err
+
+let test_soak_second_signal_hard_exit () =
+  match Sys.getenv_opt "GC_SERVE_SOAK" with
+  | None -> print_endline "serve soak skipped (GC_SERVE_SOAK unset)"
+  | Some _ ->
+      let sock = fresh_sock () in
+      let pid, err =
+        spawn_gcserved
+          [ "serve"; "--socket"; sock; "--workers"; "1"; "--deadline"; "120" ]
+      in
+      let addr = Client.Unix_path sock in
+      await_ready addr;
+      (* Wedge the drain behind an effectively unbounded in-flight hang,
+         then demand the supervisor's second-signal hard exit. *)
+      let c = Client.connect addr in
+      Client.send c (sim_req ~policy:"broken:hang@0" ());
+      let (_ : Json.t) =
+        await_stats addr ~what:"hang admitted"
+          (fun stats -> int_field "inflight" stats >= 1)
+      in
+      Unix.kill pid Sys.sigterm;
+      Thread.delay 0.5;
+      Unix.kill pid Sys.sigterm;
+      let _, status = Unix.waitpid [] pid in
+      (match status with
+      | Unix.WEXITED 130 -> ()
+      | Unix.WEXITED n ->
+          Alcotest.failf "expected the 130 hard exit, got %d; stderr:\n%s" n
+            (read_file err)
+      | _ -> Alcotest.fail "gcserved did not exit");
+      Client.close c;
+      (try Sys.remove sock with Sys_error _ -> ());
+      Sys.remove err
+
+(* ---------------------------------------------------------------- suite *)
+
+let () =
+  Alcotest.run "gc_serve"
+    [
+      ( "frame",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "stream decode" `Quick test_frame_stream;
+          Alcotest.test_case "positioned errors" `Quick test_frame_errors;
+          Alcotest.test_case "length bomb" `Quick test_frame_length_bomb;
+        ] );
+      ( "fuzz",
+        [ fuzz_random_bytes; fuzz_truncations; fuzz_length_bombs ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "request roundtrip" `Quick test_protocol_roundtrip;
+          Alcotest.test_case "validation" `Quick test_protocol_validation;
+          Alcotest.test_case "reply envelope" `Quick test_protocol_reply_envelope;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "build matches the catalog" `Quick
+            test_build_matches_standard;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "happy path" `Quick test_serve_happy_path;
+          Alcotest.test_case "pipelined ids" `Quick test_serve_pipelined_ids;
+          Alcotest.test_case "malformed json keeps the connection" `Quick
+            test_serve_malformed_json_keeps_connection;
+          Alcotest.test_case "oversized frame" `Quick test_serve_oversized_frame;
+          Alcotest.test_case "slow loris" `Quick test_serve_slow_loris;
+          Alcotest.test_case "disconnect cancels in-flight work" `Quick
+            test_serve_disconnect_cancels;
+          Alcotest.test_case "deadline timeout" `Quick test_serve_deadline_timeout;
+          Alcotest.test_case "transient retry" `Quick test_serve_transient_retry;
+          Alcotest.test_case "overload sheds explicitly" `Quick
+            test_serve_overload_sheds;
+          Alcotest.test_case "graceful drain" `Quick test_serve_graceful_drain;
+        ] );
+      ( "soak",
+        [
+          Alcotest.test_case "hammer + SIGTERM drain" `Quick test_soak_drain;
+          Alcotest.test_case "second signal hard-exits" `Quick
+            test_soak_second_signal_hard_exit;
+        ] );
+    ]
