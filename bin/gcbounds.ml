@@ -114,9 +114,13 @@ let figure6 k block_size h0 steps =
   let hs = Gc_bounds.Figures.default_hs ~k ~steps in
   List.iter
     (fun (pt : Gc_bounds.Figures.figure6_point) ->
+      let fixed =
+        match pt.Gc_bounds.Figures.fixed_splits with
+        | (_, v) :: _ -> v
+        | [] -> Float.nan
+      in
       Format.printf "%.0f\t%.4f\t%.4f@." pt.Gc_bounds.Figures.h
-        pt.Gc_bounds.Figures.optimal_split
-        (snd (List.hd pt.Gc_bounds.Figures.fixed_splits)))
+        pt.Gc_bounds.Figures.optimal_split fixed)
     (Gc_bounds.Figures.figure6 ~k ~block_size ~fixed_is:[ i0 ] ~hs);
   Cli_common.ok
 

@@ -301,7 +301,9 @@ let h_sweep policy k block_size construction cycles seed =
         | "st" -> Gc_cache.Attack.sleator_tarjan p ~k ~h ~cycles
         | "thm2" -> Gc_cache.Attack.item_cache p ~k ~h ~block_size ~cycles
         | "thm4" -> Gc_cache.Attack.general_a p ~k ~h ~block_size ~cycles
-        | _ -> assert false (* the enum converter rejects anything else *)
+        | _ ->
+            (assert false [@lint.allow "exit-contract"])
+            (* the enum converter rejects anything else *)
       in
       Printf.printf "%d,%.4f,%.4f\n" h
         (Gc_trace.Adversary.measured_ratio c)

@@ -143,17 +143,16 @@ let addr ~socket ~tcp ~tcp_host =
 
 let ks_conv =
   let parse s =
-    try
-      let ks =
-        List.map
-          (fun x ->
-            match int_of_string_opt (String.trim x) with
-            | Some k -> k
-            | None -> failwith x)
-          (String.split_on_char ',' s)
-      in
-      if ks = [] then Error (`Msg "empty capacity list") else Ok ks
-    with Failure x -> Error (`Msg (Printf.sprintf "bad capacity %S in %S" x s))
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | x :: rest -> (
+          match int_of_string_opt (String.trim x) with
+          | Some k -> go (k :: acc) rest
+          | None -> Error (`Msg (Printf.sprintf "bad capacity %S in %S" x s)))
+    in
+    match go [] (String.split_on_char ',' s) with
+    | Ok [] -> Error (`Msg "empty capacity list")
+    | r -> r
   in
   Arg.conv
     ( parse,
@@ -215,7 +214,9 @@ let client socket tcp tcp_host op policy k seed workload n universe block_size
             | Error e ->
                 Cli_common.fail_usage "--json: %s"
                   (Json.string_of_parse_error e)))
-    | _ -> assert false (* the enum converter rejects anything else *)
+    | _ ->
+        (assert false [@lint.allow "exit-contract"])
+        (* the enum converter rejects anything else *)
   in
   match Gc_serve.Client.request ~timeout addr request with
   | Error msg -> Cli_common.fail_runtime "%s" msg

@@ -34,7 +34,9 @@ let run policies all k seed offline no_check inject json events histograms path
   (* Streaming JSONL: incremental by nature, so unlike the manifest it
      cannot go through the atomic temp-file path — a crash can only tear
      the final line, which JSONL consumers skip. *)
-  let events_oc = Option.map open_out events in
+  let events_oc =
+    Option.map (open_out [@lint.allow "raw-artifact-write"]) events
+  in
   Format.printf "%-14s %s@." "policy" "metrics";
   let outcomes =
     List.map
@@ -360,7 +362,9 @@ let attack construction policy k h block_size cycles seed certify =
     | "thm2" -> Gc_cache.Attack.item_cache p ~k ~h ~block_size ~cycles
     | "thm3" -> Gc_cache.Attack.block_cache p ~k ~h ~block_size ~cycles
     | "thm4" -> Gc_cache.Attack.general_a p ~k ~h ~block_size ~cycles
-    | _ -> assert false (* the enum converter rejects anything else *)
+    | _ ->
+        (assert false [@lint.allow "exit-contract"])
+        (* the enum converter rejects anything else *)
   in
   let open Gc_trace.Adversary in
   Format.printf "construction: %s vs %s (k=%d h=%d B=%d, %d cycles)@."

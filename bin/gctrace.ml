@@ -38,7 +38,9 @@ let gen kind n universe block_size alpha p stride seed out =
           ~rho:
             (Float.min (float_of_int block_size) (p *. float_of_int block_size))
           ~block_size
-    | _ -> assert false (* the enum converter rejects anything else *)
+    | _ ->
+        (assert false [@lint.allow "exit-contract"])
+        (* the enum converter rejects anything else *)
   in
   write_trace out trace;
   if out <> "-" then

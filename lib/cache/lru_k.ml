@@ -29,9 +29,11 @@ module P = struct
      min_int when the item has fewer than K references. *)
   let kth_reference t x =
     match Hashtbl.find_opt t.refs x with
-    | Some times when List.length times >= t.depth ->
-        List.nth times (t.depth - 1)
-    | _ -> min_int
+    | Some times -> (
+        match List.nth_opt times (t.depth - 1) with
+        | Some time -> time
+        | None -> min_int)
+    | None -> min_int
 
   let victim t =
     (* Linear scan over the cached set: oldest K-th reference loses, ties

@@ -1,35 +1,39 @@
-let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+(* All fan-out runs on the supervised {!Gc_exec.Pool} runtime: the pool is
+   the only place in the tree allowed to spawn, so every task — even a
+   bare [map] — gets a cancel token, ordered settlement, and a domain
+   that is always joined.  [map]/[try_map] configure the pool with no
+   deadline and no retries, which preserves their historical semantics:
+   every task runs, every outcome lands in its slot, and the lowest-index
+   exception is re-raised in the caller. *)
 
-(* Work-stealing off a shared counter: each worker repeatedly claims the
-   next unclaimed index, so a few slow cells no longer stall a whole
-   static stripe.  Every task's outcome is captured in its slot — a raise
-   cannot discard sibling results or leave domains unjoined. *)
+exception Unsupervised_interrupt
+
+let bare_config ?domains () =
+  let c = Gc_exec.Pool.default_config () in
+  {
+    c with
+    Gc_exec.Pool.domains =
+      (match domains with
+      | Some d -> max 1 d
+      | None -> c.Gc_exec.Pool.domains);
+    retries = 0;
+  }
+
 let outcomes ?domains f xs =
-  let n_domains = match domains with Some d -> max 1 d | None -> default_domains () in
-  let items = Array.of_list xs in
-  let n = Array.length items in
-  if n = 0 then [||]
-  else begin
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec go () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          results.(i) <- Some (try Ok (f items.(i)) with exn -> Error exn);
-          go ()
-        end
-      in
-      go ()
-    in
-    let handles = List.init (min n_domains n) (fun _ -> Domain.spawn worker) in
-    List.iter Domain.join handles;
-    Array.map
-      (function Some r -> r | None -> failwith "Parallel: missing result")
-      results
-  end
+  List.map
+    (function
+      | Gc_exec.Pool.Done v -> Ok v
+      | Gc_exec.Pool.Failed exn -> Error exn
+      | Gc_exec.Pool.Timed_out _ | Gc_exec.Pool.Cancelled ->
+          (* No deadline and no interrupt token were supplied, so the pool
+             cannot produce these; if it ever does, fail loudly with a
+             named error instead of a bare failwith. *)
+          Error Unsupervised_interrupt)
+    (Gc_exec.Pool.run
+       ~config:(bare_config ?domains ())
+       (List.map (fun x ~cancel:_ -> f x) xs))
 
-let try_map ?domains f xs = Array.to_list (outcomes ?domains f xs)
+let try_map ?domains f xs = outcomes ?domains f xs
 
 let map ?domains f xs =
   (* Every task runs and every domain is joined before the first failure
@@ -67,5 +71,5 @@ let run_sweep ?domains ~make ~trace points =
       | Gc_exec.Pool.Failed exn -> raise exn
       | Gc_exec.Pool.Timed_out _ | Gc_exec.Pool.Cancelled ->
           (* No deadline and no interrupt token were supplied. *)
-          assert false)
+          raise Unsupervised_interrupt)
     (run_sweep_outcomes ?domains ~make ~trace points)

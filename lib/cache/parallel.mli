@@ -1,18 +1,23 @@
 (** Multicore fan-out for independent simulations (OCaml 5 domains).
 
     Cache experiments are embarrassingly parallel across (policy, size,
-    seed) points.  [map]/[try_map] are bare fan-outs over a shared work
-    counter; sweeps run on the supervised {!Gc_exec.Pool} runtime, which
-    adds per-cell deadlines, retry, and cooperative cancellation (polled
-    from the {!Simulator} progress hook).  Each task must build its own
-    state (policies, RNGs, traces are not shared across domains). *)
+    seed) points.  Everything here — the bare [map]/[try_map] fan-outs
+    included — runs on the supervised {!Gc_exec.Pool} runtime, the one
+    place in the tree that spawns domains; sweeps additionally get
+    per-cell deadlines, retry, and cooperative cancellation (polled from
+    the {!Simulator} progress hook).  Each task must build its own state
+    (policies, RNGs, traces are not shared across domains). *)
+
+exception Unsupervised_interrupt
+(** Raised if the pool reports a timeout or cancellation for a fan-out
+    that supplied no deadline and no interrupt token (impossible unless
+    the runtime is misused). *)
 
 val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map f xs] preserves order.  [domains] defaults to
-    [Domain.recommended_domain_count () - 1] (min 1).  Work is claimed
-    dynamically off a shared counter, so skewed task costs balance.  If
-    tasks raise, every task still runs, every domain is joined, and the
-    lowest-index exception is re-raised in the caller. *)
+    [Domain.recommended_domain_count () - 1] (min 1).  If tasks raise,
+    every task still runs, every domain is joined, and the lowest-index
+    exception is re-raised in the caller. *)
 
 val try_map : ?domains:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
 (** Like {!map}, but a task that raises yields [Error exn] in its slot

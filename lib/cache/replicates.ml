@@ -40,6 +40,11 @@ let misses_result ~make ~trace ~seeds =
       (fun (ok, failed) seed ->
         match Simulator.run ~check:false (make ~seed) trace with
         | m -> (float_of_int m.Metrics.misses :: ok, failed)
+        | exception ((Gc_exec.Cancel.Cancelled _ | Gc_exec.Pool.Transient _) as e)
+          ->
+            (* Degrading per-seed must not swallow supervision: a
+               cancelled replicate set is cancelled, not "partial". *)
+            raise e
         | exception exn -> (ok, (seed, Printexc.to_string exn) :: failed))
       ([], []) seeds
   in

@@ -46,7 +46,10 @@ let append w cell payload =
   flush w.oc
 
 let create path ~meta =
-  let oc = open_out path in
+  (* A checkpoint journal is append-only with per-line checksums: crash
+     safety comes from the torn-tail recovery in [load], not from the
+     atomic-rename Export path (which cannot express appends). *)
+  let oc = (open_out [@lint.allow "raw-artifact-write"]) path in
   let w = { oc } in
   append w meta_cell meta;
   w
@@ -130,6 +133,9 @@ let resume path =
   | Ok loaded ->
       if loaded.torn then Unix.truncate path loaded.valid_bytes;
       let oc =
-        open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
+        (* Same append-only story as [create]: recovery already truncated
+           the torn tail, and the rename-based Export path cannot append. *)
+        (open_out_gen [@lint.allow "raw-artifact-write"])
+          [ Open_wronly; Open_append; Open_binary ] 0o644 path
       in
       Ok (loaded, { oc })

@@ -54,7 +54,10 @@ type 'a slot = {
 }
 
 (* Runs inside the worker domain.  Everything is caught: the domain itself
-   never raises, so joining it is always safe. *)
+   never raises, so joining it is always safe.  The pool is the
+   supervisor — converting Cancelled and Transient into outcomes (after
+   handling them) is its job, so the catch-alls below are the one
+   sanctioned place cancellation stops propagating. *)
 let worker config task cancel started cell () =
   let classify_cancel reason =
     if reason = Cancel.deadline_reason then
@@ -81,6 +84,7 @@ let worker config task cancel started cell () =
     try go 1 with exn -> Failed exn
   in
   Atomic.set cell (Some outcome)
+[@@lint.allow "swallowed-cancellation"]
 
 let run ?config ?interrupt ?on_start ?on_outcome tasks =
   let config = match config with Some c -> c | None -> default_config () in

@@ -45,6 +45,13 @@ val default_config : unit -> config
 (** [domains = recommended_domain_count () - 1] (min 1), no deadline,
     grace 0.25s, 1 retry of {!Transient} with 50ms base backoff. *)
 
+val nap : float -> unit
+(** Sleep for the given number of seconds, retrying the {e remaining}
+    duration when a signal interrupts the sleep (EINTR) — under the
+    signal storms a supervised drain produces, a bare [Unix.sleepf]
+    collapses into a busy-spin.  This is the tree's one sanctioned
+    sleep. *)
+
 val run :
   ?config:config ->
   ?interrupt:Cancel.t ->

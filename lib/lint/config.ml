@@ -1,0 +1,123 @@
+type t = {
+  exclude : string list;
+  allow : (string * string list) list;
+}
+
+let empty = { exclude = []; allow = [] }
+
+let glob_match ~pattern s =
+  let pl = String.length pattern and sl = String.length s in
+  let rec go pi si =
+    if pi = pl then si = sl
+    else
+      match pattern.[pi] with
+      | '*' -> go (pi + 1) si || (si < sl && go pi (si + 1))
+      | '?' -> si < sl && go (pi + 1) (si + 1)
+      | c -> si < sl && s.[si] = c && go (pi + 1) (si + 1)
+  in
+  go 0 0
+
+let excluded t ~file =
+  List.exists (fun pattern -> glob_match ~pattern file) t.exclude
+
+let allowed t ~rule ~file =
+  match List.assoc_opt rule t.allow with
+  | None -> false
+  | Some globs -> List.exists (fun pattern -> glob_match ~pattern file) globs
+
+(* ------------------------------------------------------------- parsing *)
+
+let fail lineno fmt =
+  Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" lineno m)) fmt
+
+let trim = String.trim
+
+(* ["a", "b"] -> Ok ["a"; "b"].  Single line, quoted strings only. *)
+let parse_string_list lineno s =
+  let n = String.length s in
+  if n < 2 || s.[0] <> '[' || s.[n - 1] <> ']' then
+    fail lineno "expected a [\"glob\", ...] list, got %S" s
+  else begin
+    let body = trim (String.sub s 1 (n - 2)) in
+    if body = "" then Ok []
+    else
+      let rec items acc rest =
+        let rest = trim rest in
+        let rn = String.length rest in
+        if rn < 2 || rest.[0] <> '"' then
+          fail lineno "expected a quoted glob, got %S" rest
+        else
+          match String.index_from_opt rest 1 '"' with
+          | None -> fail lineno "unterminated string in %S" rest
+          | Some close ->
+              let item = String.sub rest 1 (close - 1) in
+              let tail = trim (String.sub rest (close + 1) (rn - close - 1)) in
+              if tail = "" then Ok (List.rev (item :: acc))
+              else if tail.[0] = ',' then
+                items (item :: acc)
+                  (String.sub tail 1 (String.length tail - 1))
+              else fail lineno "expected ',' between globs, got %S" tail
+      in
+      items [] body
+  end
+
+let of_string ?known_rules source =
+  let lines = String.split_on_char '\n' source in
+  let rec go lineno section acc = function
+    | [] -> Ok { acc with allow = List.rev acc.allow }
+    | raw :: rest -> (
+        let line = trim raw in
+        if line = "" || line.[0] = '#' then go (lineno + 1) section acc rest
+        else if line.[0] = '[' then
+          if String.length line < 2 || line.[String.length line - 1] <> ']'
+          then fail lineno "malformed section header %S" line
+          else
+            let name = trim (String.sub line 1 (String.length line - 2)) in
+            if name = "exclude" || name = "allow" then
+              go (lineno + 1) (Some name) acc rest
+            else fail lineno "unknown section [%s] (expected exclude or allow)" name
+        else
+          match String.index_opt line '=' with
+          | None -> fail lineno "expected 'key = [...]', got %S" line
+          | Some eq -> (
+              let key = trim (String.sub line 0 eq) in
+              let value =
+                trim (String.sub line (eq + 1) (String.length line - eq - 1))
+              in
+              match parse_string_list lineno value with
+              | Error _ as e -> e
+              | Ok globs -> (
+                  match section with
+                  | None -> fail lineno "%S appears before any section" key
+                  | Some "exclude" ->
+                      if key <> "paths" then
+                        fail lineno "unknown key %S in [exclude] (expected paths)"
+                          key
+                      else
+                        go (lineno + 1) section
+                          { acc with exclude = acc.exclude @ globs }
+                          rest
+                  | Some _ ->
+                      let known =
+                        match known_rules with
+                        | None -> true
+                        | Some ids -> List.mem key ids
+                      in
+                      if not known then
+                        fail lineno "unknown rule id %S in [allow]" key
+                      else if List.mem_assoc key acc.allow then
+                        fail lineno "duplicate rule id %S in [allow]" key
+                      else
+                        go (lineno + 1) section
+                          { acc with allow = (key, globs) :: acc.allow }
+                          rest)))
+  in
+  go 1 None empty lines
+
+let load ?known_rules path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> (
+      match of_string ?known_rules contents with
+      | Ok _ as ok -> ok
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,43 @@
+(** Hand-rolled parser for the [lint.toml]-style configuration.
+
+    The grammar is a deliberate sliver of TOML — enough for a per-file
+    allowlist without pulling a TOML package into the tree:
+
+    {v
+    # comment
+    [exclude]
+    paths = ["test/lint_fixtures/*"]
+
+    [allow]
+    partial-stdlib = ["test/*", "bench/*"]
+    v}
+
+    Sections other than [exclude] and [allow] are errors, as are unknown
+    rule ids under [allow] (when the known-rule list is supplied), so a
+    typo in the config cannot silently disable nothing.
+
+    Globs are matched against the whole root-relative path: [*] matches
+    any run of characters including ['/'], [?] matches one character,
+    everything else is literal. *)
+
+type t = {
+  exclude : string list;
+      (** Path globs skipped during tree discovery.  Explicitly named
+          files are still linted (the fixture corpus relies on this). *)
+  allow : (string * string list) list;
+      (** [rule id -> path globs] where that rule is switched off. *)
+}
+
+val empty : t
+
+val glob_match : pattern:string -> string -> bool
+
+val excluded : t -> file:string -> bool
+
+val allowed : t -> rule:string -> file:string -> bool
+
+val of_string : ?known_rules:string list -> string -> (t, string) result
+(** Parse a config document.  Errors are positioned ("line N: reason"). *)
+
+val load : ?known_rules:string list -> string -> (t, string) result
+(** {!of_string} over a file's contents; unreadable files are [Error]. *)

@@ -1,0 +1,425 @@
+open Parsetree
+
+let scan_dirs = [ "lib"; "bin"; "bench"; "test" ]
+
+(* -------------------------------------------------------------- idents *)
+
+let rec flatten (li : Longident.t) =
+  match li with
+  | Lident s -> [ s ]
+  | Ldot (l, s) -> flatten l @ [ s ]
+  | Lapply _ -> []
+
+let strip_stdlib = function
+  | "Stdlib" :: (_ :: _ as rest) -> rest
+  | path -> path
+
+let out_channel_openers =
+  [
+    "open_text"; "open_bin"; "open_gen";
+    "with_open_text"; "with_open_bin"; "with_open_gen";
+  ]
+
+let stdout_printers =
+  [
+    "print_endline"; "print_string"; "print_newline";
+    "print_char"; "print_int"; "print_float";
+  ]
+
+(* The single ident -> (rule, message) table.  Paths arrive with a
+   leading [Stdlib] already stripped. *)
+let ident_rule path =
+  match path with
+  | [ "Domain"; "spawn" ] ->
+      Some ("spawn-outside-pool", "raw Domain.spawn outside the supervised runtime")
+  | [ "Thread"; "create" ] ->
+      Some ("spawn-outside-pool", "raw Thread.create outside the supervised runtime")
+  | [ "Unix"; (("sleep" | "sleepf") as f) ] ->
+      Some ("bare-sleep", Printf.sprintf "Unix.%s is cut short by signals" f)
+  | [ "List"; (("hd" | "nth") as f) ] ->
+      Some ("partial-stdlib", Printf.sprintf "partial List.%s raises a bare Failure" f)
+  | [ "Option"; "get" ] ->
+      Some ("partial-stdlib", "partial Option.get raises a bare Invalid_argument")
+  | [ (("open_out" | "open_out_bin" | "open_out_gen") as f) ] ->
+      Some
+        ( "raw-artifact-write",
+          Printf.sprintf "%s creates a file outside the crash-safe Export path" f )
+  | [ "Out_channel"; f ] when List.mem f out_channel_openers ->
+      Some
+        ( "raw-artifact-write",
+          Printf.sprintf
+            "Out_channel.%s creates a file outside the crash-safe Export path" f )
+  | [ "Marshal"; (("from_channel" | "from_string" | "from_bytes") as f) ] ->
+      Some ("unsafe-deser", Printf.sprintf "Marshal.%s trusts its input's shape" f)
+  | [ "Obj"; "magic" ] -> Some ("unsafe-deser", "Obj.magic defeats the type system")
+  | "Random" :: _ :: _ ->
+      Some ("nondeterministic-rng", "Stdlib.Random breaks replayable runs")
+  | [ f ] when List.mem f stdout_printers ->
+      Some ("print-in-lib", Printf.sprintf "%s writes to stdout from library code" f)
+  | [ (("Printf" | "Format") as m); "printf" ] ->
+      Some
+        ( "print-in-lib",
+          Printf.sprintf "%s.printf writes to stdout from library code" m )
+  | [ "failwith" ] ->
+      Some ("exit-contract", "failwith bypasses the CLI exit-code contract")
+  | [ "exit" ] ->
+      Some ("exit-contract", "exit bypasses the Cli_common.eval exit-code contract")
+  | _ -> None
+
+(* ------------------------------------------------------- small queries *)
+
+let expr_contains pred e =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it x ->
+          if !found then ()
+          else begin
+            if pred x then found := true;
+            Ast_iterator.default_iterator.expr it x
+          end);
+    }
+  in
+  it.expr it e;
+  !found
+
+let reraise_idents =
+  [ [ "raise" ]; [ "raise_notrace" ]; [ "Printexc"; "raise_with_backtrace" ] ]
+
+let body_reraises e =
+  expr_contains
+    (fun x ->
+      match x.pexp_desc with
+      | Pexp_ident { txt; _ } ->
+          List.mem (strip_stdlib (flatten txt)) reraise_idents
+      | _ -> false)
+    e
+
+(* Catch-all exception patterns: [_], a bare variable, or an or-pattern
+   with a catch-all arm. *)
+let rec catch_all p =
+  match p.ppat_desc with
+  | Ppat_any | Ppat_var _ -> true
+  | Ppat_alias (q, _) | Ppat_constraint (q, _) | Ppat_open (_, q)
+  | Ppat_exception q ->
+      catch_all q
+  | Ppat_or (a, b) -> catch_all a || catch_all b
+  | _ -> false
+
+let rec pat_is_exception p =
+  match p.ppat_desc with
+  | Ppat_exception _ -> true
+  | Ppat_or (a, b) -> pat_is_exception a || pat_is_exception b
+  | Ppat_alias (q, _) | Ppat_constraint (q, _) | Ppat_open (_, q) ->
+      pat_is_exception q
+  | _ -> false
+
+let pat_contains pred p =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun it x ->
+          if !found then ()
+          else begin
+            if pred x then found := true;
+            Ast_iterator.default_iterator.pat it x
+          end);
+    }
+  in
+  it.pat it p;
+  !found
+
+(* Does the pattern name a cancellation-family constructor?  Matching on
+   the last path component keeps the check alias-proof (Cancel.Cancelled,
+   Gc_exec.Cancel.Cancelled, Pool.Transient, ...). *)
+let pat_mentions_rescue p =
+  pat_contains
+    (fun x ->
+      match x.ppat_desc with
+      | Ppat_construct ({ txt; _ }, _) -> (
+          match List.rev (flatten txt) with
+          | ("Cancelled" | "Transient") :: _ -> true
+          | _ -> false)
+      | _ -> false)
+    p
+
+(* --------------------------------------------------------- walk context *)
+
+type ctx = {
+  path : string;  (* root-relative, used for scoping and diagnostics *)
+  config : Config.t;
+  mutable file_allow : string list;  (* [@@@lint.allow] ids *)
+  mutable stack : string list list;  (* nested [@lint.allow] scopes *)
+  sanctioned : (int, unit) Hashtbl.t;  (* start offsets of blessed idents *)
+  mutable findings : Finding.t list;
+}
+
+let pos_of (loc : Location.t) =
+  let p = loc.loc_start in
+  (p.pos_lnum, p.pos_cnum - p.pos_bol + 1)
+
+(* Engine diagnostics (parse-error, bad-allow) bypass scoping and
+   suppression: they mean the lint run itself is compromised. *)
+let emit_raw ctx loc rule message =
+  let line, col = pos_of loc in
+  ctx.findings <-
+    {
+      Finding.file = ctx.path;
+      line;
+      col;
+      rule;
+      severity = Finding.Error;
+      message;
+      hint = Rules.hint rule;
+    }
+    :: ctx.findings
+
+let suppressed ctx id =
+  List.mem id ctx.file_allow
+  || List.exists (List.mem id) ctx.stack
+  || Config.allowed ctx.config ~rule:id ~file:ctx.path
+
+let emit ctx loc id message =
+  if Rules.applies ~id ~file:ctx.path && not (suppressed ctx id) then begin
+    let line, col = pos_of loc in
+    ctx.findings <-
+      {
+        Finding.file = ctx.path;
+        line;
+        col;
+        rule = id;
+        severity = Rules.severity id;
+        message;
+        hint = Rules.hint id;
+      }
+      :: ctx.findings
+  end
+
+(* ---------------------------------------------------------- suppression *)
+
+let split_ids s =
+  String.split_on_char ' '
+    (String.map (function ',' -> ' ' | c -> c) s)
+  |> List.filter (fun id -> id <> "")
+
+(* Extract lint.allow ids from an attribute list, reporting malformed
+   payloads and unknown rule ids as [bad-allow]. *)
+let allow_ids ctx (attrs : attributes) =
+  List.concat_map
+    (fun (a : attribute) ->
+      if a.attr_name.txt <> "lint.allow" then []
+      else
+        match a.attr_payload with
+        | PStr
+            [
+              {
+                pstr_desc =
+                  Pstr_eval
+                    ( { pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ },
+                      _ );
+                _;
+              };
+            ] -> (
+            match split_ids s with
+            | [] ->
+                emit_raw ctx a.attr_name.loc "bad-allow"
+                  "empty lint.allow payload";
+                []
+            | ids ->
+                List.iter
+                  (fun id ->
+                    if not (List.mem id Rules.ids) then
+                      emit_raw ctx a.attr_name.loc "bad-allow"
+                        (Printf.sprintf
+                           "lint.allow names unknown rule %S" id))
+                  ids;
+                ids)
+        | _ ->
+            emit_raw ctx a.attr_name.loc "bad-allow"
+              "lint.allow expects a quoted rule id";
+            [])
+    attrs
+
+(* ------------------------------------------------------------ rule body *)
+
+let sanction ctx (e : expression) = Hashtbl.replace ctx.sanctioned e.pexp_loc.loc_start.pos_cnum ()
+
+let mentions_cli_eval e =
+  expr_contains
+    (fun x ->
+      match x.pexp_desc with
+      | Pexp_ident { txt; _ } -> flatten txt = [ "Cli_common"; "eval" ]
+      | _ -> false)
+    e
+
+(* One try/match handler: flag catch-all exception cases that neither
+   re-raise themselves nor sit beside a case that names the cancellation
+   family.  A sibling that matches [Cancelled]/[Transient] explicitly has
+   made a deliberate disposition — whether it re-raises on the spot or
+   captures the exception to re-raise after cleanup. *)
+let check_handler ctx cases ~exception_cases_only =
+  let exc_case c =
+    if exception_cases_only then pat_is_exception c.pc_lhs else true
+  in
+  let rescued =
+    List.exists (fun c -> exc_case c && pat_mentions_rescue c.pc_lhs) cases
+  in
+  if not rescued then
+    List.iter
+      (fun c ->
+        if exc_case c && catch_all c.pc_lhs && not (body_reraises c.pc_rhs)
+        then
+          emit ctx c.pc_lhs.ppat_loc "swallowed-cancellation"
+            "catch-all exception handler can swallow cooperative cancellation")
+      cases
+
+let check_expr ctx (e : expression) =
+  match e.pexp_desc with
+  | Pexp_apply
+      ( ({ pexp_desc = Pexp_ident { txt = Lident "exit"; _ }; _ } as fn),
+        args ) ->
+      (* `exit (Cli_common.eval ...)` is the sanctioned entry-point form. *)
+      if List.exists (fun (_, arg) -> mentions_cli_eval arg) args then
+        sanction ctx fn
+  | Pexp_ident { txt; loc } -> (
+      match ident_rule (strip_stdlib (flatten txt)) with
+      | Some ("exit-contract", _)
+        when Hashtbl.mem ctx.sanctioned e.pexp_loc.loc_start.pos_cnum ->
+          ()
+      | Some (id, message) -> emit ctx loc id message
+      | None -> ())
+  | Pexp_assert
+      { pexp_desc = Pexp_construct ({ txt = Lident "false"; _ }, None); _ } ->
+      emit ctx e.pexp_loc "exit-contract"
+        "assert false aborts outside the exit-code contract"
+  | Pexp_try (_, cases) -> check_handler ctx cases ~exception_cases_only:false
+  | Pexp_match (_, cases)
+    when List.exists (fun c -> pat_is_exception c.pc_lhs) cases ->
+      check_handler ctx cases ~exception_cases_only:true
+  | _ -> ()
+
+(* ------------------------------------------------------------- the walk *)
+
+let iterator ctx =
+  let super = Ast_iterator.default_iterator in
+  let with_scope ids k =
+    ctx.stack <- ids :: ctx.stack;
+    k ();
+    ctx.stack <- (match ctx.stack with _ :: rest -> rest | [] -> [])
+  in
+  {
+    super with
+    expr =
+      (fun it e ->
+        with_scope (allow_ids ctx e.pexp_attributes) (fun () ->
+            check_expr ctx e;
+            super.expr it e));
+    value_binding =
+      (fun it vb ->
+        with_scope (allow_ids ctx vb.pvb_attributes) (fun () ->
+            super.value_binding it vb));
+    structure_item =
+      (fun it si ->
+        match si.pstr_desc with
+        | Pstr_eval (_, attrs) ->
+            with_scope (allow_ids ctx attrs) (fun () ->
+                super.structure_item it si)
+        | _ -> super.structure_item it si);
+  }
+
+(* [@@@lint.allow] anywhere in the file suppresses for the whole file;
+   collected before the walk so placement does not matter. *)
+let collect_file_allows ctx structure =
+  List.iter
+    (fun si ->
+      match si.pstr_desc with
+      | Pstr_attribute a ->
+          ctx.file_allow <- allow_ids ctx [ a ] @ ctx.file_allow
+      | _ -> ())
+    structure
+
+let parse_error_loc exn =
+  match Location.error_of_exn exn with
+  | Some (`Ok (err : Location.error)) -> err.main.loc
+  | Some `Already_displayed | None -> Location.none
+
+(* The parser's own exception carries the position; anything else (a
+   lexer bug, say) still must not crash the lint run, so the catch-all is
+   deliberate.  Nothing here executes under a pool token — a lint walk is
+   plain single-domain code. *)
+let protected_parse parse lexbuf =
+  match parse lexbuf with
+  | v -> Ok v
+  | exception exn -> Error (parse_error_loc exn)
+[@@lint.allow "swallowed-cancellation"]
+
+let run_file ctx source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf ctx.path;
+  if Filename.check_suffix ctx.path ".mli" then begin
+    (* Signatures contain no expressions the rules care about; parse them
+       so a syntax error still surfaces, then stop. *)
+    match protected_parse Parse.interface lexbuf with
+    | Ok (_ : signature) -> ()
+    | Error loc -> emit_raw ctx loc "parse-error" "file does not parse"
+  end
+  else
+    match protected_parse Parse.implementation lexbuf with
+    | Ok structure ->
+        collect_file_allows ctx structure;
+        let it = iterator ctx in
+        it.structure it structure
+    | Error loc -> emit_raw ctx loc "parse-error" "file does not parse"
+
+let check_file ?(config = Config.empty) ?as_path ~root path =
+  let ctx =
+    {
+      path = (match as_path with Some p -> p | None -> path);
+      config;
+      file_allow = [];
+      stack = [];
+      sanctioned = Hashtbl.create 8;
+      findings = [];
+    }
+  in
+  let source =
+    In_channel.with_open_bin (Filename.concat root path) In_channel.input_all
+  in
+  run_file ctx source;
+  List.sort Finding.compare ctx.findings
+
+(* ------------------------------------------------------------ discovery *)
+
+let discover ?(config = Config.empty) ~root () =
+  let acc = ref [] in
+  let rec walk rel abs =
+    Array.iter
+      (fun name ->
+        if String.length name > 0 && name.[0] <> '.' && name <> "_build"
+        then begin
+          let rel = rel ^ "/" ^ name and abs = Filename.concat abs name in
+          if Sys.is_directory abs then walk rel abs
+          else if
+            Filename.check_suffix name ".ml"
+            || Filename.check_suffix name ".mli"
+          then acc := rel :: !acc
+        end)
+      (Sys.readdir abs)
+  in
+  List.iter
+    (fun dir ->
+      let abs = Filename.concat root dir in
+      if Sys.file_exists abs && Sys.is_directory abs then walk dir abs)
+    scan_dirs;
+  List.filter
+    (fun file -> not (Config.excluded config ~file))
+    (List.sort String.compare !acc)
+
+let check_tree ?(config = Config.empty) ~root paths =
+  let paths = match paths with [] -> discover ~config ~root () | ps -> ps in
+  List.sort Finding.compare
+    (List.concat_map (fun p -> check_file ~config ~root p) paths)

@@ -1,0 +1,42 @@
+type severity = Error | Warn
+
+let severity_to_string = function Error -> "error" | Warn -> "warn"
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  severity : severity;
+  message : string;
+  hint : string;
+}
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> (
+          match Int.compare a.col b.col with
+          | 0 -> String.compare a.rule b.rule
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let to_string t =
+  let hint = if t.hint = "" then "" else Printf.sprintf " (fix: %s)" t.hint in
+  Printf.sprintf "%s:%d:%d: %s %s: %s%s" t.file t.line t.col
+    (severity_to_string t.severity)
+    t.rule t.message hint
+
+let to_json t =
+  Gc_obs.Json.Obj
+    [
+      ("file", Gc_obs.Json.String t.file);
+      ("line", Gc_obs.Json.Int t.line);
+      ("col", Gc_obs.Json.Int t.col);
+      ("severity", Gc_obs.Json.String (severity_to_string t.severity));
+      ("rule", Gc_obs.Json.String t.rule);
+      ("message", Gc_obs.Json.String t.message);
+      ("hint", Gc_obs.Json.String t.hint);
+    ]

@@ -1,0 +1,31 @@
+(** Positioned lint diagnostics.
+
+    A finding pins one convention violation to a [file:line:col] site,
+    names the rule that produced it, and carries the rule's one-line fix
+    hint so the rendered diagnostic is actionable on its own. *)
+
+type severity = Error | Warn
+
+val severity_to_string : severity -> string
+(** ["error"] / ["warn"]. *)
+
+type t = {
+  file : string;  (** Root-relative path, ['/']-separated. *)
+  line : int;  (** 1-based. *)
+  col : int;  (** 1-based. *)
+  rule : string;  (** Stable rule id, e.g. ["spawn-outside-pool"]. *)
+  severity : severity;
+  message : string;  (** What is wrong at this site. *)
+  hint : string;  (** One-line fix hint; [""] for none. *)
+}
+
+val compare : t -> t -> int
+(** Orders by file, then line, then column, then rule id. *)
+
+val to_string : t -> string
+(** ["file:line:col: severity rule: message (fix: hint)"] — one line,
+    stable, asserted verbatim by the fixture goldens. *)
+
+val to_json : t -> Gc_obs.Json.t
+(** Object with [file]/[line]/[col]/[severity]/[rule]/[message]/[hint]
+    fields, encoded by the hardened {!Gc_obs.Json} writer. *)

@@ -1,0 +1,170 @@
+type t = {
+  id : string;
+  severity : Finding.severity;
+  synopsis : string;
+  rationale : string;
+  example : string;
+  fix : string;
+  scope_doc : string;
+}
+
+let all =
+  [
+    {
+      id = "spawn-outside-pool";
+      severity = Finding.Error;
+      synopsis = "raw Domain.spawn/Thread.create outside the supervised runtime";
+      rationale =
+        "Every concurrent task must run under Gc_exec.Pool: the pool owns \
+         deadlines, Transient retry, cooperative cancellation, and graceful \
+         drain.  A raw domain or thread is invisible to the supervisor — it \
+         cannot be cancelled, retried, or drained, and a wedged one hangs \
+         the process.";
+      example = "let h = Domain.spawn worker";
+      fix = "run the task through Gc_exec.Pool.run (lib/exec owns spawning)";
+      scope_doc = "everywhere except lib/exec/";
+    };
+    {
+      id = "swallowed-cancellation";
+      severity = Finding.Error;
+      synopsis = "catch-all exception handler that cannot re-raise cancellation";
+      rationale =
+        "Cooperative cancellation travels as the Cancel.Cancelled exception \
+         (and retryable faults as Pool.Transient).  A `with _ ->` or \
+         `with e ->` handler that does not re-raise swallows the \
+         cancellation signal, so a deadline or drain request silently never \
+         lands and the supervisor must abandon the task instead.";
+      example = "try work () with _ -> default";
+      fix =
+        "narrow the pattern, or re-raise: `| (Cancel.Cancelled _ | \
+         Pool.Transient _) as e -> raise e` before the catch-all";
+      scope_doc = "lib/ only";
+    };
+    {
+      id = "exit-contract";
+      severity = Finding.Error;
+      synopsis = "failwith/exit/assert false in bin/ outside cli_common.ml";
+      rationale =
+        "The gc* binaries share one exit-code contract (0 ok / 1 runtime / \
+         2 usage / 3 model violation / 130 interrupted), enforced by \
+         Cli_common.eval.  A stray failwith, exit, or assert false picks \
+         its own process status and breaks scripts that drive the tools.  \
+         `exit (Cli_common.eval ...)` at the entry point is the sanctioned \
+         form and is not flagged.";
+      example = "let () = failwith \"bad flag\"";
+      fix = "raise through Cli_common.fail_usage/fail_runtime instead";
+      scope_doc = "bin/ only, except bin/cli_common.ml";
+    };
+    {
+      id = "nondeterministic-rng";
+      severity = Finding.Error;
+      synopsis = "Stdlib.Random instead of the deterministic Gc_trace.Rng";
+      rationale =
+        "Runs must be replayable: traces, adversaries, and replicates all \
+         derive from seeded Gc_trace.Rng streams (splitmix64, splittable \
+         per domain).  Stdlib.Random is a single global mutable state — \
+         domain-dependent, seed-hostile, and unreproducible across runs.";
+      example = "let coin () = Random.bool ()";
+      fix = "thread a seeded Gc_trace.Rng.t through the call site";
+      scope_doc = "everywhere";
+    };
+    {
+      id = "raw-artifact-write";
+      severity = Finding.Error;
+      synopsis = "direct open_out/Out_channel file creation outside Export";
+      rationale =
+        "Artifacts must never be observable half-written: \
+         Gc_obs.Export.write_string_atomic goes through a unique temp \
+         file, fsync, and rename, so a crash or full disk cannot leave a \
+         truncated file under a final name.  A direct open_out skips all \
+         of that.";
+      example = "let oc = open_out \"manifest.json\"";
+      fix = "write through Gc_obs.Export (write_string/write_json are atomic)";
+      scope_doc = "everywhere except lib/obs/export.ml";
+    };
+    {
+      id = "unsafe-deser";
+      severity = Finding.Error;
+      synopsis = "Marshal.from_*/Obj.magic on data";
+      rationale =
+        "Marshal.from_* trusts its input's shape and segfaults on hostile \
+         or stale bytes; Obj.magic defeats the type system outright.  \
+         Every decoder in the tree (Trace_io, Gc_obs.Json, Frame) is a \
+         hardened, positioned-diagnostic parser instead — new formats \
+         must follow suit.";
+      example = "let t : state = Marshal.from_channel ic";
+      fix = "decode through a checked parser (Trace_io / Gc_obs.Json style)";
+      scope_doc = "everywhere";
+    };
+    {
+      id = "bare-sleep";
+      severity = Finding.Error;
+      synopsis = "Unix.sleep/sleepf instead of the EINTR-safe Pool.nap";
+      rationale =
+        "Unix.sleepf returns early when a signal lands — and the signals \
+         this tree cares about (SIGINT/SIGTERM during a supervised drain) \
+         arrive in storms.  Pool.nap retries the remaining duration, so \
+         monitor ticks and backoff sleeps keep their intended length \
+         instead of collapsing into busy-spins.";
+      example = "Unix.sleepf 0.05";
+      fix = "call Gc_exec.Pool.nap, which retries the remaining time on EINTR";
+      scope_doc = "everywhere except lib/exec/pool.ml";
+    };
+    {
+      id = "partial-stdlib";
+      severity = Finding.Warn;
+      synopsis = "partial List.hd/List.nth/Option.get";
+      rationale =
+        "These raise bare Failure/Invalid_argument with no position and no \
+         context, which the exit-code contract then misclassifies as a \
+         generic runtime failure.  Total variants (List.nth_opt, pattern \
+         matches) force the empty case to say what went wrong.";
+      example = "let first = List.hd xs";
+      fix = "match on the shape, or use the _opt variant with an explicit error";
+      scope_doc = "everywhere";
+    };
+    {
+      id = "print-in-lib";
+      severity = Finding.Error;
+      synopsis = "printing to stdout from library code";
+      rationale =
+        "Libraries are embedded in the simulator service and in tests \
+         whose stdout is golden-checked; a stray print corrupts machine \
+         output (CSV, JSON, manifests).  Only the bin/ layer owns stdout; \
+         libraries return data or go through the Gc_obs event sinks.";
+      example = "print_endline \"done\"";
+      fix = "return the data, or emit a Gc_obs event/metric instead";
+      scope_doc = "lib/ only";
+    };
+  ]
+
+let ids = List.map (fun r -> r.id) all
+let find id = List.find_opt (fun r -> r.id = id) all
+let hint id = match find id with Some r -> r.fix | None -> ""
+let severity id =
+  match find id with Some r -> r.severity | None -> Finding.Error
+
+let under dir file =
+  String.length file >= String.length dir
+  && String.sub file 0 (String.length dir) = dir
+
+let applies ~id ~file =
+  match id with
+  | "spawn-outside-pool" -> not (under "lib/exec/" file)
+  | "swallowed-cancellation" -> under "lib/" file
+  | "exit-contract" -> under "bin/" file && file <> "bin/cli_common.ml"
+  | "raw-artifact-write" -> file <> "lib/obs/export.ml"
+  | "bare-sleep" -> file <> "lib/exec/pool.ml"
+  | "print-in-lib" -> under "lib/" file
+  | "nondeterministic-rng" | "unsafe-deser" | "partial-stdlib" -> true
+  | _ -> true
+
+let to_json r =
+  Gc_obs.Json.Obj
+    [
+      ("id", Gc_obs.Json.String r.id);
+      ("severity", Gc_obs.Json.String (Finding.severity_to_string r.severity));
+      ("synopsis", Gc_obs.Json.String r.synopsis);
+      ("fix", Gc_obs.Json.String r.fix);
+      ("scope", Gc_obs.Json.String r.scope_doc);
+    ]

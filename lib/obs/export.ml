@@ -81,7 +81,7 @@ let write_string_atomic path s =
      with
      | () -> ()
      | exception e ->
-         (try close_out_noerr oc with _ -> ());
+         close_out_noerr oc;
          raise e
    with
   | () -> ()

@@ -294,9 +294,17 @@ let worker_loop t =
       t.inflight <- t.inflight + 1;
       Registry.set t.g_inflight t.inflight;
       Mutex.unlock t.mu;
-      (match process t job with
-      | () -> ()
-      | exception _ -> ());
+      (* A reply failure must not kill the worker — but a supervision
+         signal (cooperative cancellation, a retryable fault that escaped
+         its pool) must stay loud, not be absorbed as if the job merely
+         misbehaved.  Settle the accounting first so a concurrent drain
+         cannot hang on the inflight count. *)
+      let escaped =
+        match process t job with
+        | () -> None
+        | exception ((Cancel.Cancelled _ | Pool.Transient _) as e) -> Some e
+        | exception _ -> None
+      in
       settle t job;
       Mutex.lock t.mu;
       t.inflight <- t.inflight - 1;
@@ -304,7 +312,7 @@ let worker_loop t =
       if t.inflight = 0 && Queue.is_empty t.queue then
         Condition.broadcast t.idle;
       Mutex.unlock t.mu;
-      loop ()
+      match escaped with Some e -> raise e | None -> loop ()
     end
   in
   loop ()
@@ -418,8 +426,17 @@ let reader t conn =
              "frame not delivered within %gs (slow-loris guard)"
              t.config.frame_timeout)
   in
-  (match loop () with () -> () | exception _ -> ());
-  disconnect t conn
+  (* Any stream fault tears the connection down; only supervision signals
+     are allowed back out (after the teardown, so the refcount stays
+     right). *)
+  let escaped =
+    match loop () with
+    | () -> None
+    | exception ((Cancel.Cancelled _ | Pool.Transient _) as e) -> Some e
+    | exception _ -> None
+  in
+  disconnect t conn;
+  match escaped with Some e -> raise e | None -> ()
 
 (* ------------------------------------------------------------- accepting *)
 
@@ -445,7 +462,10 @@ let register_conn t cfd =
     t.conns <- conn :: t.conns;
     Registry.set t.g_conns (List.length t.conns);
     Mutex.unlock t.mu;
-    ignore (Thread.create (reader t) conn)
+    (* Readers are blocking-I/O multiplexers that live as long as their
+       connection, which the per-task pool cannot express; simulation work
+       itself runs on Gc_exec.Pool (see [process]). *)
+    ignore (Thread.create (reader t) conn [@lint.allow "spawn-outside-pool"])
   end
 
 let acceptor t fd =
@@ -464,8 +484,14 @@ let acceptor t fd =
       loop ()
     end
   in
-  (match loop () with () -> () | exception _ -> ());
-  try Unix.close fd with Unix.Unix_error _ -> ()
+  let escaped =
+    match loop () with
+    | () -> None
+    | exception ((Cancel.Cancelled _ | Pool.Transient _) as e) -> Some e
+    | exception _ -> None
+  in
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  match escaped with Some e -> raise e | None -> ()
 
 (* -------------------------------------------------------------- creation *)
 
@@ -574,9 +600,17 @@ let create config =
       h_queue_wait = Registry.histogram reg "queue_wait_us";
     }
   in
+  (* Workers and acceptors are process-lifetime service threads blocking
+     in accept/condition-wait — not tasks with a start and an end, so the
+     supervised pool is the wrong shape for them.  The jobs they carry do
+     run on Gc_exec.Pool. *)
   t.workers <-
-    List.init config.workers (fun _ -> Thread.create worker_loop t);
-  t.acceptors <- List.map (fun fd -> Thread.create (acceptor t) fd) listeners;
+    List.init config.workers (fun _ ->
+        Thread.create worker_loop t [@lint.allow "spawn-outside-pool"]);
+  t.acceptors <-
+    List.map
+      (fun fd -> Thread.create (acceptor t) fd [@lint.allow "spawn-outside-pool"])
+      listeners;
   t
 
 (* ---------------------------------------------------------------- drain *)

@@ -237,7 +237,11 @@ module Make (O : ORACLE) = struct
       done;
       (* The offline cache rotates one item per step-2 block, so it retains
          at most h - 1 designated items alongside the resident last item. *)
-      let last_item = List.nth step2 (m - 1) in
+      let last_item =
+        match List.nth_opt step2 (m - 1) with
+        | Some x -> x
+        | None -> invalid_arg "Adversary: empty step-2 phase"
+      in
       let keep_slots =
         pad_to (dedup_keep_order (List.rev !keep)) (Array.to_list candidates)
           (h - 1)

@@ -112,7 +112,12 @@ let to_string t =
 
 let to_channel oc t = output_string oc (to_string t)
 
-let save path t = Out_channel.with_open_text path (fun oc -> to_channel oc t)
+(* gc_trace sits below gc_obs in the dependency order, so the Export
+   atomic-write path is out of reach; loaders reject malformed text, so a
+   truncated save is detected rather than silently used. *)
+let save path t =
+  (Out_channel.with_open_text [@lint.allow "raw-artifact-write"]) path
+    (fun oc -> to_channel oc t)
 
 (* ------------------------------------------------- streaming text cursor *)
 
@@ -657,5 +662,7 @@ let of_bytes b = or_fail (of_bytes_result b)
 let load_binary path = or_fail (load_binary_result path)
 
 let save_binary path t =
-  Out_channel.with_open_bin path (fun oc ->
-      Out_channel.output_bytes oc (to_bytes t))
+  (* Below gc_obs, same as [save]; the GCTB footer checksum makes a
+     truncated binary artifact fail loudly at load time. *)
+  (Out_channel.with_open_bin [@lint.allow "raw-artifact-write"]) path
+    (fun oc -> Out_channel.output_bytes oc (to_bytes t))

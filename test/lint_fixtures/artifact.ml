@@ -1,0 +1,7 @@
+(* Fixture: raw-artifact-write.  Parsed by test_lint.ml, never
+   compiled. *)
+let oc = open_out "out.csv"
+
+let save s =
+  Out_channel.with_open_text "manifest.json" (fun oc ->
+      Out_channel.output_string oc s)

@@ -1,0 +1,5 @@
+(* Fixture: malformed/unknown lint.allow payloads are findings in their
+   own right (bad-allow) and suppress nothing.  Parsed by test_lint.ml,
+   never compiled. *)
+let pause () = Unix.sleepf 0.25 [@lint.allow "no-such-rule"]
+let announce () = print_endline "x" [@lint.allow]

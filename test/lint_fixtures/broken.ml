@@ -1,0 +1,3 @@
+(* Fixture: a file that does not parse must yield a parse-error finding,
+   not crash the run.  Parsed by test_lint.ml, never compiled. *)
+let oops = (

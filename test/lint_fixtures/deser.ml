@@ -1,0 +1,3 @@
+(* Fixture: unsafe-deser.  Parsed by test_lint.ml, never compiled. *)
+let load ic : int list = Marshal.from_channel ic
+let cast x = Obj.magic x

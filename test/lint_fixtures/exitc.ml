@@ -1,0 +1,7 @@
+(* Fixture: exit-contract.  Parsed by test_lint.ml, never compiled.
+   The last binding is the sanctioned entry-point form and is not
+   flagged. *)
+let bad () = failwith "boom"
+let worse () = exit 4
+let impossible () = assert false
+let () = exit (Cli_common.eval cmd)

@@ -1,0 +1,7 @@
+(* Fixture: a floating [@@@lint.allow] suppresses for the whole file,
+   wherever it sits.  Parsed by test_lint.ml, never compiled. *)
+let announce () = print_endline "done"
+
+[@@@lint.allow "print-in-lib, bare-sleep"]
+
+let pause () = Unix.sleepf 0.25

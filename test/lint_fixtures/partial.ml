@@ -1,0 +1,4 @@
+(* Fixture: partial-stdlib.  Parsed by test_lint.ml, never compiled. *)
+let first xs = List.hd xs
+let second xs = List.nth xs 1
+let force o = Option.get o

@@ -1,0 +1,3 @@
+(* Fixture: print-in-lib.  Parsed by test_lint.ml, never compiled. *)
+let announce () = print_endline "done"
+let report n = Printf.printf "%d\n" n

@@ -1,0 +1,4 @@
+(* Fixture: nondeterministic-rng.  Parsed by test_lint.ml, never
+   compiled. *)
+let coin () = Random.bool ()
+let scramble () = Random.self_init ()

@@ -1,0 +1,3 @@
+(* Fixture: bare-sleep.  Parsed by test_lint.ml, never compiled. *)
+let pause () = Unix.sleepf 0.25
+let pause_whole () = Unix.sleep 1

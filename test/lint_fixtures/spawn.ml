@@ -1,0 +1,3 @@
+(* Fixture: spawn-outside-pool.  Parsed by test_lint.ml, never compiled. *)
+let handle = Domain.spawn (fun () -> 41 + 1)
+let t = Thread.create (fun () -> ()) ()

@@ -1,0 +1,6 @@
+(* Fixture: every violation below carries a [@lint.allow], so the file
+   must lint clean.  Parsed by test_lint.ml, never compiled. *)
+let handle = (Domain.spawn [@lint.allow "spawn-outside-pool"]) (fun () -> ())
+let pause () = Unix.sleepf 0.25 [@lint.allow "bare-sleep"]
+let first xs = List.hd xs [@@lint.allow "partial-stdlib"]
+let two xs o = (List.nth xs 1, Option.get o) [@lint.allow "partial-stdlib"]

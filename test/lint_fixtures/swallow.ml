@@ -1,0 +1,13 @@
+(* Fixture: swallowed-cancellation.  Parsed by test_lint.ml, never
+   compiled.  [safe] is flagged; [cleanup_ok] is not, because a sibling
+   case names the cancellation family; [narrow] is not, because the
+   handler pattern is not a catch-all. *)
+let safe work = try work () with _ -> None
+
+let cleanup_ok work =
+  match work () with
+  | v -> Some v
+  | exception ((Cancel.Cancelled _ | Pool.Transient _) as e) -> raise e
+  | exception _ -> None
+
+let narrow work = try work () with Not_found -> None

@@ -520,7 +520,7 @@ let test_soak_interrupt_resume () =
                                       && count_lines journal >= 3
                                     then ()
                                     else begin
-                                      Unix.sleepf 0.02;
+                                      Gc_exec.Pool.nap 0.02;
                                       wait_for_progress ()
                                     end
                                   in

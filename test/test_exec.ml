@@ -270,7 +270,7 @@ let quick_config ?deadline ?(retries = 1) ?(domains = 2) () =
 let test_pool_order_and_results () =
   let tasks =
     List.init 9 (fun i ~cancel:_ ->
-        if i mod 2 = 0 then Unix.sleepf 0.005;
+        if i mod 2 = 0 then Pool.nap 0.005;
         i * i)
   in
   let outcomes = Pool.run ~config:(quick_config ~domains:4 ()) tasks in
