@@ -18,8 +18,16 @@ let k_paper = 1_280_000.
 
 (* With --json FILE, per-section wall times and the perf section's
    throughput estimates also go into a run manifest (see
-   doc/OBSERVABILITY.md). *)
+   doc/OBSERVABILITY.md).  Each perf row carries the policy's bare name,
+   its OLS throughput estimate (ns_per_run / ns_per_access) and a
+   deterministic single-run allocation profile (minor_allocated /
+   minor_words_per_access) — the fields `gcprof compare` gates on. *)
 let perf_rows : Gc_obs.Json.t list ref = ref []
+
+(* --smoke: shrink the workload and measurement quota so the whole perf
+   section runs in seconds — the @bench-smoke alias.  Smoke numbers are
+   noisy; never compare them against a full baseline. *)
+let smoke = ref false
 
 let section_header name doc =
   Format.printf "@.============================================================@.";
@@ -1070,12 +1078,31 @@ let perf () =
   section_header "perf"
     "Bechamel micro-benchmarks: simulation cost per policy (ns per access)";
   let block_size = 16 in
-  let k = 4096 in
+  let k = if !smoke then 256 else 4096 in
+  let n = if !smoke then 4_000 else 100_000 in
   let trace =
-    Generators.spatial_mix (Rng.create 1) ~n:100_000 ~universe:65_536
-      ~block_size ~p_spatial:0.6
+    Generators.spatial_mix (Rng.create 1) ~n ~universe:65_536 ~block_size
+      ~p_spatial:0.6
   in
   let blocks = trace.Trace.blocks in
+  let policies =
+    [ "lru"; "fifo"; "lfu"; "clock"; "random"; "marking"; "block-lru";
+      "gcm"; "iblp"; "param-a:1"; "arc"; "2q"; "block-marking";
+      "iblp-adaptive"; "fwf"; "lru-k"; "s3-fifo"; "setassoc-lru" ]
+  in
+  let accesses = float_of_int (Trace.length trace) in
+  (* Allocation profile: one deterministic run per policy, bracketed by
+     Gc.minor_words.  Unlike the throughput estimate this is exact and
+     repeatable, so the regression gate can hold it to a tight bound. *)
+  let minor_words =
+    List.map
+      (fun name ->
+        let p = Registry.make name ~k ~blocks ~seed:1 in
+        let before = Gc.minor_words () in
+        ignore (Simulator.run ~check:false p trace);
+        (name, Gc.minor_words () -. before))
+      policies
+  in
   let open Bechamel in
   let make_test name =
     Test.make ~name
@@ -1084,41 +1111,65 @@ let perf () =
            ignore (Simulator.run ~check:false p trace)))
   in
   let tests =
-    Test.make_grouped ~name:"simulate" ~fmt:"%s %s"
-      (List.map make_test
-         [ "lru"; "fifo"; "lfu"; "clock"; "random"; "marking"; "block-lru";
-           "gcm"; "iblp"; "param-a:1"; "arc"; "2q"; "block-marking";
-           "iblp-adaptive"; "fwf"; "lru-k"; "s3-fifo"; "setassoc-lru" ])
+    Test.make_grouped ~name:"simulate" ~fmt:"%s %s" (List.map make_test policies)
   in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
   let instance = Toolkit.Instance.monotonic_clock in
-  let cfg =
-    Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~stabilize:false ()
-  in
-  let raw = Benchmark.all cfg [ instance ] tests in
-  let results = Analyze.all ols instance raw in
+  let quota = Time.second (if !smoke then 0.05 else 1.0) in
+  let cfg = Benchmark.cfg ~limit:50 ~quota ~stabilize:false () in
+  (* Noise on a shared machine is one-sided — contention and frequency
+     dips only ever slow a run down — so the per-policy estimate is the
+     MIN over independent measurement repeats, the usual robust statistic
+     for a regression gate. *)
+  let repeats = if !smoke then 1 else 5 in
+  let estimates = Hashtbl.create 32 in
+  for _ = 1 to repeats do
+    let raw = Benchmark.all cfg [ instance ] tests in
+    let results = Analyze.all ols instance raw in
+    Hashtbl.iter
+      (fun name res ->
+        match Analyze.OLS.estimates res with
+        | Some (est :: _) ->
+            let best =
+              match Hashtbl.find_opt estimates name with
+              | Some prev -> Float.min prev est
+              | None -> est
+            in
+            Hashtbl.replace estimates name best
+        | _ -> ())
+      results
+  done;
   let rows =
-    Hashtbl.fold (fun name res acc -> (name, res) :: acc) results []
+    Hashtbl.fold (fun name est acc -> (name, est) :: acc) estimates []
     |> List.sort compare
   in
-  let accesses = float_of_int (Trace.length trace) in
-  Format.printf "%-28s %14s %14s@." "policy" "ns/run" "ns/access";
+  (* Bechamel reports grouped tests as "simulate <policy>"; the manifest
+     rows carry the bare policy name gcprof keys on. *)
+  let bare name =
+    match String.index_opt name ' ' with
+    | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+    | None -> name
+  in
+  Format.printf "%-28s %14s %14s %16s@." "policy" "ns/run" "ns/access"
+    "minor words/acc";
   List.iter
-    (fun (name, res) ->
-      match Analyze.OLS.estimates res with
-      | Some (est :: _) ->
-          perf_rows :=
-            Gc_obs.Json.Obj
-              [
-                ("policy", Gc_obs.Json.String name);
-                ("ns_per_run", Gc_obs.Json.Float est);
-                ("ns_per_access", Gc_obs.Json.Float (est /. accesses));
-              ]
-            :: !perf_rows;
-          Format.printf "%-28s %14.0f %14.1f@." name est (est /. accesses)
-      | _ -> Format.printf "%-28s (no estimate)@." name)
+    (fun (name, est) ->
+      let policy = bare name in
+      let minor = List.assoc policy minor_words in
+      perf_rows :=
+        Gc_obs.Json.Obj
+          [
+            ("policy", Gc_obs.Json.String policy);
+            ("ns_per_run", Gc_obs.Json.Float est);
+            ("ns_per_access", Gc_obs.Json.Float (est /. accesses));
+            ("minor_allocated", Gc_obs.Json.Float minor);
+            ("minor_words_per_access", Gc_obs.Json.Float (minor /. accesses));
+          ]
+        :: !perf_rows;
+      Format.printf "%-28s %14.0f %14.1f %16.2f@." name est (est /. accesses)
+        (minor /. accesses))
     rows
 
 (* ------------------------------------------------------------------ main *)
@@ -1155,6 +1206,9 @@ let () =
     | "--json" :: [] ->
         Format.eprintf "--json needs a file argument@.";
         exit 1
+    | "--smoke" :: rest ->
+        smoke := true;
+        split_json acc rest
     | arg :: rest -> split_json (arg :: acc) rest
     | [] -> (None, List.rev acc)
   in

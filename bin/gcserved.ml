@@ -46,7 +46,7 @@ let listeners ~socket ~tcp ~tcp_host =
   (socket, Option.map (fun p -> (tcp_host, p)) tcp)
 
 let serve socket tcp tcp_host workers queue_depth deadline retries max_frame
-    frame_timeout max_conns manifest =
+    frame_timeout max_conns manifest trace =
   let socket_path, tcp = listeners ~socket ~tcp ~tcp_host in
   let base = Gc_serve.Server.default_config in
   let config =
@@ -63,6 +63,7 @@ let serve socket tcp tcp_host workers queue_depth deadline retries max_frame
         Option.value frame_timeout ~default:base.Gc_serve.Server.frame_timeout;
       max_connections =
         Option.value max_conns ~default:base.Gc_serve.Server.max_connections;
+      trace;
     }
   in
   Printf.eprintf "gcserved: serving%s%s (workers %d, queue %d, deadline %gs)\n%!"
@@ -129,7 +130,16 @@ let serve_cmd =
               ~doc:
                 "Write a shutdown manifest (final metric registry: queue \
                  depth, shed count, latency histograms) to $(docv) after \
-                 the drain."))
+                 the drain.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "trace" ] ~docv:"FILE"
+              ~doc:
+                "Enable request-path span tracing (decode, queue-wait, \
+                 execute, encode, reply) and write a Chrome trace-event \
+                 JSON — loadable in Perfetto — to $(docv) after the \
+                 drain."))
 
 (* --------------------------------------------------------------- client *)
 
@@ -170,8 +180,29 @@ let exit_of_reply = function
       then Cli_common.usage_error
       else Cli_common.runtime_error
 
+(* Render a stats reply's registry snapshot as Prometheus text
+   exposition instead of echoing the framed JSON. *)
+let print_prometheus reply_json =
+  match Gc_serve.Protocol.reply_of_json reply_json with
+  | Error msg -> Cli_common.fail_runtime "malformed reply: %s" msg
+  | Ok (_id, (Gc_serve.Protocol.Err _ as reply)) ->
+      Format.printf "%a@." Json.pp reply_json;
+      exit_of_reply reply
+  | Ok (_id, Gc_serve.Protocol.Ok_result result) -> (
+      match Json.member "metrics" result with
+      | None -> Cli_common.fail_runtime "stats reply has no \"metrics\" field"
+      | Some metrics -> (
+          match Gc_obs.Export.prometheus_of_json metrics with
+          | Error msg ->
+              Cli_common.fail_runtime "malformed metrics snapshot: %s" msg
+          | Ok text ->
+              print_string text;
+              Cli_common.ok))
+
 let client socket tcp tcp_host op policy k seed workload n universe block_size
-    check ks raw timeout =
+    check ks raw timeout prom =
+  if prom && op <> "stats" then
+    Cli_common.fail_usage "--prom only applies to the stats op";
   let addr = addr ~socket ~tcp ~tcp_host in
   let load =
     {
@@ -220,6 +251,7 @@ let client socket tcp tcp_host op policy k seed workload n universe block_size
   in
   match Gc_serve.Client.request ~timeout addr request with
   | Error msg -> Cli_common.fail_runtime "%s" msg
+  | Ok reply_json when prom -> print_prometheus reply_json
   | Ok reply_json -> (
       Format.printf "%a@." Json.pp reply_json;
       match Gc_serve.Protocol.reply_of_json reply_json with
@@ -282,7 +314,13 @@ let client_cmd =
           value
           & opt float 60.
           & info [ "timeout" ] ~docv:"SECONDS"
-              ~doc:"Give up waiting for the reply after $(docv)."))
+              ~doc:"Give up waiting for the reply after $(docv).")
+      $ Arg.(
+          value & flag
+          & info [ "prom" ]
+              ~doc:
+                "Print the $(b,stats) reply's metric registry in \
+                 Prometheus text exposition format instead of JSON."))
 
 let () =
   let info =

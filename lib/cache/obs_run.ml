@@ -13,6 +13,38 @@ type failure = { policy : string; kind : string; message : string }
    "cancellable" entry point to keep in sync. *)
 let progress _index = Gc_exec.Cancel.poll ()
 
+(* Span instrumentation of the access loop, riding the existing
+   [?progress] hook rather than touching the simulator's hot path: each
+   progress stride (4096 accesses) becomes a "sim.chunk" span, so a
+   Perfetto track shows where inside a long trace the time goes.  With
+   tracing disabled the addition to each progress tick is one atomic
+   load — the access loop itself allocates not a word more (asserted by
+   test_prof).  [finish] closes the open chunk at end of run. *)
+let span_hooks ?(base = fun _ -> ()) () =
+  let tok = ref (-1) in
+  let progress index =
+    base index;
+    if Gc_prof.Tracer.enabled () then begin
+      if !tok >= 0 then Gc_prof.Tracer.leave !tok;
+      tok :=
+        Gc_prof.Tracer.enter
+          ~args:[ ("index", string_of_int index) ]
+          "sim.chunk"
+    end
+  in
+  let finish () =
+    if !tok >= 0 then begin
+      Gc_prof.Tracer.leave !tok;
+      tok := -1
+    end
+  in
+  (progress, finish)
+
+let run_args name k =
+  if Gc_prof.Tracer.enabled () then
+    [ ("policy", name); ("k", string_of_int k) ]
+  else []
+
 let run_policy ?(check = true) ?(histograms = false) ?sink ?wrap ~k ~seed name
     trace =
   let blocks = trace.Gc_trace.Trace.blocks in
@@ -20,7 +52,12 @@ let run_policy ?(check = true) ?(histograms = false) ?sink ?wrap ~k ~seed name
   if not (histograms || Option.is_some sink) then begin
     (* Fully unobserved: no probe, no event allocation. *)
     let p = build (Registry.make name ~k ~blocks ~seed) in
-    let metrics = Simulator.run ~check ~progress p trace in
+    let progress, finish = span_hooks ~base:progress () in
+    let metrics =
+      Gc_prof.Span.with_ ~args:(run_args name k) "run_policy" (fun () ->
+          Fun.protect ~finally:finish (fun () ->
+              Simulator.run ~check ~progress p trace))
+    in
     { policy = name; metrics; registry = None; events = [] }
   end
   else begin
@@ -52,7 +89,12 @@ let run_policy ?(check = true) ?(histograms = false) ?sink ?wrap ~k ~seed name
            { index = !current_index; item_budget; block_budget })
     in
     let p = build (Registry.make ~repartition name ~k ~blocks ~seed) in
-    let metrics = Simulator.run ~check ~probe ~progress p trace in
+    let progress, finish = span_hooks ~base:progress () in
+    let metrics =
+      Gc_prof.Span.with_ ~args:(run_args name k) "run_policy" (fun () ->
+          Fun.protect ~finally:finish (fun () ->
+              Simulator.run ~check ~probe ~progress p trace))
+    in
     {
       policy = name;
       metrics;

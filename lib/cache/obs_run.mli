@@ -22,6 +22,15 @@ type failure = {
   message : string;
 }
 
+val span_hooks : ?base:(int -> unit) -> unit -> (int -> unit) * (unit -> unit)
+(** [(progress, finish)]: a simulator [?progress] hook that opens one
+    "sim.chunk" tracing span per progress stride (composing with [base],
+    which runs first), and the closer for the final open chunk.  This is
+    how {!run_policy} wires the access loop into {!Gc_prof} without
+    touching the simulator: when tracing is disabled the hook adds a
+    single atomic load per stride and the loop allocates nothing extra
+    (asserted by test_prof's zero-allocation test). *)
+
 val run_policy :
   ?check:bool ->
   ?histograms:bool ->

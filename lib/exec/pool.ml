@@ -1,3 +1,6 @@
+module Clock = Gc_prof.Clock
+module Tracer = Gc_prof.Tracer
+
 exception Transient of string
 
 let attempt_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 1)
@@ -35,13 +38,13 @@ let default_config () =
    monitor ticks and backoff sleeps keep their intended length instead of
    collapsing to busy-spins. *)
 let nap s =
-  let until = Unix.gettimeofday () +. s in
+  let until = Clock.now_s () +. s in
   let rec go remaining =
     if remaining > 0. then
       match Unix.sleepf remaining with
       | () -> ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) ->
-          go (until -. Unix.gettimeofday ())
+          go (until -. Clock.now_s ())
   in
   go s
 
@@ -58,31 +61,58 @@ type 'a slot = {
    supervisor — converting Cancelled and Transient into outcomes (after
    handling them) is its job, so the catch-alls below are the one
    sanctioned place cancellation stops propagating. *)
-let worker config task cancel started cell () =
+let worker config task idx cancel started cell () =
   let classify_cancel reason =
     if reason = Cancel.deadline_reason then
       Timed_out (Option.value config.deadline ~default:0.)
     else Cancelled
   in
+  (* Task-lifecycle spans: one "pool.task" per worker domain with a
+     "pool.attempt" child per try, so a Perfetto track shows queue,
+     retries and backoff gaps structurally.  Args are only built when
+     tracing is on; disabled tracing costs one atomic load per span. *)
+  let task_tok =
+    Tracer.enter
+      ~args:
+        (if Tracer.enabled () then [ ("task", string_of_int idx) ] else [])
+      "pool.task"
+  in
+  let attempt_span i =
+    Tracer.enter
+      ~args:
+        (if Tracer.enabled () then
+           [ ("task", string_of_int idx); ("attempt", string_of_int i) ]
+         else [])
+      "pool.attempt"
+  in
   let outcome =
     let rec go i =
       Domain.DLS.set attempt_key i;
-      Atomic.set started (Unix.gettimeofday ());
+      Atomic.set started (Clock.now_s ());
+      let att = attempt_span i in
       match Cancel.with_current cancel (fun () -> task ~cancel) with
-      | v -> Done v
-      | exception Cancel.Cancelled reason -> classify_cancel reason
+      | v ->
+          Tracer.leave att;
+          Done v
+      | exception Cancel.Cancelled reason ->
+          Tracer.leave att;
+          classify_cancel reason
       | exception exn when i <= config.retries && config.retryable exn ->
+          Tracer.leave att;
           (* Exponential backoff; the deadline clock restarts with the
              attempt, not the sleep. *)
-          Atomic.set started (Unix.gettimeofday ());
+          Atomic.set started (Clock.now_s ());
           nap (config.backoff *. Float.pow 2. (float_of_int (i - 1)));
           if Cancel.requested cancel then
             classify_cancel (Option.value (Cancel.reason cancel) ~default:"")
           else go (i + 1)
-      | exception exn -> Failed exn
+      | exception exn ->
+          Tracer.leave att;
+          Failed exn
     in
     try go 1 with exn -> Failed exn
   in
+  Tracer.leave task_tok;
   Atomic.set cell (Some outcome)
 [@@lint.allow "swallowed-cancellation"]
 
@@ -105,8 +135,11 @@ let run ?config ?interrupt ?on_start ?on_outcome tasks =
   let max_workers = max 1 (min config.domains (max n 1)) in
   let running = ref [] in
   let next = ref 0 in
+  (* All tasks enter the queue when [run] is called; the "pool.queued"
+     span for task [idx] stretches from here to its spawn. *)
+  let queued_ns = if Tracer.enabled () then Clock.now_ns () else 0 in
   let rec loop () =
-    let now = Unix.gettimeofday () in
+    let now = Clock.now_s () in
     let progressed = ref false in
     let still =
       List.filter
@@ -151,10 +184,16 @@ let run ?config ?interrupt ?on_start ?on_outcome tasks =
          event (a client disconnect, say) can never race the launch and
          miss its chance to cancel. *)
       (match on_start with Some f -> f idx cancel | None -> ());
-      let started = Atomic.make (Unix.gettimeofday ()) in
+      if Tracer.enabled () then
+        Tracer.emit
+          ~args:[ ("task", string_of_int idx) ]
+          ~ts_ns:queued_ns
+          ~dur_ns:(Clock.now_ns () - queued_ns)
+          "pool.queued";
+      let started = Atomic.make (Clock.now_s ()) in
       let cell = Atomic.make None in
       let domain =
-        Domain.spawn (worker config tasks.(idx) cancel started cell)
+        Domain.spawn (worker config tasks.(idx) idx cancel started cell)
       in
       running := { idx; cell; cancel; started; domain } :: !running;
       progressed := true

@@ -60,6 +60,16 @@ let ident_rule path =
       Some
         ( "print-in-lib",
           Printf.sprintf "%s.printf writes to stdout from library code" m )
+  | [ "Unix"; "gettimeofday" ] ->
+      Some
+        ( "wall-clock-timing",
+          "Unix.gettimeofday is a wall clock; durations need the monotonic \
+           Gc_prof.Clock" )
+  | [ "Sys"; "time" ] ->
+      Some
+        ( "wall-clock-timing",
+          "Sys.time measures CPU time; durations need the monotonic \
+           Gc_prof.Clock" )
   | [ "failwith" ] ->
       Some ("exit-contract", "failwith bypasses the CLI exit-code contract")
   | [ "exit" ] ->

@@ -124,6 +124,23 @@ let all =
       scope_doc = "everywhere";
     };
     {
+      id = "wall-clock-timing";
+      severity = Finding.Warn;
+      synopsis = "Unix.gettimeofday/Sys.time for durations in library code";
+      rationale =
+        "Wall clocks jump: NTP slews, leap smears, and suspend/resume all \
+         move Unix.gettimeofday, so a duration computed from two readings \
+         can be negative or wildly long — deadlines misfire and latency \
+         metrics lie.  Sys.time measures CPU time, not elapsed time.  \
+         Durations, deadlines, and span timestamps in lib/ read the \
+         monotonic clock (Gc_prof.Clock.now_s / now_ns) instead; \
+         Unix.gettimeofday remains fine for calendar timestamps in \
+         artifacts.";
+      example = "let t0 = Unix.gettimeofday () in ... ; elapsed t0";
+      fix = "read Gc_prof.Clock.now_s (monotonic) for durations and deadlines";
+      scope_doc = "lib/ only";
+    };
+    {
       id = "print-in-lib";
       severity = Finding.Error;
       synopsis = "printing to stdout from library code";
@@ -156,6 +173,7 @@ let applies ~id ~file =
   | "raw-artifact-write" -> file <> "lib/obs/export.ml"
   | "bare-sleep" -> file <> "lib/exec/pool.ml"
   | "print-in-lib" -> under "lib/" file
+  | "wall-clock-timing" -> under "lib/" file
   | "nondeterministic-rng" | "unsafe-deser" | "partial-stdlib" -> true
   | _ -> true
 

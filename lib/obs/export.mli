@@ -15,6 +15,19 @@ val registry_csv : Registry.t -> string
     [name,labels,type,value,count,sum,mean,min,max] — counters and gauges
     fill [value]; histograms fill the summary columns. *)
 
+val prometheus : Registry.t -> string
+(** Prometheus text exposition (format 0.0.4) of every metric in the
+    registry: a [# TYPE] header per metric name with all of the name's
+    labeled samples grouped under it, metric and label names sanitised
+    to the Prometheus charset, label values escaped.  Histograms render
+    as cumulative [_bucket] samples ([le] = the log bucket's inclusive
+    upper edge, plus [+Inf]) with [_sum] and [_count]. *)
+
+val prometheus_of_json : Json.t -> (string, string) result
+(** The same exposition text, rendered from a {!Registry.to_json}
+    snapshot (the shape served by [gcserved]'s stats op) rather than a
+    live registry.  [Error] describes the first malformed row. *)
+
 val write_string_atomic : string -> string -> unit
 (** Crash-safe, durable replacement write: the content goes to a
     per-process-unique temp name ([path ^ ".tmp.<pid>.<seq>"], so two

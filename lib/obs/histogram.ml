@@ -55,6 +55,39 @@ let quantile t q =
     !result
   end
 
+(* Interpolated quantile: find the bucket holding the rank as above,
+   then place the estimate linearly between the bucket's edges by the
+   rank's position among that bucket's observations.  Clamped to the
+   observed [min, max] so an estimate never leaves the data's range —
+   with one observation every quantile is that observation. *)
+let quantile_interp t q =
+  if t.count = 0 then None
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = Float.max 1. (Float.round (q *. float_of_int t.count)) in
+    let rank = int_of_float (Float.min rank (float_of_int t.count)) in
+    let seen = ref 0 and result = ref None and idx = ref 0 in
+    while !result = None && !idx < slots do
+      let n = t.counts.(!idx) in
+      if n > 0 && !seen + n >= rank then begin
+        let lo = float_of_int (bucket_lo !idx)
+        and hi = float_of_int (bucket_hi !idx) in
+        let frac = float_of_int (rank - !seen) /. float_of_int n in
+        let est = lo +. ((hi -. lo) *. frac) in
+        let est = Float.max (float_of_int t.min_v) est in
+        let est = Float.min (float_of_int t.max_v) est in
+        result := Some est
+      end;
+      seen := !seen + n;
+      incr idx
+    done;
+    !result
+  end
+
+let p50 t = quantile_interp t 0.50
+let p90 t = quantile_interp t 0.90
+let p99 t = quantile_interp t 0.99
+
 let merge acc x =
   Array.iteri (fun idx n -> acc.counts.(idx) <- acc.counts.(idx) + n) x.counts;
   acc.count <- acc.count + x.count;
@@ -65,12 +98,19 @@ let merge acc x =
   end
 
 let to_json t =
+  let quant q = match quantile_interp t q with
+    | None -> Json.Null
+    | Some v -> Json.Float v
+  in
   Json.Obj
     [
       ("count", Json.Int t.count);
       ("sum", Json.Int t.sum);
       ("min", if t.count = 0 then Json.Null else Json.Int t.min_v);
       ("max", if t.count = 0 then Json.Null else Json.Int t.max_v);
+      ("p50", quant 0.50);
+      ("p90", quant 0.90);
+      ("p99", quant 0.99);
       ( "buckets",
         Json.Array
           (List.map

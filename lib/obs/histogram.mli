@@ -33,12 +33,27 @@ val quantile : t -> float -> int option
     (the [hi] edge of the bucket where the quantile falls); [None] when
     empty. *)
 
+val quantile_interp : t -> float -> float option
+(** [quantile_interp t q]: the [q]-quantile estimated by linear
+    interpolation inside the log bucket where the rank falls, clamped to
+    the observed [[min, max]] range.  Tighter than {!quantile} (which
+    returns the bucket's upper edge); [None] when empty.  [q] outside
+    [[0, 1]] clamps. *)
+
+val p50 : t -> float option
+val p90 : t -> float option
+
+val p99 : t -> float option
+(** Interpolated 50th/90th/99th percentiles, as included in
+    {!to_json} snapshots. *)
+
 val merge : t -> t -> unit
 (** [merge acc x] accumulates [x] into [acc]. *)
 
 val to_json : t -> Json.t
-(** [{"count":n,"sum":s,"min":m,"max":m,
-     "buckets":[{"lo":..,"hi":..,"count":..},...]}]. *)
+(** [{"count":n,"sum":s,"min":m,"max":m,"p50":..,"p90":..,"p99":..,
+     "buckets":[{"lo":..,"hi":..,"count":..},...]}], quantiles by
+    {!quantile_interp} ([null] when empty). *)
 
 val pp : Format.formatter -> t -> unit
 (** One line per non-empty bucket with a proportional bar. *)

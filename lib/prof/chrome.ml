@@ -1,0 +1,32 @@
+module Json = Gc_obs.Json
+
+(* Chrome trace-event format ("X" complete events), the JSON dialect
+   Perfetto and chrome://tracing load directly.  Timestamps and
+   durations are microseconds; the monotonic epoch is arbitrary, which
+   the viewers accept (they normalise to the earliest event). *)
+
+let event (s : Tracer.span) =
+  let args =
+    ("minor_words", Json.Float s.Tracer.minor_words)
+    :: ("major_words", Json.Float s.Tracer.major_words)
+    :: ("promoted_words", Json.Float s.Tracer.promoted_words)
+    :: List.map (fun (k, v) -> (k, Json.String v)) s.Tracer.args
+  in
+  Json.Obj
+    [
+      ("name", Json.String s.Tracer.name);
+      ("cat", Json.String "gc_caching");
+      ("ph", Json.String "X");
+      ("pid", Json.Int 1);
+      ("tid", Json.Int s.Tracer.tid);
+      ("ts", Json.Float (float_of_int s.Tracer.ts_ns /. 1000.));
+      ("dur", Json.Float (float_of_int s.Tracer.dur_ns /. 1000.));
+      ("args", Json.Obj args);
+    ]
+
+let to_json spans =
+  Json.Obj
+    [
+      ("traceEvents", Json.Array (List.map event spans));
+      ("displayTimeUnit", Json.String "ns");
+    ]

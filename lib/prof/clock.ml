@@ -1,0 +1,9 @@
+(* The span clock.  CLOCK_MONOTONIC via bechamel's stub: immune to NTP
+   steps and daylight-saving jumps, so a difference of two readings is a
+   real duration.  Wall-clock time (Unix.gettimeofday) is for calendar
+   timestamps only — the wall-clock-timing lint rule points here. *)
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+let now_s () = float_of_int (now_ns ()) *. 1e-9
+let ns_of_s s = int_of_float (s *. 1e9)
+let s_of_ns ns = float_of_int ns *. 1e-9

@@ -1,0 +1,18 @@
+(** Monotonic clock readings for durations.
+
+    All of [gc_caching]'s duration measurements (spans, pool deadlines,
+    frame timeouts, latency histograms) go through this module rather
+    than [Unix.gettimeofday]: the monotonic clock cannot jump backwards
+    or step under NTP, so differences of readings are real elapsed time.
+    The epoch is arbitrary (boot time on Linux) — readings are only
+    meaningful relative to each other. *)
+
+val now_ns : unit -> int
+(** Current monotonic time in nanoseconds since an arbitrary epoch. *)
+
+val now_s : unit -> float
+(** [now_ns] scaled to seconds, for call sites that do float deadline
+    arithmetic. *)
+
+val ns_of_s : float -> int
+val s_of_ns : int -> float

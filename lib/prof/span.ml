@@ -1,0 +1,12 @@
+(* Scoped convenience over Tracer.enter/leave.  A match handler rather
+   than Fun.protect: no extra closure on the path that runs with tracing
+   disabled. *)
+let with_ ?args ?tid name f =
+  let ticket = Tracer.enter ?args ?tid name in
+  match f () with
+  | v ->
+      Tracer.leave ticket;
+      v
+  | exception e ->
+      Tracer.leave ticket;
+      raise e

@@ -1,0 +1,8 @@
+(** Scoped spans. *)
+
+val with_ :
+  ?args:(string * string) list -> ?tid:int -> string -> (unit -> 'a) -> 'a
+(** [with_ ~name f] runs [f ()] inside a span: monotonic duration plus
+    GC allocation deltas are recorded when tracing is enabled, and the
+    span is closed whether [f] returns or raises.  With tracing disabled
+    the cost is one atomic load.  [tid] as in {!Tracer.enter}. *)

@@ -1,0 +1,72 @@
+(** Lock-free span recording.
+
+    Spans buffer into per-domain rings of preallocated slots: recording
+    mutates slot fields in place (no allocation beyond what the caller
+    passes as [args]), slots are claimed with an atomic ticket so
+    sys-threads sharing a domain cannot race on a slot, and an old span
+    is silently overwritten once the ring wraps — a tracer never blocks
+    or grows without bound.
+
+    When tracing is disabled (the default, and after [stop]) the whole
+    layer is a null tracer: [enter] is one [Atomic.get] and returns a
+    negative ticket, [leave] on a negative ticket is a no-op, and no
+    clock read, GC poll, or allocation happens.  Hot paths can therefore
+    stay instrumented permanently. *)
+
+type span = {
+  name : string;
+  tid : int;  (** domain id, or the caller-supplied thread id *)
+  ts_ns : int;  (** monotonic {!Clock} reading at entry *)
+  dur_ns : int;
+  minor_words : float;  (** Gc.quick_stat delta across the span *)
+  major_words : float;
+  promoted_words : float;
+  args : (string * string) list;
+}
+
+val start : ?capacity:int -> unit -> unit
+(** Enable tracing with fresh rings of [capacity] slots per domain
+    (rounded up to a power of two, default 4096).  Spans recorded before
+    a [start] are discarded. *)
+
+val stop : unit -> unit
+(** Disable recording.  Already-recorded spans stay available to
+    {!dump}. *)
+
+val enabled : unit -> bool
+
+val enter : ?args:(string * string) list -> ?tid:int -> string -> int
+(** Open a span named [name]; returns the ticket to pass to {!leave}.
+    [tid] overrides the track id (defaults to the domain id) — servers
+    whose workers are sys-threads in one domain pass [Thread.id] so each
+    worker gets its own track.  Returns a negative ticket when tracing
+    is disabled. *)
+
+val leave : int -> unit
+(** Close the span opened by [enter].  Dropped silently if the ring
+    wrapped over the slot in between, or when the ticket is negative. *)
+
+val emit :
+  ?args:(string * string) list ->
+  ?tid:int ->
+  ts_ns:int ->
+  dur_ns:int ->
+  string ->
+  unit
+(** Record an already-measured span (for phases whose start predates the
+    recording call, e.g. queue wait measured at dequeue).  GC deltas are
+    zero for emitted spans. *)
+
+val dump : unit -> span list
+(** Every completed span across all domains, sorted by start time.
+    Open spans (entered, not yet left) and spans lost to ring wraparound
+    are omitted.  Meant to be called once work has quiesced. *)
+
+val span_to_json : span -> Gc_obs.Json.t
+val span_of_json : Gc_obs.Json.t -> (span, string) result
+
+val dump_to_json : span list -> Gc_obs.Json.t
+(** Raw span-dump document: [{"spans": [...]}].  [gcprof trace] converts
+    this form to Chrome trace-event JSON. *)
+
+val dump_of_json : Gc_obs.Json.t -> (span list, string) result

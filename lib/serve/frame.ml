@@ -1,4 +1,5 @@
 module Json = Gc_obs.Json
+module Clock = Gc_prof.Clock
 
 let header_bytes = 4
 let default_max_frame = 1 lsl 20
@@ -88,7 +89,7 @@ let rec wait_readable fd deadline =
     match deadline with
     | None -> -1.
     | Some d ->
-        let remaining = d -. Unix.gettimeofday () in
+        let remaining = d -. Clock.now_s () in
         if remaining <= 0. then 0. else remaining
   in
   if timeout = 0. && deadline <> None then `Timeout
@@ -120,7 +121,7 @@ let read_exact fd buf off len deadline =
   go off len 0
 
 let read_fd ?(max_frame = default_max_frame) ?idle_timeout ~frame_timeout fd =
-  let now = Unix.gettimeofday () in
+  let now = Clock.now_s () in
   let header = Bytes.create header_bytes in
   (* First byte: idle budget.  Rest of the frame: the frame budget, so a
      peer cannot hold a reader by trickling the header one byte at a
@@ -133,7 +134,7 @@ let read_fd ?(max_frame = default_max_frame) ?idle_timeout ~frame_timeout fd =
   | `Eof 0 -> Eof
   | `Eof _ -> assert false (* read 1 byte: consumed is 0 on EOF *)
   | `Ok -> (
-      let deadline = Some (Unix.gettimeofday () +. frame_timeout) in
+      let deadline = Some (Clock.now_s () +. frame_timeout) in
       match read_exact fd header 1 (header_bytes - 1) deadline with
       | `Timeout consumed ->
           ignore consumed;
@@ -166,8 +167,10 @@ let read_fd ?(max_frame = default_max_frame) ?idle_timeout ~frame_timeout fd =
                            (header_bytes + e.Json.offset)
                            "bad frame payload: %s" e.Json.reason)))))
 
-let write_fd fd json =
-  let s = encode json in
+(* Write an already-encoded frame.  Split from [write_fd] so callers
+   that want to account encode time and write time separately (the
+   server's "encode"/"reply" spans) can. *)
+let write_raw fd s =
   let b = Bytes.unsafe_of_string s in
   let rec go off remaining =
     if remaining > 0 then
@@ -176,3 +179,5 @@ let write_fd fd json =
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off remaining
   in
   go 0 (Bytes.length b)
+
+let write_fd fd json = write_raw fd (encode json)

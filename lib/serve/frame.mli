@@ -69,6 +69,11 @@ val read_fd :
     (default: wait forever); once a frame has begun, the whole frame must
     arrive within [frame_timeout] seconds. *)
 
+val write_raw : Unix.file_descr -> string -> unit
+(** Write an already-{!encode}d frame, retrying partial writes and
+    [EINTR].  Raises [Unix.Unix_error] (e.g. [EPIPE]) if the peer is
+    gone.  Lets callers account encode time and write time separately
+    (the server's "encode"/"reply" tracing spans). *)
+
 val write_fd : Unix.file_descr -> Gc_obs.Json.t -> unit
-(** {!encode} then write, retrying partial writes and [EINTR].  Raises
-    [Unix.Unix_error] (e.g. [EPIPE]) if the peer is gone. *)
+(** {!encode} then {!write_raw}. *)

@@ -2,6 +2,8 @@ module Json = Gc_obs.Json
 module Registry = Gc_obs.Registry
 module Cancel = Gc_exec.Cancel
 module Pool = Gc_exec.Pool
+module Clock = Gc_prof.Clock
+module Tracer = Gc_prof.Tracer
 
 type config = {
   socket_path : string option;
@@ -16,6 +18,7 @@ type config = {
   frame_timeout : float;
   write_timeout : float;
   max_connections : int;
+  trace : string option;
 }
 
 let default_config =
@@ -32,7 +35,21 @@ let default_config =
     frame_timeout = 10.;
     write_timeout = 5.;
     max_connections = 256;
+    trace = None;
   }
+
+(* Request-path spans.  Worker and reader sys-threads share domain 0, so
+   the thread id is the Perfetto track; the request id rides in the span
+   args and is how the trace reconciles against the latency_us histogram
+   observation for the same request. *)
+let span_tid () = Thread.id (Thread.self ())
+
+let span_id_args id =
+  if not (Tracer.enabled ()) then []
+  else
+    match id with
+    | Some j -> [ ("id", Json.to_string j) ]
+    | None -> []
 
 (* A task raises this to pick the error kind of its reply (policy crash,
    model violation, bad parameters discovered at construction time). *)
@@ -52,7 +69,7 @@ and job = {
   req_id : Json.t option;
   jop : Protocol.op;
   jconn : conn;
-  admitted_at : float;
+  admitted_ns : int;  (** Monotonic {!Clock} reading at admission. *)
   jcancel : Cancel.t;  (** Requested when the client disconnects. *)
   mutable pool_cancel : Cancel.t option;
       (** The in-flight pool task's own token, via [Pool.run ~on_start]. *)
@@ -109,16 +126,23 @@ let counter_for table key =
   | Some c -> c
   | None -> List.assoc "other" table
 
-let micros dt = int_of_float (dt *. 1e6)
-
 (* ------------------------------------------------------------ responses *)
 
 (* Serialised, bounded (SO_SNDTIMEO), and total: any write failure just
-   marks the connection dead — the peer is gone, which is its problem. *)
-let try_write conn json =
+   marks the connection dead — the peer is gone, which is its problem.
+   Encoding happens outside the write lock (it touches only the json),
+   under an "encode" span; the write itself is the "reply" span. *)
+let try_write ?(req_id = None) conn json =
+  let args = span_id_args req_id in
+  let s =
+    Gc_prof.Span.with_ ~args ~tid:(span_tid ()) "encode" (fun () ->
+        Frame.encode json)
+  in
   Mutex.lock conn.wmu;
   (match
-     if conn.alive then Frame.write_fd conn.fd json
+     if conn.alive then
+       Gc_prof.Span.with_ ~args ~tid:(span_tid ()) "reply" (fun () ->
+           Frame.write_raw conn.fd s)
    with
   | () -> ()
   | exception (Unix.Unix_error _ | Sys_error _) -> conn.alive <- false);
@@ -128,11 +152,11 @@ let count_reply t kind = Registry.incr (counter_for t.c_replies kind)
 
 let reply_error t conn ?id kind message =
   count_reply t kind;
-  try_write conn (Protocol.error ?id ~kind message)
+  try_write ~req_id:id conn (Protocol.error ?id ~kind message)
 
 let reply_ok t conn ?id result =
   count_reply t "ok";
-  try_write conn (Protocol.ok ?id result)
+  try_write ~req_id:id conn (Protocol.ok ?id result)
 
 (* -------------------------------------------------------------- lifecycle *)
 
@@ -235,23 +259,32 @@ let pool_config t =
 
 let process t job =
   let op = Protocol.op_name job.jop in
-  Gc_obs.Histogram.observe t.h_queue_wait
-    (micros (Unix.gettimeofday () -. job.admitted_at));
+  let wait_ns = Clock.now_ns () - job.admitted_ns in
+  Gc_obs.Histogram.observe t.h_queue_wait (wait_ns / 1000);
+  if Tracer.enabled () then
+    Tracer.emit
+      ~args:(span_id_args job.req_id)
+      ~tid:(span_tid ()) ~ts_ns:job.admitted_ns ~dur_ns:wait_ns "queue-wait";
   if Cancel.requested job.jcancel then count_reply t Protocol.kind_cancelled
   else begin
     let outcome =
       match
-        Pool.run ~config:(pool_config t)
-          ~on_start:(fun _ c ->
-            (* Publish the live token; if the disconnect already happened,
-               cancel immediately — the hook runs before the task's domain
-               is spawned, so this cannot lose the race. *)
-            Mutex.lock t.mu;
-            job.pool_cancel <- Some c;
-            if Cancel.requested job.jcancel then
-              Cancel.request c ~reason:disconnect_reason;
-            Mutex.unlock t.mu)
-          [ execute job.jop ]
+        Gc_prof.Span.with_
+          ~args:(span_id_args job.req_id)
+          ~tid:(span_tid ()) "execute"
+          (fun () ->
+            Pool.run ~config:(pool_config t)
+              ~on_start:(fun _ c ->
+                (* Publish the live token; if the disconnect already
+                   happened, cancel immediately — the hook runs before the
+                   task's domain is spawned, so this cannot lose the
+                   race. *)
+                Mutex.lock t.mu;
+                job.pool_cancel <- Some c;
+                if Cancel.requested job.jcancel then
+                  Cancel.request c ~reason:disconnect_reason;
+                Mutex.unlock t.mu)
+              [ execute job.jop ])
       with
       | [ o ] -> o
       | _ -> assert false
@@ -277,7 +310,7 @@ let process t job =
     match List.assoc_opt op t.h_latency with
     | Some h ->
         Gc_obs.Histogram.observe h
-          (micros (Unix.gettimeofday () -. job.admitted_at))
+          ((Clock.now_ns () - job.admitted_ns) / 1000)
     | None -> ()
   end
 
@@ -329,7 +362,7 @@ let stats_json t =
   Json.Obj
     [
       ("state", Json.String (if draining then "draining" else "serving"));
-      ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started_at));
+      ("uptime_s", Json.Float (Clock.now_s () -. t.started_at));
       ("queue_depth", Json.Int queue);
       ("inflight", Json.Int inflight);
       ("connections", Json.Int conns);
@@ -343,7 +376,7 @@ let health_json t =
   Json.Obj
     [
       ("state", Json.String (if draining then "draining" else "serving"));
-      ("uptime_s", Json.Float (Unix.gettimeofday () -. t.started_at));
+      ("uptime_s", Json.Float (Clock.now_s () -. t.started_at));
     ]
 
 let admit t conn id op =
@@ -369,7 +402,7 @@ let admit t conn id op =
         req_id = id;
         jop = op;
         jconn = conn;
-        admitted_at = Unix.gettimeofday ();
+        admitted_ns = Clock.now_ns ();
         jcancel = Cancel.create ();
         pool_cancel = None;
       }
@@ -390,7 +423,22 @@ let salvage_id json =
   | _ -> None
 
 let handle t conn json =
-  match Protocol.parse_request json with
+  (* The "decode" span covers request validation, on the reader thread —
+     it precedes admission, so it sits just before the queue-wait span on
+     the request's timeline. *)
+  let t0 = if Tracer.enabled () then Clock.now_ns () else 0 in
+  let decoded = Protocol.parse_request json in
+  if Tracer.enabled () then begin
+    let id =
+      match decoded with
+      | Ok { Protocol.id; _ } -> id
+      | Error _ -> salvage_id json
+    in
+    Tracer.emit ~args:(span_id_args id) ~tid:(span_tid ()) ~ts_ns:t0
+      ~dur_ns:(Clock.now_ns () - t0)
+      "decode"
+  end;
+  match decoded with
   | Error message ->
       Registry.incr (counter_for t.c_requests "invalid");
       reply_error t conn ?id:(salvage_id json) Protocol.kind_usage message
@@ -550,6 +598,7 @@ let create config =
   (* A client closing mid-write must be an EPIPE, not a process kill. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
+  if config.trace <> None then Tracer.start ();
   let reg = Registry.create () in
   let listeners =
     List.filter_map Fun.id
@@ -570,7 +619,7 @@ let create config =
       is_draining = false;
       stopped = false;
       conns = [];
-      started_at = Unix.gettimeofday ();
+      started_at = Clock.now_s ();
       listeners;
       acceptors = [];
       workers = [];
@@ -665,12 +714,19 @@ let drain t =
       end
     in
     sweep ();
+    (* The trace artifact is written by the drain that did the work, once
+       every span-producing thread has stopped. *)
+    (match t.config.trace with
+    | Some path ->
+        Gc_obs.Export.write_json_atomic path
+          (Gc_prof.Chrome.to_json (Tracer.dump ()))
+    | None -> ());
     t.stopped <- true
   end
 
 let manifest t =
   Gc_obs.Manifest.make ~tool:"gcserved" ~command:"serve"
-    ~wall_time_s:(Unix.gettimeofday () -. t.started_at)
+    ~wall_time_s:(Clock.now_s () -. t.started_at)
     ~extra:
       [
         ("status", Json.String (if t.stopped then "drained" else "serving"));

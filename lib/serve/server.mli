@@ -40,6 +40,11 @@ type config = {
   frame_timeout : float;  (** Whole-frame delivery budget (slow-loris guard). *)
   write_timeout : float;  (** Per-write budget to a non-reading client. *)
   max_connections : int;
+  trace : string option;
+      (** When set, {!Gc_prof} span tracing is enabled for the server's
+          lifetime and the drain writes a Chrome trace-event JSON
+          (Perfetto-loadable) of the recorded request-path spans —
+          decode, queue-wait, execute, encode, reply — to this path. *)
 }
 
 val default_config : config

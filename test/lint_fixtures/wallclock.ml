@@ -1,0 +1,5 @@
+(* wall-clock-timing fixture: wall clocks used for durations in lib/. *)
+let t0 = Unix.gettimeofday ()
+let cpu = Sys.time ()
+let elapsed = Unix.gettimeofday () -. t0
+let _ = (elapsed, cpu)

@@ -1,0 +1,24 @@
+(* Reprints the golden artifacts byte-for-byte after an intentional
+   schema change:
+
+     dune exec test/regen_golden.exe -- manifest > test/golden/manifest.json
+     dune exec test/regen_golden.exe -- chrome > test/golden/chrome_trace.json
+
+   The fixtures live in Test_util, shared with the golden checks in
+   test_obs and test_prof, so printer and check cannot drift apart. *)
+
+module Json = Gc_obs.Json
+
+let print j = Format.printf "%a@." Json.pp j
+
+let () =
+  match Sys.argv with
+  | [| _; "manifest" |] ->
+      print
+        (Gc_obs.Manifest.to_json
+           (Gc_obs.Manifest.zero_volatile (Test_util.build_golden_manifest ())))
+  | [| _; "chrome" |] ->
+      print (Gc_prof.Chrome.to_json Test_util.chrome_fixture_spans)
+  | _ ->
+      prerr_endline "usage: regen_golden (manifest|chrome)";
+      exit 2

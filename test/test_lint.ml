@@ -123,6 +123,18 @@ let fixture_tests =
          raises a bare Invalid_argument (fix: match on the shape, or use \
          the _opt variant with an explicit error)";
       ];
+    golden "wall-clock-timing" ~as_path:"lib/wallclock.ml" "wallclock.ml"
+      [
+        "lib/wallclock.ml:2:10: warn wall-clock-timing: Unix.gettimeofday \
+         is a wall clock; durations need the monotonic Gc_prof.Clock (fix: \
+         read Gc_prof.Clock.now_s (monotonic) for durations and deadlines)";
+        "lib/wallclock.ml:3:11: warn wall-clock-timing: Sys.time measures \
+         CPU time; durations need the monotonic Gc_prof.Clock (fix: read \
+         Gc_prof.Clock.now_s (monotonic) for durations and deadlines)";
+        "lib/wallclock.ml:4:15: warn wall-clock-timing: Unix.gettimeofday \
+         is a wall clock; durations need the monotonic Gc_prof.Clock (fix: \
+         read Gc_prof.Clock.now_s (monotonic) for durations and deadlines)";
+      ];
     golden "print-in-lib" ~as_path:"lib/printlib.ml" "printlib.ml"
       [
         "lib/printlib.ml:2:19: error print-in-lib: print_endline writes to \
@@ -172,6 +184,13 @@ let test_scope_lib_rule_in_bin () =
   Alcotest.(check (list string))
     "print-in-lib does not fire outside lib/" []
     (check ~as_path:"bin/printlib.ml" "printlib.ml")
+
+let test_scope_wallclock_outside_lib () =
+  (* wall-clock-timing is lib/-only: bench and bin keep Unix.gettimeofday
+     for calendar stamps (section wall times, manifests). *)
+  Alcotest.(check (list string))
+    "wall-clock-timing does not fire outside lib/" []
+    (check ~as_path:"bench/wallclock.ml" "wallclock.ml")
 
 let test_scope_exec_exempt () =
   Alcotest.(check (list string))
@@ -348,6 +367,8 @@ let () =
         [
           Alcotest.test_case "bin-rule-in-lib" `Quick test_scope_bin_rule_in_lib;
           Alcotest.test_case "lib-rule-in-bin" `Quick test_scope_lib_rule_in_bin;
+          Alcotest.test_case "wallclock-outside-lib" `Quick
+            test_scope_wallclock_outside_lib;
           Alcotest.test_case "exec-exempt" `Quick test_scope_exec_exempt;
         ] );
       ( "config",

@@ -135,6 +135,59 @@ let test_histogram_quantile_and_merge () =
   Alcotest.(check bool) "q=1 covers merged tail" true
     (match Histogram.quantile a 1. with Some hi -> hi >= 200 | None -> false)
 
+let test_histogram_interp_quantiles () =
+  Alcotest.(check (option (float 0.))) "empty p50" None
+    (Histogram.p50 (Histogram.create ()));
+  (* Constant data: every quantile is clamped to the single observed
+     value, however wide its log bucket. *)
+  let c = Histogram.create () in
+  for _ = 1 to 100 do
+    Histogram.observe c 7
+  done;
+  List.iter
+    (fun q ->
+      match Histogram.quantile_interp c q with
+      | Some v -> Test_util.check_float ~eps:1e-9 "constant data" 7. v
+      | None -> Alcotest.fail "no quantile on a non-empty histogram")
+    [ 0.; 0.5; 0.9; 0.99; 1. ];
+  (* Uniform 1..1000: interpolation lands near the exact quantile even
+     though the top log bucket spans 512..1023. *)
+  let u = Histogram.create () in
+  for v = 1 to 1000 do
+    Histogram.observe u v
+  done;
+  let get q = Option.get (Histogram.quantile_interp u q) in
+  Test_util.check_rel ~rel:0.05 "p50 near 500" 500. (get 0.5);
+  Test_util.check_rel ~rel:0.05 "p90 near 900" 900. (get 0.9);
+  Test_util.check_rel ~rel:0.05 "p99 near 990" 990. (get 0.99);
+  let p50 = Option.get (Histogram.p50 u)
+  and p90 = Option.get (Histogram.p90 u)
+  and p99 = Option.get (Histogram.p99 u) in
+  Alcotest.(check bool) "monotone in q" true (p50 <= p90 && p90 <= p99);
+  Alcotest.(check bool) "clamped to observed range" true
+    (get 0. >= 1. && get 1. <= 1000.)
+
+let test_histogram_json_quantiles () =
+  let member name j =
+    match Json.member name j with
+    | Some v -> v
+    | None -> Alcotest.failf "histogram snapshot has no %S" name
+  in
+  (match member "p50" (Histogram.to_json (Histogram.create ())) with
+  | Json.Null -> ()
+  | j -> Alcotest.failf "empty p50 is not null: %s" (Json.to_string j));
+  let h = Histogram.create () in
+  for v = 1 to 100 do
+    Histogram.observe h v
+  done;
+  let j = Histogram.to_json h in
+  List.iter
+    (fun (name, quantile) ->
+      Test_util.check_float ~eps:1e-9 name
+        (Option.get (quantile h))
+        (Json.get_float (member name j)))
+    [ ("p50", Histogram.p50); ("p90", Histogram.p90); ("p99", Histogram.p99) ]
+
 (* -------------------------------------------------------------- registry *)
 
 let test_registry_families () =
@@ -318,6 +371,52 @@ let test_registry_csv () =
   Alcotest.(check string) "histogram row" "widths,,histogram,,2,6,3,2,4"
     (List.nth lines 2)
 
+(* -------------------------------------------------------------prometheus *)
+
+let prom_fixture () =
+  let reg = Registry.create () in
+  (* "hits total" exercises name sanitisation; the label value exercises
+     escaping. *)
+  Registry.add (Registry.counter reg ~labels:[ ("policy", "l\"ru") ] "hits total") 7;
+  Registry.set (Registry.gauge reg "occ") 3;
+  let h = Registry.histogram reg "widths" in
+  List.iter (Histogram.observe h) [ 1; 2; 3 ];
+  reg
+
+let prom_expected =
+  String.concat "\n"
+    [
+      "# TYPE hits_total counter";
+      "hits_total{policy=\"l\\\"ru\"} 7";
+      "# TYPE occ gauge";
+      "occ 3";
+      "# TYPE widths histogram";
+      "widths_bucket{le=\"1\"} 1";
+      "widths_bucket{le=\"3\"} 3";
+      "widths_bucket{le=\"+Inf\"} 3";
+      "widths_sum 6";
+      "widths_count 3";
+      "";
+    ]
+
+let test_prometheus_exposition () =
+  Alcotest.(check string) "exposition text" prom_expected
+    (Export.prometheus (prom_fixture ()))
+
+let test_prometheus_of_json () =
+  let reg = prom_fixture () in
+  (* The wire form — a parsed Registry.to_json snapshot, as gcserved's
+     stats op serves it — renders the identical text. *)
+  (match
+     Export.prometheus_of_json
+       (Test_util.parse_json (Json.to_string (Registry.to_json reg)))
+   with
+  | Ok text -> Alcotest.(check string) "same text from snapshot" prom_expected text
+  | Error msg -> Alcotest.failf "prometheus_of_json failed: %s" msg);
+  match Export.prometheus_of_json (Json.String "not a snapshot") with
+  | Error _ -> ()
+  | Ok text -> Alcotest.failf "rendered garbage as %S" text
+
 (* ----------------------------------------------------- metrics encoders *)
 
 let simulate_metrics () =
@@ -368,19 +467,11 @@ let test_metrics_json_matches_fields () =
 (* -------------------------------------------------------------- manifest *)
 
 (* A fully deterministic manifest: fixed trace, fixed seed, volatile
-   fields zeroed.  The golden file pins the schema; regenerate it with
-   [dune promote] after an intentional schema change. *)
-let build_golden_manifest () =
-  let blocks = Gc_trace.Block_map.uniform ~block_size:4 in
-  let trace =
-    Gc_trace.Trace.make blocks [| 0; 1; 4; 0; 5; 1; 8; 0; 4; 12 |]
-  in
-  let result =
-    Gc_cache.Obs_run.run_policy ~histograms:true ~k:8 ~seed:1 "iblp" trace
-  in
-  Gc_cache.Obs_run.manifest ~tool:"gcsim" ~command:"run" ~seed:1 ~k:8
-    ~trace:(Gc_cache.Obs_run.trace_info ~path:"golden.gct" trace)
-    ~wall_time_s:123.456 [ result ]
+   fields zeroed.  The golden file pins the schema; the fixture lives in
+   Test_util (shared with regen_golden) — after an intentional schema
+   change, regenerate with
+   [dune exec test/regen_golden.exe -- manifest > test/golden/manifest.json]. *)
+let build_golden_manifest = Test_util.build_golden_manifest
 
 let test_manifest_golden () =
   let manifest = Manifest.zero_volatile (build_golden_manifest ()) in
@@ -421,6 +512,10 @@ let () =
           Alcotest.test_case "bucket edges" `Quick test_histogram_bucket_edges;
           Alcotest.test_case "quantile and merge" `Quick
             test_histogram_quantile_and_merge;
+          Alcotest.test_case "interpolated quantiles" `Quick
+            test_histogram_interp_quantiles;
+          Alcotest.test_case "quantiles in json snapshot" `Quick
+            test_histogram_json_quantiles;
         ] );
       ( "registry",
         [
@@ -443,6 +538,11 @@ let () =
         [
           Alcotest.test_case "escaping" `Quick test_csv_escaping;
           Alcotest.test_case "registry export" `Quick test_registry_csv;
+        ] );
+      ( "prometheus",
+        [
+          Alcotest.test_case "exposition text" `Quick test_prometheus_exposition;
+          Alcotest.test_case "from json snapshot" `Quick test_prometheus_of_json;
         ] );
       ( "metrics",
         [

@@ -658,6 +658,92 @@ let test_serve_graceful_drain () =
           Alcotest.fail "drained server still accepts connections"
       | exception Unix.Unix_error _ -> ())
 
+(* A labeled histogram row in a stats reply's metric dump. *)
+let histogram_row stats ~name ~op =
+  match field "metrics" stats with
+  | Some (Json.Array rows) ->
+      List.find_opt
+        (fun row ->
+          string_field "name" row = name
+          &&
+          match field "labels" row with
+          | Some (Json.Obj kvs) ->
+              List.assoc_opt "op" kvs = Some (Json.String op)
+          | _ -> false)
+        rows
+  | _ -> None
+
+let test_serve_trace_reconciles_latency () =
+  let trace_path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gcserve-trace-%d.json" (Unix.getpid ()))
+  in
+  let latency_us = ref 0 in
+  with_server
+    ~config:{ small_server with Server.trace = Some trace_path }
+    (fun addr _t ->
+      let (_ : Json.t) =
+        result_exn (Client.request addr (sim_req ~id:(Json.Int 1) ()))
+      in
+      (* The latency observation lands just after the reply is written;
+         poll stats until the histogram has it. *)
+      let stats =
+        await_stats addr ~what:"latency observed" (fun stats ->
+            match histogram_row stats ~name:"latency_us" ~op:"sim" with
+            | Some row -> int_field "count" row = 1
+            | None -> false)
+      in
+      match histogram_row stats ~name:"latency_us" ~op:"sim" with
+      | Some row -> latency_us := int_field "sum" row
+      | None -> Alcotest.fail "no latency_us{op=sim} histogram")
+  ;
+  (* The drain — with_server's finally — wrote the Chrome trace. *)
+  let trace = Test_util.parse_json_file trace_path in
+  Sys.remove trace_path;
+  let events =
+    match field "traceEvents" trace with
+    | Some (Json.Array evs) -> evs
+    | _ -> Alcotest.fail "trace file has no traceEvents array"
+  in
+  let of_request name =
+    List.filter
+      (fun ev ->
+        string_field "name" ev = name
+        &&
+        match field "args" ev with
+        | Some args -> field "id" args = Some (Json.String "1")
+        | None -> false)
+      events
+  in
+  let dur ev =
+    match field "dur" ev with
+    | Some (Json.Float d) -> d
+    | Some (Json.Int d) -> float_of_int d
+    | _ -> Alcotest.fail "trace event without a dur"
+  in
+  Alcotest.(check bool) "decode span recorded" true (of_request "decode" <> []);
+  (* decode precedes admission; the latency window opens at admission, so
+     it reconciles against the four in-window phases. *)
+  let sum_us =
+    List.fold_left
+      (fun acc name ->
+        match of_request name with
+        | [ ev ] -> acc +. dur ev
+        | [] -> Alcotest.failf "no %s span for the request" name
+        | _ -> Alcotest.failf "duplicate %s spans for the request" name)
+      0.
+      [ "queue-wait"; "execute"; "encode"; "reply" ]
+  in
+  let latency = float_of_int !latency_us in
+  if sum_us > latency +. 1_000. then
+    Alcotest.failf "spans sum to %.0fus, more than the measured latency %.0fus"
+      sum_us latency;
+  if latency -. sum_us > 50_000. then
+    Alcotest.failf
+      "spans sum to %.0fus, leaving %.0fus of the %.0fus latency unexplained"
+      sum_us (latency -. sum_us) latency
+
 (* ------------------------------------------------------------- e2e soak *)
 
 let gcserved = "../bin/gcserved.exe"
@@ -860,6 +946,8 @@ let () =
           Alcotest.test_case "overload sheds explicitly" `Quick
             test_serve_overload_sheds;
           Alcotest.test_case "graceful drain" `Quick test_serve_graceful_drain;
+          Alcotest.test_case "trace reconciles with latency" `Quick
+            test_serve_trace_reconciles_latency;
         ] );
       ( "soak",
         [

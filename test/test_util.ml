@@ -250,3 +250,52 @@ let contains haystack needle =
   let hl = String.length haystack and nl = String.length needle in
   let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
   nl = 0 || go 0
+
+(* ------------------------------------------------ shared golden fixtures *)
+
+(* A fully deterministic manifest: fixed trace, fixed seed; consumers
+   zero the volatile fields.  Shared between test_obs's golden check and
+   regen_golden (which reprints the file after an intentional schema
+   change), so the two can never drift apart. *)
+let build_golden_manifest () =
+  let blocks = Gc_trace.Block_map.uniform ~block_size:4 in
+  let trace =
+    Gc_trace.Trace.make blocks [| 0; 1; 4; 0; 5; 1; 8; 0; 4; 12 |]
+  in
+  let result =
+    Gc_cache.Obs_run.run_policy ~histograms:true ~k:8 ~seed:1 "iblp" trace
+  in
+  Gc_cache.Obs_run.manifest ~tool:"gcsim" ~command:"run" ~seed:1 ~k:8
+    ~trace:(Gc_cache.Obs_run.trace_info ~path:"golden.gct" trace)
+    ~wall_time_s:123.456 [ result ]
+
+(* Hand-built span records with fixed timestamps: the input both to the
+   Chrome-export golden check in test_prof and to regen_golden.  Covers
+   nesting on one track, a second track, GC-delta args, caller args, and
+   an emitted (zero-GC) span; kept sorted by start time like a real
+   [Tracer.dump]. *)
+let chrome_fixture_spans =
+  let span ?(args = []) ?(minor = 0.) ?(major = 0.) ?(promoted = 0.) ~tid
+      ~ts_ns ~dur_ns name =
+    {
+      Gc_prof.Tracer.name;
+      tid;
+      ts_ns;
+      dur_ns;
+      minor_words = minor;
+      major_words = major;
+      promoted_words = promoted;
+      args;
+    }
+  in
+  [
+    span ~tid:0 ~ts_ns:1_000 ~dur_ns:9_500_000 "run_policy"
+      ~args:[ ("policy", "lru"); ("k", "256") ]
+      ~minor:80_000. ~major:512. ~promoted:128.;
+    span ~tid:0 ~ts_ns:2_000 ~dur_ns:4_000_000 "sim.chunk" ~minor:40_000.;
+    span ~tid:1 ~ts_ns:1_500_000 ~dur_ns:2_500_000 "pool.task"
+      ~args:[ ("task", "3") ]
+      ~minor:1_024.;
+    span ~tid:1 ~ts_ns:3_000_000 ~dur_ns:750_000 "queue-wait"
+      ~args:[ ("id", "7") ];
+  ]
