@@ -25,6 +25,9 @@ let fail_runtime fmt =
 let fail_usage fmt =
   Printf.ksprintf (fun m -> raise (Fatal (usage_error, m))) fmt
 
+let fail_model fmt =
+  Printf.ksprintf (fun m -> raise (Fatal (model_violation, m))) fmt
+
 (* ------------------------------------------------------------- trace I/O *)
 
 let read_trace path =

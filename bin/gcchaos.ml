@@ -1,0 +1,587 @@
+(* gcchaos — deterministic chaos drills against the supervised server.
+
+     gcchaos drill --seeds 1,2,3 --verify-repro
+     GC_CHAOS_SEEDS=1..32 dune build @chaos     # wider sweep, same harness
+
+   One drill = one seed.  The seed derives the whole fault schedule —
+   which requests are preceded by a child SIGKILL, where the SIGSTOP
+   pause lands, which byte-level network faults the proxy injects, where
+   the journal line is torn — and the report contains only facts that
+   are functions of that schedule, so a drill is byte-reproducible:
+   running the same seed twice must produce the same report
+   (--verify-repro checks exactly that).
+
+   What a drill asserts (exit 3 on any violation):
+     - every request settles exactly once: an ok reply, a framed error
+       reply, or a classified transport error — never a hang, never two;
+     - direct requests through the resilient client all succeed even
+       though the server is SIGKILLed mid-drill: the supervisor restart
+       plus client reconnect-and-retry is invisible to callers;
+     - the supervisor's restart count equals the injected kill count
+       (a SIGSTOP pause must NOT count: probes stall but the pid lives);
+     - after the drain no request is answered;
+     - the shutdown manifest reconciles: status drained, queue and
+       inflight both zero, and requests <= replies <= requests +
+       protocol_faults + shed over the final incarnation's counters;
+     - a torn journal append loses exactly the torn tail (load drops it,
+       resume truncates and re-appends);
+     - a crash between an atomic export's temp write and its rename
+       leaves the previous artifact intact. *)
+
+open Cmdliner
+module Json = Gc_obs.Json
+module Rng = Gc_trace.Rng
+module Client = Gc_serve.Client
+module Supervise = Gc_resil.Supervise
+module Retry = Gc_resil.Retry
+
+(* ------------------------------------------------------------- schedule *)
+
+(* Everything the drill will do, derived from the seed up front.  Draw
+   order is fixed: changing it changes every report, so treat it as part
+   of the drill's file format. *)
+type schedule = {
+  kill_at : int list;  (** Request ordinals preceded by a child SIGKILL. *)
+  stop_at : int;  (** Ordinal preceded by a SIGSTOP/SIGCONT pause. *)
+  net_faults : Gc_fault.Net_proxy.fault array;
+      (** One per proxied request, in connection order. *)
+  journal_cut : int;  (** Bytes of the torn journal line that reach disk. *)
+}
+
+let derive_schedule rng =
+  let k1 = 2 + Rng.int rng 3 in
+  let k2 = k1 + 5 + Rng.int rng 3 in
+  let stop_at = k2 + 3 in
+  let corrupt_at = Rng.int_in rng 4 22 in
+  let truncate_at = Rng.int_in rng 2 20 in
+  let net_faults =
+    Gc_fault.Net_proxy.
+      [| Pass; Corrupt_byte corrupt_at; Truncate_after truncate_at;
+         Delay 0.8; Drop |]
+  in
+  Rng.shuffle rng net_faults;
+  let journal_cut = Rng.int_in rng 1 24 in
+  { kill_at = [ k1; k2 ]; stop_at; net_faults; journal_cut }
+
+(* Fault-injection clocks, all chosen together: the proxy's Delay must
+   overrun the child's whole-frame budget, and the one-shot client's
+   reply wait must outlast the resulting error reply (and bound Drop). *)
+let child_frame_timeout = 0.5
+let net_request_timeout = 1.2
+
+(* --------------------------------------------------------- drill plumbing *)
+
+(* Stderr-only progress trace (GC_CHAOS_DEBUG=1): pids and timings are
+   nondeterministic, so none of this may leak into the report. *)
+let debug = lazy (Sys.getenv_opt "GC_CHAOS_DEBUG" <> None)
+
+let dbg fmt =
+  Printf.ksprintf
+    (fun m -> if Lazy.force debug then Printf.eprintf "gcchaos: %s\n%!" m)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rm_rf dir =
+  match Sys.readdir dir with
+  | entries ->
+      Array.iter
+        (fun e -> try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+        entries;
+      (try Unix.rmdir dir with Unix.Unix_error _ -> ())
+  | exception Sys_error _ -> ()
+
+(* Supervisor events, folded as they arrive: the drill needs "who is the
+   child right now" (to aim signals) and "how many incarnations have
+   come up healthy" (to know a restart finished before injecting the
+   next fault). *)
+type watch = {
+  mu : Mutex.t;
+  mutable pid : int option;
+  mutable healthy : int;
+  mutable events : Supervise.event list;
+}
+
+let watch_create () =
+  { mu = Mutex.create (); pid = None; healthy = 0; events = [] }
+
+let watch_event w ev =
+  dbg "supervisor: %s" (Supervise.event_string ev);
+  Mutex.lock w.mu;
+  w.events <- ev :: w.events;
+  (match ev with
+  | Supervise.Spawned pid -> w.pid <- Some pid
+  | Supervise.Became_healthy _ -> w.healthy <- w.healthy + 1
+  | _ -> ());
+  Mutex.unlock w.mu
+
+let watch_pid w =
+  Mutex.lock w.mu;
+  let p = w.pid in
+  Mutex.unlock w.mu;
+  p
+
+let watch_healthy w =
+  Mutex.lock w.mu;
+  let h = w.healthy in
+  Mutex.unlock w.mu;
+  h
+
+(* Wait until the [n]th incarnation has answered a health probe, so a
+   signal aimed via [watch_pid] hits a live, serving child — not the
+   corpse of the previous one. *)
+let await_healthy w n =
+  let deadline = Gc_prof.Clock.now_s () +. 30. in
+  let rec go () =
+    if watch_healthy w >= n then ()
+    else if Gc_prof.Clock.now_s () > deadline then
+      Cli_common.fail_runtime
+        "drill: incarnation %d not healthy within 30s (supervisor stuck?)" n
+    else begin
+      Gc_exec.Pool.nap 0.02;
+      go ()
+    end
+  in
+  go ()
+
+let signal_child w signal =
+  match watch_pid w with
+  | Some pid -> ( try Unix.kill pid signal with Unix.Unix_error _ -> ())
+  | None -> Cli_common.fail_runtime "drill: no child pid to signal"
+
+(* ------------------------------------------------- manifest reconciliation *)
+
+let sum_metric rows name =
+  List.fold_left
+    (fun acc row ->
+      match (Json.member "name" row, Json.member "value" row) with
+      | Some (Json.String n), Some (Json.Int v) when n = name -> acc + v
+      | _ -> acc)
+    0 rows
+
+(* The drained child's manifest must account for every byte the drill
+   threw at it; see the module comment for the inequality. *)
+let manifest_reconciles path =
+  match Json.parse (read_file path) with
+  | Error e -> Error ("manifest: " ^ Json.string_of_parse_error e)
+  | exception Sys_error m -> Error ("manifest: " ^ m)
+  | Ok json -> (
+      match Json.member "extra" json with
+      | None -> Error "manifest: no extra section"
+      | Some extra -> (
+          match (Json.member "status" extra, Json.member "server" extra) with
+          | Some (Json.String "drained"), Some (Json.Array rows) ->
+              let requests = sum_metric rows "requests"
+              and replies = sum_metric rows "replies"
+              and faults = sum_metric rows "protocol_faults"
+              and shed = sum_metric rows "shed"
+              and queue = sum_metric rows "queue_depth"
+              and inflight = sum_metric rows "inflight" in
+              if queue <> 0 then
+                Error (Printf.sprintf "queue_depth %d after drain" queue)
+              else if inflight <> 0 then
+                Error (Printf.sprintf "inflight %d after drain" inflight)
+              else if not (requests <= replies) then
+                Error
+                  (Printf.sprintf "requests %d > replies %d" requests replies)
+              else if not (replies <= requests + faults + shed) then
+                Error
+                  (Printf.sprintf
+                     "replies %d > requests %d + faults %d + shed %d" replies
+                     requests faults shed)
+              else Ok ()
+          | Some (Json.String s), _ ->
+              Error (Printf.sprintf "manifest status %S, wanted drained" s)
+          | _ -> Error "manifest: malformed extra section"))
+
+(* ------------------------------------------------------------ disk drills *)
+
+(* Torn append: arm the hook, watch the append fail, then prove load
+   drops exactly the torn tail and resume repairs the file. *)
+let journal_drill dir seed cut =
+  let path = Filename.concat dir "journal.jsonl" in
+  let w = Gc_exec.Journal.create path ~meta:(Json.Obj [ ("drill", Json.Int seed) ]) in
+  Gc_exec.Journal.append w "cell-0" (Json.Int 0);
+  Gc_exec.Journal.torn_write_after := Some cut;
+  let tore =
+    match Gc_exec.Journal.append w "cell-1" (Json.Int 1) with
+    | () -> false
+    | exception Gc_exec.Journal.Torn_write -> true
+  in
+  Gc_exec.Journal.close w;
+  if not tore then Error "armed append did not tear"
+  else
+    match Gc_exec.Journal.load path with
+    | Error e -> Error ("load: " ^ Gc_exec.Journal.string_of_error e)
+    | Ok l when not l.torn -> Error "torn tail not detected"
+    | Ok l when List.map fst l.entries <> [ "cell-0" ] ->
+        Error "torn load lost or invented entries"
+    | Ok _ -> (
+        match Gc_exec.Journal.resume path with
+        | Error e -> Error ("resume: " ^ Gc_exec.Journal.string_of_error e)
+        | Ok (_, w2) -> (
+            Gc_exec.Journal.append w2 "cell-1" (Json.Int 1);
+            Gc_exec.Journal.close w2;
+            match Gc_exec.Journal.load path with
+            | Ok l2 when (not l2.torn) && List.length l2.entries = 2 -> Ok ()
+            | Ok _ -> Error "resume did not repair the tail"
+            | Error e -> Error ("reload: " ^ Gc_exec.Journal.string_of_error e)))
+
+(* Crash-before-rename: the previous artifact must survive the crash
+   byte-for-byte, and a later write must still land. *)
+let export_drill dir =
+  let path = Filename.concat dir "artifact.json" in
+  Gc_obs.Export.write_json_atomic path (Json.String "before");
+  Gc_obs.Export.crash_before_rename := true;
+  let crashed =
+    match Gc_obs.Export.write_json_atomic path (Json.String "after") with
+    | () -> false
+    | exception Gc_obs.Export.Crashed_before_rename -> true
+  in
+  if not crashed then Error "armed export did not crash"
+  else
+    match Json.parse (read_file path) with
+    | Ok (Json.String "before") -> (
+        Gc_obs.Export.write_json_atomic path (Json.String "after");
+        match Json.parse (read_file path) with
+        | Ok (Json.String "after") -> Ok ()
+        | _ -> Error "post-crash write did not land")
+    | _ -> Error "crash truncated or replaced the artifact"
+
+(* ------------------------------------------------------------- the drill *)
+
+(* Classify a one-shot outcome into the coarse classes that are
+   deterministic per fault: a framed reply (ok or error — the server
+   answered) vs a classified transport failure. *)
+let outcome_class = function
+  | Ok _ -> "reply"
+  | Error (e : Client.error) -> "transport:" ^ Client.kind_name e.kind
+
+let drill ~server_exe ~requests ~seed =
+  let rng = Rng.create seed in
+  let schedule = derive_schedule rng in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gcchaos.%d.%d" (Unix.getpid ()) seed)
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let sock = Filename.concat dir "serve.sock" in
+  let proxy_sock = Filename.concat dir "proxy.sock" in
+  let manifest_path = Filename.concat dir "manifest.json" in
+  let config =
+    {
+      (Supervise.default_config
+         ~argv:
+           [|
+             server_exe; "serve"; "--socket"; sock; "--manifest"; manifest_path;
+             "--frame-timeout"; string_of_float child_frame_timeout;
+             "--deadline"; "10"; "--workers"; "2"; "--queue-depth"; "32";
+           |]
+         ~health_addr:(Client.Unix_path sock))
+      with
+      Supervise.health_interval = 0.05;
+      startup_grace = 20.;
+      (* SIGSTOP stalls probes for ~0.35s; with 0.05s probes that is a
+         handful of consecutive failures, so the wedge threshold must sit
+         far above it or the pause would masquerade as a crash. *)
+      wedge_threshold = 200;
+      restart_window = 300.;
+      max_restarts = 10;
+      backoff = { Retry.default with base_delay = 0.05; max_delay = 0.2 };
+      seed;
+    }
+  in
+  let watch = watch_create () in
+  let stop = Gc_exec.Cancel.create () in
+  let outcome = ref (Error "supervisor thread never ran") in
+  (* The supervisor is single-threaded and blocking by design; the drill
+     embeds it in a process-lifetime thread, which is exactly the shape
+     the pool rule exempts. *)
+  let sup =
+    Thread.create
+      (fun () ->
+        outcome :=
+          match Supervise.run ~on_event:(watch_event watch) ~stop config with
+          | o -> Ok o
+          | exception e -> Error (Printexc.to_string e))
+      () [@lint.allow "spawn-outside-pool"]
+  in
+  await_healthy watch 1;
+  (* Phase 1: direct requests with kill/stop injection.  The resilient
+     client must make every restart invisible. *)
+  let rc =
+    Gc_resil.Resilient_client.create ~timeout:8.
+      ~retry:
+        { Retry.default with max_attempts = 10; base_delay = 0.05; max_delay = 0.4 }
+      ~seed (Client.Unix_path sock)
+  in
+  let kills = ref 0 in
+  let direct_failures = ref 0 in
+  let settled = ref 0 in
+  for i = 0 to requests - 1 do
+    if List.mem i schedule.kill_at then begin
+      (* Aim only at an incarnation that has already proven healthy, so
+         two kills cannot land on the same pid. *)
+      await_healthy watch (!kills + 1);
+      signal_child watch Sys.sigkill;
+      incr kills
+    end;
+    if i = schedule.stop_at then begin
+      await_healthy watch (!kills + 1);
+      signal_child watch Sys.sigstop;
+      Gc_exec.Pool.nap 0.35;
+      signal_child watch Sys.sigcont
+    end;
+    let req =
+      if i mod 3 = 0 then
+        Json.Obj
+          [
+            ("op", Json.String "sim"); ("policy", Json.String "lru");
+            ("k", Json.Int 64); ("seed", Json.Int i);
+            ("workload", Json.String "zipf"); ("n", Json.Int 500);
+            ("universe", Json.Int 256);
+          ]
+      else Json.Obj [ ("op", Json.String "health") ]
+    in
+    dbg "request %d" i;
+    (match Gc_resil.Resilient_client.request rc req with
+    | Ok _ -> ()
+    | Error f ->
+        incr direct_failures;
+        Printf.eprintf "gcchaos: seed %d request %d failed: %s\n%!" seed i
+          (Gc_resil.Resilient_client.string_of_failure f));
+    incr settled
+  done;
+  Gc_resil.Resilient_client.close rc;
+  (* Phase 2: byte-level network faults.  One fresh connection per
+     request, so proxy connection ordinal == request ordinal and the
+     fault plan is deterministic. *)
+  let proxy =
+    Gc_fault.Net_proxy.create ~listen:proxy_sock ~upstream:sock
+      ~plan:(fun i ->
+        if i < Array.length schedule.net_faults then schedule.net_faults.(i)
+        else Gc_fault.Net_proxy.Pass)
+      ()
+  in
+  dbg "net phase";
+  let net_outcomes =
+    Array.mapi
+      (fun i _ ->
+        dbg "net request %d" i;
+        let r =
+          Client.request_result ~timeout:net_request_timeout
+            (Client.Unix_path proxy_sock)
+            (Json.Obj [ ("id", Json.Int (1000 + i)); ("op", Json.String "health") ])
+        in
+        incr settled;
+        outcome_class r)
+      schedule.net_faults
+  in
+  let proxy_conns = Gc_fault.Net_proxy.connections proxy in
+  Gc_fault.Net_proxy.stop proxy;
+  (* Phase 3: drain through the supervisor, then prove the silence. *)
+  dbg "draining";
+  Gc_exec.Cancel.request stop ~reason:"drill complete";
+  Thread.join sup;
+  let sup_outcome =
+    match !outcome with
+    | Ok o -> o
+    | Error m -> Cli_common.fail_runtime "drill: supervisor died: %s" m
+  in
+  let after_drain =
+    Client.request_result ~timeout:1.
+      (Client.Unix_path sock)
+      (Json.Obj [ ("op", Json.String "health") ])
+  in
+  let manifest = manifest_reconciles manifest_path in
+  (* Phase 4: disk faults, in-process. *)
+  let journal = journal_drill dir seed schedule.journal_cut in
+  let export = export_drill dir in
+  let expected = requests + Array.length schedule.net_faults in
+  let check name = function
+    | Ok () -> (name, Json.Bool true)
+    | Error m ->
+        Printf.eprintf "gcchaos: seed %d invariant %s: %s\n%!" seed name m;
+        (name, Json.Bool false)
+  in
+  let bool_check name ok detail =
+    check name (if ok then Ok () else Error detail)
+  in
+  let invariants =
+    [
+      bool_check "every_request_settled" (!settled = expected)
+        (Printf.sprintf "settled %d of %d" !settled expected);
+      bool_check "direct_requests_all_answered" (!direct_failures = 0)
+        (Printf.sprintf "%d direct failures" !direct_failures);
+      bool_check "restarts_match_kills"
+        (sup_outcome.Supervise.restarts = !kills
+        && sup_outcome.Supervise.result = `Drained)
+        (Printf.sprintf "restarts %d, kills %d, %s"
+           sup_outcome.Supervise.restarts !kills
+           (match sup_outcome.Supervise.result with
+           | `Drained -> "drained"
+           | `Gave_up -> "gave up"));
+      bool_check "no_reply_after_drain" (Result.is_error after_drain)
+        "post-drain request was answered";
+      check "manifest_reconciles" manifest;
+      bool_check "proxy_connection_per_request"
+        (proxy_conns = Array.length schedule.net_faults)
+        (Printf.sprintf "%d proxy connections for %d requests" proxy_conns
+           (Array.length schedule.net_faults));
+      check "journal_tear_recovered" journal;
+      check "export_survives_crash" export;
+    ]
+  in
+  let report =
+    Json.Obj
+      [
+        ("seed", Json.Int seed);
+        ("requests", Json.Int requests);
+        ( "kills",
+          Json.Array (List.map (fun i -> Json.Int i) schedule.kill_at) );
+        ("stop_at", Json.Int schedule.stop_at);
+        ( "net_faults",
+          Json.Array
+            (Array.to_list schedule.net_faults
+            |> List.map (fun f ->
+                   Json.String (Gc_fault.Net_proxy.fault_string f))) );
+        ( "net_outcomes",
+          Json.Array
+            (Array.to_list net_outcomes |> List.map (fun s -> Json.String s))
+        );
+        ("journal_cut", Json.Int schedule.journal_cut);
+        ("settled", Json.Int !settled);
+        ("restarts", Json.Int sup_outcome.Supervise.restarts);
+        ("invariants", Json.Obj invariants);
+      ]
+  in
+  let ok = List.for_all (fun (_, v) -> v = Json.Bool true) invariants in
+  (report, ok)
+
+(* ----------------------------------------------------------------- CLI *)
+
+let parse_seeds s =
+  match
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+    |> List.map int_of_string
+  with
+  | [] -> Cli_common.fail_usage "no seeds in %S" s
+  | seeds -> seeds
+  | exception Failure _ ->
+      Cli_common.fail_usage "seeds must be comma-separated integers, got %S" s
+
+let default_server () =
+  let dir = Filename.dirname Sys.executable_name in
+  let candidates =
+    [ Filename.concat dir "gcserved.exe"; Filename.concat dir "gcserved" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> "gcserved"
+
+let run_drill seeds server requests report_path verify_repro =
+  if requests < 16 then
+    Cli_common.fail_usage "--requests must be >= 16 (the schedule needs room)";
+  let seeds =
+    match seeds with
+    | Some s -> parse_seeds s
+    | None -> (
+        match Sys.getenv_opt "GC_CHAOS_SEEDS" with
+        | Some s -> parse_seeds s
+        | None -> [ 1; 2; 3 ])
+  in
+  let server_exe =
+    match server with Some p -> p | None -> default_server ()
+  in
+  if not (Sys.file_exists server_exe) then
+    Cli_common.fail_usage "server executable %s not found (--server)" server_exe;
+  let failures = ref 0 in
+  let reports =
+    List.map
+      (fun seed ->
+        Printf.eprintf "gcchaos: drilling seed %d\n%!" seed;
+        let report, ok = drill ~server_exe ~requests ~seed in
+        if not ok then incr failures;
+        if verify_repro then begin
+          let again, _ = drill ~server_exe ~requests ~seed in
+          if Json.to_string again <> Json.to_string report then begin
+            Printf.eprintf
+              "gcchaos: seed %d is NOT reproducible\n  first:  %s\n  second: %s\n%!"
+              seed (Json.to_string report) (Json.to_string again);
+            incr failures
+          end
+        end;
+        report)
+      seeds
+  in
+  let combined =
+    Json.Obj
+      [
+        ("tool", Json.String "gcchaos");
+        ("requests", Json.Int requests);
+        ("verify_repro", Json.Bool verify_repro);
+        ("drills", Json.Array reports);
+      ]
+  in
+  print_endline (Json.to_string combined);
+  (match report_path with
+  | Some path -> Gc_obs.Export.write_json_atomic path combined
+  | None -> ());
+  if !failures > 0 then
+    Cli_common.fail_model "%d drill(s) violated invariants" !failures;
+  Cli_common.ok
+
+let drill_cmd =
+  Cmd.v
+    (Cmd.info "drill"
+       ~doc:
+         "Run deterministic chaos drills: crash, pause, corrupt, tear — \
+          then assert every recovery invariant")
+    Term.(
+      const run_drill
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "seeds" ] ~docv:"N,N,..."
+              ~doc:
+                "Drill seeds (default: $(b,GC_CHAOS_SEEDS) from the \
+                 environment, else 1,2,3).  Each seed derives an \
+                 independent fault schedule.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "server" ] ~docv:"EXE"
+              ~doc:
+                "The gcserved executable to supervise (default: the \
+                 gcserved next to this binary).")
+      $ Arg.(
+          value
+          & opt int 18
+          & info [ "requests" ] ~docv:"N"
+              ~doc:"Direct requests per drill (minimum 16).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "report" ] ~docv:"FILE"
+              ~doc:"Also write the combined JSON report to $(docv).")
+      $ Arg.(
+          value & flag
+          & info [ "verify-repro" ]
+              ~doc:
+                "Run every seed twice and require byte-identical \
+                 reports — the determinism contract, enforced."))
+
+let () =
+  exit
+    (Cli_common.eval
+       (Cmd.group
+          (Cmd.info "gcchaos" ~version:"%%VERSION%%"
+             ~doc:"Deterministic chaos drills for the gcserved stack")
+          [ drill_cmd ]))

@@ -3,6 +3,7 @@
    Examples:
      gcserved serve --socket /tmp/gc.sock --workers 4 --deadline 30
      gcserved serve --socket /tmp/gc.sock --manifest shutdown.json
+     gcserved supervise --socket /tmp/gc.sock -- --workers 4
      gcserved client --socket /tmp/gc.sock health
      gcserved client --socket /tmp/gc.sock sim --policy lru --k 1024 \
          --workload zipf --n 20000
@@ -141,6 +142,154 @@ let serve_cmd =
                  JSON — loadable in Perfetto — to $(docv) after the \
                  drain."))
 
+(* ------------------------------------------------------------ supervise *)
+
+(* The watchdog: spawn `gcserved serve` as a child and keep it up.  All
+   the machinery lives in Gc_resil.Supervise; this command wires flags,
+   signals (first SIGTERM/SIGINT forwards the drain, a second hard-exits
+   130 via the shared Supervisor contract), and the exit code: 0 after a
+   clean drain, 3 when the restart budget is spent (give-up). *)
+let supervise socket tcp tcp_host server_exe child_args health_interval
+    health_timeout startup_grace wedge_threshold restart_window max_restarts
+    term_grace drain_grace seed =
+  let socket_path, tcp = listeners ~socket ~tcp ~tcp_host in
+  let health_addr =
+    match (socket_path, tcp) with
+    | Some p, _ -> Gc_serve.Client.Unix_path p
+    | None, Some (h, p) -> Gc_serve.Client.Tcp (h, p)
+    | None, None -> Gc_serve.Client.Unix_path "gcserved.sock"
+  in
+  let exe = Option.value server_exe ~default:Sys.executable_name in
+  let argv =
+    Array.of_list
+      ([ exe; "serve" ]
+      @ (match socket_path with Some p -> [ "--socket"; p ] | None -> [])
+      @ (match tcp with
+        | Some (h, p) -> [ "--tcp"; string_of_int p; "--tcp-host"; h ]
+        | None -> [])
+      @ child_args)
+  in
+  let base = Gc_resil.Supervise.default_config ~argv ~health_addr in
+  let config =
+    {
+      base with
+      Gc_resil.Supervise.socket_path;
+      health_interval =
+        Option.value health_interval
+          ~default:base.Gc_resil.Supervise.health_interval;
+      health_timeout =
+        Option.value health_timeout
+          ~default:base.Gc_resil.Supervise.health_timeout;
+      startup_grace =
+        Option.value startup_grace ~default:base.Gc_resil.Supervise.startup_grace;
+      wedge_threshold =
+        Option.value wedge_threshold
+          ~default:base.Gc_resil.Supervise.wedge_threshold;
+      restart_window =
+        Option.value restart_window
+          ~default:base.Gc_resil.Supervise.restart_window;
+      max_restarts =
+        Option.value max_restarts ~default:base.Gc_resil.Supervise.max_restarts;
+      term_grace =
+        Option.value term_grace ~default:base.Gc_resil.Supervise.term_grace;
+      drain_grace =
+        Option.value drain_grace ~default:base.Gc_resil.Supervise.drain_grace;
+      seed = Option.value seed ~default:base.Gc_resil.Supervise.seed;
+    }
+  in
+  Printf.eprintf "gcserved: supervising %s\n%!"
+    (String.concat " " (Array.to_list argv));
+  let outcome =
+    Gc_exec.Supervisor.with_interrupt
+      ~message:"gcserved: supervisor draining (signal again to hard-exit)"
+      (fun token ->
+        Gc_resil.Supervise.run
+          ~on_event:(fun e ->
+            Printf.eprintf "gcserved: supervisor: %s\n%!"
+              (Gc_resil.Supervise.event_string e))
+          ~stop:token config)
+  in
+  match outcome.Gc_resil.Supervise.result with
+  | `Drained ->
+      Printf.eprintf "gcserved: supervisor drained (%d restarts)\n%!"
+        outcome.Gc_resil.Supervise.restarts;
+      Cli_common.ok
+  | `Gave_up ->
+      Cli_common.fail_model
+        "supervisor gave up: %d restarts inside the %gs window"
+        outcome.Gc_resil.Supervise.restarts config.Gc_resil.Supervise.restart_window
+
+let supervise_cmd =
+  Cmd.v
+    (Cmd.info "supervise"
+       ~doc:
+         "Run the serve daemon as a supervised child: restart it on crash \
+          or wedge (health-probe liveness), with exponential backoff and a \
+          restart budget.  Exit 0 after a signal-driven drain, 3 when the \
+          budget is spent.  Arguments after $(b,--) are passed to the \
+          child's $(b,serve) command.")
+    Term.(
+      const supervise $ socket_arg $ tcp_arg $ tcp_host_arg
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "server" ] ~docv:"EXE"
+              ~doc:
+                "The gcserved executable to spawn (default: this binary).")
+      $ Arg.(
+          value & pos_all string []
+          & info [] ~docv:"SERVE_ARG"
+              ~doc:"Extra flags for the child's $(b,serve) command.")
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "health-interval" ] ~docv:"SECONDS"
+              ~doc:"Seconds between health probes (default 0.25).")
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "health-timeout" ] ~docv:"SECONDS"
+              ~doc:"Per-probe reply budget (default 2).")
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "startup-grace" ] ~docv:"SECONDS"
+              ~doc:"Budget for the first healthy probe after a spawn (default 10).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "wedge-threshold" ] ~docv:"N"
+              ~doc:
+                "Consecutive failed probes that declare a live child \
+                 wedged (default 8).")
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "restart-window" ] ~docv:"SECONDS"
+              ~doc:"Sliding window for the restart budget (default 60).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "max-restarts" ] ~docv:"N"
+              ~doc:
+                "Restarts allowed per window before giving up with exit 3 \
+                 (default 5).")
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "term-grace" ] ~docv:"SECONDS"
+              ~doc:"SIGTERM-to-SIGKILL grace for a wedged child (default 5).")
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "drain-grace" ] ~docv:"SECONDS"
+              ~doc:"How long a requested drain may take (default 30).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "seed" ] ~docv:"N"
+              ~doc:"Backoff jitter seed (default 0)."))
+
 (* --------------------------------------------------------------- client *)
 
 let addr ~socket ~tcp ~tcp_host =
@@ -200,7 +349,7 @@ let print_prometheus reply_json =
               Cli_common.ok))
 
 let client socket tcp tcp_host op policy k seed workload n universe block_size
-    check ks raw timeout prom =
+    check ks raw timeout prom attempts =
   if prom && op <> "stats" then
     Cli_common.fail_usage "--prom only applies to the stats op";
   let addr = addr ~socket ~tcp ~tcp_host in
@@ -249,8 +398,22 @@ let client socket tcp tcp_host op policy k seed workload n universe block_size
         (assert false [@lint.allow "exit-contract"])
         (* the enum converter rejects anything else *)
   in
-  match Gc_serve.Client.request ~timeout addr request with
-  | Error msg -> Cli_common.fail_runtime "%s" msg
+  if attempts < 1 then Cli_common.fail_usage "--attempts must be >= 1";
+  (* The resilient client rides over a supervised restart mid-request:
+     classified transport failures (refused/timeout/reset) and overloaded
+     sheds retry with jittered backoff; protocol faults and draining
+     replies fail fast. *)
+  let rc =
+    Gc_resil.Resilient_client.create ~timeout
+      ~retry:{ Gc_resil.Retry.default with Gc_resil.Retry.max_attempts = attempts }
+      addr
+  in
+  let result = Gc_resil.Resilient_client.request rc request in
+  Gc_resil.Resilient_client.close rc;
+  match result with
+  | Error failure ->
+      Cli_common.fail_runtime "%s"
+        (Gc_resil.Resilient_client.string_of_failure failure)
   | Ok reply_json when prom -> print_prometheus reply_json
   | Ok reply_json -> (
       Format.printf "%a@." Json.pp reply_json;
@@ -320,7 +483,17 @@ let client_cmd =
           & info [ "prom" ]
               ~doc:
                 "Print the $(b,stats) reply's metric registry in \
-                 Prometheus text exposition format instead of JSON."))
+                 Prometheus text exposition format instead of JSON.")
+      $ Arg.(
+          value
+          & opt int 3
+          & info [ "attempts" ] ~docv:"N"
+              ~doc:
+                "Total tries for retryable failures (refused, timeout, \
+                 reset, overloaded) with jittered backoff; requests \
+                 without an explicit $(i,id) are stamped with one so a \
+                 retried reply can be matched by its id echo.  1 \
+                 disables retry."))
 
 let () =
   let info =
@@ -343,4 +516,4 @@ let () =
               "when a second signal hard-exits a drain already in progress.";
         ]
   in
-  exit (Cli_common.eval (Cmd.group info [ serve_cmd; client_cmd ]))
+  exit (Cli_common.eval (Cmd.group info [ serve_cmd; supervise_cmd; client_cmd ]))

@@ -40,10 +40,28 @@ let prefix_len = 34
 
 type writer = { oc : out_channel }
 
+(* Chaos-drill fault hook (gcchaos): when armed with [Some n], the next
+   append writes only the first [n] bytes of its line, flushes them, and
+   raises [Torn_write] — the observable effect of a crash or power cut
+   mid-append.  One-shot: the hook disarms as it fires.  Off (None)
+   everywhere outside a drill; this exists so [load]/[resume]'s torn-tail
+   recovery can be exercised against the real writer instead of against
+   hand-truncated fixture bytes. *)
+exception Torn_write
+
+let torn_write_after = ref None
+
 let append w cell payload =
-  output_string w.oc (line_of cell payload);
-  output_char w.oc '\n';
-  flush w.oc
+  let line = line_of cell payload ^ "\n" in
+  match !torn_write_after with
+  | Some n ->
+      torn_write_after := None;
+      output_string w.oc (String.sub line 0 (min (max n 0) (String.length line)));
+      flush w.oc;
+      raise Torn_write
+  | None ->
+      output_string w.oc line;
+      flush w.oc
 
 let create path ~meta =
   (* A checkpoint journal is append-only with per-line checksums: crash

@@ -22,6 +22,15 @@ val create : string -> meta:Gc_obs.Json.t -> writer
 val append : writer -> string -> Gc_obs.Json.t -> unit
 (** [append w cell payload] — one checksummed line, flushed. *)
 
+exception Torn_write
+
+val torn_write_after : int option ref
+(** Chaos-drill fault hook ([gcchaos]; off — [None] — everywhere else).
+    Armed with [Some n], the {e next} {!append} writes only the first [n]
+    bytes of its line, flushes, disarms the hook, and raises
+    {!Torn_write}: a deterministic stand-in for a crash mid-append, so
+    drills can prove {!load}/{!resume} drop exactly the torn tail. *)
+
 val close : writer -> unit
 
 type loaded = {

@@ -1,0 +1,238 @@
+type fault =
+  | Pass
+  | Delay of float
+  | Truncate_after of int
+  | Corrupt_byte of int
+  | Drop
+
+let fault_string = function
+  | Pass -> "pass"
+  | Delay d -> Printf.sprintf "delay@%g" d
+  | Truncate_after n -> Printf.sprintf "truncate@%d" n
+  | Corrupt_byte n -> Printf.sprintf "corrupt@%d" n
+  | Drop -> "drop"
+
+type t = {
+  listen_path : string;
+  listener : Unix.file_descr;
+  plan : int -> fault;
+  upstream : string;
+  mu : Mutex.t;
+  mutable live : Unix.file_descr list;  (** Every fd a stop must close. *)
+  mutable pumps : Thread.t list;
+  mutable accepted : int;
+  mutable stopping : bool;
+  mutable acceptor : Thread.t option;
+}
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let shutdown_quiet fd how =
+  try Unix.shutdown fd how with Unix.Unix_error _ | Invalid_argument _ -> ()
+
+let track t fd =
+  Mutex.lock t.mu;
+  t.live <- fd :: t.live;
+  Mutex.unlock t.mu
+
+let untrack t fd =
+  Mutex.lock t.mu;
+  t.live <- List.filter (fun f -> f != fd) t.live;
+  Mutex.unlock t.mu;
+  close_quiet fd
+
+let write_all fd buf len =
+  let rec go off =
+    if off < len then
+      match Unix.write fd buf off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* Copy [src] to [dst] verbatim until EOF or a torn socket.  Stream
+   errors (a peer or a [stop] closing an fd mid-read) end the pump; they
+   are its normal termination, not an event to propagate. *)
+let pump_verbatim src dst =
+  let buf = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read src buf 0 (Bytes.length buf) with
+    | 0 -> ()
+    | n ->
+        write_all dst buf n;
+        go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ | exception Sys_error _ -> ()
+  in
+  (* The write side tears the same way the read side does (the peer
+     vanished mid-copy); both are the pump's normal end of stream. *)
+  (try go () with Unix.Unix_error _ | Sys_error _ -> ());
+  shutdown_quiet dst Unix.SHUTDOWN_SEND
+
+(* The faulted client->server direction.  [seen] counts stream bytes so
+   positional faults land on absolute offsets regardless of read
+   chunking. *)
+let pump_faulted fault src dst =
+  let buf = Bytes.create 4096 in
+  let seen = ref 0 in
+  let forward n =
+    (match fault with
+    | Corrupt_byte at when at >= !seen && at < !seen + n ->
+        let i = at - !seen in
+        Bytes.set buf i (Char.chr (Char.code (Bytes.get buf i) lxor 0x20))
+    | _ -> ());
+    (match fault with
+    | Delay d when !seen = 0 && n > 0 ->
+        (* First byte through, then hold: the frame has begun, so the
+           server's whole-frame budget is the clock that must fire. *)
+        write_all dst buf 1;
+        Gc_exec.Pool.nap d;
+        if n > 1 then write_all dst (Bytes.sub buf 1 (n - 1)) (n - 1)
+    | _ -> write_all dst buf n);
+    seen := !seen + n
+  in
+  let budget =
+    match fault with Truncate_after n -> Some (max 0 n) | _ -> None
+  in
+  let rec go () =
+    match Unix.read src buf 0 (Bytes.length buf) with
+    | 0 -> ()
+    | n -> (
+        match budget with
+        | Some b when !seen + n >= b ->
+            (* Forward the allowance, then half-close: the server sees a
+               clean EOF mid-frame. *)
+            if b - !seen > 0 then forward (b - !seen)
+        | _ ->
+            forward n;
+            go ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ | exception Sys_error _ -> ()
+  in
+  (try go () with Unix.Unix_error _ | Sys_error _ -> ());
+  shutdown_quiet dst Unix.SHUTDOWN_SEND
+
+(* A dropped connection: swallow the request bytes so the client blocks
+   on its reply deadline rather than on a send buffer. *)
+let pump_drop src =
+  let buf = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read src buf 0 (Bytes.length buf) with
+    | 0 -> ()
+    | _ -> go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ | exception Sys_error _ -> ()
+  in
+  go ()
+
+let handle t client fault =
+  match fault with
+  | Drop ->
+      pump_drop client;
+      untrack t client
+  | _ -> (
+      let server = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect server (Unix.ADDR_UNIX t.upstream) with
+      | exception Unix.Unix_error _ ->
+          close_quiet server;
+          untrack t client
+      | () ->
+          track t server;
+          (* Per-direction pumps are plain blocking copies that live as
+             long as their stream — the same process-lifetime I/O shape
+             as the server's own reader threads. *)
+          let up =
+            Thread.create
+              (fun () ->
+                pump_faulted fault client server)
+              () [@lint.allow "spawn-outside-pool"]
+          in
+          pump_verbatim server client;
+          Thread.join up;
+          untrack t server;
+          untrack t client)
+
+let acceptor t =
+  let rec loop () =
+    if not t.stopping then begin
+      (match Unix.select [ t.listener ] [] [] 0.1 with
+      | [], _, _ -> ()
+      | _ -> (
+          match Unix.accept ~cloexec:true t.listener with
+          | client, _ ->
+              Mutex.lock t.mu;
+              let i = t.accepted in
+              t.accepted <- i + 1;
+              t.live <- client :: t.live;
+              let pump =
+                Thread.create
+                  (fun () -> handle t client (t.plan i))
+                  () [@lint.allow "spawn-outside-pool"]
+              in
+              t.pumps <- pump :: t.pumps;
+              Mutex.unlock t.mu
+          | exception
+              Unix.Unix_error
+                ( ( Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR
+                  | Unix.ECONNABORTED | Unix.EBADF ),
+                  _,
+                  _ ) ->
+              ())
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.EBADF), _, _) -> ());
+      loop ()
+    end
+  in
+  loop ();
+  close_quiet t.listener
+
+let create ~listen ~upstream ~plan () =
+  (try Sys.remove listen with Sys_error _ -> ());
+  let listener = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind listener (Unix.ADDR_UNIX listen);
+     Unix.listen listener 64
+   with e ->
+     close_quiet listener;
+     raise e);
+  let t =
+    {
+      listen_path = listen;
+      listener;
+      plan;
+      upstream;
+      mu = Mutex.create ();
+      live = [];
+      pumps = [];
+      accepted = 0;
+      stopping = false;
+      acceptor = None;
+    }
+  in
+  (* Same annotated shape as the server's acceptor: a process-lifetime
+     I/O multiplexer, not a pool task. *)
+  t.acceptor <-
+    Some (Thread.create acceptor t [@lint.allow "spawn-outside-pool"]);
+  t
+
+let connections t =
+  Mutex.lock t.mu;
+  let n = t.accepted in
+  Mutex.unlock t.mu;
+  n
+
+let stop t =
+  if not t.stopping then begin
+    t.stopping <- true;
+    (match t.acceptor with Some th -> Thread.join th | None -> ());
+    t.acceptor <- None;
+    Mutex.lock t.mu;
+    let live = t.live and pumps = t.pumps in
+    t.live <- [];
+    t.pumps <- [];
+    Mutex.unlock t.mu;
+    (* Shutdown pops blocking reads with EOF; close reclaims the fds. *)
+    List.iter (fun fd -> shutdown_quiet fd Unix.SHUTDOWN_ALL) live;
+    List.iter Thread.join pumps;
+    List.iter close_quiet live;
+    try Sys.remove t.listen_path with Sys_error _ -> ()
+  end

@@ -1,0 +1,56 @@
+(** Byte-level fault proxy for the serving wire.
+
+    PR 2's {!Injector} enumerates faults at the policy layer; this is the
+    same discipline one layer down — a Unix-domain proxy that sits
+    between a client and [gcserved] and damages the {e byte stream}
+    according to a per-connection plan.  The interesting assertions live
+    on either side of it: {!Gc_serve.Frame}'s cap/timeout/truncation
+    guards must turn every damaged stream into a positioned protocol
+    error or a timeout (never a hang, never a crash), and
+    {!Gc_resil.Resilient_client} must classify and ride over the rest.
+
+    Faults damage the client-to-server direction (the request bytes), so
+    the server's framing guards are the assertion surface and its
+    [protocol_faults]/[io_errors] counters account the damage; the
+    server-to-client direction is forwarded verbatim so error replies
+    still reach the client.
+
+    Deterministic by construction: the plan is a pure function of the
+    accepted-connection ordinal, so a drill that derives it from a seed
+    injects the same faults at the same positions on every run. *)
+
+type fault =
+  | Pass  (** Forward verbatim. *)
+  | Delay of float
+      (** Forward the first request byte, hold the rest for this many
+          seconds: trips the server's whole-frame (slow-loris) budget
+          when longer than [frame_timeout]. *)
+  | Truncate_after of int
+      (** Forward only the first [n] request bytes, then half-close the
+          server side: the server sees EOF mid-frame (a [Fault]) and its
+          error reply still reaches the client. *)
+  | Corrupt_byte of int
+      (** XOR request-stream byte [n] (0-based) with [0x20]: a payload
+          byte yields [Bad_payload]/a usage error, a header length byte
+          a cap fault or truncation timeout. *)
+  | Drop
+      (** Accept the client and forward nothing — no server contact, no
+          reply; the client's own deadline must classify it. *)
+
+val fault_string : fault -> string
+(** Stable rendering for drill reports/schedules. *)
+
+type t
+
+val create :
+  listen:string -> upstream:string -> plan:(int -> fault) -> unit -> t
+(** Listen on Unix-domain socket [listen], dialing [upstream] per
+    connection; connection [i] (0-based accept order) suffers [plan i].
+    Raises [Unix.Unix_error] if the listen socket cannot be bound. *)
+
+val connections : t -> int
+(** Connections accepted so far. *)
+
+val stop : t -> unit
+(** Close the listener and every live connection, join the pump threads,
+    remove the socket file.  Idempotent. *)

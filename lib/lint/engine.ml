@@ -126,6 +126,24 @@ let rec pat_is_exception p =
       pat_is_exception q
   | _ -> false
 
+let mentions_ident name e =
+  expr_contains
+    (fun x ->
+      match x.pexp_desc with
+      | Pexp_ident { txt = Lident n; _ } -> n = name
+      | _ -> false)
+    e
+
+(* The simple-variable names a [let rec] binds; tuple/constraint patterns
+   cannot name a function being re-entered from a handler. *)
+let rec_bound_names vbs =
+  List.filter_map
+    (fun vb ->
+      match vb.pvb_pat.ppat_desc with
+      | Ppat_var { txt; _ } -> Some txt
+      | _ -> None)
+    vbs
+
 let pat_contains pred p =
   let found = ref false in
   let it =
@@ -164,6 +182,7 @@ type ctx = {
   config : Config.t;
   mutable file_allow : string list;  (* [@@@lint.allow] ids *)
   mutable stack : string list list;  (* nested [@lint.allow] scopes *)
+  mutable rec_names : string list list;  (* enclosing [let rec] bindings *)
   sanctioned : (int, unit) Hashtbl.t;  (* start offsets of blessed idents *)
   mutable findings : Finding.t list;
 }
@@ -287,6 +306,28 @@ let check_handler ctx cases ~exception_cases_only =
             "catch-all exception handler can swallow cooperative cancellation")
       cases
 
+(* One try/match handler, again: a catch-all case with no [when] guard
+   whose body re-enters an enclosing [let rec] binding is a bare retry
+   loop — every failure, retried forever, with no backoff.  A guard is a
+   bound the author wrote down; a narrow pattern is a deliberate
+   classification; both are left alone. *)
+let check_retry ctx cases ~exception_cases_only =
+  let names = List.concat ctx.rec_names in
+  if names <> [] then
+    List.iter
+      (fun c ->
+        let exc =
+          if exception_cases_only then pat_is_exception c.pc_lhs else true
+        in
+        if
+          exc && catch_all c.pc_lhs && c.pc_guard = None
+          && List.exists (fun n -> mentions_ident n c.pc_rhs) names
+        then
+          emit ctx c.pc_lhs.ppat_loc "unbounded-retry"
+            "catch-all handler re-enters the recursive binding: an \
+             unbounded retry with no backoff")
+      cases
+
 let check_expr ctx (e : expression) =
   match e.pexp_desc with
   | Pexp_apply
@@ -306,10 +347,13 @@ let check_expr ctx (e : expression) =
       { pexp_desc = Pexp_construct ({ txt = Lident "false"; _ }, None); _ } ->
       emit ctx e.pexp_loc "exit-contract"
         "assert false aborts outside the exit-code contract"
-  | Pexp_try (_, cases) -> check_handler ctx cases ~exception_cases_only:false
+  | Pexp_try (_, cases) ->
+      check_handler ctx cases ~exception_cases_only:false;
+      check_retry ctx cases ~exception_cases_only:false
   | Pexp_match (_, cases)
     when List.exists (fun c -> pat_is_exception c.pc_lhs) cases ->
-      check_handler ctx cases ~exception_cases_only:true
+      check_handler ctx cases ~exception_cases_only:true;
+      check_retry ctx cases ~exception_cases_only:true
   | _ -> ()
 
 (* ------------------------------------------------------------- the walk *)
@@ -321,13 +365,25 @@ let iterator ctx =
     k ();
     ctx.stack <- (match ctx.stack with _ :: rest -> rest | [] -> [])
   in
+  let with_recs names k =
+    ctx.rec_names <- names :: ctx.rec_names;
+    k ();
+    ctx.rec_names <-
+      (match ctx.rec_names with _ :: rest -> rest | [] -> [])
+  in
   {
     super with
     expr =
       (fun it e ->
-        with_scope (allow_ids ctx e.pexp_attributes) (fun () ->
-            check_expr ctx e;
-            super.expr it e));
+        let recs =
+          match e.pexp_desc with
+          | Pexp_let (Recursive, vbs, _) -> rec_bound_names vbs
+          | _ -> []
+        in
+        with_recs recs (fun () ->
+            with_scope (allow_ids ctx e.pexp_attributes) (fun () ->
+                check_expr ctx e;
+                super.expr it e)));
     value_binding =
       (fun it vb ->
         with_scope (allow_ids ctx vb.pvb_attributes) (fun () ->
@@ -337,6 +393,9 @@ let iterator ctx =
         match si.pstr_desc with
         | Pstr_eval (_, attrs) ->
             with_scope (allow_ids ctx attrs) (fun () ->
+                super.structure_item it si)
+        | Pstr_value (Recursive, vbs) ->
+            with_recs (rec_bound_names vbs) (fun () ->
                 super.structure_item it si)
         | _ -> super.structure_item it si);
   }
@@ -392,6 +451,7 @@ let check_file ?(config = Config.empty) ?as_path ~root path =
       config;
       file_allow = [];
       stack = [];
+      rec_names = [];
       sanctioned = Hashtbl.create 8;
       findings = [];
     }

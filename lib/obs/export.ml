@@ -253,6 +253,16 @@ let prometheus_of_json json =
    place. *)
 let tmp_seq = Atomic.make 0
 
+(* Chaos-drill fault hook (gcchaos): when armed, the next atomic write
+   completes the temp file (write, flush, fsync) and then raises
+   [Crashed_before_rename] instead of renaming — the window a real crash
+   would hit.  One-shot, off everywhere outside a drill.  The invariant
+   it exists to prove: the final name is either absent or still the old
+   content, never a truncated in-between. *)
+exception Crashed_before_rename
+
+let crash_before_rename = ref false
+
 let write_string_atomic path s =
   let tmp =
     Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
@@ -278,6 +288,10 @@ let write_string_atomic path s =
   | exception e ->
       (try Sys.remove tmp with Sys_error _ -> ());
       raise e);
+  if !crash_before_rename then begin
+    crash_before_rename := false;
+    raise Crashed_before_rename
+  end;
   (try Sys.rename tmp path
    with e ->
      (try Sys.remove tmp with Sys_error _ -> ());

@@ -28,6 +28,15 @@ val prometheus_of_json : Json.t -> (string, string) result
     snapshot (the shape served by [gcserved]'s stats op) rather than a
     live registry.  [Error] describes the first malformed row. *)
 
+exception Crashed_before_rename
+
+val crash_before_rename : bool ref
+(** Chaos-drill fault hook ([gcchaos]; off — [false] — everywhere else).
+    Armed, the next {!write_string_atomic} finishes its temp file and
+    then raises {!Crashed_before_rename} in place of the rename — the
+    window a real crash would hit — leaving the temp file behind and the
+    final name untouched.  One-shot: disarms as it fires. *)
+
 val write_string_atomic : string -> string -> unit
 (** Crash-safe, durable replacement write: the content goes to a
     per-process-unique temp name ([path ^ ".tmp.<pid>.<seq>"], so two

@@ -1,0 +1,191 @@
+module Json = Gc_obs.Json
+module Client = Gc_serve.Client
+module Protocol = Gc_serve.Protocol
+
+type failure =
+  | Transport of Client.error * int
+  | Rejected of string * string
+  | Open_circuit
+
+let string_of_failure = function
+  | Transport (e, attempts) ->
+      Printf.sprintf "%s (after %d attempt%s)"
+        (Client.string_of_client_error e)
+        attempts
+        (if attempts = 1 then "" else "s")
+  | Rejected (kind, message) -> Printf.sprintf "%s: %s" kind message
+  | Open_circuit -> "circuit open: failing fast without dialing"
+
+type t = {
+  addr : Client.addr;
+  timeout : float;
+  retry : Retry.policy;
+  breaker : Breaker.t option;
+  rng : Gc_trace.Rng.t;
+  mu : Mutex.t;  (** Serialises requests: one frame in flight per conn. *)
+  mutable conn : Client.conn option;
+  mutable connected_once : bool;
+  mutable next_id : int;
+  mutable n_reconnects : int;
+  mutable n_retries : int;
+}
+
+let create ?(timeout = 60.) ?(retry = Retry.default) ?breaker ?(seed = 0) addr
+    =
+  {
+    addr;
+    timeout;
+    retry;
+    breaker;
+    rng = Gc_trace.Rng.create seed;
+    mu = Mutex.create ();
+    conn = None;
+    connected_once = false;
+    next_id = 0;
+    n_reconnects = 0;
+    n_retries = 0;
+  }
+
+let drop_conn t =
+  match t.conn with
+  | None -> ()
+  | Some c ->
+      t.conn <- None;
+      Client.close c
+
+let close t =
+  Mutex.lock t.mu;
+  drop_conn t;
+  Mutex.unlock t.mu
+
+let reconnects t =
+  Mutex.lock t.mu;
+  let n = t.n_reconnects in
+  Mutex.unlock t.mu;
+  n
+
+let retries t =
+  Mutex.lock t.mu;
+  let n = t.n_retries in
+  Mutex.unlock t.mu;
+  n
+
+(* Ensure the outgoing request carries an id we can key the echo on.
+   Caller-set ids are respected (they may be pipelining on their own
+   terms); otherwise stamp a fresh integer. *)
+let with_id t json =
+  match json with
+  | Json.Obj fields when not (List.mem_assoc "id" fields) ->
+      t.next_id <- t.next_id + 1;
+      let id = Json.Int t.next_id in
+      (Json.Obj (("id", id) :: fields), Some id)
+  | Json.Obj fields -> (json, List.assoc_opt "id" fields)
+  | _ -> (json, None)
+
+(* One attempt's failure, classified for the retry predicate. *)
+type attempt_error =
+  | A_transport of Client.error
+  | A_stale of string  (** Id echo mismatch: a leftover reply, not ours. *)
+  | A_rejected of string * string  (** overloaded | draining *)
+  | A_open
+
+let conn_of t =
+  match t.conn with
+  | Some c -> Ok c
+  | None -> (
+      match Client.connect_result ~timeout:(Float.min t.timeout 5.) t.addr with
+      | Ok c ->
+          if t.connected_once then t.n_reconnects <- t.n_reconnects + 1;
+          t.connected_once <- true;
+          t.conn <- Some c;
+          Ok c
+      | Error e -> Error (A_transport e))
+
+let attempt_once t json sent_id =
+  let ( let* ) = Result.bind in
+  let* () =
+    match t.breaker with
+    | Some b when not (Breaker.allow b) -> Error A_open
+    | _ -> Ok ()
+  in
+  let outcome =
+    let* c = conn_of t in
+    let transport r =
+      Result.map_error
+        (fun e ->
+          drop_conn t;
+          A_transport e)
+        r
+    in
+    let* () = transport (Client.send_result c json) in
+    let* reply = transport (Client.recv_result ~timeout:t.timeout c) in
+    match Protocol.reply_of_json reply with
+    | Error message ->
+        drop_conn t;
+        Error
+          (A_transport { Client.kind = Client.Protocol; message })
+    | Ok (echoed, body) ->
+        if echoed <> sent_id then begin
+          (* A reply for some earlier request on this stream (e.g. one we
+             timed out on): the id echo proves it is not ours.  Resync by
+             redialing. *)
+          drop_conn t;
+          Error
+            (A_stale
+               (Printf.sprintf "stale reply: sent id %s, reply echoes %s"
+                  (match sent_id with Some j -> Json.to_string j | None -> "none")
+                  (match echoed with Some j -> Json.to_string j | None -> "none")))
+        end
+        else
+          match body with
+          | Protocol.Err (kind, message)
+            when kind = Protocol.kind_overloaded
+                 || kind = Protocol.kind_draining ->
+              Error (A_rejected (kind, message))
+          | Protocol.Ok_result _ | Protocol.Err _ -> Ok reply
+  in
+  (match t.breaker with
+  | None -> ()
+  | Some b -> (
+      match outcome with
+      | Ok _ -> Breaker.record b ~ok:true
+      | Error A_open -> ()  (* never dialed; nothing to record *)
+      | Error (A_rejected (kind, _)) when kind = Protocol.kind_draining ->
+          (* An orderly goodbye, not a dependency failure. *)
+          Breaker.record b ~ok:true
+      | Error (A_transport _ | A_stale _ | A_rejected _) ->
+          Breaker.record b ~ok:false));
+  outcome
+
+let retryable ~idempotent = function
+  | A_open -> false
+  | A_rejected (kind, _) -> idempotent && kind = Protocol.kind_overloaded
+  | A_stale _ -> idempotent
+  | A_transport { Client.kind; _ } -> (
+      idempotent
+      && match kind with
+         | Client.Refused | Client.Timeout | Client.Reset -> true
+         | Client.Protocol -> false)
+
+let request ?(idempotent = true) t json =
+  Mutex.lock t.mu;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mu)
+    (fun () ->
+      let json, sent_id = with_id t json in
+      match
+        Retry.run ~policy:t.retry ~rng:t.rng
+          ~retryable:(retryable ~idempotent)
+          (fun ~attempt ->
+            if attempt > 1 then t.n_retries <- t.n_retries + 1;
+            attempt_once t json sent_id)
+      with
+      | Ok reply -> Ok reply
+      | Error { Retry.last_error = A_open; _ } -> Error Open_circuit
+      | Error { Retry.last_error = A_rejected (kind, message); _ } ->
+          Error (Rejected (kind, message))
+      | Error { Retry.last_error = A_transport e; attempts; _ } ->
+          Error (Transport (e, attempts))
+      | Error { Retry.last_error = A_stale message; attempts; _ } ->
+          Error
+            (Transport ({ Client.kind = Client.Protocol; message }, attempts)))

@@ -1,0 +1,66 @@
+(** A {!Gc_serve.Client} that survives restarts.
+
+    One value per dependency (or per hammer thread): it owns a connection
+    it transparently re-establishes, a {!Retry} policy, and optionally a
+    shared {!Breaker}.  What a caller gets beyond the raw client:
+
+    - {b automatic reconnect} — a [Refused]/[Reset]/[Timeout] transport
+      failure drops the cached connection and the retry policy dials
+      again, so a server restart (e.g. under [gcserved supervise]) costs
+      one backoff delay, not an error surfaced to the caller;
+    - {b idempotent-request retry keyed on the id echo} — every request
+      is stamped with a fresh [id] (unless the caller set one); a reply
+      whose echoed id differs is a stale leftover on a reused stream,
+      {e proving} the reply is not ours — the connection is dropped and
+      the request retried.  Only idempotent requests retry (the default:
+      every protocol op is a pure computation), and [Protocol]-kind
+      faults never do;
+    - {b clean overloaded/draining classification} — a framed
+      ["overloaded"] reply is retried with backoff (the shed was the
+      server asking for exactly that) and surfaces as {!Rejected} when
+      the budget is out; a ["draining"] reply is never retried — the
+      server is going away, and hammering it would fight the drain.
+
+    Other error replies (usage, timeout, exception, model-violation) are
+    answers, not failures: they come back as [Ok reply] for the caller to
+    interpret, exactly as with the raw client. *)
+
+type t
+
+type failure =
+  | Transport of Gc_serve.Client.error * int
+      (** Classified transport failure and the attempts made. *)
+  | Rejected of string * string
+      (** The server answered [overloaded] (retry budget spent) or
+          [draining]: (kind, message). *)
+  | Open_circuit  (** The breaker refused the call without dialing. *)
+
+val string_of_failure : failure -> string
+
+val create :
+  ?timeout:float ->
+  ?retry:Retry.policy ->
+  ?breaker:Breaker.t ->
+  ?seed:int ->
+  Gc_serve.Client.addr ->
+  t
+(** [timeout] (default 60s) bounds each attempt's reply wait; [seed]
+    (default 0) seeds the jitter stream, so a drill replaying a seed
+    replays the backoff schedule.  Requests on one [t] are serialized —
+    share a breaker, not a [t], across threads. *)
+
+val request :
+  ?idempotent:bool -> t -> Gc_obs.Json.t -> (Gc_obs.Json.t, failure) result
+(** Send one request, retrying per policy.  [idempotent] (default [true])
+    gates every retry; with [~idempotent:false] the first classified
+    failure is final. *)
+
+val close : t -> unit
+(** Drop the cached connection (idempotent; [t] remains usable). *)
+
+val reconnects : t -> int
+(** Connections established after the first — the restarts this client
+    has ridden through. *)
+
+val retries : t -> int
+(** Attempts beyond the first, summed over all requests. *)

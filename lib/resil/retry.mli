@@ -1,0 +1,60 @@
+(** Retry policy: capped exponential backoff with deterministic jitter.
+
+    The one sanctioned shape for "try it again" in this tree (the
+    [unbounded-retry] lint rule flags bare retry loops elsewhere).  Three
+    properties every retry here gets for free:
+
+    - {b capped exponential backoff} — the delay doubles per attempt from
+      [base_delay] up to [max_delay], so a down dependency sees an
+      ever-sparser probe stream instead of a busy loop;
+    - {b deterministic jitter} — each delay is spread over
+      [[1 - jitter, 1] * delay] by a caller-seeded {!Gc_trace.Rng}, so
+      concurrent retriers decorrelate {e and} a drill replaying the same
+      seed sleeps the same schedule (no [Stdlib.Random], per the
+      [nondeterministic-rng] rule);
+    - {b budget awareness} — an optional total wall-clock [budget]
+      (monotonic {!Gc_prof.Clock}) bounds the whole retry session: no
+      attempt starts after it is spent, whatever [max_attempts] says.
+
+    The driver is [Result]-based on purpose: callers classify their own
+    failures first (e.g. {!Gc_serve.Client.error_kind}) and say which are
+    retryable.  Exceptions pass through untouched, so cooperative
+    cancellation ({!Gc_exec.Cancel.Cancelled}) can never be swallowed by
+    a retry loop. *)
+
+type policy = {
+  max_attempts : int;  (** Total tries, first one included ([>= 1]). *)
+  base_delay : float;  (** Delay before attempt 2, seconds. *)
+  max_delay : float;  (** Backoff ceiling, seconds. *)
+  jitter : float;
+      (** Fraction of each delay that is randomized, in [[0, 1]]:
+          [0.] = fixed schedule, [0.25] = each delay drawn uniformly
+          from [[0.75, 1] * delay]. *)
+  budget : float option;  (** Total wall-clock bound for the session. *)
+}
+
+val default : policy
+(** 4 attempts, 50ms base, 2s cap, 0.25 jitter, no budget. *)
+
+val delay_for : policy -> rng:Gc_trace.Rng.t -> attempt:int -> float
+(** The jittered delay after failed [attempt] (1-based): draws one value
+    from [rng].  Same seed, same sequence. *)
+
+type 'e give_up = {
+  attempts : int;  (** Attempts actually made. *)
+  last_error : 'e;
+  budget_spent : bool;  (** The budget, not [max_attempts], stopped us. *)
+}
+
+val run :
+  ?policy:policy ->
+  ?sleep:(float -> unit) ->
+  rng:Gc_trace.Rng.t ->
+  retryable:('e -> bool) ->
+  (attempt:int -> ('a, 'e) result) ->
+  ('a, 'e give_up) result
+(** [run ~rng ~retryable f] calls [f ~attempt:1], [f ~attempt:2], ...
+    until one succeeds, an error is not [retryable], [max_attempts] is
+    reached, or the budget is spent.  [sleep] (default
+    {!Gc_exec.Pool.nap}, the EINTR-safe sleep) is injectable so unit
+    tests can record the schedule instead of waiting it out. *)

@@ -3,7 +3,13 @@
     Used by [gcserved client], the test harnesses, and anything scripted.
     Every call takes a wall-clock [timeout] so a dead or wedged server can
     never hang the caller — the mirror image of the server's own
-    slow-loris guard. *)
+    slow-loris guard.
+
+    Two API levels.  The [_result] functions classify failures into
+    {!error_kind}s, which is what retry policy hangs off
+    ({!Gc_resil.Resilient_client} retries [Refused]/[Timeout]/[Reset] for
+    idempotent requests, never [Protocol]).  The historical string-error
+    functions remain as thin wrappers for callers that only print. *)
 
 type addr =
   | Unix_path of string
@@ -11,18 +17,44 @@ type addr =
 
 type conn
 
+type error_kind =
+  | Refused  (** No server: connect refused, socket path absent, unreachable. *)
+  | Timeout  (** Connect or whole-reply deadline expired. *)
+  | Reset  (** The connection existed and then went away (EOF/EPIPE/RST). *)
+  | Protocol  (** The bytes arrived but are not a valid frame; not retryable. *)
+
+type error = { kind : error_kind; message : string }
+
+val kind_name : error_kind -> string
+(** ["refused" | "timeout" | "reset" | "protocol"]. *)
+
+val string_of_client_error : error -> string
+(** ["kind: message"]. *)
+
+val connect_result : ?timeout:float -> addr -> (conn, error) result
+(** Classified connect.  [timeout] (default 5s) bounds the TCP connect. *)
+
 val connect : ?timeout:float -> addr -> conn
-(** Raises [Unix.Unix_error] (e.g. [ECONNREFUSED]) on failure.  [timeout]
-    (default 5s) bounds the TCP connect. *)
+(** {!connect_result}, raising [Unix.Unix_error] on failure (historical
+    interface; the classification is flattened into the message). *)
 
 val close : conn -> unit
 
 val send : conn -> Gc_obs.Json.t -> unit
-(** Frame and send one document. *)
+(** Frame and send one document.  Raises [Unix.Unix_error] (e.g. [EPIPE])
+    if the peer is gone. *)
+
+val send_result : conn -> Gc_obs.Json.t -> (unit, error) result
+(** Classified {!send}: a gone peer is [Reset], not an exception. *)
 
 val recv : ?max_frame:int -> ?timeout:float -> conn -> (Gc_obs.Json.t, string) result
 (** Await one framed document (default timeout 60s).  [Error] describes a
     protocol fault, EOF, or timeout. *)
+
+val recv_result :
+  ?max_frame:int -> ?timeout:float -> conn -> (Gc_obs.Json.t, error) result
+(** Classified {!recv}: EOF is [Reset], framing faults are [Protocol],
+    expiry is [Timeout]. *)
 
 val request :
   ?timeout:float ->
@@ -30,6 +62,14 @@ val request :
   Gc_obs.Json.t ->
   (Gc_obs.Json.t, string) result
 (** One-shot: connect, send, await the reply, close. *)
+
+val request_result :
+  ?timeout:float ->
+  addr ->
+  Gc_obs.Json.t ->
+  (Gc_obs.Json.t, error) result
+(** One-shot with classified errors; {!request} is this with the kind
+    flattened into the message. *)
 
 val fd : conn -> Unix.file_descr
 (** The raw socket, for adversarial tests that need to write garbage. *)

@@ -96,6 +96,7 @@ type t = {
   c_replies : (string * Registry.counter) list;  (* by status kind *)
   c_shed : Registry.counter;
   c_faults : Registry.counter;  (* framing-level protocol faults *)
+  c_io_errors : Registry.counter;  (* reply writes that found the peer gone *)
   c_disconnects : Registry.counter;
   c_accepted : Registry.counter;
   g_queue : Registry.gauge;
@@ -129,10 +130,13 @@ let counter_for table key =
 (* ------------------------------------------------------------ responses *)
 
 (* Serialised, bounded (SO_SNDTIMEO), and total: any write failure just
-   marks the connection dead — the peer is gone, which is its problem.
-   Encoding happens outside the write lock (it touches only the json),
-   under an "encode" span; the write itself is the "reply" span. *)
-let try_write ?(req_id = None) conn json =
+   marks the connection dead — the peer is gone, which is its problem,
+   but the [io_errors] counter keeps the event visible to the stats op
+   and to chaos drills (a silent swallow here would make a fault-proxy
+   run unaccountable).  Encoding happens outside the write lock (it
+   touches only the json), under an "encode" span; the write itself is
+   the "reply" span. *)
+let try_write t ?(req_id = None) conn json =
   let args = span_id_args req_id in
   let s =
     Gc_prof.Span.with_ ~args ~tid:(span_tid ()) "encode" (fun () ->
@@ -145,18 +149,20 @@ let try_write ?(req_id = None) conn json =
            Frame.write_raw conn.fd s)
    with
   | () -> ()
-  | exception (Unix.Unix_error _ | Sys_error _) -> conn.alive <- false);
+  | exception (Unix.Unix_error _ | Sys_error _) ->
+      Registry.incr t.c_io_errors;
+      conn.alive <- false);
   Mutex.unlock conn.wmu
 
 let count_reply t kind = Registry.incr (counter_for t.c_replies kind)
 
 let reply_error t conn ?id kind message =
   count_reply t kind;
-  try_write ~req_id:id conn (Protocol.error ?id ~kind message)
+  try_write t ~req_id:id conn (Protocol.error ?id ~kind message)
 
 let reply_ok t conn ?id result =
   count_reply t "ok";
-  try_write ~req_id:id conn (Protocol.ok ?id result)
+  try_write t ~req_id:id conn (Protocol.ok ?id result)
 
 (* -------------------------------------------------------------- lifecycle *)
 
@@ -633,6 +639,7 @@ let create config =
           reply_kinds;
       c_shed = Registry.counter reg "shed";
       c_faults = Registry.counter reg "protocol_faults";
+      c_io_errors = Registry.counter reg "io_errors";
       c_disconnects = Registry.counter reg "mid_request_disconnects";
       c_accepted = Registry.counter reg "connections_accepted";
       g_queue = Registry.gauge reg "queue_depth";

@@ -1,0 +1,18 @@
+(* Fixture: unbounded-retry.  Parsed by test_lint.ml, never compiled.
+   A catch-all handler that re-enters its own [let rec] binding retries
+   forever with no bound or backoff.  A [when] guard is a bound the
+   author wrote down, and a narrow pattern is a deliberate
+   classification — neither is flagged. *)
+let rec dial () = try connect () with _ -> dial ()
+
+let rec fetch url =
+  match download url with body -> body | exception _ -> fetch url
+
+(* Bounded by a guard: clean. *)
+let rec poll n = try probe () with _ when n > 0 -> poll (n - 1)
+
+(* Narrow pattern: clean (it names the one error it rides out). *)
+let rec wait q = try take q with Empty -> wait q
+
+(* A handler that does not re-enter the binding: clean. *)
+let rec parse s = try really_parse s with _ -> default

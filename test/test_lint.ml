@@ -111,6 +111,21 @@ let fixture_tests =
          signals (fix: call Gc_exec.Pool.nap, which retries the remaining \
          time on EINTR)";
       ];
+    (* Scoped under bin/ so the overlapping swallowed-cancellation rule
+       (lib/-only) stays quiet and the retry findings stand alone. *)
+    golden "unbounded-retry" ~as_path:"bin/retry.ml" "retry.ml"
+      [
+        "bin/retry.ml:6:39: error unbounded-retry: catch-all handler \
+         re-enters the recursive binding: an unbounded retry with no \
+         backoff (fix: drive the attempt through Gc_resil.Retry.run \
+         (capped attempts, backoff, jitter), or bound the handler with a \
+         `when` guard)";
+        "bin/retry.ml:9:42: error unbounded-retry: catch-all handler \
+         re-enters the recursive binding: an unbounded retry with no \
+         backoff (fix: drive the attempt through Gc_resil.Retry.run \
+         (capped attempts, backoff, jitter), or bound the handler with a \
+         `when` guard)";
+      ];
     golden "partial-stdlib" ~as_path:"lib/partial.ml" "partial.ml"
       [
         "lib/partial.ml:2:16: warn partial-stdlib: partial List.hd raises \
@@ -191,6 +206,25 @@ let test_scope_wallclock_outside_lib () =
   Alcotest.(check (list string))
     "wall-clock-timing does not fire outside lib/" []
     (check ~as_path:"bench/wallclock.ml" "wallclock.ml")
+
+let test_scope_retry_exempt () =
+  (* The fixture under lib/ also trips swallowed-cancellation (by
+     design — the two rules overlap on catch-alls), so assert only on
+     the retry findings. *)
+  let retry_findings as_path =
+    List.filter
+      (fun s -> Test_util.contains s "unbounded-retry")
+      (check ~as_path "retry.ml")
+  in
+  Alcotest.(check (list string))
+    "lib/resil/ owns retrying" []
+    (retry_findings "lib/resil/retry.ml");
+  Alcotest.(check (list string))
+    "pool.ml's bounded retry engine is sanctioned" []
+    (retry_findings "lib/exec/pool.ml");
+  Alcotest.(check (list string))
+    "unbounded-retry does not fire outside lib/ and bin/" []
+    (retry_findings "test/retry.ml")
 
 let test_scope_exec_exempt () =
   Alcotest.(check (list string))
@@ -370,6 +404,7 @@ let () =
           Alcotest.test_case "wallclock-outside-lib" `Quick
             test_scope_wallclock_outside_lib;
           Alcotest.test_case "exec-exempt" `Quick test_scope_exec_exempt;
+          Alcotest.test_case "retry-exempt" `Quick test_scope_retry_exempt;
         ] );
       ( "config",
         [

@@ -1,0 +1,476 @@
+(* The resilience layer under test: Retry's deterministic backoff
+   schedule (recorded via an injected sleep, never slept), the Breaker
+   state machine over a sliding window, Resilient_client against real
+   in-process servers (reconnect across a restart, refused
+   classification, breaker fast-fail), and Supervise end-to-end with the
+   real ../bin/gcserved.exe child — SIGKILL then a clean drain with
+   exactly one restart, and the crash-loop give-up. *)
+
+module Json = Gc_obs.Json
+module Rng = Gc_trace.Rng
+module Retry = Gc_resil.Retry
+module Breaker = Gc_resil.Breaker
+module Rc = Gc_resil.Resilient_client
+module Supervise = Gc_resil.Supervise
+module Server = Gc_serve.Server
+module Client = Gc_serve.Client
+
+(* ----------------------------------------------------------------- retry *)
+
+let fixed ?(budget = None) ?(jitter = 0.) ?(max_attempts = 6) () =
+  { Retry.max_attempts; base_delay = 0.1; max_delay = 0.4; jitter; budget }
+
+(* Run [Retry.run] with a recording sleep; returns (result, sleeps). *)
+let record_run ?policy ~seed ~retryable f =
+  let sleeps = ref [] in
+  let sleep d = sleeps := d :: !sleeps in
+  let r = Retry.run ?policy ~sleep ~rng:(Rng.create seed) ~retryable f in
+  (r, List.rev !sleeps)
+
+let test_retry_caps_and_doubles () =
+  let r, sleeps =
+    record_run ~policy:(fixed ()) ~seed:1
+      ~retryable:(fun _ -> true)
+      (fun ~attempt:_ -> Error "down")
+  in
+  (match r with
+  | Error { Retry.attempts = 6; last_error = "down"; budget_spent = false } ->
+      ()
+  | Error g -> Alcotest.failf "gave up after %d attempts" g.Retry.attempts
+  | Ok _ -> Alcotest.fail "succeeded out of thin air");
+  Alcotest.(check (list (float 1e-9)))
+    "doubling, capped at max_delay"
+    [ 0.1; 0.2; 0.4; 0.4; 0.4 ]
+    sleeps
+
+let test_retry_jitter_deterministic () =
+  let go () =
+    record_run ~policy:(fixed ~jitter:0.25 ()) ~seed:42
+      ~retryable:(fun _ -> true)
+      (fun ~attempt:_ -> Error "down")
+  in
+  let _, first = go () in
+  let _, again = go () in
+  Alcotest.(check (list (float 1e-12))) "same seed, same schedule" first again;
+  List.iteri
+    (fun i d ->
+      let full = Float.min 0.4 (0.1 *. Float.pow 2. (float_of_int i)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "sleep %d within [0.75, 1] of %g" i full)
+        true
+        (d >= (0.75 *. full) -. 1e-9 && d <= full +. 1e-9))
+    first
+
+let test_retry_stops_on_success () =
+  let calls = ref 0 in
+  let r, sleeps =
+    record_run ~policy:(fixed ()) ~seed:7
+      ~retryable:(fun _ -> true)
+      (fun ~attempt ->
+        incr calls;
+        if attempt < 3 then Error "flaky" else Ok attempt)
+  in
+  Alcotest.(check int) "succeeded on attempt 3" 3 (match r with Ok a -> a | Error _ -> -1);
+  Alcotest.(check int) "three calls" 3 !calls;
+  Alcotest.(check int) "two sleeps" 2 (List.length sleeps)
+
+let test_retry_respects_classification () =
+  let calls = ref 0 in
+  let r, sleeps =
+    record_run ~policy:(fixed ()) ~seed:7
+      ~retryable:(fun e -> e <> "fatal")
+      (fun ~attempt:_ ->
+        incr calls;
+        Error "fatal")
+  in
+  (match r with
+  | Error { Retry.attempts = 1; last_error = "fatal"; _ } -> ()
+  | _ -> Alcotest.fail "a non-retryable error must be final");
+  Alcotest.(check int) "one call, no sleeps" 1 !calls;
+  Alcotest.(check (list (float 0.))) "no sleeps" [] sleeps
+
+let test_retry_budget_stops_the_session () =
+  (* Real sleeps, tiny values: the 0.1s budget must cut a 100-attempt
+     policy down to a handful. *)
+  let policy =
+    {
+      Retry.max_attempts = 100;
+      base_delay = 0.02;
+      max_delay = 0.02;
+      jitter = 0.;
+      budget = Some 0.1;
+    }
+  in
+  let r =
+    Retry.run ~policy ~rng:(Rng.create 1)
+      ~retryable:(fun _ -> true)
+      (fun ~attempt:_ -> Error "down")
+  in
+  match r with
+  | Error g ->
+      Alcotest.(check bool) "budget stopped it" true g.Retry.budget_spent;
+      Alcotest.(check bool)
+        (Printf.sprintf "well under max_attempts (%d)" g.Retry.attempts)
+        true (g.Retry.attempts < 20)
+  | Ok _ -> Alcotest.fail "succeeded out of thin air"
+
+(* --------------------------------------------------------------- breaker *)
+
+let tripping_config =
+  { Breaker.window = 4; min_samples = 4; failure_threshold = 0.5; cooldown = 30. }
+
+let trip b =
+  (* Two of four outcomes failing meets the 0.5 threshold exactly. *)
+  Breaker.record b ~ok:true;
+  Breaker.record b ~ok:false;
+  Breaker.record b ~ok:true;
+  Breaker.record b ~ok:false
+
+let test_breaker_trips_on_rate () =
+  let b = Breaker.create ~config:tripping_config () in
+  Alcotest.(check bool) "closed allows" true (Breaker.allow b);
+  trip b;
+  Alcotest.(check string) "open" "open" (Breaker.state_name (Breaker.state b));
+  Alcotest.(check bool) "open refuses" false (Breaker.allow b)
+
+let test_breaker_needs_min_samples () =
+  let b =
+    Breaker.create
+      ~config:{ tripping_config with Breaker.window = 10; min_samples = 5 }
+      ()
+  in
+  Breaker.record b ~ok:false;
+  Breaker.record b ~ok:false;
+  Alcotest.(check string)
+    "two failures alone cannot trip it" "closed"
+    (Breaker.state_name (Breaker.state b));
+  Alcotest.(check bool) "still allows" true (Breaker.allow b)
+
+let test_breaker_half_open_probe () =
+  let b =
+    Breaker.create ~config:{ tripping_config with Breaker.cooldown = 0.05 } ()
+  in
+  trip b;
+  Alcotest.(check bool) "open refuses" false (Breaker.allow b);
+  Gc_exec.Pool.nap 0.08;
+  Alcotest.(check bool) "cooldown elapses: one probe" true (Breaker.allow b);
+  Alcotest.(check bool) "second concurrent probe refused" false (Breaker.allow b);
+  Breaker.record b ~ok:true;
+  Alcotest.(check string)
+    "probe success closes" "closed"
+    (Breaker.state_name (Breaker.state b));
+  Alcotest.(check bool) "closed again" true (Breaker.allow b)
+
+let test_breaker_half_open_failure_reopens () =
+  let b =
+    Breaker.create ~config:{ tripping_config with Breaker.cooldown = 0.05 } ()
+  in
+  trip b;
+  Gc_exec.Pool.nap 0.08;
+  Alcotest.(check bool) "probe allowed" true (Breaker.allow b);
+  Breaker.record b ~ok:false;
+  Alcotest.(check string)
+    "probe failure reopens" "open"
+    (Breaker.state_name (Breaker.state b));
+  Alcotest.(check bool) "refusing again" false (Breaker.allow b)
+
+let test_breaker_gauge () =
+  let reg = Gc_obs.Registry.create () in
+  let b = Breaker.create ~config:tripping_config ~registry:reg ~name:"dep" () in
+  let gauge () =
+    match Gc_obs.Registry.to_json reg with
+    | Json.Array rows -> (
+        let hit = function
+          | Json.Obj fields ->
+              List.assoc_opt "name" fields = Some (Json.String "breaker_state")
+          | _ -> false
+        in
+        match List.find_opt hit rows with
+        | Some (Json.Obj fields) -> List.assoc_opt "value" fields
+        | _ -> None)
+    | _ -> None
+  in
+  Alcotest.(check bool) "closed = 0" true (gauge () = Some (Json.Int 0));
+  trip b;
+  Alcotest.(check bool) "open = 2" true (gauge () = Some (Json.Int 2))
+
+(* ------------------------------------------------------ resilient client *)
+
+let sock_seq = ref 0
+
+let fresh_sock () =
+  incr sock_seq;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "gcresil-%d-%d.sock" (Unix.getpid ()) !sock_seq)
+
+let tiny_server path =
+  Server.create
+    { Server.default_config with Server.socket_path = Some path; workers = 1 }
+
+let health = Json.Obj [ ("op", Json.String "health") ]
+
+let fast_retry =
+  { Retry.default with Retry.max_attempts = 2; base_delay = 0.01; max_delay = 0.02 }
+
+let test_rc_round_trip () =
+  let path = fresh_sock () in
+  let t = tiny_server path in
+  Fun.protect
+    ~finally:(fun () -> Server.drain t)
+    (fun () ->
+      let rc = Rc.create ~timeout:5. (Client.Unix_path path) in
+      (match Rc.request rc health with
+      | Ok reply -> (
+          match Gc_serve.Protocol.reply_of_json reply with
+          | Ok (_, Gc_serve.Protocol.Ok_result _) -> ()
+          | Ok (_, Gc_serve.Protocol.Err (k, m)) ->
+              Alcotest.failf "error reply %s: %s" k m
+          | Error m -> Alcotest.failf "malformed reply: %s" m)
+      | Error f -> Alcotest.failf "request failed: %s" (Rc.string_of_failure f));
+      Alcotest.(check int) "no retries on a healthy server" 0 (Rc.retries rc);
+      Alcotest.(check int) "no reconnects" 0 (Rc.reconnects rc);
+      Rc.close rc)
+
+let test_rc_reconnects_across_restart () =
+  let path = fresh_sock () in
+  let rc = Rc.create ~timeout:5. (Client.Unix_path path) in
+  let t1 = tiny_server path in
+  (match Rc.request rc health with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "first request: %s" (Rc.string_of_failure f));
+  Server.drain t1;
+  (* Same path, new incarnation: the cached connection is now dead and
+     the client must ride the reset without surfacing it. *)
+  let t2 = tiny_server path in
+  Fun.protect
+    ~finally:(fun () -> Server.drain t2)
+    (fun () ->
+      (match Rc.request rc health with
+      | Ok _ -> ()
+      | Error f ->
+          Alcotest.failf "post-restart request: %s" (Rc.string_of_failure f));
+      Alcotest.(check bool)
+        (Printf.sprintf "reconnected (%d)" (Rc.reconnects rc))
+        true
+        (Rc.reconnects rc >= 1);
+      Rc.close rc)
+
+let test_rc_refused_is_classified () =
+  let rc = Rc.create ~retry:fast_retry (Client.Unix_path (fresh_sock ())) in
+  (match Rc.request rc health with
+  | Error (Rc.Transport ({ Client.kind = Client.Refused; _ }, attempts)) ->
+      Alcotest.(check int) "spent the whole policy" 2 attempts
+  | Error f -> Alcotest.failf "wrong failure: %s" (Rc.string_of_failure f)
+  | Ok _ -> Alcotest.fail "nothing was listening");
+  Rc.close rc
+
+let test_rc_non_idempotent_single_shot () =
+  let rc = Rc.create ~retry:fast_retry (Client.Unix_path (fresh_sock ())) in
+  (match Rc.request ~idempotent:false rc health with
+  | Error (Rc.Transport (_, attempts)) ->
+      Alcotest.(check int) "exactly one attempt" 1 attempts
+  | Error f -> Alcotest.failf "wrong failure: %s" (Rc.string_of_failure f)
+  | Ok _ -> Alcotest.fail "nothing was listening");
+  Rc.close rc
+
+let test_rc_breaker_fast_fails () =
+  let breaker =
+    Breaker.create
+      ~config:
+        { Breaker.window = 2; min_samples = 2; failure_threshold = 0.5;
+          cooldown = 60. }
+      ()
+  in
+  let rc =
+    Rc.create ~retry:fast_retry ~breaker (Client.Unix_path (fresh_sock ()))
+  in
+  (* The two failing attempts of this one request trip the breaker. *)
+  (match Rc.request rc health with
+  | Error (Rc.Transport _) -> ()
+  | Error f -> Alcotest.failf "wrong failure: %s" (Rc.string_of_failure f)
+  | Ok _ -> Alcotest.fail "nothing was listening");
+  Alcotest.(check string)
+    "tripped" "open"
+    (Breaker.state_name (Breaker.state breaker));
+  (match Rc.request rc health with
+  | Error Rc.Open_circuit -> ()
+  | Error f -> Alcotest.failf "expected Open_circuit, got %s" (Rc.string_of_failure f)
+  | Ok _ -> Alcotest.fail "breaker let a call through");
+  Rc.close rc
+
+(* -------------------------------------------------------------- supervise *)
+
+let gcserved = "../bin/gcserved.exe"
+
+type watch = {
+  mu : Mutex.t;
+  mutable events : Supervise.event list;
+  mutable pid : int option;
+  mutable healthy : int;
+}
+
+let watch_create () =
+  { mu = Mutex.create (); events = []; pid = None; healthy = 0 }
+
+let watch_event w ev =
+  Mutex.lock w.mu;
+  w.events <- ev :: w.events;
+  (match ev with
+  | Supervise.Spawned pid -> w.pid <- Some pid
+  | Supervise.Became_healthy _ -> w.healthy <- w.healthy + 1
+  | _ -> ());
+  Mutex.unlock w.mu
+
+let await ?(timeout = 20.) ~what pred =
+  let give_up = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    if pred () then ()
+    else if Unix.gettimeofday () > give_up then
+      Alcotest.failf "timed out waiting for %s" what
+    else begin
+      Thread.delay 0.02;
+      go ()
+    end
+  in
+  go ()
+
+let supervise_config ~path ~seed =
+  {
+    (Supervise.default_config
+       ~argv:[| gcserved; "serve"; "--socket"; path; "--workers"; "1" |]
+       ~health_addr:(Client.Unix_path path))
+    with
+    Supervise.health_interval = 0.05;
+    backoff =
+      { Retry.default with Retry.base_delay = 0.02; max_delay = 0.05 };
+    seed;
+  }
+
+let test_supervise_restarts_after_kill () =
+  let path = fresh_sock () in
+  let w = watch_create () in
+  let stop = Gc_exec.Cancel.create () in
+  let outcome = ref None in
+  let th =
+    Thread.create
+      (fun () ->
+        outcome :=
+          Some (Supervise.run ~on_event:(watch_event w) ~stop
+                  (supervise_config ~path ~seed:1)))
+      ()
+  in
+  await ~what:"first healthy child" (fun () -> w.healthy >= 1);
+  (match w.pid with
+  | Some pid -> Unix.kill pid Sys.sigkill
+  | None -> Alcotest.fail "no child pid");
+  await ~what:"restarted child healthy" (fun () -> w.healthy >= 2);
+  Gc_exec.Cancel.request stop ~reason:"test over";
+  Thread.join th;
+  (match !outcome with
+  | Some { Supervise.result = `Drained; restarts = 1 } -> ()
+  | Some { Supervise.result = `Drained; restarts } ->
+      Alcotest.failf "drained with %d restarts, wanted 1" restarts
+  | Some { Supervise.result = `Gave_up; _ } -> Alcotest.fail "gave up"
+  | None -> Alcotest.fail "no outcome");
+  Alcotest.(check bool) "socket gone after drain" false (Sys.file_exists path)
+
+let test_supervise_gives_up_on_crash_loop () =
+  (* A socket path whose directory does not exist: every incarnation
+     dies at bind, and the sliding-window budget must stop the flapping
+     at exactly max_restarts. *)
+  let path = "/nonexistent-gcresil-dir/deep/s.sock" in
+  let w = watch_create () in
+  let stop = Gc_exec.Cancel.create () in
+  let config =
+    { (supervise_config ~path ~seed:2) with Supervise.max_restarts = 2 }
+  in
+  let outcome = Supervise.run ~on_event:(watch_event w) ~stop config in
+  (match outcome with
+  | { Supervise.result = `Gave_up; restarts = 2 } -> ()
+  | { Supervise.result = `Gave_up; restarts } ->
+      Alcotest.failf "gave up after %d restarts, wanted 2" restarts
+  | { Supervise.result = `Drained; _ } ->
+      Alcotest.fail "drained a server that can never bind");
+  let gave_up =
+    List.exists
+      (function Supervise.Gave_up _ -> true | _ -> false)
+      w.events
+  in
+  Alcotest.(check bool) "emitted Gave_up" true gave_up
+
+let test_supervise_clears_stale_socket () =
+  (* Leave a dead socket file behind, as a SIGKILLed child would: the
+     pre-spawn probe must remove it so the child wins the bind. *)
+  let path = fresh_sock () in
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listener (Unix.ADDR_UNIX path);
+  Unix.listen listener 1;
+  Unix.close listener;
+  Alcotest.(check bool) "stale file present" true (Sys.file_exists path);
+  let w = watch_create () in
+  let stop = Gc_exec.Cancel.create () in
+  let outcome = ref None in
+  let th =
+    Thread.create
+      (fun () ->
+        outcome :=
+          Some (Supervise.run ~on_event:(watch_event w) ~stop
+                  (supervise_config ~path ~seed:3)))
+      ()
+  in
+  await ~what:"child healthy despite the stale socket" (fun () ->
+      w.healthy >= 1);
+  Gc_exec.Cancel.request stop ~reason:"test over";
+  Thread.join th;
+  match !outcome with
+  | Some { Supervise.result = `Drained; restarts = 0 } -> ()
+  | _ -> Alcotest.fail "expected a clean drain with no restarts"
+
+(* ---------------------------------------------------------------- suite *)
+
+let () =
+  Alcotest.run "gc_resil"
+    [
+      ( "retry",
+        [
+          Alcotest.test_case "caps and doubles" `Quick test_retry_caps_and_doubles;
+          Alcotest.test_case "jitter is deterministic" `Quick
+            test_retry_jitter_deterministic;
+          Alcotest.test_case "stops on success" `Quick test_retry_stops_on_success;
+          Alcotest.test_case "respects classification" `Quick
+            test_retry_respects_classification;
+          Alcotest.test_case "budget bounds the session" `Quick
+            test_retry_budget_stops_the_session;
+        ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "trips on failure rate" `Quick test_breaker_trips_on_rate;
+          Alcotest.test_case "needs min samples" `Quick test_breaker_needs_min_samples;
+          Alcotest.test_case "half-open single probe" `Quick
+            test_breaker_half_open_probe;
+          Alcotest.test_case "half-open failure reopens" `Quick
+            test_breaker_half_open_failure_reopens;
+          Alcotest.test_case "state gauge" `Quick test_breaker_gauge;
+        ] );
+      ( "resilient-client",
+        [
+          Alcotest.test_case "round trip" `Quick test_rc_round_trip;
+          Alcotest.test_case "reconnects across a restart" `Quick
+            test_rc_reconnects_across_restart;
+          Alcotest.test_case "refused is classified" `Quick
+            test_rc_refused_is_classified;
+          Alcotest.test_case "non-idempotent is single-shot" `Quick
+            test_rc_non_idempotent_single_shot;
+          Alcotest.test_case "breaker fast-fails" `Quick test_rc_breaker_fast_fails;
+        ] );
+      ( "supervise",
+        [
+          Alcotest.test_case "restart after SIGKILL" `Quick
+            test_supervise_restarts_after_kill;
+          Alcotest.test_case "crash loop gives up" `Quick
+            test_supervise_gives_up_on_crash_loop;
+          Alcotest.test_case "clears a stale socket" `Quick
+            test_supervise_clears_stale_socket;
+        ] );
+    ]

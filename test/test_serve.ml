@@ -175,6 +175,108 @@ let test_frame_length_bomb () =
         (Test_util.contains e.Frame.reason "16-byte frame cap")
   | Ok _ -> Alcotest.fail "decoded a frame over the cap"
 
+(* ---------------------------------------------- frame: deadline edges *)
+
+let outcome_name = function
+  | Frame.Frame _ -> "frame"
+  | Frame.Eof -> "eof"
+  | Frame.Bad_payload e -> "bad payload: " ^ Frame.string_of_error e
+  | Frame.Fault e -> "fault: " ^ Frame.string_of_error e
+  | Frame.Timed_out -> "timed out"
+
+let with_socketpair f =
+  let a, b = Unix.socketpair ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      (try Unix.close b with Unix.Unix_error _ -> ()))
+    (fun () -> f a b)
+
+let write_str fd s =
+  let (_ : int) = Unix.write_substring fd s 0 (String.length s) in
+  ()
+
+let test_frame_zero_budget () =
+  (* A zero or negative whole-frame budget is already expired: once the
+     frame has begun, the reader must answer Timed_out immediately — not
+     hang, not crash, not mistake the expiry for EOF.  This pins the
+     wait_readable contract that an expired deadline wins even when
+     bytes are sitting in the socket buffer. *)
+  List.iter
+    (fun budget ->
+      with_socketpair (fun a b ->
+          write_str a (Frame.encode (op_req "health"));
+          let t0 = Unix.gettimeofday () in
+          match Frame.read_fd ~frame_timeout:budget b with
+          | Frame.Timed_out ->
+              Alcotest.(check bool)
+                (Printf.sprintf "budget %g returns promptly" budget)
+                true
+                (Unix.gettimeofday () -. t0 < 1.)
+          | o -> Alcotest.failf "budget %g: got %s" budget (outcome_name o)))
+    [ 0.; -1. ]
+
+let test_frame_deadline_mid_frame () =
+  (* The deadline lands between two reads: the frame keeps growing (so
+     every select wakes with data) but is never complete before the
+     budget — and completing it *after* the budget must not resurrect
+     the read.  Timed_out, at the deadline, not at the late bytes. *)
+  with_socketpair (fun a b ->
+      let budget = 0.3 in
+      let full = Frame.encode (sim_req ()) in
+      let feeder =
+        Thread.create
+          (fun () ->
+            write_str a (String.sub full 0 5);
+            Thread.delay (budget /. 2.);
+            write_str a (String.sub full 5 3);
+            Thread.delay budget;
+            (* Frame completes well past the deadline. *)
+            try write_str a (String.sub full 8 (String.length full - 8))
+            with Unix.Unix_error _ -> ())
+          ()
+      in
+      let t0 = Unix.gettimeofday () in
+      let outcome = Frame.read_fd ~frame_timeout:budget b in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Thread.join feeder;
+      (match outcome with
+      | Frame.Timed_out -> ()
+      | o -> Alcotest.failf "mid-frame expiry: got %s" (outcome_name o));
+      Alcotest.(check bool)
+        (Printf.sprintf "cut at the deadline (%.3fs)" elapsed)
+        true
+        (elapsed >= budget -. 0.05 && elapsed < budget +. 0.4))
+
+let test_frame_eintr_storm () =
+  (* A 2ms SIGALRM storm interrupts every select; the EINTR retry path
+     must recompute the remaining budget each time, so the total
+     deadline still holds — neither an early Timed_out (treating EINTR
+     as expiry) nor a hang (restarting the full budget per retry). *)
+  let storm = { Unix.it_interval = 0.002; it_value = 0.002 } in
+  let old_handler = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ())) in
+  let old_timer = Unix.setitimer Unix.ITIMER_REAL storm in
+  Fun.protect
+    ~finally:(fun () ->
+      let (_ : Unix.interval_timer_status) =
+        Unix.setitimer Unix.ITIMER_REAL old_timer
+      in
+      Sys.set_signal Sys.sigalrm old_handler)
+    (fun () ->
+      with_socketpair (fun a b ->
+          let budget = 0.3 in
+          write_str a "\x00\x00";
+          let t0 = Unix.gettimeofday () in
+          let outcome = Frame.read_fd ~frame_timeout:budget b in
+          let elapsed = Unix.gettimeofday () -. t0 in
+          (match outcome with
+          | Frame.Timed_out -> ()
+          | o -> Alcotest.failf "EINTR storm: got %s" (outcome_name o));
+          Alcotest.(check bool)
+            (Printf.sprintf "deadline survived the storm (%.3fs)" elapsed)
+            true
+            (elapsed >= budget -. 0.05 && elapsed < budget +. 1.0)))
+
 (* -------------------------------------------------------- frame: fuzzers *)
 
 (* Every property asserts totality (no exception) plus a positioned,
@@ -800,6 +902,12 @@ let test_soak_drain () =
       and malformed = Atomic.make 0
       and refused_live = Atomic.make 0 in
       let hammer i =
+        (* Each hammer thread owns a resilient client: reconnects and
+           shed-retries are its job, so a refusal while the server is
+           live means resilience failed, not that a dial lost a race. *)
+        let rc =
+          Gc_resil.Resilient_client.create ~timeout:30. ~seed:i addr
+        in
         for j = 0 to 23 do
           let req =
             match (i + j) mod 4 with
@@ -808,16 +916,17 @@ let test_soak_drain () =
             | 2 -> curve_req ~id:(Json.Int j) ()
             | _ -> op_req "stats"
           in
-          match Client.request ~timeout:30. addr req with
+          match Gc_resil.Resilient_client.request rc req with
           | Ok j -> (
               match Protocol.reply_of_json j with
               | Ok _ -> Atomic.incr well_formed
               | Error _ -> Atomic.incr malformed)
           | Error _ ->
-              (* Connection refused/reset: fine once the drain began,
-                 a failure before it. *)
+              (* Refused/reset/draining: fine once the drain began, a
+                 failure before it. *)
               if not (Atomic.get term_sent) then Atomic.incr refused_live
-        done
+        done;
+        Gc_resil.Resilient_client.close rc
       in
       let adversary () =
         (* Garbage, partial frames, bogus lengths, instant hangups — all
@@ -917,6 +1026,12 @@ let () =
           Alcotest.test_case "stream decode" `Quick test_frame_stream;
           Alcotest.test_case "positioned errors" `Quick test_frame_errors;
           Alcotest.test_case "length bomb" `Quick test_frame_length_bomb;
+          Alcotest.test_case "zero and negative budgets" `Quick
+            test_frame_zero_budget;
+          Alcotest.test_case "deadline expires mid-frame" `Quick
+            test_frame_deadline_mid_frame;
+          Alcotest.test_case "EINTR storm honours the deadline" `Quick
+            test_frame_eintr_storm;
         ] );
       ( "fuzz",
         [ fuzz_random_bytes; fuzz_truncations; fuzz_length_bombs ] );
