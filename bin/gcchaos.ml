@@ -1,6 +1,7 @@
 (* gcchaos — deterministic chaos drills against the supervised server.
 
      gcchaos drill --seeds 1,2,3 --verify-repro
+     gcchaos storm --seed 1 --verify-repro      # the metastability drill
      GC_CHAOS_SEEDS=1..32 dune build @chaos     # wider sweep, same harness
 
    One drill = one seed.  The seed derives the whole fault schedule —
@@ -26,7 +27,14 @@
      - a torn journal append loses exactly the torn tail (load drops it,
        resume truncates and re-appends);
      - a crash between an atomic export's temp write and its rename
-       leaves the previous artifact intact. *)
+       leaves the previous artifact intact.
+
+   gcchaos storm is the companion metastability drill: it saturates a
+   one-worker server with hanging jobs and proves (a) that budget-less
+   retrying clients collapse goodput to ~zero (the retry storm) and
+   (b) that deadline propagation + sojourn shedding + retry budgets +
+   server backoff hints restore full goodput once the poison stops —
+   with the same byte-reproducibility contract as drill. *)
 
 open Cmdliner
 module Json = Gc_obs.Json
@@ -464,6 +472,322 @@ let drill ~server_exe ~requests ~seed =
   let ok = List.for_all (fun (_, v) -> v = Json.Bool true) invariants in
   (report, ok)
 
+(* ---------------------------------------------------------------- storm *)
+
+(* The metastability drill.  Two phases against the same poison load —
+   a trickle of [broken:hang@0] sims that each pin the single worker for
+   deadline+grace, keeping the admission queue full of doomed work:
+
+     naive      overload control off (--codel-target 0) and victim
+                clients retrying without budgets: goodput collapses to
+                ~zero and STAYS there — every shed turns into another
+                retry, which is the metastable failure mode;
+     mitigated  sojourn shedding + deadline propagation on, victims
+                carry budget_ms and success-coupled retry budgets, and a
+                mid-phase SIGKILL proves recovery: once the poison stops
+                the system returns to full goodput instead of staying
+                collapsed.
+
+   Like [drill], a storm's report contains only facts derived from the
+   seed and coarse booleans with wide margins, so the same seed produces
+   a byte-identical report (--verify-repro enforces it). *)
+
+let storm_wave_clients = 3
+let storm_wave_per_client = 4
+let storm_poison_upfront = 24
+
+let hang_req i =
+  Json.Obj
+    [
+      ("id", Json.Int (9000 + i)); ("op", Json.String "sim");
+      ("policy", Json.String "broken:hang@0"); ("k", Json.Int 64);
+      ("seed", Json.Int i); ("workload", Json.String "zipf");
+      ("n", Json.Int 64); ("universe", Json.Int 64);
+    ]
+
+let victim_req ?budget_ms i =
+  Json.Obj
+    ([
+       ("op", Json.String "sim"); ("policy", Json.String "lru");
+       ("k", Json.Int 64); ("seed", Json.Int i);
+       ("workload", Json.String "zipf"); ("n", Json.Int 500);
+       ("universe", Json.Int 256);
+     ]
+    @ match budget_ms with
+      | Some b -> [ ("budget_ms", Json.Int b) ]
+      | None -> [])
+
+(* Poison producers: connections that enqueue hangs and never read the
+   replies.  Production (4/s) outpaces the single worker's consumption
+   (one hang per deadline+grace), so the queue stays saturated until the
+   poison stops. *)
+type poison = {
+  pconns : Client.conn list;
+  pstop : bool Atomic.t;
+  pfeeder : Thread.t;
+}
+
+let start_poison ~sock =
+  let send_hang c i =
+    match Client.send_result c (hang_req i) with Ok () -> true | Error _ -> false
+  in
+  let conns =
+    List.filter_map
+      (fun _ ->
+        Result.to_option (Client.connect_result ~timeout:2. (Client.Unix_path sock)))
+      [ (); () ]
+  in
+  List.iteri
+    (fun ci c ->
+      for i = 0 to (storm_poison_upfront / 2) - 1 do
+        ignore (send_hang c ((ci * storm_poison_upfront / 2) + i))
+      done)
+    conns;
+  let stop = Atomic.make false in
+  let feeder =
+    Thread.create
+      (fun () ->
+        match Client.connect_result ~timeout:2. (Client.Unix_path sock) with
+        | Error _ -> ()
+        | Ok c ->
+            (* Bounded: the cap only matters if a wave wedges, and then
+               the drill's own deadline fails it first. *)
+            let i = ref 0 in
+            while (not (Atomic.get stop)) && !i < 80 do
+              if not (send_hang c (100 + !i)) then Atomic.set stop true;
+              incr i;
+              Gc_exec.Pool.nap 0.25
+            done;
+            Client.close c)
+      () [@lint.allow "spawn-outside-pool"]
+  in
+  { pconns = conns; pstop = stop; pfeeder = feeder }
+
+(* Closing the poison connections cancels their queued hangs (the
+   disconnect path), so the backlog evaporates instead of being served
+   to nobody. *)
+let stop_poison p =
+  Atomic.set p.pstop true;
+  Thread.join p.pfeeder;
+  List.iter Client.close p.pconns
+
+let is_ok_reply reply =
+  match Gc_serve.Protocol.reply_of_json reply with
+  | Ok (_, Gc_serve.Protocol.Ok_result _) -> true
+  | _ -> false
+
+(* One fleet of victim clients hammering fast sims through the poison.
+   [budgeted] is the whole experiment: [false] retries on raw policy
+   (the storm), [true] pays for every retry from a small token bucket
+   and honours the server's retry_after_ms hints. *)
+let run_wave ~sock ~seed ~budgeted ~budget_ms ~timeout =
+  let oks = Array.make storm_wave_clients 0 in
+  let threads =
+    List.init storm_wave_clients (fun ci ->
+        Thread.create
+          (fun () ->
+            let rc =
+              Gc_resil.Resilient_client.create ~timeout
+                ~retry:
+                  {
+                    Retry.default with
+                    max_attempts = 3;
+                    base_delay = 0.05;
+                    max_delay = 0.2;
+                  }
+                ~retry_budget:
+                  (if budgeted then
+                     Some (Gc_admit.Token_bucket.create ~capacity:3. ())
+                   else None)
+                ~seed:((seed * 100) + ci)
+                (Client.Unix_path sock)
+            in
+            for r = 0 to storm_wave_per_client - 1 do
+              let req = victim_req ?budget_ms ((ci * storm_wave_per_client) + r) in
+              match Gc_resil.Resilient_client.request rc req with
+              | Ok reply when is_ok_reply reply -> oks.(ci) <- oks.(ci) + 1
+              | Ok _ | Error _ -> ()
+            done;
+            Gc_resil.Resilient_client.close rc)
+          () [@lint.allow "spawn-outside-pool"])
+  in
+  List.iter Thread.join threads;
+  Array.fold_left ( + ) 0 oks
+
+(* Read shed_sojourn off the live registry via the inline stats op (the
+   reader answers it even while the worker drowns in hangs). *)
+let stats_sojourn_sheds sock =
+  match
+    Client.request_result ~timeout:2. (Client.Unix_path sock)
+      (Json.Obj [ ("op", Json.String "stats") ])
+  with
+  | Error _ -> 0
+  | Ok reply -> (
+      match Gc_serve.Protocol.reply_of_json reply with
+      | Ok (_, Gc_serve.Protocol.Ok_result result) -> (
+          match Json.member "metrics" result with
+          | Some (Json.Array rows) -> sum_metric rows "shed_sojourn"
+          | _ -> 0)
+      | _ -> 0)
+
+type phase_outcome = {
+  wave1_ok : int;  (** Goodput during the poison. *)
+  wave2_ok : int;  (** Goodput after poison + kill (mitigated only). *)
+  sojourn_sheds : int;  (** shed_sojourn mid-poison (mitigated only). *)
+  ph_restarts : int;
+  ph_silent : bool;  (** No reply after the drain. *)
+  ph_manifest : (unit, string) result;
+}
+
+let storm_phase ~server_exe ~seed ~mitigated dir =
+  let tag = if mitigated then "mitigated" else "naive" in
+  let sock = Filename.concat dir (tag ^ ".sock") in
+  let manifest_path = Filename.concat dir (tag ^ ".manifest.json") in
+  let config =
+    {
+      (Supervise.default_config
+         ~argv:
+           [|
+             server_exe; "serve"; "--socket"; sock; "--manifest"; manifest_path;
+             "--deadline"; "0.5"; "--workers"; "1"; "--queue-depth"; "16";
+             "--codel-target"; (if mitigated then "0.05" else "0");
+             "--codel-interval"; "0.25"; "--retry-after-ms"; "40";
+             "--seed"; string_of_int seed;
+           |]
+         ~health_addr:(Client.Unix_path sock))
+      with
+      Supervise.health_interval = 0.05;
+      startup_grace = 20.;
+      wedge_threshold = 200;
+      restart_window = 300.;
+      max_restarts = 10;
+      backoff = { Retry.default with base_delay = 0.05; max_delay = 0.2 };
+      seed;
+    }
+  in
+  let watch = watch_create () in
+  let stop = Gc_exec.Cancel.create () in
+  let outcome = ref (Error "supervisor thread never ran") in
+  let sup =
+    Thread.create
+      (fun () ->
+        outcome :=
+          match Supervise.run ~on_event:(watch_event watch) ~stop config with
+          | o -> Ok o
+          | exception e -> Error (Printexc.to_string e))
+      () [@lint.allow "spawn-outside-pool"]
+  in
+  await_healthy watch 1;
+  dbg "storm %s: poisoning" tag;
+  let poison = start_poison ~sock in
+  dbg "storm %s: wave 1" tag;
+  let wave1_ok =
+    run_wave ~sock ~seed ~budgeted:mitigated
+      ~budget_ms:(if mitigated then Some 1500 else None)
+      ~timeout:1.0
+  in
+  let sojourn_sheds =
+    if mitigated then begin
+      (* Give the controller a last few poisoned dequeues to act on. *)
+      Gc_exec.Pool.nap 0.75;
+      stats_sojourn_sheds sock
+    end
+    else 0
+  in
+  stop_poison poison;
+  let kills = ref 0 in
+  if mitigated then begin
+    await_healthy watch 1;
+    signal_child watch Sys.sigkill;
+    incr kills;
+    await_healthy watch 2
+  end;
+  let wave2_ok =
+    if mitigated then begin
+      dbg "storm %s: wave 2" tag;
+      run_wave ~sock ~seed:(seed + 1) ~budgeted:true ~budget_ms:(Some 5000)
+        ~timeout:4.0
+    end
+    else 0
+  in
+  dbg "storm %s: draining" tag;
+  Gc_exec.Cancel.request stop ~reason:"storm phase complete";
+  Thread.join sup;
+  let sup_outcome =
+    match !outcome with
+    | Ok o -> o
+    | Error m -> Cli_common.fail_runtime "storm: supervisor died: %s" m
+  in
+  let after_drain =
+    Client.request_result ~timeout:1.
+      (Client.Unix_path sock)
+      (Json.Obj [ ("op", Json.String "health") ])
+  in
+  {
+    wave1_ok;
+    wave2_ok;
+    sojourn_sheds;
+    ph_restarts = sup_outcome.Supervise.restarts;
+    ph_silent = Result.is_error after_drain;
+    ph_manifest = manifest_reconciles manifest_path;
+  }
+
+let storm ~server_exe ~seed =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gcstorm.%d.%d" (Unix.getpid ()) seed)
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let naive = storm_phase ~server_exe ~seed ~mitigated:false dir in
+  let mitigated = storm_phase ~server_exe ~seed ~mitigated:true dir in
+  let wave_total = storm_wave_clients * storm_wave_per_client in
+  let check name = function
+    | Ok () -> (name, Json.Bool true)
+    | Error m ->
+        Printf.eprintf "gcchaos: storm seed %d invariant %s: %s\n%!" seed name m;
+        (name, Json.Bool false)
+  in
+  let bool_check name ok detail =
+    check name (if ok then Ok () else Error detail)
+  in
+  let invariants =
+    [
+      (* ~0 goodput, with a one-success margin so a scheduling fluke
+         cannot flap the byte-identical report. *)
+      bool_check "naive_storm_collapses"
+        (naive.wave1_ok * 10 <= wave_total)
+        (Printf.sprintf "naive goodput %d of %d" naive.wave1_ok wave_total);
+      bool_check "naive_restarts_zero" (naive.ph_restarts = 0)
+        (Printf.sprintf "%d restarts without kills" naive.ph_restarts);
+      check "naive_manifest_reconciles" naive.ph_manifest;
+      bool_check "naive_silent_after_drain" naive.ph_silent
+        "post-drain request was answered";
+      bool_check "mitigated_sojourn_shedding" (mitigated.sojourn_sheds >= 1)
+        "CoDel never shed by sojourn under sustained poison";
+      bool_check "mitigated_recovers_goodput" (mitigated.wave2_ok = wave_total)
+        (Printf.sprintf "recovered goodput %d of %d" mitigated.wave2_ok
+           wave_total);
+      bool_check "mitigated_restarts_match_kills" (mitigated.ph_restarts = 1)
+        (Printf.sprintf "restarts %d, kills 1" mitigated.ph_restarts);
+      check "mitigated_manifest_reconciles" mitigated.ph_manifest;
+      bool_check "mitigated_silent_after_drain" mitigated.ph_silent
+        "post-drain request was answered";
+    ]
+  in
+  let report =
+    Json.Obj
+      [
+        ("seed", Json.Int seed);
+        ("wave_requests", Json.Int wave_total);
+        ("poison_upfront", Json.Int storm_poison_upfront);
+        ("invariants", Json.Obj invariants);
+      ]
+  in
+  let ok = List.for_all (fun (_, v) -> v = Json.Bool true) invariants in
+  (report, ok)
+
 (* ----------------------------------------------------------------- CLI *)
 
 let parse_seeds s =
@@ -578,10 +902,97 @@ let drill_cmd =
                 "Run every seed twice and require byte-identical \
                  reports — the determinism contract, enforced."))
 
+let run_storm seeds server report_path verify_repro =
+  let seeds =
+    match seeds with
+    | Some s -> parse_seeds s
+    | None -> (
+        match Sys.getenv_opt "GC_CHAOS_SEEDS" with
+        | Some s -> parse_seeds s
+        | None -> [ 1 ])
+  in
+  let server_exe =
+    match server with Some p -> p | None -> default_server ()
+  in
+  if not (Sys.file_exists server_exe) then
+    Cli_common.fail_usage "server executable %s not found (--server)" server_exe;
+  let failures = ref 0 in
+  let reports =
+    List.map
+      (fun seed ->
+        Printf.eprintf "gcchaos: storming seed %d\n%!" seed;
+        let report, ok = storm ~server_exe ~seed in
+        if not ok then incr failures;
+        if verify_repro then begin
+          let again, _ = storm ~server_exe ~seed in
+          if Json.to_string again <> Json.to_string report then begin
+            Printf.eprintf
+              "gcchaos: storm seed %d is NOT reproducible\n\
+              \  first:  %s\n\
+              \  second: %s\n\
+               %!"
+              seed (Json.to_string report) (Json.to_string again);
+            incr failures
+          end
+        end;
+        report)
+      seeds
+  in
+  let combined =
+    Json.Obj
+      [
+        ("tool", Json.String "gcchaos storm");
+        ("verify_repro", Json.Bool verify_repro);
+        ("storms", Json.Array reports);
+      ]
+  in
+  print_endline (Json.to_string combined);
+  (match report_path with
+  | Some path -> Gc_obs.Export.write_json_atomic path combined
+  | None -> ());
+  if !failures > 0 then
+    Cli_common.fail_model "%d storm(s) violated invariants" !failures;
+  Cli_common.ok
+
+let storm_cmd =
+  Cmd.v
+    (Cmd.info "storm"
+       ~doc:
+         "Run the metastability drill: prove retry storms collapse a \
+          naive server and that budgets + sojourn shedding recover it")
+    Term.(
+      const run_storm
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "seeds"; "seed" ] ~docv:"N,N,..."
+              ~doc:
+                "Storm seeds (default: $(b,GC_CHAOS_SEEDS) from the \
+                 environment, else 1).  Each seed derives the server's \
+                 hint jitter and every client's backoff schedule.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "server" ] ~docv:"EXE"
+              ~doc:
+                "The gcserved executable to supervise (default: the \
+                 gcserved next to this binary).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "report" ] ~docv:"FILE"
+              ~doc:"Also write the combined JSON report to $(docv).")
+      $ Arg.(
+          value & flag
+          & info [ "verify-repro" ]
+              ~doc:
+                "Run every seed twice and require byte-identical \
+                 reports — the determinism contract, enforced."))
+
 let () =
   exit
     (Cli_common.eval
        (Cmd.group
           (Cmd.info "gcchaos" ~version:"%%VERSION%%"
              ~doc:"Deterministic chaos drills for the gcserved stack")
-          [ drill_cmd ]))
+          [ drill_cmd; storm_cmd ]))

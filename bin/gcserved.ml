@@ -16,7 +16,10 @@
    SIGTERM/SIGINT drain (a second signal hard-exits 130), 1 on runtime
    failure, 2 on usage errors.  client maps the reply's error kind onto
    the shared contract: 0 ok, 1 runtime-ish kinds (exception, timeout,
-   overloaded, draining, cancelled), 2 usage/protocol, 3 model-violation. *)
+   overloaded, expired, draining, cancelled), 2 usage/protocol, 3
+   model-violation.  Error replies also get a one-line stderr summary
+   naming the kind as retryable or terminal, with the server's
+   retry_after_ms hint when it sent one. *)
 
 open Cmdliner
 module Json = Gc_obs.Json
@@ -46,8 +49,9 @@ let listeners ~socket ~tcp ~tcp_host =
   let socket = if socket = None && tcp = None then Some "gcserved.sock" else socket in
   (socket, Option.map (fun p -> (tcp_host, p)) tcp)
 
-let serve socket tcp tcp_host workers queue_depth deadline retries max_frame
-    frame_timeout max_conns manifest trace =
+let serve socket tcp tcp_host workers min_workers queue_depth deadline retries
+    max_frame frame_timeout max_conns codel_target codel_interval
+    retry_after_ms seed manifest trace =
   let socket_path, tcp = listeners ~socket ~tcp ~tcp_host in
   let base = Gc_serve.Server.default_config in
   let config =
@@ -57,6 +61,8 @@ let serve socket tcp tcp_host workers queue_depth deadline retries max_frame
       tcp;
       queue_depth = Option.value queue_depth ~default:base.Gc_serve.Server.queue_depth;
       workers = Option.value workers ~default:base.Gc_serve.Server.workers;
+      min_workers =
+        Option.value min_workers ~default:base.Gc_serve.Server.min_workers;
       deadline = Option.value deadline ~default:base.Gc_serve.Server.deadline;
       retries = Option.value retries ~default:base.Gc_serve.Server.retries;
       max_frame = Option.value max_frame ~default:base.Gc_serve.Server.max_frame;
@@ -64,6 +70,13 @@ let serve socket tcp tcp_host workers queue_depth deadline retries max_frame
         Option.value frame_timeout ~default:base.Gc_serve.Server.frame_timeout;
       max_connections =
         Option.value max_conns ~default:base.Gc_serve.Server.max_connections;
+      codel_target =
+        Option.value codel_target ~default:base.Gc_serve.Server.codel_target;
+      codel_interval =
+        Option.value codel_interval ~default:base.Gc_serve.Server.codel_interval;
+      retry_after_ms =
+        Option.value retry_after_ms ~default:base.Gc_serve.Server.retry_after_ms;
+      seed = Option.value seed ~default:base.Gc_serve.Server.seed;
       trace;
     }
   in
@@ -89,7 +102,16 @@ let serve_cmd =
           value
           & opt (some int) None
           & info [ "workers" ] ~docv:"N"
-              ~doc:"Concurrent simulations (default: cores - 1).")
+              ~doc:
+                "Concurrent simulations (default: cores - 1); also the \
+                 ceiling of the adaptive concurrency limit.")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "min-workers" ] ~docv:"N"
+              ~doc:
+                "Floor of the adaptive (AIMD) concurrency limit \
+                 (default 1).")
       $ Arg.(
           value
           & opt (some int) None
@@ -124,6 +146,37 @@ let serve_cmd =
           & opt (some int) None
           & info [ "max-conns" ] ~docv:"N"
               ~doc:"Concurrent connection cap (default 256).")
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "codel-target" ] ~docv:"SECONDS"
+              ~doc:
+                "Acceptable queue sojourn before CoDel-style shedding \
+                 kicks in; 0 disables sojourn shedding and the \
+                 LIFO-under-overload switch (default 0.1).")
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "codel-interval" ] ~docv:"SECONDS"
+              ~doc:
+                "How long sojourn must stay above the target before \
+                 shedding starts; also the AIMD decrease cooldown \
+                 (default 0.5).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "retry-after-ms" ] ~docv:"MS"
+              ~doc:
+                "Base backoff hint attached to overloaded/expired \
+                 replies; the wire value is jittered in [base/2, \
+                 3*base/2] (default 100).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "seed" ] ~docv:"N"
+              ~doc:
+                "Seed for the retry-after jitter stream — drills replay \
+                 byte-identically under a fixed seed (default 0).")
       $ Arg.(
           value
           & opt (some string) None
@@ -329,6 +382,29 @@ let exit_of_reply = function
       then Cli_common.usage_error
       else Cli_common.runtime_error
 
+(* Kinds a caller can sensibly try again later (the reply may carry a
+   retry_after_ms hint); every other kind is terminal for this request. *)
+let retryable_kind kind =
+  kind = Gc_serve.Protocol.kind_overloaded
+  || kind = Gc_serve.Protocol.kind_expired
+  || kind = Gc_serve.Protocol.kind_timeout
+
+(* One stderr line classifying an error reply, so scripts that only read
+   the exit code and humans who only read the last line both learn
+   whether retrying is worthwhile — and how long to wait. *)
+let describe_error_reply reply_json reply =
+  match reply with
+  | Gc_serve.Protocol.Ok_result _ -> ()
+  | Gc_serve.Protocol.Err (kind, message) ->
+      let hint =
+        match Gc_serve.Protocol.retry_after_ms reply_json with
+        | Some ms -> Printf.sprintf "; retry after ~%dms" ms
+        | None -> ""
+      in
+      Printf.eprintf "gcserved: %s %s reply: %s%s\n%!"
+        (if retryable_kind kind then "retryable" else "terminal")
+        kind message hint
+
 (* Render a stats reply's registry snapshot as Prometheus text
    exposition instead of echoing the framed JSON. *)
 let print_prometheus reply_json =
@@ -349,7 +425,7 @@ let print_prometheus reply_json =
               Cli_common.ok))
 
 let client socket tcp tcp_host op policy k seed workload n universe block_size
-    check ks raw timeout prom attempts =
+    check ks raw budget_ms timeout prom json_only attempts =
   if prom && op <> "stats" then
     Cli_common.fail_usage "--prom only applies to the stats op";
   let addr = addr ~socket ~tcp ~tcp_host in
@@ -371,6 +447,7 @@ let client socket tcp tcp_host op policy k seed workload n universe block_size
             Gc_serve.Protocol.id = None;
             op = Gc_serve.Protocol.Sim
                 { Gc_serve.Protocol.policy; k; seed; load; check };
+            budget_ms;
           }
     | "miss-curve" ->
         Gc_serve.Protocol.request_to_json
@@ -384,6 +461,7 @@ let client socket tcp tcp_host op policy k seed workload n universe block_size
                   curve_seed = seed;
                   curve_load = load;
                 };
+            budget_ms;
           }
     | "raw" -> (
         match raw with
@@ -411,14 +489,23 @@ let client socket tcp tcp_host op policy k seed workload n universe block_size
   let result = Gc_resil.Resilient_client.request rc request in
   Gc_resil.Resilient_client.close rc;
   match result with
+  | Error (Gc_resil.Resilient_client.Rejected (kind, message)) ->
+      (* The retry policy (or its budget) gave up on a refusal the server
+         framed properly; classify it the same way a direct reply is. *)
+      Cli_common.fail_runtime "%s %s reply: %s"
+        (if retryable_kind kind then "retryable" else "terminal")
+        kind message
   | Error failure ->
       Cli_common.fail_runtime "%s"
         (Gc_resil.Resilient_client.string_of_failure failure)
   | Ok reply_json when prom -> print_prometheus reply_json
   | Ok reply_json -> (
-      Format.printf "%a@." Json.pp reply_json;
+      if json_only then print_endline (Json.to_string reply_json)
+      else Format.printf "%a@." Json.pp reply_json;
       match Gc_serve.Protocol.reply_of_json reply_json with
-      | Ok (_id, reply) -> exit_of_reply reply
+      | Ok (_id, reply) ->
+          if not json_only then describe_error_reply reply_json reply;
+          exit_of_reply reply
       | Error msg -> Cli_common.fail_runtime "malformed reply: %s" msg)
 
 let client_cmd =
@@ -475,6 +562,15 @@ let client_cmd =
               ~doc:"Raw JSON request body for the $(b,raw) op.")
       $ Arg.(
           value
+          & opt (some int) None
+          & info [ "budget-ms" ] ~docv:"MS"
+              ~doc:
+                "End-to-end budget propagated with sim/miss-curve \
+                 requests; the server refuses (kind $(b,expired)) rather \
+                 than execute a request whose budget lapsed in its \
+                 queue.")
+      $ Arg.(
+          value
           & opt float 60.
           & info [ "timeout" ] ~docv:"SECONDS"
               ~doc:"Give up waiting for the reply after $(docv).")
@@ -484,6 +580,15 @@ let client_cmd =
               ~doc:
                 "Print the $(b,stats) reply's metric registry in \
                  Prometheus text exposition format instead of JSON.")
+      $ Arg.(
+          value & flag
+          & info [ "json-only" ]
+              ~doc:
+                "Print the reply as a single JSON line on stdout and \
+                 nothing else (no pretty-printing, no stderr \
+                 classification) — for scripts; error replies still \
+                 carry $(i,kind), $(i,message), and $(i,retry_after_ms) \
+                 as fields.")
       $ Arg.(
           value
           & opt int 3
@@ -507,7 +612,8 @@ let () =
           Cmd.Exit.info 1
             ~doc:
               "on runtime failure (cannot bind or connect; error replies \
-               of kind exception, timeout, overloaded, draining).";
+               of kind exception, timeout, overloaded, expired, \
+               draining).";
           Cmd.Exit.info 2
             ~doc:"on usage errors (bad flags; usage/protocol error replies).";
           Cmd.Exit.info 3 ~doc:"on a model-violation reply.";

@@ -1,0 +1,40 @@
+type t = {
+  min_limit : int;
+  max_limit : int;
+  beta : float;
+  cooldown : float;
+  mutable current : float;  (* fractional; [limit] floors it *)
+  mutable next_decrease : float;  (* monotonic instant; -inf = armed *)
+}
+
+let create ?(beta = 0.7) ?(cooldown = 0.5) ~min_limit ~max_limit () =
+  if min_limit < 1 then invalid_arg "Aimd.create: min_limit < 1";
+  if max_limit < min_limit then
+    invalid_arg "Aimd.create: max_limit < min_limit";
+  if beta <= 0. || beta >= 1. then
+    invalid_arg "Aimd.create: beta must be in (0, 1)";
+  {
+    min_limit;
+    max_limit;
+    beta;
+    cooldown = Float.max 0. cooldown;
+    current = Float.of_int max_limit;
+    next_decrease = Float.neg_infinity;
+  }
+
+let limit t =
+  let l = int_of_float t.current in
+  if l < t.min_limit then t.min_limit
+  else if l > t.max_limit then t.max_limit
+  else l
+
+let on_success t =
+  if t.current < Float.of_int t.max_limit then
+    t.current <-
+      Float.min (Float.of_int t.max_limit) (t.current +. (1. /. Float.max 1. t.current))
+
+let on_congestion t ~now =
+  if now >= t.next_decrease then begin
+    t.current <- Float.max (Float.of_int t.min_limit) (t.current *. t.beta);
+    t.next_decrease <- now +. t.cooldown
+  end

@@ -1,0 +1,62 @@
+type verdict = Serve | Shed
+
+type t = {
+  target : float;
+  interval : float;
+  mutable first_above : float option;
+      (* when sojourn first went above target; the dropping state arms
+         once [now] passes this + interval *)
+  mutable dropping : bool;
+  mutable drop_next : float;  (* next shed instant while dropping *)
+  mutable count : int;  (* sheds in the current dropping episode *)
+}
+
+let create ~target ~interval =
+  if target > 0. && interval <= 0. then
+    invalid_arg "Codel.create: interval must be positive";
+  {
+    target;
+    interval;
+    first_above = None;
+    dropping = false;
+    drop_next = 0.;
+    count = 0;
+  }
+
+let enabled t = t.target > 0.
+let overloaded t = t.dropping
+
+let control_next t now =
+  (* The classic control law: shed intervals shrink as sqrt(count) so a
+     persistent overload is shed harder the longer it lasts. *)
+  now +. (t.interval /. sqrt (Float.of_int (max 1 t.count)))
+
+let on_dequeue t ~now ~sojourn =
+  if not (enabled t) then Serve
+  else if sojourn < t.target then begin
+    (* Back under target: the episode is over. *)
+    t.first_above <- None;
+    t.dropping <- false;
+    t.count <- 0;
+    Serve
+  end
+  else if t.dropping then
+    if now >= t.drop_next then begin
+      t.count <- t.count + 1;
+      t.drop_next <- control_next t now;
+      Shed
+    end
+    else Serve
+  else
+    match t.first_above with
+    | None ->
+        t.first_above <- Some (now +. t.interval);
+        Serve
+    | Some armed when now < armed -> Serve
+    | Some _ ->
+        (* Above target for a whole interval: start dropping, and shed
+           this dequeue as the first casualty. *)
+        t.dropping <- true;
+        t.count <- 1;
+        t.drop_next <- control_next t now;
+        Shed

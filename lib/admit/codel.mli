@@ -1,0 +1,43 @@
+(** CoDel-style sojourn shedding for the admission queue.
+
+    Depth-based shedding only fires once the queue is {e full}; by then
+    every queued request is already doomed to miss its deadline.  CoDel
+    (controlled delay, Nichols & Jacobson) watches the right signal
+    instead: the {e sojourn time} of the request being dequeued.  When
+    sojourn stays above [target] for a whole [interval], the controller
+    enters a dropping state and sheds dequeued requests at the classic
+    control-law rate ([interval / sqrt count], faster the longer the
+    overload persists) until a dequeue comes in under [target].
+
+    The dropping state doubles as the server's overload flag: while
+    dropping, the queue switches to LIFO service (see {!Deque}), because
+    under sustained overload the newest request is the only one whose
+    client is still likely to be waiting.
+
+    Time is passed in by the caller (monotonic seconds); the controller
+    is a pure state machine and deterministic under test. *)
+
+type t
+
+type verdict =
+  | Serve  (** Execute the request. *)
+  | Shed  (** Drop it with an [overloaded] reply; do not execute. *)
+
+val create : target:float -> interval:float -> t
+(** [target] is the acceptable queue sojourn (seconds); [target <= 0.]
+    disables the controller ({!on_dequeue} always serves, {!overloaded}
+    is always false).  [interval] (seconds, must be positive when
+    enabled) is how long sojourn must stay above target before dropping
+    starts. *)
+
+val enabled : t -> bool
+
+val on_dequeue : t -> now:float -> sojourn:float -> verdict
+(** Feed one dequeue observation and get the disposition.  Must be
+    called for {e every} dequeue, including ones the caller will discard
+    for other reasons — the controller tracks continuity of the
+    above-target condition. *)
+
+val overloaded : t -> bool
+(** In the dropping state: sojourn has been above [target] for at least
+    [interval] and recovery has not been observed yet. *)

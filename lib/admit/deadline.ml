@@ -1,0 +1,14 @@
+type verdict = Expired | Within of float
+
+let effective ~server_deadline ~budget_ms ~sojourn =
+  match budget_ms with
+  | None -> Within server_deadline
+  | Some b ->
+      let remaining = (Float.of_int b /. 1000.) -. Float.max 0. sojourn in
+      if remaining <= 0. then Expired
+      else Within (Float.min server_deadline remaining)
+
+let retry_after_ms rng ~base_ms =
+  let base_ms = max 1 base_ms in
+  let lo = max 1 (base_ms / 2) in
+  lo + Gc_trace.Rng.int rng (base_ms + 1)

@@ -1,0 +1,28 @@
+(** Deadline propagation arithmetic and retry-after hints.
+
+    The client's [budget_ms] travels with the request; by the time a
+    worker dequeues the job, part of that budget is already spent in the
+    queue.  {!effective} answers the only question that matters at that
+    point: is there any budget left, and if so how much wall-clock may
+    the execution take — the smaller of the server's own per-request
+    deadline and what remains of the client's budget.  Executing a
+    request whose budget has lapsed is pure waste that feeds a collapse
+    (the delayed-hits lesson: in-flight work whose requester has moved
+    on is neither a hit nor a miss, just heat). *)
+
+type verdict =
+  | Expired  (** The client's budget lapsed in the queue: do not run. *)
+  | Within of float
+      (** Run with this wall-clock deadline (seconds, positive). *)
+
+val effective :
+  server_deadline:float -> budget_ms:int option -> sojourn:float -> verdict
+(** [sojourn] is the queue wait already spent (seconds).  With no client
+    budget the verdict is [Within server_deadline]. *)
+
+val retry_after_ms : Gc_trace.Rng.t -> base_ms:int -> int
+(** A deterministic-jittered backoff hint for [overloaded]/[expired]
+    replies: uniform in [[base/2, 3*base/2]] (at least 1ms), drawn from
+    the server's seeded stream.  Jitter decorrelates the fleet — a bare
+    constant would synchronize every shed client into the next
+    thundering herd — and seeding keeps drills byte-reproducible. *)

@@ -1,0 +1,47 @@
+(* Classic two-list deque: [front] is in pop order, [back] is reversed.
+   An empty side borrows the whole other side (one O(n) reversal paid at
+   most once per element), so both ends stay O(1) amortized. *)
+
+type 'a t = {
+  mutable front : 'a list;
+  mutable back : 'a list;
+  mutable len : int;
+}
+
+let create () = { front = []; back = []; len = 0 }
+let length t = t.len
+let is_empty t = t.len = 0
+
+let push_back t x =
+  t.back <- x :: t.back;
+  t.len <- t.len + 1
+
+let pop_front_opt t =
+  (match t.front with
+  | [] ->
+      t.front <- List.rev t.back;
+      t.back <- []
+  | _ -> ());
+  match t.front with
+  | [] -> None
+  | x :: rest ->
+      t.front <- rest;
+      t.len <- t.len - 1;
+      Some x
+
+let pop_back_opt t =
+  (match t.back with
+  | [] ->
+      t.back <- List.rev t.front;
+      t.front <- []
+  | _ -> ());
+  match t.back with
+  | [] -> None
+  | x :: rest ->
+      t.back <- rest;
+      t.len <- t.len - 1;
+      Some x
+
+let iter f t =
+  List.iter f t.front;
+  List.iter f (List.rev t.back)

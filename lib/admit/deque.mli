@@ -1,0 +1,26 @@
+(** A mutable double-ended queue.
+
+    The admission queue needs both service orders: FIFO while healthy
+    (fairness) and LIFO while overloaded (the newest request is the one
+    whose client is still waiting — serving the oldest first under
+    sustained overload makes {e every} request miss its deadline).  Two
+    reversed lists give O(1) amortized operations at either end with no
+    ring-buffer sizing policy to get wrong. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push_back : 'a t -> 'a -> unit
+(** Enqueue in arrival order. *)
+
+val pop_front_opt : 'a t -> 'a option
+(** Oldest element (FIFO service). *)
+
+val pop_back_opt : 'a t -> 'a option
+(** Newest element (LIFO-under-overload service). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Front to back. *)

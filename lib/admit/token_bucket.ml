@@ -1,0 +1,30 @@
+type t = {
+  cap : float;
+  refill : float;
+  mutable level : float;
+  mutable n_denied : int;
+}
+
+let create ?(capacity = 10.) ?initial ?(refill_per_success = 0.2) () =
+  if capacity <= 0. then invalid_arg "Token_bucket.create: capacity <= 0";
+  if refill_per_success < 0. then
+    invalid_arg "Token_bucket.create: refill_per_success < 0";
+  let initial = Option.value initial ~default:capacity in
+  if initial < 0. || initial > capacity then
+    invalid_arg "Token_bucket.create: initial outside [0, capacity]";
+  { cap = capacity; refill = refill_per_success; level = initial; n_denied = 0 }
+
+let try_take t =
+  if t.level >= 1. then begin
+    t.level <- t.level -. 1.;
+    true
+  end
+  else begin
+    t.n_denied <- t.n_denied + 1;
+    false
+  end
+
+let on_success t = t.level <- Float.min t.cap (t.level +. t.refill)
+let tokens t = t.level
+let capacity t = t.cap
+let denied t = t.n_denied

@@ -328,7 +328,55 @@ let check_retry ctx cases ~exception_cases_only =
              unbounded retry with no backoff")
       cases
 
+(* ------------------------------------------------------- fixed-deadline *)
+
+(* Field or argument labels that carry a time bound in the serving layer. *)
+let timing_label l =
+  l = "deadline" || l = "budget_ms"
+  || (String.length l >= 7
+      && String.sub l (String.length l - 7) 7 = "timeout")
+
+(* A literal time bound: a bare int/float constant, possibly wrapped in
+   [Some] (budget_ms is an option).  Variables, projections, and computed
+   expressions all trace back to configuration and are left alone. *)
+let rec literal_timing (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_integer _ | Pconst_float _) -> true
+  | Pexp_construct ({ txt = Lident "Some"; _ }, Some arg) ->
+      literal_timing arg
+  | Pexp_constraint (inner, _) -> literal_timing inner
+  | _ -> false
+
+let check_fixed_deadline ctx (e : expression) =
+  let flag loc what =
+    emit ctx loc "fixed-deadline"
+      (Printf.sprintf
+         "hardcoded time bound in %s: deadlines must derive from \
+          Server.config or the propagated budget"
+         what)
+  in
+  match e.pexp_desc with
+  | Pexp_record (fields, _) ->
+      List.iter
+        (fun (({ txt; loc } : Longident.t Location.loc), value) ->
+          match List.rev (flatten txt) with
+          | label :: _ when timing_label label && literal_timing value ->
+              flag loc (Printf.sprintf "record field %s" label)
+          | _ -> ())
+        fields
+  | Pexp_apply (_, args) ->
+      List.iter
+        (fun (arg_label, value) ->
+          match arg_label with
+          | Asttypes.Labelled l | Asttypes.Optional l ->
+              if timing_label l && literal_timing value then
+                flag value.pexp_loc (Printf.sprintf "argument ~%s" l)
+          | Asttypes.Nolabel -> ())
+        args
+  | _ -> ()
+
 let check_expr ctx (e : expression) =
+  check_fixed_deadline ctx e;
   match e.pexp_desc with
   | Pexp_apply
       ( ({ pexp_desc = Pexp_ident { txt = Lident "exit"; _ }; _ } as fn),
@@ -386,8 +434,17 @@ let iterator ctx =
                 super.expr it e)));
     value_binding =
       (fun it vb ->
-        with_scope (allow_ids ctx vb.pvb_attributes) (fun () ->
-            super.value_binding it vb));
+        (* [default_config] is where deadline/timeout literals live by
+           design: it IS the configuration the fixed-deadline rule sends
+           authors to. *)
+        let sanctioned_defaults =
+          match vb.pvb_pat.ppat_desc with
+          | Ppat_var { txt = "default_config"; _ } -> [ "fixed-deadline" ]
+          | _ -> []
+        in
+        with_scope
+          (sanctioned_defaults @ allow_ids ctx vb.pvb_attributes)
+          (fun () -> super.value_binding it vb));
     structure_item =
       (fun it si ->
         match si.pstr_desc with

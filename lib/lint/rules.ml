@@ -170,6 +170,26 @@ let all =
       fix = "return the data, or emit a Gc_obs event/metric instead";
       scope_doc = "lib/ only";
     };
+    {
+      id = "fixed-deadline";
+      severity = Finding.Warn;
+      synopsis = "hardcoded deadline/timeout/budget literal in serving code";
+      rationale =
+        "Deadlines in the serving layer compose: the effective per-job \
+         deadline is min(server deadline, client budget minus queue \
+         sojourn), and every constant in that chain must trace back to \
+         Server.config so operators can tune it and drills can shrink it.  \
+         A numeric literal wired straight into a deadline, timeout, or \
+         budget_ms field or argument is invisible to configuration — it \
+         silently wins (or loses) against the propagated budget.  The one \
+         sanctioned home for such literals is [default_config], where they \
+         are the documented defaults.";
+      example = "Pool.run pool { cfg with deadline = 5.0 } job";
+      fix =
+        "derive the value from Server.config (or a caller-supplied \
+         budget); literals belong in default_config only";
+      scope_doc = "lib/serve/ only";
+    };
   ]
 
 let ids = List.map (fun r -> r.id) all
@@ -195,6 +215,7 @@ let applies ~id ~file =
       && file <> "lib/exec/pool.ml"
   | "print-in-lib" -> under "lib/" file
   | "wall-clock-timing" -> under "lib/" file
+  | "fixed-deadline" -> under "lib/serve/" file
   | "nondeterministic-rng" | "unsafe-deser" | "partial-stdlib" -> true
   | _ -> true
 

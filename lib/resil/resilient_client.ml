@@ -1,6 +1,7 @@
 module Json = Gc_obs.Json
 module Client = Gc_serve.Client
 module Protocol = Gc_serve.Protocol
+module Token_bucket = Gc_admit.Token_bucket
 
 type failure =
   | Transport of Client.error * int
@@ -21,6 +22,7 @@ type t = {
   timeout : float;
   retry : Retry.policy;
   breaker : Breaker.t option;
+  retry_budget : Token_bucket.t option;
   rng : Gc_trace.Rng.t;
   mu : Mutex.t;  (** Serialises requests: one frame in flight per conn. *)
   mutable conn : Client.conn option;
@@ -28,15 +30,18 @@ type t = {
   mutable next_id : int;
   mutable n_reconnects : int;
   mutable n_retries : int;
+  mutable last_hint : float;
+      (** The server's [retry_after_ms], seconds; 0. when none seen. *)
 }
 
-let create ?(timeout = 60.) ?(retry = Retry.default) ?breaker ?(seed = 0) addr
-    =
+let create ?(timeout = 60.) ?(retry = Retry.default) ?breaker
+    ?(retry_budget = Some (Token_bucket.create ())) ?(seed = 0) addr =
   {
     addr;
     timeout;
     retry;
     breaker;
+    retry_budget;
     rng = Gc_trace.Rng.create seed;
     mu = Mutex.create ();
     conn = None;
@@ -44,6 +49,7 @@ let create ?(timeout = 60.) ?(retry = Retry.default) ?breaker ?(seed = 0) addr
     next_id = 0;
     n_reconnects = 0;
     n_retries = 0;
+    last_hint = 0.;
   }
 
 let drop_conn t =
@@ -70,6 +76,20 @@ let retries t =
   Mutex.unlock t.mu;
   n
 
+let budget_tokens t =
+  Mutex.lock t.mu;
+  let v = Option.map Token_bucket.tokens t.retry_budget in
+  Mutex.unlock t.mu;
+  v
+
+let budget_denials t =
+  Mutex.lock t.mu;
+  let n =
+    match t.retry_budget with None -> 0 | Some b -> Token_bucket.denied b
+  in
+  Mutex.unlock t.mu;
+  n
+
 (* Ensure the outgoing request carries an id we can key the echo on.
    Caller-set ids are respected (they may be pipelining on their own
    terms); otherwise stamp a fresh integer. *)
@@ -86,7 +106,7 @@ let with_id t json =
 type attempt_error =
   | A_transport of Client.error
   | A_stale of string  (** Id echo mismatch: a leftover reply, not ours. *)
-  | A_rejected of string * string  (** overloaded | draining *)
+  | A_rejected of string * string  (** overloaded | expired | draining *)
   | A_open
 
 let conn_of t =
@@ -102,6 +122,7 @@ let conn_of t =
       | Error e -> Error (A_transport e))
 
 let attempt_once t json sent_id =
+  t.last_hint <- 0.;
   let ( let* ) = Result.bind in
   let* () =
     match t.breaker with
@@ -140,7 +161,12 @@ let attempt_once t json sent_id =
           match body with
           | Protocol.Err (kind, message)
             when kind = Protocol.kind_overloaded
+                 || kind = Protocol.kind_expired
                  || kind = Protocol.kind_draining ->
+              (* Remember the server's backoff hint for the next delay. *)
+              (match Protocol.retry_after_ms reply with
+              | Some ms -> t.last_hint <- Float.of_int ms /. 1000.
+              | None -> ());
               Error (A_rejected (kind, message))
           | Protocol.Ok_result _ | Protocol.Err _ -> Ok reply
   in
@@ -159,7 +185,9 @@ let attempt_once t json sent_id =
 
 let retryable ~idempotent = function
   | A_open -> false
-  | A_rejected (kind, _) -> idempotent && kind = Protocol.kind_overloaded
+  | A_rejected (kind, _) ->
+      idempotent
+      && (kind = Protocol.kind_overloaded || kind = Protocol.kind_expired)
   | A_stale _ -> idempotent
   | A_transport { Client.kind; _ } -> (
       idempotent
@@ -173,14 +201,27 @@ let request ?(idempotent = true) t json =
     ~finally:(fun () -> Mutex.unlock t.mu)
     (fun () ->
       let json, sent_id = with_id t json in
+      (* Every retry is paid for out of the token bucket: when successes
+         (which refill it) dry up, so do the retries — the property that
+         keeps a fleet of these clients from holding an overload in its
+         metastable state. *)
+      let gated e =
+        retryable ~idempotent e
+        && match t.retry_budget with
+           | None -> true
+           | Some b -> Token_bucket.try_take b
+      in
       match
         Retry.run ~policy:t.retry ~rng:t.rng
-          ~retryable:(retryable ~idempotent)
+          ~sleep:(fun d -> Gc_exec.Pool.nap (Float.max d t.last_hint))
+          ~retryable:gated
           (fun ~attempt ->
             if attempt > 1 then t.n_retries <- t.n_retries + 1;
             attempt_once t json sent_id)
       with
-      | Ok reply -> Ok reply
+      | Ok reply ->
+          Option.iter Token_bucket.on_success t.retry_budget;
+          Ok reply
       | Error { Retry.last_error = A_open; _ } -> Error Open_circuit
       | Error { Retry.last_error = A_rejected (kind, message); _ } ->
           Error (Rejected (kind, message))

@@ -15,11 +15,22 @@
       the request retried.  Only idempotent requests retry (the default:
       every protocol op is a pure computation), and [Protocol]-kind
       faults never do;
-    - {b clean overloaded/draining classification} — a framed
-      ["overloaded"] reply is retried with backoff (the shed was the
-      server asking for exactly that) and surfaces as {!Rejected} when
-      the budget is out; a ["draining"] reply is never retried — the
-      server is going away, and hammering it would fight the drain.
+    - {b clean overloaded/expired/draining classification} — a framed
+      ["overloaded"] or ["expired"] reply is retried with backoff (the
+      shed was the server asking for exactly that) and surfaces as
+      {!Rejected} when the attempts are out; a ["draining"] reply is
+      never retried — the server is going away, and hammering it would
+      fight the drain;
+    - {b a success-coupled retry budget} — every retry costs a
+      {!Gc_admit.Token_bucket} token, and tokens refill only on
+      successful requests.  Against a collapsing server the budget
+      drains and retries stop, which is what lets the server come back
+      (naive unbudgeted retries hold an overload in its metastable
+      state).  Pass [~retry_budget:None] to opt out — the chaos drills
+      do, to demonstrate the collapse;
+    - {b server backoff hints honoured} — a shed reply's
+      [retry_after_ms] stretches the next retry delay to at least the
+      hinted, server-jittered value, desynchronizing the retrying fleet.
 
     Other error replies (usage, timeout, exception, model-violation) are
     answers, not failures: they come back as [Ok reply] for the caller to
@@ -31,8 +42,8 @@ type failure =
   | Transport of Gc_serve.Client.error * int
       (** Classified transport failure and the attempts made. *)
   | Rejected of string * string
-      (** The server answered [overloaded] (retry budget spent) or
-          [draining]: (kind, message). *)
+      (** The server answered [overloaded]/[expired] (retries exhausted
+          or the budget refused them) or [draining]: (kind, message). *)
   | Open_circuit  (** The breaker refused the call without dialing. *)
 
 val string_of_failure : failure -> string
@@ -41,13 +52,17 @@ val create :
   ?timeout:float ->
   ?retry:Retry.policy ->
   ?breaker:Breaker.t ->
+  ?retry_budget:Gc_admit.Token_bucket.t option ->
   ?seed:int ->
   Gc_serve.Client.addr ->
   t
 (** [timeout] (default 60s) bounds each attempt's reply wait; [seed]
     (default 0) seeds the jitter stream, so a drill replaying a seed
-    replays the backoff schedule.  Requests on one [t] are serialized —
-    share a breaker, not a [t], across threads. *)
+    replays the backoff schedule.  [retry_budget] defaults to a fresh
+    {!Gc_admit.Token_bucket} with its defaults (10 tokens, 0.2 per
+    success); [None] disables budgeting, [Some b] shares [b].  Requests
+    on one [t] are serialized — share a breaker, not a [t], across
+    threads. *)
 
 val request :
   ?idempotent:bool -> t -> Gc_obs.Json.t -> (Gc_obs.Json.t, failure) result
@@ -64,3 +79,10 @@ val reconnects : t -> int
 
 val retries : t -> int
 (** Attempts beyond the first, summed over all requests. *)
+
+val budget_tokens : t -> float option
+(** Tokens left in the retry budget; [None] when budgeting is off. *)
+
+val budget_denials : t -> int
+(** Retries the budget refused — each one a request the server did not
+    have to shed again.  Always 0 when budgeting is off. *)

@@ -28,12 +28,13 @@ type op =
   | Health
   | Stats
 
-type request = { id : Json.t option; op : op }
+type request = { id : Json.t option; op : op; budget_ms : int option }
 
 let max_trace_n = 5_000_000
 let max_universe = 1 lsl 24
 let max_k = 1 lsl 28
 let max_curve_points = 64
+let max_budget_ms = 3_600_000
 
 (* ----------------------------------------------------------- validation *)
 
@@ -134,15 +135,31 @@ let parse_ks json =
       Error
         (Printf.sprintf "ks must be an array, got %s" (Json.to_string other))
 
+(* The client's end-to-end patience for this request, spent partly in
+   the admission queue: absent means "the server's deadline alone". *)
+let parse_budget json =
+  match Json.member "budget_ms" json with
+  | None -> Ok None
+  | Some (Json.Int v) ->
+      if v < 1 || v > max_budget_ms then
+        Error
+          (Printf.sprintf "budget_ms must be in [1, %d], got %d" max_budget_ms v)
+      else Ok (Some v)
+  | Some other ->
+      Error
+        (Printf.sprintf "budget_ms must be an integer, got %s"
+           (Json.to_string other))
+
 let parse_request json =
   match json with
   | Json.Obj _ -> (
       let* id = parse_id json in
+      let* budget_ms = parse_budget json in
       let* op = field_string ~default:"" "op" json in
       match op with
       | "" -> Error "op is required (sim | miss-curve | health | stats)"
-      | "health" -> Ok { id; op = Health }
-      | "stats" -> Ok { id; op = Stats }
+      | "health" -> Ok { id; op = Health; budget_ms }
+      | "stats" -> Ok { id; op = Stats; budget_ms }
       | "sim" ->
           let* policy = field_string ~default:"lru" "policy" json in
           let* policy = valid_policy policy in
@@ -150,7 +167,7 @@ let parse_request json =
           let* seed = field_int ~default:42 ~min:min_int ~max:max_int "seed" json in
           let* load = parse_workload json in
           let* check = field_bool ~default:false "check" json in
-          Ok { id; op = Sim { policy; k; seed; load; check } }
+          Ok { id; op = Sim { policy; k; seed; load; check }; budget_ms }
       | "miss-curve" ->
           let* policy = field_string ~default:"lru" "policy" json in
           let* curve_policy = valid_policy policy in
@@ -159,7 +176,12 @@ let parse_request json =
             field_int ~default:42 ~min:min_int ~max:max_int "seed" json
           in
           let* curve_load = parse_workload json in
-          Ok { id; op = Miss_curve { curve_policy; ks; curve_seed; curve_load } }
+          Ok
+            {
+              id;
+              op = Miss_curve { curve_policy; ks; curve_seed; curve_load };
+              budget_ms;
+            }
       | other ->
           Error
             (Printf.sprintf
@@ -182,6 +204,11 @@ let workload_fields w =
 
 let request_to_json r =
   let id = match r.id with Some id -> [ ("id", id) ] | None -> [] in
+  let budget =
+    match r.budget_ms with
+    | Some b -> [ ("budget_ms", Json.Int b) ]
+    | None -> []
+  in
   let rest =
     match r.op with
     | Health -> [ ("op", Json.String "health") ]
@@ -204,12 +231,13 @@ let request_to_json r =
         ]
         @ workload_fields c.curve_load
   in
-  Json.Obj (id @ rest)
+  Json.Obj (id @ budget @ rest)
 
 let kind_usage = "usage"
 let kind_protocol = "protocol"
 let kind_overloaded = "overloaded"
 let kind_draining = "draining"
+let kind_expired = "expired"
 let kind_timeout = "timeout"
 let kind_cancelled = "cancelled"
 let kind_exception = "exception"
@@ -221,14 +249,25 @@ let ok ?id result =
   Json.Obj
     (with_id id [ ("status", Json.String "ok"); ("result", result) ])
 
-let error ?id ~kind message =
+let error ?id ?retry_after_ms ~kind message =
+  let hint =
+    match retry_after_ms with
+    | Some ms -> [ ("retry_after_ms", Json.Int ms) ]
+    | None -> []
+  in
   Json.Obj
     (with_id id
-       [
-         ("status", Json.String "error");
-         ("kind", Json.String kind);
-         ("message", Json.String message);
-       ])
+       ([
+          ("status", Json.String "error");
+          ("kind", Json.String kind);
+          ("message", Json.String message);
+        ]
+       @ hint))
+
+let retry_after_ms json =
+  match Json.member "retry_after_ms" json with
+  | Some (Json.Int ms) when ms > 0 -> Some ms
+  | _ -> None
 
 type reply =
   | Ok_result of Json.t

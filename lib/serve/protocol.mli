@@ -9,9 +9,16 @@
     The error-kind taxonomy extends the run-manifest one (["exception"],
     ["model-violation"], ["timeout"], ["cancelled"]) with the server-side
     kinds ["usage"] (malformed or invalid request body), ["protocol"]
-    (broken framing or JSON), ["overloaded"] (admission queue full — load
-    was shed), and ["draining"] (the server is shutting down and refuses
-    new work). *)
+    (broken framing or JSON), ["overloaded"] (admission queue full or the
+    sojourn controller shed the job — load was refused), ["expired"] (the
+    request's own [budget_ms] lapsed while it waited in the queue, so the
+    server refused to burn work its client had already given up on), and
+    ["draining"] (the server is shutting down and refuses new work).
+
+    ["overloaded"] and ["expired"] replies may carry a [retry_after_ms]
+    hint: a server-jittered backoff suggestion.  Clients that honour it
+    (see {!Gc_resil.Resilient_client}) desynchronize instead of forming
+    the retry storm that keeps an overload metastable. *)
 
 type workload = {
   workload : string;  (** A {!Gc_trace.Workload_suite.standard} name. *)
@@ -41,7 +48,14 @@ type op =
   | Health
   | Stats
 
-type request = { id : Gc_obs.Json.t option; op : op }
+type request = {
+  id : Gc_obs.Json.t option;
+  op : op;
+  budget_ms : int option;
+      (** The client's end-to-end patience in milliseconds; queue sojourn
+          is charged against it before execution starts.  [None] leaves
+          the server's own deadline in sole charge. *)
+}
 
 (** {1 Validation limits}
 
@@ -55,6 +69,9 @@ val max_trace_n : int
 val max_universe : int
 val max_k : int
 val max_curve_points : int
+
+val max_budget_ms : int
+(** 3_600_000 — an hour; a larger budget is a client bug. *)
 
 val parse_request : Gc_obs.Json.t -> (request, string) result
 (** Validate a decoded frame into a request.  [Error] messages name the
@@ -70,6 +87,7 @@ val kind_usage : string
 val kind_protocol : string
 val kind_overloaded : string
 val kind_draining : string
+val kind_expired : string
 val kind_timeout : string
 val kind_cancelled : string
 val kind_exception : string
@@ -77,7 +95,16 @@ val kind_exception : string
 (** {1 Response encoders} *)
 
 val ok : ?id:Gc_obs.Json.t -> Gc_obs.Json.t -> Gc_obs.Json.t
-val error : ?id:Gc_obs.Json.t -> kind:string -> string -> Gc_obs.Json.t
+
+val error :
+  ?id:Gc_obs.Json.t -> ?retry_after_ms:int -> kind:string -> string ->
+  Gc_obs.Json.t
+(** [retry_after_ms] attaches a backoff hint to the envelope (meaningful
+    on ["overloaded"]/["expired"] replies). *)
+
+val retry_after_ms : Gc_obs.Json.t -> int option
+(** Read the backoff hint off a raw reply document, if present and a
+    positive integer. *)
 
 type reply =
   | Ok_result of Gc_obs.Json.t

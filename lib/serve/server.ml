@@ -4,12 +4,17 @@ module Cancel = Gc_exec.Cancel
 module Pool = Gc_exec.Pool
 module Clock = Gc_prof.Clock
 module Tracer = Gc_prof.Tracer
+module Aimd = Gc_admit.Aimd
+module Codel = Gc_admit.Codel
+module Deque = Gc_admit.Deque
+module Deadline = Gc_admit.Deadline
 
 type config = {
   socket_path : string option;
   tcp : (string * int) option;
   queue_depth : int;
   workers : int;
+  min_workers : int;
   deadline : float;
   grace : float;
   retries : int;
@@ -18,6 +23,10 @@ type config = {
   frame_timeout : float;
   write_timeout : float;
   max_connections : int;
+  codel_target : float;
+  codel_interval : float;
+  retry_after_ms : int;
+  seed : int;
   trace : string option;
 }
 
@@ -27,6 +36,7 @@ let default_config =
     tcp = None;
     queue_depth = 64;
     workers = max 1 (Domain.recommended_domain_count () - 1);
+    min_workers = 1;
     deadline = 30.;
     grace = 0.25;
     retries = 1;
@@ -35,6 +45,10 @@ let default_config =
     frame_timeout = 10.;
     write_timeout = 5.;
     max_connections = 256;
+    codel_target = 0.1;
+    codel_interval = 0.5;
+    retry_after_ms = 100;
+    seed = 0;
     trace = None;
   }
 
@@ -68,6 +82,7 @@ type conn = {
 and job = {
   req_id : Json.t option;
   jop : Protocol.op;
+  jbudget_ms : int option;  (** The client's propagated [budget_ms]. *)
   jconn : conn;
   admitted_ns : int;  (** Monotonic {!Clock} reading at admission. *)
   jcancel : Cancel.t;  (** Requested when the client disconnects. *)
@@ -79,9 +94,13 @@ type t = {
   config : config;
   reg : Registry.t;
   mu : Mutex.t;
-  nonempty : Condition.t;  (** Queue gained a job, or drain began. *)
+  nonempty : Condition.t;
+      (** Queue gained a job, a worker slot freed up, or drain began. *)
   idle : Condition.t;  (** Queue empty and nothing in flight. *)
-  queue : job Queue.t;
+  queue : job Deque.t;  (** FIFO while healthy, LIFO while overloaded. *)
+  aimd : Aimd.t;  (** Adaptive concurrency limit, guarded by [mu]. *)
+  codel : Codel.t;  (** Sojourn-shedding controller, guarded by [mu]. *)
+  hint_rng : Gc_trace.Rng.t;  (** Retry-after jitter, guarded by [mu]. *)
   mutable inflight : int;
   mutable is_draining : bool;
   mutable stopped : bool;
@@ -94,16 +113,20 @@ type t = {
      registry's table concurrently. *)
   c_requests : (string * Registry.counter) list;  (* by op, + "invalid" *)
   c_replies : (string * Registry.counter) list;  (* by status kind *)
-  c_shed : Registry.counter;
+  c_shed : Registry.counter;  (* total, all shed reasons *)
+  c_shed_depth : Registry.counter;  (* queue/connection bound reached *)
+  c_shed_sojourn : Registry.counter;  (* CoDel dropping state *)
+  c_shed_expired : Registry.counter;  (* client budget lapsed in queue *)
   c_faults : Registry.counter;  (* framing-level protocol faults *)
   c_io_errors : Registry.counter;  (* reply writes that found the peer gone *)
   c_disconnects : Registry.counter;
   c_accepted : Registry.counter;
   g_queue : Registry.gauge;
   g_inflight : Registry.gauge;
+  g_limit : Registry.gauge;  (* current AIMD concurrency limit *)
   g_conns : Registry.gauge;
   h_latency : (string * Gc_obs.Histogram.t) list;  (* by op, microseconds *)
-  h_queue_wait : Gc_obs.Histogram.t;
+  h_queue_wait : (string * Gc_obs.Histogram.t) list;  (* by dequeue outcome *)
 }
 
 let ops = [ "sim"; "miss-curve"; "health"; "stats"; "invalid" ]
@@ -115,12 +138,18 @@ let reply_kinds =
     Protocol.kind_protocol;
     Protocol.kind_overloaded;
     Protocol.kind_draining;
+    Protocol.kind_expired;
     Protocol.kind_timeout;
     Protocol.kind_cancelled;
     Protocol.kind_exception;
     "model-violation";
     "other";
   ]
+
+(* Every dequeued job's queue wait lands in exactly one of these, so the
+   sojourn distribution stays observable for the work the server refused
+   — which under overload is most of it. *)
+let wait_outcomes = [ "executed"; "shed"; "expired"; "cancelled" ]
 
 let counter_for table key =
   match List.assoc_opt key table with
@@ -156,9 +185,9 @@ let try_write t ?(req_id = None) conn json =
 
 let count_reply t kind = Registry.incr (counter_for t.c_replies kind)
 
-let reply_error t conn ?id kind message =
+let reply_error t conn ?id ?retry_after_ms kind message =
   count_reply t kind;
-  try_write t ~req_id:id conn (Protocol.error ?id ~kind message)
+  try_write t ~req_id:id conn (Protocol.error ?id ?retry_after_ms ~kind message)
 
 let reply_ok t conn ?id result =
   count_reply t "ok";
@@ -253,83 +282,178 @@ let execute op ~cancel:_ =
       (* Answered inline by the reader; never admitted. *)
       assert false
 
-let pool_config t =
+let pool_config t ~deadline =
   {
     (Pool.default_config ()) with
     Pool.domains = 1;
-    deadline = Some t.config.deadline;
+    deadline = Some deadline;
     grace = t.config.grace;
     retries = t.config.retries;
     backoff = t.config.backoff;
   }
 
-let process t job =
+(* Must hold [t.mu]: draws from the shared jitter stream. *)
+let hint_locked t =
+  Deadline.retry_after_ms t.hint_rng ~base_ms:t.config.retry_after_ms
+
+(* The worker's disposition for a dequeued job, decided under [t.mu]
+   before any execution is committed. *)
+type verdict =
+  | V_serve of float  (* effective deadline, seconds *)
+  | V_shed of int  (* CoDel said drop; retry-after hint, ms *)
+  | V_expired of int  (* client budget lapsed in queue; hint, ms *)
+  | V_cancelled
+
+let observe_wait t outcome wait_ns =
+  match List.assoc_opt outcome t.h_queue_wait with
+  | Some h -> Gc_obs.Histogram.observe h (wait_ns / 1000)
+  | None -> ()
+
+(* AIMD feedback from the job's outcome, applied by the worker once it
+   holds [t.mu] again. *)
+type aimd_signal = Sig_success | Sig_congestion | Sig_none
+
+let process t job ~wait_ns verdict =
   let op = Protocol.op_name job.jop in
-  let wait_ns = Clock.now_ns () - job.admitted_ns in
-  Gc_obs.Histogram.observe t.h_queue_wait (wait_ns / 1000);
   if Tracer.enabled () then
     Tracer.emit
       ~args:(span_id_args job.req_id)
       ~tid:(span_tid ()) ~ts_ns:job.admitted_ns ~dur_ns:wait_ns "queue-wait";
-  if Cancel.requested job.jcancel then count_reply t Protocol.kind_cancelled
-  else begin
-    let outcome =
-      match
-        Gc_prof.Span.with_
-          ~args:(span_id_args job.req_id)
-          ~tid:(span_tid ()) "execute"
-          (fun () ->
-            Pool.run ~config:(pool_config t)
-              ~on_start:(fun _ c ->
-                (* Publish the live token; if the disconnect already
-                   happened, cancel immediately — the hook runs before the
-                   task's domain is spawned, so this cannot lose the
-                   race. *)
-                Mutex.lock t.mu;
-                job.pool_cancel <- Some c;
-                if Cancel.requested job.jcancel then
-                  Cancel.request c ~reason:disconnect_reason;
-                Mutex.unlock t.mu)
-              [ execute job.jop ])
-      with
-      | [ o ] -> o
-      | _ -> assert false
-    in
-    let conn = job.jconn in
-    let id = job.req_id in
-    (match outcome with
-    | Pool.Done result -> reply_ok t conn ?id result
-    | Pool.Failed (Reply_error (kind, message)) ->
-        reply_error t conn ?id kind message
-    | Pool.Failed (Invalid_argument message) ->
-        (* Parameterized policy construction rejected its arguments. *)
-        reply_error t conn ?id Protocol.kind_usage message
-    | Pool.Failed exn ->
-        reply_error t conn ?id Protocol.kind_exception (Printexc.to_string exn)
-    | Pool.Timed_out d ->
-        reply_error t conn ?id Protocol.kind_timeout
-          (Printf.sprintf "request exceeded its %gs deadline" d)
-    | Pool.Cancelled ->
-        (* Only the disconnect path cancels a job token; the client is
-           gone, so there is nobody to answer — just account for it. *)
-        count_reply t Protocol.kind_cancelled);
-    match List.assoc_opt op t.h_latency with
-    | Some h ->
-        Gc_obs.Histogram.observe h
-          ((Clock.now_ns () - job.admitted_ns) / 1000)
-    | None -> ()
-  end
+  let conn = job.jconn in
+  let id = job.req_id in
+  let sojourn_ms = Float.of_int wait_ns /. 1e6 in
+  match verdict with
+  | V_cancelled ->
+      observe_wait t "cancelled" wait_ns;
+      count_reply t Protocol.kind_cancelled;
+      Sig_none
+  | V_expired hint ->
+      (* The client's budget died in the queue: executing now would burn
+         a worker on an answer nobody is waiting for — the fuel of a
+         metastable collapse. *)
+      observe_wait t "expired" wait_ns;
+      Registry.incr t.c_shed;
+      Registry.incr t.c_shed_expired;
+      reply_error t conn ?id ~retry_after_ms:hint Protocol.kind_expired
+        (Printf.sprintf
+           "budget of %dms lapsed after %.0fms in the admission queue"
+           (Option.value job.jbudget_ms ~default:0)
+           sojourn_ms);
+      Sig_congestion
+  | V_shed hint ->
+      observe_wait t "shed" wait_ns;
+      Registry.incr t.c_shed;
+      Registry.incr t.c_shed_sojourn;
+      reply_error t conn ?id ~retry_after_ms:hint Protocol.kind_overloaded
+        (Printf.sprintf
+           "queue sojourn %.0fms exceeded the %.0fms target"
+           sojourn_ms
+           (t.config.codel_target *. 1000.));
+      Sig_congestion
+  | V_serve deadline ->
+      observe_wait t "executed" wait_ns;
+      let outcome =
+        match
+          Gc_prof.Span.with_
+            ~args:(span_id_args job.req_id)
+            ~tid:(span_tid ()) "execute"
+            (fun () ->
+              Pool.run ~config:(pool_config t ~deadline)
+                ~on_start:(fun _ c ->
+                  (* Publish the live token; if the disconnect already
+                     happened, cancel immediately — the hook runs before the
+                     task's domain is spawned, so this cannot lose the
+                     race. *)
+                  Mutex.lock t.mu;
+                  job.pool_cancel <- Some c;
+                  if Cancel.requested job.jcancel then
+                    Cancel.request c ~reason:disconnect_reason;
+                  Mutex.unlock t.mu)
+                [ execute job.jop ])
+        with
+        | [ o ] -> o
+        | _ -> assert false
+      in
+      let signal =
+        match outcome with
+        | Pool.Done result ->
+            reply_ok t conn ?id result;
+            Sig_success
+        | Pool.Failed (Reply_error (kind, message)) ->
+            reply_error t conn ?id kind message;
+            Sig_none
+        | Pool.Failed (Invalid_argument message) ->
+            (* Parameterized policy construction rejected its arguments. *)
+            reply_error t conn ?id Protocol.kind_usage message;
+            Sig_none
+        | Pool.Failed exn ->
+            reply_error t conn ?id Protocol.kind_exception
+              (Printexc.to_string exn);
+            Sig_none
+        | Pool.Timed_out d ->
+            reply_error t conn ?id Protocol.kind_timeout
+              (Printf.sprintf "request exceeded its %gs deadline" d);
+            Sig_congestion
+        | Pool.Cancelled ->
+            (* Only the disconnect path cancels a job token; the client is
+               gone, so there is nobody to answer — just account for it. *)
+            count_reply t Protocol.kind_cancelled;
+            Sig_none
+      in
+      (match List.assoc_opt op t.h_latency with
+      | Some h ->
+          Gc_obs.Histogram.observe h
+            ((Clock.now_ns () - job.admitted_ns) / 1000)
+      | None -> ());
+      signal
 
 let worker_loop t =
   let rec loop () =
     Mutex.lock t.mu;
-    while Queue.is_empty t.queue && not t.is_draining do
+    (* Wait until there is a job AND a slot under the adaptive limit —
+       or until a drain empties the queue out from under us.  During a
+       drain the limit still gates execution; progress is guaranteed
+       because every completion broadcasts [nonempty]. *)
+    while
+      (Deque.is_empty t.queue || t.inflight >= Aimd.limit t.aimd)
+      && not (t.is_draining && Deque.is_empty t.queue)
+    do
       Condition.wait t.nonempty t.mu
     done;
-    if Queue.is_empty t.queue then Mutex.unlock t.mu (* draining: exit *)
+    if Deque.is_empty t.queue then Mutex.unlock t.mu (* draining: exit *)
     else begin
-      let job = Queue.pop t.queue in
-      Registry.set t.g_queue (Queue.length t.queue);
+      let job =
+        (* LIFO under overload: the newest request is the only one whose
+           client is still likely to be waiting. *)
+        match
+          if Codel.overloaded t.codel then Deque.pop_back_opt t.queue
+          else Deque.pop_front_opt t.queue
+        with
+        | Some j -> j
+        | None -> assert false
+      in
+      Registry.set t.g_queue (Deque.length t.queue);
+      let now_ns = Clock.now_ns () in
+      let wait_ns = now_ns - job.admitted_ns in
+      let now = Float.of_int now_ns /. 1e9 in
+      let sojourn = Float.of_int wait_ns /. 1e9 in
+      (* CoDel sees every dequeue (it tracks continuity of the
+         above-target condition); the deadline check takes precedence for
+         the reply itself. *)
+      let codel_verdict = Codel.on_dequeue t.codel ~now ~sojourn in
+      let verdict =
+        if Cancel.requested job.jcancel then V_cancelled
+        else
+          match
+            Deadline.effective ~server_deadline:t.config.deadline
+              ~budget_ms:job.jbudget_ms ~sojourn
+          with
+          | Deadline.Expired -> V_expired (hint_locked t)
+          | Deadline.Within d -> (
+              match codel_verdict with
+              | Codel.Shed -> V_shed (hint_locked t)
+              | Codel.Serve -> V_serve d)
+      in
       t.inflight <- t.inflight + 1;
       Registry.set t.g_inflight t.inflight;
       Mutex.unlock t.mu;
@@ -338,17 +462,26 @@ let worker_loop t =
          its pool) must stay loud, not be absorbed as if the job merely
          misbehaved.  Settle the accounting first so a concurrent drain
          cannot hang on the inflight count. *)
-      let escaped =
-        match process t job with
-        | () -> None
-        | exception ((Cancel.Cancelled _ | Pool.Transient _) as e) -> Some e
-        | exception _ -> None
+      let signal, escaped =
+        match process t job ~wait_ns verdict with
+        | s -> (s, None)
+        | exception ((Cancel.Cancelled _ | Pool.Transient _) as e) ->
+            (Sig_none, Some e)
+        | exception _ -> (Sig_none, None)
       in
       settle t job;
       Mutex.lock t.mu;
+      (match signal with
+      | Sig_success -> Aimd.on_success t.aimd
+      | Sig_congestion ->
+          Aimd.on_congestion t.aimd ~now:(Float.of_int (Clock.now_ns ()) /. 1e9)
+      | Sig_none -> ());
+      Registry.set t.g_limit (Aimd.limit t.aimd);
       t.inflight <- t.inflight - 1;
       Registry.set t.g_inflight t.inflight;
-      if t.inflight = 0 && Queue.is_empty t.queue then
+      (* A freed slot (or a raised limit) may unblock a gated peer. *)
+      Condition.broadcast t.nonempty;
+      if t.inflight = 0 && Deque.is_empty t.queue then
         Condition.broadcast t.idle;
       Mutex.unlock t.mu;
       match escaped with Some e -> raise e | None -> loop ()
@@ -360,8 +493,10 @@ let worker_loop t =
 
 let stats_json t =
   Mutex.lock t.mu;
-  let queue = Queue.length t.queue
+  let queue = Deque.length t.queue
   and inflight = t.inflight
+  and limit = Aimd.limit t.aimd
+  and overloaded = Codel.overloaded t.codel
   and conns = List.length t.conns
   and draining = t.is_draining in
   Mutex.unlock t.mu;
@@ -371,6 +506,8 @@ let stats_json t =
       ("uptime_s", Json.Float (Clock.now_s () -. t.started_at));
       ("queue_depth", Json.Int queue);
       ("inflight", Json.Int inflight);
+      ("concurrency_limit", Json.Int limit);
+      ("overloaded", Json.Bool overloaded);
       ("connections", Json.Int conns);
       ("metrics", Registry.to_json t.reg);
     ]
@@ -385,28 +522,32 @@ let health_json t =
       ("uptime_s", Json.Float (Clock.now_s () -. t.started_at));
     ]
 
-let admit t conn id op =
+let admit t conn id ~budget_ms op =
   Mutex.lock t.mu;
   if t.is_draining then begin
     Mutex.unlock t.mu;
     reply_error t conn ?id Protocol.kind_draining
       "server is draining and refuses new requests"
   end
-  else if Queue.length t.queue >= t.config.queue_depth then begin
+  else if Deque.length t.queue >= t.config.queue_depth then begin
     (* Load shedding: overload is an immediate, explicit answer — the one
        thing the server never does with excess work is buffer it
        silently. *)
     Registry.incr t.c_shed;
+    Registry.incr t.c_shed_depth;
+    let hint = hint_locked t in
+    let inflight = t.inflight in
     Mutex.unlock t.mu;
-    reply_error t conn ?id Protocol.kind_overloaded
+    reply_error t conn ?id ~retry_after_ms:hint Protocol.kind_overloaded
       (Printf.sprintf "admission queue full (%d queued, %d in flight)"
-         t.config.queue_depth t.inflight)
+         t.config.queue_depth inflight)
   end
   else begin
     let job =
       {
         req_id = id;
         jop = op;
+        jbudget_ms = budget_ms;
         jconn = conn;
         admitted_ns = Clock.now_ns ();
         jcancel = Cancel.create ();
@@ -415,8 +556,8 @@ let admit t conn id op =
     in
     conn.refs <- conn.refs + 1;
     conn.jobs <- job :: conn.jobs;
-    Queue.push job t.queue;
-    Registry.set t.g_queue (Queue.length t.queue);
+    Deque.push_back t.queue job;
+    Registry.set t.g_queue (Deque.length t.queue);
     Condition.signal t.nonempty;
     Mutex.unlock t.mu
   end
@@ -448,12 +589,13 @@ let handle t conn json =
   | Error message ->
       Registry.incr (counter_for t.c_requests "invalid");
       reply_error t conn ?id:(salvage_id json) Protocol.kind_usage message
-  | Ok { id; op } -> (
+  | Ok { id; op; budget_ms } -> (
       Registry.incr (counter_for t.c_requests (Protocol.op_name op));
       match op with
       | Protocol.Health -> reply_ok t conn ?id (health_json t)
       | Protocol.Stats -> reply_ok t conn ?id (stats_json t)
-      | Protocol.Sim _ | Protocol.Miss_curve _ -> admit t conn id op)
+      | Protocol.Sim _ | Protocol.Miss_curve _ ->
+          admit t conn id ~budget_ms op)
 
 let reader t conn =
   let rec loop () =
@@ -500,12 +642,14 @@ let register_conn t cfd =
   Registry.incr t.c_accepted;
   Mutex.lock t.mu;
   if List.length t.conns >= t.config.max_connections then begin
+    Registry.incr t.c_shed;
+    Registry.incr t.c_shed_depth;
+    let hint = hint_locked t in
     Mutex.unlock t.mu;
     let tmp =
       { fd = cfd; wmu = Mutex.create (); alive = true; refs = 1; jobs = [] }
     in
-    Registry.incr t.c_shed;
-    reply_error t tmp Protocol.kind_overloaded
+    reply_error t tmp ~retry_after_ms:hint Protocol.kind_overloaded
       (Printf.sprintf "connection limit reached (%d)" t.config.max_connections);
     try Unix.close cfd with Unix.Unix_error _ -> ()
   end
@@ -601,6 +745,13 @@ let create config =
     invalid_arg "Server.create: no listener configured (socket_path or tcp)";
   if config.queue_depth < 1 then invalid_arg "Server.create: queue_depth < 1";
   if config.workers < 1 then invalid_arg "Server.create: workers < 1";
+  if config.min_workers < 1 then invalid_arg "Server.create: min_workers < 1";
+  if config.min_workers > config.workers then
+    invalid_arg "Server.create: min_workers > workers";
+  if config.codel_target > 0. && config.codel_interval <= 0. then
+    invalid_arg "Server.create: codel_interval <= 0 with codel enabled";
+  if config.retry_after_ms < 1 then
+    invalid_arg "Server.create: retry_after_ms < 1";
   (* A client closing mid-write must be an EPIPE, not a process kill. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
@@ -620,7 +771,16 @@ let create config =
       mu = Mutex.create ();
       nonempty = Condition.create ();
       idle = Condition.create ();
-      queue = Queue.create ();
+      queue = Deque.create ();
+      aimd =
+        Aimd.create
+          ~cooldown:
+            (if config.codel_interval > 0. then config.codel_interval else 0.5)
+          ~min_limit:config.min_workers ~max_limit:config.workers ();
+      codel =
+        Codel.create ~target:config.codel_target
+          ~interval:config.codel_interval;
+      hint_rng = Gc_trace.Rng.create config.seed;
       inflight = 0;
       is_draining = false;
       stopped = false;
@@ -638,12 +798,16 @@ let create config =
           (fun k -> (k, Registry.counter reg ~labels:[ ("status", k) ] "replies"))
           reply_kinds;
       c_shed = Registry.counter reg "shed";
+      c_shed_depth = Registry.counter reg "shed_depth";
+      c_shed_sojourn = Registry.counter reg "shed_sojourn";
+      c_shed_expired = Registry.counter reg "shed_expired";
       c_faults = Registry.counter reg "protocol_faults";
       c_io_errors = Registry.counter reg "io_errors";
       c_disconnects = Registry.counter reg "mid_request_disconnects";
       c_accepted = Registry.counter reg "connections_accepted";
       g_queue = Registry.gauge reg "queue_depth";
       g_inflight = Registry.gauge reg "inflight";
+      g_limit = Registry.gauge reg "concurrency_limit";
       g_conns = Registry.gauge reg "connections";
       h_latency =
         List.filter_map
@@ -653,9 +817,14 @@ let create config =
               Some
                 (op, Registry.histogram reg ~labels:[ ("op", op) ] "latency_us"))
           ops;
-      h_queue_wait = Registry.histogram reg "queue_wait_us";
+      h_queue_wait =
+        List.map
+          (fun o ->
+            (o, Registry.histogram reg ~labels:[ ("outcome", o) ] "queue_wait_us"))
+          wait_outcomes;
     }
   in
+  Registry.set t.g_limit (Aimd.limit t.aimd);
   (* Workers and acceptors are process-lifetime service threads blocking
      in accept/condition-wait — not tasks with a start and an end, so the
      supervised pool is the wrong shape for them.  The jobs they carry do
@@ -698,7 +867,7 @@ let drain t =
     (* Stage 2: answer everything already admitted.  Readers still answer
        health/stats and refuse new work with a "draining" reply. *)
     Mutex.lock t.mu;
-    while not (Queue.is_empty t.queue && t.inflight = 0) do
+    while not (Deque.is_empty t.queue && t.inflight = 0) do
       Condition.wait t.idle t.mu
     done;
     Mutex.unlock t.mu;

@@ -8,6 +8,15 @@
       {e bounded} queue; when the queue is full the client gets an
       immediate framed ["overloaded"] reply (load shedding) instead of
       unbounded buffering;
+    - a {!Gc_admit.Codel} controller watches the {e sojourn} of every
+      dequeued request and sheds (with LIFO service while overloaded)
+      when the queue stays persistently slow, long before it is full;
+    - a request's own [budget_ms] is charged for its queue wait: a job
+      whose client budget lapsed in the queue is answered ["expired"] and
+      {e never executed} (see {!Gc_admit.Deadline});
+    - shed and expired replies carry a seeded-jitter [retry_after_ms]
+      hint, and dispatch concurrency adapts via an {!Gc_admit.Aimd}
+      limit (exported as the [concurrency_limit] gauge);
     - each admitted request runs on a {!Gc_exec.Pool} with a per-attempt
       wall-clock deadline, transient-failure retry, and a grace-period
       abandonment of wedged tasks, so one hostile request cannot pin a
@@ -31,7 +40,8 @@ type config = {
   socket_path : string option;  (** Unix-domain listener. *)
   tcp : (string * int) option;  (** Optional TCP listener (host, port). *)
   queue_depth : int;  (** Admission-queue bound; beyond it, shed. *)
-  workers : int;  (** Concurrent simulations (worker threads). *)
+  workers : int;  (** Worker threads; also the AIMD limit's ceiling. *)
+  min_workers : int;  (** The AIMD concurrency limit's floor. *)
   deadline : float;  (** Per-attempt wall-clock budget, seconds. *)
   grace : float;  (** Seconds past deadline before abandoning a wedged task. *)
   retries : int;  (** Extra attempts for {!Gc_exec.Pool.Transient} failures. *)
@@ -40,6 +50,16 @@ type config = {
   frame_timeout : float;  (** Whole-frame delivery budget (slow-loris guard). *)
   write_timeout : float;  (** Per-write budget to a non-reading client. *)
   max_connections : int;
+  codel_target : float;
+      (** Acceptable queue sojourn, seconds; [<= 0.] disables sojourn
+          shedding (and the LIFO-under-overload switch). *)
+  codel_interval : float;
+      (** How long sojourn must stay above target before shedding starts;
+          also the AIMD decrease cooldown. *)
+  retry_after_ms : int;
+      (** Base backoff hint on shed/expired replies; the wire value is
+          jittered uniformly in [[base/2, 3*base/2]] from [seed]. *)
+  seed : int;  (** Seeds the retry-after jitter stream (reproducibility). *)
   trace : string option;
       (** When set, {!Gc_prof} span tracing is enabled for the server's
           lifetime and the drain writes a Chrome trace-event JSON
@@ -49,8 +69,10 @@ type config = {
 
 val default_config : config
 (** No listeners configured (callers must set at least one); queue 64,
-    workers = cores - 1 (min 1), deadline 30s, grace 0.25s, 1 retry,
-    1 MiB frames, 10s frame timeout, 5s write timeout, 256 connections. *)
+    workers = cores - 1 (min 1), min_workers 1, deadline 30s, grace
+    0.25s, 1 retry, 1 MiB frames, 10s frame timeout, 5s write timeout,
+    256 connections, CoDel target 100ms / interval 500ms, retry-after
+    base 100ms, seed 0. *)
 
 type t
 

@@ -1,0 +1,14 @@
+(* fixed-deadline fixture: hardcoded time bounds in lib/serve/.  The
+   literals in [default_config] are sanctioned — that binding IS the
+   configuration; everything else must derive from it. *)
+
+let default_config = { deadline = 5.0; frame_timeout = 0.25; budget_ms = None }
+
+let flagged_record = { default_config with deadline = 2.0 }
+let flagged_option = { default_config with budget_ms = Some 250 }
+let flagged_arg = Pool.run pool ~deadline:5.0 job
+let flagged_timeout = Client.recv_result ~timeout:3 conn
+
+let clean_record cfg = { cfg with deadline = cfg.deadline }
+let clean_arg cfg conn = Client.recv_result ~timeout:cfg.frame_timeout conn
+let _ = (flagged_record, flagged_option, flagged_arg, flagged_timeout)

@@ -159,6 +159,29 @@ let fixture_tests =
          stdout from library code (fix: return the data, or emit a Gc_obs \
          event/metric instead)";
       ];
+    golden "fixed-deadline" ~as_path:"lib/serve/deadline.ml" "deadline.ml"
+      [
+        "lib/serve/deadline.ml:7:44: warn fixed-deadline: hardcoded time \
+         bound in record field deadline: deadlines must derive from \
+         Server.config or the propagated budget (fix: derive the value \
+         from Server.config (or a caller-supplied budget); literals \
+         belong in default_config only)";
+        "lib/serve/deadline.ml:8:44: warn fixed-deadline: hardcoded time \
+         bound in record field budget_ms: deadlines must derive from \
+         Server.config or the propagated budget (fix: derive the value \
+         from Server.config (or a caller-supplied budget); literals \
+         belong in default_config only)";
+        "lib/serve/deadline.ml:9:43: warn fixed-deadline: hardcoded time \
+         bound in argument ~deadline: deadlines must derive from \
+         Server.config or the propagated budget (fix: derive the value \
+         from Server.config (or a caller-supplied budget); literals \
+         belong in default_config only)";
+        "lib/serve/deadline.ml:10:51: warn fixed-deadline: hardcoded time \
+         bound in argument ~timeout: deadlines must derive from \
+         Server.config or the propagated budget (fix: derive the value \
+         from Server.config (or a caller-supplied budget); literals \
+         belong in default_config only)";
+      ];
     golden "parse-error" ~as_path:"lib/broken.ml" "broken.ml"
       [ "lib/broken.ml:4:1: error parse-error: file does not parse" ];
     golden "bad-allow" ~as_path:"lib/bad_allow.ml" "bad_allow.ml"

@@ -76,18 +76,23 @@ let result_exn r =
 let load ?(workload = "zipf") ?(n = 5000) () =
   { Protocol.workload; n; universe = 4096; block_size = 16 }
 
-let sim_req ?id ?(policy = "lru") ?(k = 256) ?load:(l = load ()) ?(check = false)
-    () =
+let sim_req ?id ?budget_ms ?(policy = "lru") ?(k = 256) ?load:(l = load ())
+    ?(check = false) () =
   Protocol.request_to_json
-    { Protocol.id; op = Protocol.Sim { Protocol.policy; k; seed = 7; load = l; check } }
+    {
+      Protocol.id;
+      op = Protocol.Sim { Protocol.policy; k; seed = 7; load = l; check };
+      budget_ms;
+    }
 
-let curve_req ?id ?(policy = "lru") ?(ks = [ 64; 256 ]) () =
+let curve_req ?id ?budget_ms ?(policy = "lru") ?(ks = [ 64; 256 ]) () =
   Protocol.request_to_json
     {
       Protocol.id;
       op =
         Protocol.Miss_curve
           { Protocol.curve_policy = policy; ks; curve_seed = 7; curve_load = load () };
+      budget_ms;
     }
 
 let op_req name = Json.Obj [ ("op", Json.String name) ]
@@ -341,8 +346,12 @@ let fuzz_length_bombs =
 let test_protocol_roundtrip () =
   let reqs =
     [
-      { Protocol.id = Some (Json.Int 3); op = Protocol.Health };
-      { Protocol.id = Some (Json.String "a"); op = Protocol.Stats };
+      { Protocol.id = Some (Json.Int 3); op = Protocol.Health; budget_ms = None };
+      {
+        Protocol.id = Some (Json.String "a");
+        op = Protocol.Stats;
+        budget_ms = Some 250;
+      };
       {
         Protocol.id = None;
         op =
@@ -354,6 +363,7 @@ let test_protocol_roundtrip () =
               load = load ~workload:"phases" ~n:777 ();
               check = true;
             };
+        budget_ms = Some 1500;
       };
       {
         Protocol.id = Some (Json.Int 0);
@@ -365,6 +375,7 @@ let test_protocol_roundtrip () =
               curve_seed = 9;
               curve_load = load ();
             };
+        budget_ms = None;
       };
     ]
   in
@@ -716,6 +727,62 @@ let test_serve_overload_sheds () =
       Client.close pin;
       Client.close filler)
 
+let test_serve_budget_expires () =
+  (* Deadline propagation, adversarially: pin the single worker, enqueue
+     requests whose client budgets lapse while they wait, and require
+     that NONE of them executes — each must come back as a structured
+     expired reply carrying a retry hint, and the expired sheds must be
+     counted.  CoDel is off so the verdicts are purely budget-driven. *)
+  let config =
+    {
+      small_server with
+      Server.workers = 1;
+      queue_depth = 8;
+      deadline = 1.5;
+      grace = 0.25;
+      codel_target = 0.;
+    }
+  in
+  with_server ~config (fun addr _t ->
+      let pin = Client.connect addr in
+      Client.send pin (sim_req ~id:(Json.Int 1) ~policy:"broken:hang@0" ());
+      let (_ : Json.t) =
+        await_stats addr ~what:"hang admitted"
+          (fun stats -> int_field "inflight" stats >= 1)
+      in
+      let c = Client.connect addr in
+      Fun.protect
+        ~finally:(fun () ->
+          Client.close c;
+          Client.close pin)
+        (fun () ->
+          let n = 3 in
+          for i = 1 to n do
+            Client.send c (sim_req ~id:(Json.Int (100 + i)) ~budget_ms:200 ())
+          done;
+          for _ = 1 to n do
+            match Client.recv ~timeout:30. c with
+            | Error e -> Alcotest.failf "recv: %s" e
+            | Ok raw ->
+                (match reply_exn (Ok raw) with
+                | _, Protocol.Err (kind, msg) ->
+                    Alcotest.(check string) "expired, never executed"
+                      Protocol.kind_expired kind;
+                    Alcotest.(check bool) "explains the lapsed budget" true
+                      (Test_util.contains msg "budget")
+                | _, Protocol.Ok_result _ ->
+                    Alcotest.fail
+                      "a request executed after its propagated budget lapsed");
+                Alcotest.(check bool) "carries a retry hint" true
+                  (Protocol.retry_after_ms raw <> None)
+          done;
+          let stats =
+            await_stats addr ~what:"expired sheds counted"
+              (fun stats -> metric_value stats "shed_expired" >= n)
+          in
+          Alcotest.(check bool) "total shed includes expired" true
+            (metric_value stats "shed" >= n)))
+
 let test_serve_graceful_drain () =
   with_server ~config:small_server (fun addr t ->
       (* A meaty request rides through the drain; a request sent after the
@@ -1060,6 +1127,8 @@ let () =
           Alcotest.test_case "transient retry" `Quick test_serve_transient_retry;
           Alcotest.test_case "overload sheds explicitly" `Quick
             test_serve_overload_sheds;
+          Alcotest.test_case "lapsed budgets expire unexecuted" `Quick
+            test_serve_budget_expires;
           Alcotest.test_case "graceful drain" `Quick test_serve_graceful_drain;
           Alcotest.test_case "trace reconciles with latency" `Quick
             test_serve_trace_reconciles_latency;
