@@ -2,6 +2,7 @@
 
      gcchaos drill --seeds 1,2,3 --verify-repro
      gcchaos storm --seed 1 --verify-repro      # the metastability drill
+     gcchaos partition --verify-repro           # the replica-set drill
      GC_CHAOS_SEEDS=1..32 dune build @chaos     # wider sweep, same harness
 
    One drill = one seed.  The seed derives the whole fault schedule —
@@ -788,6 +789,340 @@ let storm ~server_exe ~seed =
   let ok = List.for_all (fun (_, v) -> v = Json.Bool true) invariants in
   (report, ok)
 
+(* ------------------------------------------------------------ partition *)
+
+(* The replica-set drill: three supervised replicas (a {!Gc_resil.Fleet})
+   behind one multi-endpoint resilient client, and per seed every
+   replica is hurt a different way — one SIGKILLed (the supervisor must
+   restart it, the client must fail over), one SIGSTOP-paused (alive but
+   silent: only a hedged request gets an answer before any timeout), and
+   one network-degraded behind a byte-holding proxy (first byte through,
+   then a stall past the replica's whole-frame budget — again the
+   hedge's case).  The client must deliver every request's answer
+   anyway, with zero failures, while the hedge/failover counters prove
+   which mechanism did the work.
+
+   Exact hedge and failover counts are wall-clock races, so — unlike the
+   seed-derived victim assignments and fault ordinals — they may only
+   enter the report as coarse booleans (fired at least once, wins
+   bounded by hedges), or the byte-reproducibility contract would
+   flap. *)
+
+let partition_replicas = 3
+
+(* Far below the 2s request timeout (the hedge answers long before
+   anyone gives up) and far above a healthy reply (a fast primary never
+   wastes a hedge). *)
+let partition_hedge_delay = 0.15
+
+(* The proxy stall must overrun the replica's whole-frame budget: the
+   server cuts the degraded frame itself, while the hedge has already
+   won elsewhere. *)
+let partition_stall = 0.9
+
+type partition_schedule = {
+  p_kill : int;  (** Replica SIGKILLed once. *)
+  p_stop : int;  (** Replica SIGSTOP-paused for a request window. *)
+  p_degrade : int;  (** Replica reached through the stalling proxy. *)
+  p_kill_at : int;  (** Ordinal preceded by the SIGKILL. *)
+  p_stop_from : int;
+  p_stop_len : int;
+  p_degrade_from : int;
+  p_degrade_len : int;
+}
+
+(* Fixed draw order, like [derive_schedule]: part of the file format.
+   The windows are spaced so each fault begins against a fleet that has
+   finished absorbing the previous one. *)
+let derive_partition rng =
+  let victims = [| 0; 1; 2 |] in
+  Rng.shuffle rng victims;
+  let p_kill_at = 3 + Rng.int rng 3 in
+  let p_stop_from = p_kill_at + 4 + Rng.int rng 2 in
+  let p_degrade_from = p_stop_from + 5 + Rng.int rng 2 in
+  {
+    p_kill = victims.(0);
+    p_stop = victims.(1);
+    p_degrade = victims.(2);
+    p_kill_at;
+    p_stop_from;
+    p_stop_len = 3;
+    p_degrade_from;
+    p_degrade_len = 4;
+  }
+
+(* A fleet member's manifest must name its replica: the drill's proof
+   that [--name] flows through to the shutdown artifact. *)
+let manifest_names_replica path name =
+  match Json.parse (read_file path) with
+  | Error e -> Error ("manifest: " ^ Json.string_of_parse_error e)
+  | exception Sys_error m -> Error ("manifest: " ^ m)
+  | Ok json -> (
+      match Json.member "extra" json with
+      | None -> Error "manifest: no extra section"
+      | Some extra -> (
+          match Json.member "replica" extra with
+          | Some (Json.String n) when n = name -> Ok ()
+          | Some (Json.String n) ->
+              Error (Printf.sprintf "manifest names replica %S, wanted %S" n name)
+          | _ -> Error "manifest: no replica field"))
+
+let partition ~server_exe ~requests ~seed =
+  let module Multi = Gc_resil.Resilient_client.Multi in
+  let module Pool = Gc_resil.Endpoint_pool in
+  let rng = Rng.create seed in
+  let s = derive_partition rng in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gcpart.%d.%d" (Unix.getpid ()) seed)
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let base = Filename.concat dir "part.sock" in
+  let sock i = Gc_resil.Fleet.replica_socket ~base i in
+  let name i = Printf.sprintf "replica-%d" i in
+  let manifest_path i =
+    Filename.concat dir (Printf.sprintf "part.%d.manifest.json" i)
+  in
+  let proxy_sock = Filename.concat dir "proxy.sock" in
+  let configs =
+    Array.init partition_replicas (fun i ->
+        {
+          (Supervise.default_config
+             ~argv:
+               [|
+                 server_exe; "serve"; "--socket"; sock i; "--name"; name i;
+                 "--manifest"; manifest_path i;
+                 "--frame-timeout"; string_of_float child_frame_timeout;
+                 "--deadline"; "10"; "--workers"; "2"; "--queue-depth"; "32";
+               |]
+             ~health_addr:(Client.Unix_path (sock i)))
+          with
+          Supervise.health_interval = 0.05;
+          startup_grace = 20.;
+          (* As in [drill]: the SIGSTOP pause stalls probes for a
+             handful of intervals and must not read as a wedge. *)
+          wedge_threshold = 200;
+          restart_window = 300.;
+          max_restarts = 10;
+          backoff = { Retry.default with base_delay = 0.05; max_delay = 0.2 };
+          (* Distinct per-replica seeds: backoff jitter must never
+             synchronize across the set. *)
+          seed = (seed * partition_replicas) + i;
+        })
+  in
+  let watches = Array.init partition_replicas (fun _ -> watch_create ()) in
+  let stop = Gc_exec.Cancel.create () in
+  let outcome = ref (Error "fleet thread never ran") in
+  let fl =
+    Thread.create
+      (fun () ->
+        outcome :=
+          match
+            Gc_resil.Fleet.run
+              ~on_event:(fun ~replica ev -> watch_event watches.(replica) ev)
+              ~stop configs
+          with
+          | o -> Ok o
+          | exception e -> Error (Printexc.to_string e))
+      () [@lint.allow "spawn-outside-pool"]
+  in
+  Array.iter (fun w -> await_healthy w 1) watches;
+  (* The degraded replica is reached through the proxy; until armed it
+     forwards verbatim, so the healthy phases never feel it.  Faults are
+     per connection, so arming only bites fresh dials — the drill drops
+     the client's cached connections at both window edges. *)
+  let degraded = Atomic.make false in
+  let proxy =
+    Gc_fault.Net_proxy.create ~listen:proxy_sock ~upstream:(sock s.p_degrade)
+      ~plan:(fun _ ->
+        if Atomic.get degraded then Gc_fault.Net_proxy.Delay partition_stall
+        else Gc_fault.Net_proxy.Pass)
+      ()
+  in
+  let endpoints =
+    List.init partition_replicas (fun i ->
+        Client.Unix_path (if i = s.p_degrade then proxy_sock else sock i))
+  in
+  let mc =
+    Multi.create ~timeout:2.0
+      ~retry:
+        { Retry.default with max_attempts = 8; base_delay = 0.05; max_delay = 0.4 }
+      ~hedge:
+        {
+          Multi.default_hedge with
+          min_delay = partition_hedge_delay;
+          max_delay = partition_hedge_delay;
+          initial_delay = partition_hedge_delay;
+        }
+      ~pool_config:
+        {
+          Pool.default_config with
+          (* Rotation, not p2c: routing order must be a function of the
+             request order alone for the report to reproduce. *)
+          p2c = false;
+          (* Tight re-probe backoff so the killed replica is due again
+             within the drill's own timescale. *)
+          reprobe_after = 0.05;
+          reprobe_max = 0.2;
+        }
+      ~seed endpoints
+  in
+  let failures = ref 0 in
+  let oks = ref 0 in
+  let settled = ref 0 in
+  let recovered = ref false in
+  for i = 0 to requests - 1 do
+    if i = s.p_kill_at then begin
+      await_healthy watches.(s.p_kill) 1;
+      signal_child watches.(s.p_kill) Sys.sigkill
+    end;
+    if i = s.p_stop_from then signal_child watches.(s.p_stop) Sys.sigstop;
+    if i = s.p_stop_from + s.p_stop_len then
+      signal_child watches.(s.p_stop) Sys.sigcont;
+    if i = s.p_degrade_from then begin
+      (* Heal the killed replica before the next fault begins: its
+         restart must already be finished (restart count 1 at drain),
+         and the client's out-of-band re-probe must return the Suspect
+         endpoint to Up — the recovery half of the failover story. *)
+      await_healthy watches.(s.p_kill) 2;
+      Multi.probe mc;
+      recovered := Pool.state (Multi.pool mc) s.p_kill = Pool.Up;
+      Atomic.set degraded true;
+      Multi.close mc
+    end;
+    if i = s.p_degrade_from + s.p_degrade_len then begin
+      Atomic.set degraded false;
+      Multi.close mc
+    end;
+    let req =
+      if i mod 3 = 0 then
+        Json.Obj
+          [
+            ("op", Json.String "sim"); ("policy", Json.String "lru");
+            ("k", Json.Int 64); ("seed", Json.Int i);
+            ("workload", Json.String "zipf"); ("n", Json.Int 500);
+            ("universe", Json.Int 256);
+          ]
+      else Json.Obj [ ("op", Json.String "health") ]
+    in
+    dbg "partition request %d" i;
+    (match Multi.request mc req with
+    | Ok reply -> if is_ok_reply reply then incr oks
+    | Error f ->
+        incr failures;
+        Printf.eprintf "gcchaos: partition seed %d request %d failed: %s\n%!"
+          seed i
+          (Gc_resil.Resilient_client.string_of_failure f));
+    incr settled
+  done;
+  let failovers = Multi.failovers mc
+  and hedges = Multi.hedges mc
+  and hedge_wins = Multi.hedge_wins mc in
+  Multi.close mc;
+  Gc_fault.Net_proxy.stop proxy;
+  dbg "partition draining";
+  Gc_exec.Cancel.request stop ~reason:"partition drill complete";
+  Thread.join fl;
+  let fleet_outcome =
+    match !outcome with
+    | Ok o -> o
+    | Error m -> Cli_common.fail_runtime "partition: fleet died: %s" m
+  in
+  let restarts =
+    Array.map
+      (fun (o : Supervise.outcome) -> o.Supervise.restarts)
+      fleet_outcome.Gc_resil.Fleet.replicas
+  in
+  let silent =
+    Array.init partition_replicas (fun i ->
+        Result.is_error
+          (Client.request_result ~timeout:1.
+             (Client.Unix_path (sock i))
+             (Json.Obj [ ("op", Json.String "health") ])))
+  in
+  let manifests =
+    let rec go i =
+      if i >= partition_replicas then Ok ()
+      else
+        match
+          Result.bind
+            (manifest_reconciles (manifest_path i))
+            (fun () -> manifest_names_replica (manifest_path i) (name i))
+        with
+        | Ok () -> go (i + 1)
+        | Error m -> Error (Printf.sprintf "replica %d: %s" i m)
+    in
+    go 0
+  in
+  let check name = function
+    | Ok () -> (name, Json.Bool true)
+    | Error m ->
+        Printf.eprintf "gcchaos: partition seed %d invariant %s: %s\n%!" seed
+          name m;
+        (name, Json.Bool false)
+  in
+  let bool_check name ok detail =
+    check name (if ok then Ok () else Error detail)
+  in
+  let invariants =
+    [
+      bool_check "every_request_settled" (!settled = requests)
+        (Printf.sprintf "settled %d of %d" !settled requests);
+      bool_check "zero_failed_requests"
+        (!failures = 0 && !oks = requests)
+        (Printf.sprintf "%d failures, %d ok replies of %d" !failures !oks
+           requests);
+      bool_check "restarts_isolated_to_kill"
+        (restarts.(s.p_kill) = 1
+        && restarts.(s.p_stop) = 0
+        && restarts.(s.p_degrade) = 0
+        && fleet_outcome.Gc_resil.Fleet.result = `Drained)
+        (Printf.sprintf "restarts kill=%d stop=%d degrade=%d, %s"
+           restarts.(s.p_kill) restarts.(s.p_stop)
+           restarts.(s.p_degrade)
+           (match fleet_outcome.Gc_resil.Fleet.result with
+           | `Drained -> "drained"
+           | `All_gave_up -> "all gave up"));
+      bool_check "killed_replica_reprobed_up" !recovered
+        "killed replica not Up after its re-probe";
+      bool_check "failover_covered_the_kill" (failovers >= 1)
+        "no failover despite a SIGKILLed replica";
+      bool_check "hedges_fired" (hedges >= 1)
+        "no hedge despite a stalled replica";
+      bool_check "hedge_wins_bounded"
+        (hedge_wins >= 1 && hedge_wins <= hedges)
+        (Printf.sprintf "%d hedge wins of %d hedges" hedge_wins hedges);
+      check "replica_manifests_reconcile" manifests;
+      bool_check "silent_after_drain"
+        (Array.for_all Fun.id silent)
+        "a replica answered after the fleet drained";
+    ]
+  in
+  let report =
+    Json.Obj
+      [
+        ("seed", Json.Int seed);
+        ("requests", Json.Int requests);
+        ("kill_replica", Json.Int s.p_kill);
+        ("stop_replica", Json.Int s.p_stop);
+        ("degrade_replica", Json.Int s.p_degrade);
+        ("kill_at", Json.Int s.p_kill_at);
+        ( "stop_window",
+          Json.Array [ Json.Int s.p_stop_from; Json.Int s.p_stop_len ] );
+        ( "degrade_window",
+          Json.Array [ Json.Int s.p_degrade_from; Json.Int s.p_degrade_len ] );
+        ("settled", Json.Int !settled);
+        ( "restarts",
+          Json.Array (Array.to_list restarts |> List.map (fun r -> Json.Int r))
+        );
+        ("invariants", Json.Obj invariants);
+      ]
+  in
+  let ok = List.for_all (fun (_, v) -> v = Json.Bool true) invariants in
+  (report, ok)
+
 (* ----------------------------------------------------------------- CLI *)
 
 let parse_seeds s =
@@ -989,10 +1324,106 @@ let storm_cmd =
                 "Run every seed twice and require byte-identical \
                  reports — the determinism contract, enforced."))
 
+let run_partition seeds server requests report_path verify_repro =
+  if requests < 24 then
+    Cli_common.fail_usage "--requests must be >= 24 (the schedule needs room)";
+  let seeds =
+    match seeds with
+    | Some s -> parse_seeds s
+    | None -> (
+        match Sys.getenv_opt "GC_CHAOS_SEEDS" with
+        | Some s -> parse_seeds s
+        | None -> [ 1; 2; 3 ])
+  in
+  let server_exe =
+    match server with Some p -> p | None -> default_server ()
+  in
+  if not (Sys.file_exists server_exe) then
+    Cli_common.fail_usage "server executable %s not found (--server)" server_exe;
+  let failures = ref 0 in
+  let reports =
+    List.map
+      (fun seed ->
+        Printf.eprintf "gcchaos: partitioning seed %d\n%!" seed;
+        let report, ok = partition ~server_exe ~requests ~seed in
+        if not ok then incr failures;
+        if verify_repro then begin
+          let again, _ = partition ~server_exe ~requests ~seed in
+          if Json.to_string again <> Json.to_string report then begin
+            Printf.eprintf
+              "gcchaos: partition seed %d is NOT reproducible\n\
+              \  first:  %s\n\
+              \  second: %s\n\
+               %!"
+              seed (Json.to_string report) (Json.to_string again);
+            incr failures
+          end
+        end;
+        report)
+      seeds
+  in
+  let combined =
+    Json.Obj
+      [
+        ("tool", Json.String "gcchaos partition");
+        ("requests", Json.Int requests);
+        ("verify_repro", Json.Bool verify_repro);
+        ("partitions", Json.Array reports);
+      ]
+  in
+  print_endline (Json.to_string combined);
+  (match report_path with
+  | Some path -> Gc_obs.Export.write_json_atomic path combined
+  | None -> ());
+  if !failures > 0 then
+    Cli_common.fail_model "%d partition drill(s) violated invariants" !failures;
+  Cli_common.ok
+
+let partition_cmd =
+  Cmd.v
+    (Cmd.info "partition"
+       ~doc:
+         "Run the replica-set drill: kill, pause, and degrade one \
+          replica each of a supervised fleet of three, and prove the \
+          multi-endpoint client's failover and hedging hide all of it")
+    Term.(
+      const run_partition
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "seeds" ] ~docv:"N,N,..."
+              ~doc:
+                "Drill seeds (default: $(b,GC_CHAOS_SEEDS) from the \
+                 environment, else 1,2,3).  Each seed derives the victim \
+                 assignments and fault windows.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "server" ] ~docv:"EXE"
+              ~doc:
+                "The gcserved executable to supervise (default: the \
+                 gcserved next to this binary).")
+      $ Arg.(
+          value
+          & opt int 26
+          & info [ "requests" ] ~docv:"N"
+              ~doc:"Requests per drill (minimum 24).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "report" ] ~docv:"FILE"
+              ~doc:"Also write the combined JSON report to $(docv).")
+      $ Arg.(
+          value & flag
+          & info [ "verify-repro" ]
+              ~doc:
+                "Run every seed twice and require byte-identical \
+                 reports — the determinism contract, enforced."))
+
 let () =
   exit
     (Cli_common.eval
        (Cmd.group
           (Cmd.info "gcchaos" ~version:"%%VERSION%%"
              ~doc:"Deterministic chaos drills for the gcserved stack")
-          [ drill_cmd; storm_cmd ]))
+          [ drill_cmd; storm_cmd; partition_cmd ]))

@@ -51,7 +51,7 @@ let listeners ~socket ~tcp ~tcp_host =
 
 let serve socket tcp tcp_host workers min_workers queue_depth deadline retries
     max_frame frame_timeout max_conns codel_target codel_interval
-    retry_after_ms seed manifest trace =
+    retry_after_ms seed manifest trace name =
   let socket_path, tcp = listeners ~socket ~tcp ~tcp_host in
   let base = Gc_serve.Server.default_config in
   let config =
@@ -78,9 +78,13 @@ let serve socket tcp tcp_host workers min_workers queue_depth deadline retries
         Option.value retry_after_ms ~default:base.Gc_serve.Server.retry_after_ms;
       seed = Option.value seed ~default:base.Gc_serve.Server.seed;
       trace;
+      name;
     }
   in
-  Printf.eprintf "gcserved: serving%s%s (workers %d, queue %d, deadline %gs)\n%!"
+  Printf.eprintf "gcserved: serving%s%s%s (workers %d, queue %d, deadline %gs)\n%!"
+    (match name with
+    | Some n -> Printf.sprintf " as %s" n
+    | None -> "")
     (match socket_path with
     | Some p -> Printf.sprintf " on %s" p
     | None -> "")
@@ -193,7 +197,15 @@ let serve_cmd =
                 "Enable request-path span tracing (decode, queue-wait, \
                  execute, encode, reply) and write a Chrome trace-event \
                  JSON — loadable in Perfetto — to $(docv) after the \
-                 drain."))
+                 drain.")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "name" ] ~docv:"NAME"
+              ~doc:
+                "Replica identity within a fleet: echoed as a \
+                 $(i,replica) field in health/stats replies and the \
+                 shutdown manifest.  Set automatically by $(b,fleet)."))
 
 (* ------------------------------------------------------------ supervise *)
 
@@ -343,6 +355,208 @@ let supervise_cmd =
           & info [ "seed" ] ~docv:"N"
               ~doc:"Backoff jitter seed (default 0)."))
 
+(* ---------------------------------------------------------------- fleet *)
+
+(* A replica set: N supervised serve children, one socket and one restart
+   budget each (Gc_resil.Fleet).  One crash-looping replica spends its
+   own budget and goes dark while the rest keep serving; only when every
+   replica has given up does the fleet exit 3. *)
+let fleet socket replicas server_exe child_args health_interval health_timeout
+    startup_grace wedge_threshold restart_window max_restarts term_grace
+    drain_grace seed manifest =
+  if replicas < 1 then Cli_common.fail_usage "--replicas must be >= 1";
+  let base_socket = Option.value socket ~default:"gcserved.sock" in
+  let base_seed = Option.value seed ~default:0 in
+  let exe = Option.value server_exe ~default:Sys.executable_name in
+  let config i =
+    let sock = Gc_resil.Fleet.replica_socket ~base:base_socket i in
+    let name = Printf.sprintf "replica-%d" i in
+    let argv =
+      Array.of_list
+        ([ exe; "serve"; "--socket"; sock; "--name"; name ] @ child_args)
+    in
+    let base =
+      Gc_resil.Supervise.default_config ~argv
+        ~health_addr:(Gc_serve.Client.Unix_path sock)
+    in
+    {
+      base with
+      Gc_resil.Supervise.socket_path = Some sock;
+      health_interval =
+        Option.value health_interval
+          ~default:base.Gc_resil.Supervise.health_interval;
+      health_timeout =
+        Option.value health_timeout
+          ~default:base.Gc_resil.Supervise.health_timeout;
+      startup_grace =
+        Option.value startup_grace ~default:base.Gc_resil.Supervise.startup_grace;
+      wedge_threshold =
+        Option.value wedge_threshold
+          ~default:base.Gc_resil.Supervise.wedge_threshold;
+      restart_window =
+        Option.value restart_window
+          ~default:base.Gc_resil.Supervise.restart_window;
+      max_restarts =
+        Option.value max_restarts ~default:base.Gc_resil.Supervise.max_restarts;
+      term_grace =
+        Option.value term_grace ~default:base.Gc_resil.Supervise.term_grace;
+      drain_grace =
+        Option.value drain_grace ~default:base.Gc_resil.Supervise.drain_grace;
+      (* Distinct seeds: backoff jitter must never synchronize restarts
+         across the set. *)
+      seed = base_seed + i;
+    }
+  in
+  let configs = Array.init replicas config in
+  Printf.eprintf "gcserved: fleet of %d replicas on %s.0..%d\n%!" replicas
+    base_socket (replicas - 1);
+  let outcome =
+    Gc_exec.Supervisor.with_interrupt
+      ~message:"gcserved: fleet draining (signal again to hard-exit)"
+      (fun token ->
+        Gc_resil.Fleet.run
+          ~on_event:(fun ~replica e ->
+            Printf.eprintf "gcserved: fleet[%d]: %s\n%!" replica
+              (Gc_resil.Supervise.event_string e))
+          ~stop:token configs)
+  in
+  let replica_json i (o : Gc_resil.Supervise.outcome) =
+    Json.Obj
+      [
+        ("replica", Json.Int i);
+        ( "result",
+          Json.String
+            (match o.Gc_resil.Supervise.result with
+            | `Drained -> "drained"
+            | `Gave_up -> "gave-up") );
+        ("restarts", Json.Int o.Gc_resil.Supervise.restarts);
+      ]
+  in
+  (match manifest with
+  | None -> ()
+  | Some path ->
+      let m =
+        Gc_obs.Manifest.make ~tool:"gcserved" ~command:"fleet" ~seed:base_seed
+          ~extra:
+            [
+              ( "status",
+                Json.String
+                  (match outcome.Gc_resil.Fleet.result with
+                  | `Drained -> "drained"
+                  | `All_gave_up -> "all-gave-up") );
+              ( "replicas",
+                Json.Array
+                  (Array.to_list
+                     (Array.mapi replica_json outcome.Gc_resil.Fleet.replicas))
+              );
+            ]
+          []
+      in
+      Gc_obs.Export.write_json_atomic path (Gc_obs.Manifest.to_json m));
+  match outcome.Gc_resil.Fleet.result with
+  | `Drained ->
+      Array.iteri
+        (fun i (o : Gc_resil.Supervise.outcome) ->
+          match o.Gc_resil.Supervise.result with
+          | `Drained ->
+              Printf.eprintf "gcserved: fleet[%d]: drained (%d restarts)\n%!" i
+                o.Gc_resil.Supervise.restarts
+          | `Gave_up ->
+              Printf.eprintf
+                "gcserved: fleet[%d]: gave up (%d restarts) — bulkheaded, \
+                 rest of the fleet served on\n\
+                 %!"
+                i o.Gc_resil.Supervise.restarts)
+        outcome.Gc_resil.Fleet.replicas;
+      Cli_common.ok
+  | `All_gave_up ->
+      Cli_common.fail_model "fleet outage: all %d replicas spent their restart budgets"
+        replicas
+
+let fleet_cmd =
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Run N independently supervised serve replicas, one Unix socket \
+          each ($(b,BASE.0) .. $(b,BASE.N-1)) with per-replica restart \
+          budgets: a crash-looping replica goes dark alone (bulkhead) \
+          while the rest keep serving.  Exit 0 after a signal-driven \
+          drain, 3 only when $(i,every) replica spent its budget.  \
+          Arguments after $(b,--) are passed to each child's $(b,serve) \
+          command.")
+    Term.(
+      const fleet $ socket_arg
+      $ Arg.(
+          value & opt int 3
+          & info [ "replicas" ] ~docv:"N"
+              ~doc:"Replica count (default 3).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "server" ] ~docv:"EXE"
+              ~doc:
+                "The gcserved executable to spawn (default: this binary).")
+      $ Arg.(
+          value & pos_all string []
+          & info [] ~docv:"SERVE_ARG"
+              ~doc:"Extra flags for each child's $(b,serve) command.")
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "health-interval" ] ~docv:"SECONDS"
+              ~doc:"Seconds between health probes (default 0.25).")
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "health-timeout" ] ~docv:"SECONDS"
+              ~doc:"Per-probe reply budget (default 2).")
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "startup-grace" ] ~docv:"SECONDS"
+              ~doc:"Budget for the first healthy probe after a spawn (default 10).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "wedge-threshold" ] ~docv:"N"
+              ~doc:
+                "Consecutive failed probes that declare a live child \
+                 wedged (default 8).")
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "restart-window" ] ~docv:"SECONDS"
+              ~doc:"Sliding window for each replica's restart budget (default 60).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "max-restarts" ] ~docv:"N"
+              ~doc:"Restarts allowed per window, per replica (default 5).")
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "term-grace" ] ~docv:"SECONDS"
+              ~doc:"SIGTERM-to-SIGKILL grace for a wedged child (default 5).")
+      $ Arg.(
+          value
+          & opt (some float) None
+          & info [ "drain-grace" ] ~docv:"SECONDS"
+              ~doc:"How long a requested drain may take (default 30).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "seed" ] ~docv:"N"
+              ~doc:
+                "Base backoff jitter seed; replica $(i,i) uses seed + i \
+                 (default 0).")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "manifest" ] ~docv:"FILE"
+              ~doc:
+                "Write a fleet manifest (per-replica outcome and restart \
+                 counts) to $(docv) after the drain."))
+
 (* --------------------------------------------------------------- client *)
 
 let addr ~socket ~tcp ~tcp_host =
@@ -424,11 +638,28 @@ let print_prometheus reply_json =
               print_string text;
               Cli_common.ok))
 
+(* "host:PORT" (all-digit port) is TCP; anything else is a socket path. *)
+let parse_endpoint s =
+  match String.rindex_opt s ':' with
+  | Some i
+    when i > 0
+         && i < String.length s - 1
+         && String.for_all
+              (fun c -> c >= '0' && c <= '9')
+              (String.sub s (i + 1) (String.length s - i - 1)) ->
+      Gc_serve.Client.Tcp
+        ( String.sub s 0 i,
+          int_of_string (String.sub s (i + 1) (String.length s - i - 1)) )
+  | _ -> Gc_serve.Client.Unix_path s
+
 let client socket tcp tcp_host op policy k seed workload n universe block_size
-    check ks raw budget_ms timeout prom json_only attempts =
+    check ks raw budget_ms timeout prom json_only attempts endpoints hedge_ms =
   if prom && op <> "stats" then
     Cli_common.fail_usage "--prom only applies to the stats op";
-  let addr = addr ~socket ~tcp ~tcp_host in
+  if endpoints <> [] && (socket <> None || tcp <> None) then
+    Cli_common.fail_usage "--endpoint and --socket/--tcp are mutually exclusive";
+  if hedge_ms <> None && endpoints = [] then
+    Cli_common.fail_usage "--hedge-ms needs --endpoint";
   let load =
     {
       Gc_serve.Protocol.workload;
@@ -477,17 +708,46 @@ let client socket tcp tcp_host op policy k seed workload n universe block_size
         (* the enum converter rejects anything else *)
   in
   if attempts < 1 then Cli_common.fail_usage "--attempts must be >= 1";
+  let retry =
+    { Gc_resil.Retry.default with Gc_resil.Retry.max_attempts = attempts }
+  in
   (* The resilient client rides over a supervised restart mid-request:
      classified transport failures (refused/timeout/reset) and overloaded
      sheds retry with jittered backoff; protocol faults and draining
-     replies fail fast. *)
-  let rc =
-    Gc_resil.Resilient_client.create ~timeout
-      ~retry:{ Gc_resil.Retry.default with Gc_resil.Retry.max_attempts = attempts }
-      addr
+     replies fail fast.  With --endpoint the multi-endpoint mode adds
+     rotation across the listed replicas, same-attempt failover, and
+     (with --hedge-ms) hedged requests. *)
+  let result =
+    match endpoints with
+    | [] ->
+        let rc =
+          Gc_resil.Resilient_client.create ~timeout ~retry
+            (addr ~socket ~tcp ~tcp_host)
+        in
+        let r = Gc_resil.Resilient_client.request rc request in
+        Gc_resil.Resilient_client.close rc;
+        r
+    | eps ->
+        let module Multi = Gc_resil.Resilient_client.Multi in
+        let hedge =
+          Option.map
+            (fun ms ->
+              let d = Float.of_int ms /. 1000. in
+              {
+                Multi.default_hedge with
+                Multi.min_delay = d;
+                max_delay = d;
+                initial_delay = d;
+              })
+            hedge_ms
+        in
+        let mc =
+          Multi.create ~timeout ~retry ?hedge (List.map parse_endpoint eps)
+        in
+        let r = Multi.request mc request in
+        Multi.close mc;
+        r
   in
-  let result = Gc_resil.Resilient_client.request rc request in
-  Gc_resil.Resilient_client.close rc;
   match result with
   | Error (Gc_resil.Resilient_client.Rejected (kind, message)) ->
       (* The retry policy (or its budget) gave up on a refusal the server
@@ -598,7 +858,27 @@ let client_cmd =
                  reset, overloaded) with jittered backoff; requests \
                  without an explicit $(i,id) are stamped with one so a \
                  retried reply can be matched by its id echo.  1 \
-                 disables retry."))
+                 disables retry.")
+      $ Arg.(
+          value
+          & opt_all string []
+          & info [ "endpoint" ] ~docv:"ADDR"
+              ~doc:
+                "Replica endpoint: a socket path, or $(i,host:port) for \
+                 TCP.  Repeatable; with several, requests rotate \
+                 round-robin across healthy replicas and transport \
+                 failures of idempotent requests fail over to the next \
+                 one within the same attempt.  Mutually exclusive with \
+                 $(b,--socket)/$(b,--tcp).")
+      $ Arg.(
+          value
+          & opt (some int) None
+          & info [ "hedge-ms" ] ~docv:"MS"
+              ~doc:
+                "With two or more $(b,--endpoint)s: fire a second \
+                 attempt at another replica when the first has not \
+                 answered within $(docv) milliseconds; first reply wins, \
+                 the loser is cancelled."))
 
 let () =
   let info =
@@ -622,4 +902,6 @@ let () =
               "when a second signal hard-exits a drain already in progress.";
         ]
   in
-  exit (Cli_common.eval (Cmd.group info [ serve_cmd; supervise_cmd; client_cmd ]))
+  exit
+    (Cli_common.eval
+       (Cmd.group info [ serve_cmd; supervise_cmd; fleet_cmd; client_cmd ]))

@@ -5,18 +5,33 @@ type t = {
   mutable n_denied : int;
 }
 
+let finite name v =
+  if not (Float.is_finite v) then
+    invalid_arg ("Token_bucket.create: " ^ name ^ " is not finite")
+
 let create ?(capacity = 10.) ?initial ?(refill_per_success = 0.2) () =
+  finite "capacity" capacity;
+  finite "refill_per_success" refill_per_success;
   if capacity <= 0. then invalid_arg "Token_bucket.create: capacity <= 0";
   if refill_per_success < 0. then
     invalid_arg "Token_bucket.create: refill_per_success < 0";
   let initial = Option.value initial ~default:capacity in
+  finite "initial" initial;
   if initial < 0. || initial > capacity then
     invalid_arg "Token_bucket.create: initial outside [0, capacity]";
   { cap = capacity; refill = refill_per_success; level = initial; n_denied = 0 }
 
+(* Every mutation funnels through this clamp, so accumulated float error
+   (e.g. thousands of fractional refills against a fractional capacity)
+   can never carry [level] outside [0, cap] — not even by one ulp. *)
+let clamp t =
+  if t.level > t.cap then t.level <- t.cap;
+  if t.level < 0. then t.level <- 0.
+
 let try_take t =
   if t.level >= 1. then begin
     t.level <- t.level -. 1.;
+    clamp t;
     true
   end
   else begin
@@ -24,7 +39,10 @@ let try_take t =
     false
   end
 
-let on_success t = t.level <- Float.min t.cap (t.level +. t.refill)
+let on_success t =
+  t.level <- t.level +. t.refill;
+  clamp t
+
 let tokens t = t.level
 let capacity t = t.cap
 let denied t = t.n_denied

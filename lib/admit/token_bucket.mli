@@ -21,7 +21,8 @@ val create :
 (** Defaults: [capacity] 10., [initial] = capacity, [refill_per_success]
     0.2 (one free retry per five successes, steady-state).  Raises
     [Invalid_argument] when [capacity <= 0.], [initial] is outside
-    [[0, capacity]], or [refill_per_success < 0.]. *)
+    [[0, capacity]], [refill_per_success < 0.], or any parameter is NaN
+    or infinite. *)
 
 val try_take : t -> bool
 (** Spend one token for a retry.  [false] (and a recorded denial) when

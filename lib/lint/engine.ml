@@ -375,8 +375,51 @@ let check_fixed_deadline ctx (e : expression) =
         args
   | _ -> ()
 
+(* --------------------------------------------------- hardcoded-endpoint *)
+
+let all_chars_in s pred =
+  let ok = ref (s <> "") in
+  String.iter (fun c -> if not (pred c) then ok := false) s;
+  !ok
+
+(* A string literal that names a concrete network endpoint: a Unix
+   socket path (".sock" anywhere after a path-looking prefix) or a
+   host:port.  Format strings are skipped — "%s.sock" and "%s:%d" are
+   the sanctioned way to *derive* an endpoint from configuration. *)
+let endpoint_literal s =
+  if String.contains s '%' then false
+  else if
+    (* Strictly longer than the suffix: a bare ".sock" is a pattern
+       (this very matcher), not a place. *)
+    String.length s > 5 && Filename.check_suffix s ".sock"
+  then true
+  else
+    match String.rindex_opt s ':' with
+    | None -> false
+    | Some i ->
+        let host = String.sub s 0 i in
+        let port = String.sub s (i + 1) (String.length s - i - 1) in
+        all_chars_in port (fun c -> c >= '0' && c <= '9')
+        && all_chars_in host (fun c ->
+               (c >= 'a' && c <= 'z')
+               || (c >= 'A' && c <= 'Z')
+               || (c >= '0' && c <= '9')
+               || c = '.' || c = '-')
+        && (String.contains host '.' || host = "localhost")
+
+let check_hardcoded_endpoint ctx (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_string (s, _, _)) when endpoint_literal s ->
+      emit ctx e.pexp_loc "hardcoded-endpoint"
+        (Printf.sprintf
+           "string literal %S pins a concrete endpoint: addresses are \
+            deployment configuration"
+           s)
+  | _ -> ()
+
 let check_expr ctx (e : expression) =
   check_fixed_deadline ctx e;
+  check_hardcoded_endpoint ctx e;
   match e.pexp_desc with
   | Pexp_apply
       ( ({ pexp_desc = Pexp_ident { txt = Lident "exit"; _ }; _ } as fn),

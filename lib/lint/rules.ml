@@ -171,6 +171,24 @@ let all =
       scope_doc = "lib/ only";
     };
     {
+      id = "hardcoded-endpoint";
+      severity = Finding.Warn;
+      synopsis = "hardcoded socket path or host:port literal in library code";
+      rationale =
+        "Where a service listens is deployment policy, not library code: \
+         replica sets derive their sockets from a base path \
+         (Fleet.replica_socket), clients take endpoint lists from \
+         configuration, and the drills place everything under a fresh \
+         temp directory.  A string literal naming a .sock path or a \
+         host:port pins the library to one topology — it cannot be \
+         fleet-deployed, proxied, or drilled without editing source.";
+      example = "let addr = Client.Unix_path \"/tmp/gcserved.sock\"";
+      fix =
+        "take the address from config or a parameter; derive fleet \
+         sockets via Fleet.replica_socket";
+      scope_doc = "lib/ only";
+    };
+    {
       id = "fixed-deadline";
       severity = Finding.Warn;
       synopsis = "hardcoded deadline/timeout/budget literal in serving code";
@@ -216,6 +234,7 @@ let applies ~id ~file =
   | "print-in-lib" -> under "lib/" file
   | "wall-clock-timing" -> under "lib/" file
   | "fixed-deadline" -> under "lib/serve/" file
+  | "hardcoded-endpoint" -> under "lib/" file
   | "nondeterministic-rng" | "unsafe-deser" | "partial-stdlib" -> true
   | _ -> true
 

@@ -1,0 +1,43 @@
+let replica_socket ~base i = Printf.sprintf "%s.%d" base i
+
+type outcome = {
+  replicas : Supervise.outcome array;
+  result : [ `Drained | `All_gave_up ];
+}
+
+let run ?on_event ~stop configs =
+  let n = Array.length configs in
+  if n = 0 then invalid_arg "Fleet.run: no replicas";
+  let outcomes =
+    Array.make n { Supervise.result = `Gave_up; restarts = 0 }
+  in
+  let failures = Array.make n None in
+  let one i =
+    let on_event =
+      Option.map (fun f event -> f ~replica:i event) on_event
+    in
+    (* The catch-all is capture, not disposal: the exception crosses the
+       thread boundary here and [run] re-raises it after the join. *)
+    (match Supervise.run ?on_event ~stop configs.(i) with
+    | outcome -> outcomes.(i) <- outcome
+    | exception exn -> failures.(i) <- Some exn)
+    [@lint.allow "swallowed-cancellation"]
+  in
+  (* One blocking supervisor per replica: process babysitting is
+     wall-clock work that cannot run on the deterministic Gc_exec
+     pool. *)
+  let threads =
+    Array.init n (fun i ->
+        Thread.create one i [@lint.allow "spawn-outside-pool"])
+  in
+  Array.iter Thread.join threads;
+  (match Array.find_opt Option.is_some failures with
+  | Some (Some exn) -> raise exn
+  | _ -> ());
+  let all_gave_up =
+    Array.for_all (fun o -> o.Supervise.result = `Gave_up) outcomes
+  in
+  {
+    replicas = outcomes;
+    result = (if all_gave_up then `All_gave_up else `Drained);
+  }

@@ -86,3 +86,101 @@ val budget_tokens : t -> float option
 val budget_denials : t -> int
 (** Retries the budget refused — each one a request the server did not
     have to shed again.  Always 0 when budgeting is off. *)
+
+(** The multi-endpoint mode: one client over a replica set.
+
+    Everything the single client does — reconnect, id-echo dedupe,
+    rejection classification, retry budget, backoff hints — plus:
+
+    - {b health-aware routing} via an {!Endpoint_pool}: up / suspect /
+      down states driven by observed outcomes, jittered re-probe of down
+      replicas, power-of-two-choices on observed latency (deterministic
+      rotation until two latency samples exist, or with [p2c] off);
+    - {b transparent failover} — a [Refused]/[Timeout]/[Reset] failure
+      of an idempotent request moves to another replica {e within} the
+      same attempt, with no backoff delay; an endpoint whose breaker is
+      open is skipped before anything is sent (safe even for
+      non-idempotent requests).  Backoff only happens between whole
+      rounds, when every eligible replica has failed;
+    - {b per-endpoint breakers} — one {!Breaker} per replica, so a
+      single melting endpoint trips in isolation while the rest of the
+      set keeps serving;
+    - {b hedged requests} (opt-in) — when an idempotent request has not
+      settled within a hedge delay derived from a latency quantile
+      (clamped to [[min_delay, max_delay]]; [initial_delay] before the
+      first sample), a second attempt fires at another Up replica.
+      First reply wins; the loser's blocked read is woken by a socket
+      shutdown and its result discarded, which the id-echo dedupe makes
+      safe.  Hedges only target replicas with a Closed breaker, so a
+      cancelled loser can never strand the half-open probe slot.
+
+    The [hedges] / [hedge_wins] / [failovers] counters and the
+    per-endpoint [endpoint_state] / [breaker_state] gauges flow into a
+    registry when one is given, and out through the accessors below for
+    drill reconciliation. *)
+module Multi : sig
+  type hedge_config = {
+    quantile : float;  (** Latency quantile that sets the hedge delay. *)
+    min_delay : float;  (** Clamp floor, seconds. *)
+    max_delay : float;  (** Clamp ceiling, seconds. *)
+    initial_delay : float;  (** Delay before any latency sample exists. *)
+  }
+
+  val default_hedge : hedge_config
+  (** p90, clamped to [[10ms, 500ms]], 50ms before the first sample. *)
+
+  type t
+
+  val create :
+    ?timeout:float ->
+    ?retry:Retry.policy ->
+    ?retry_budget:Gc_admit.Token_bucket.t option ->
+    ?hedge:hedge_config ->
+    ?pool_config:Endpoint_pool.config ->
+    ?breaker_config:Breaker.config ->
+    ?registry:Gc_obs.Registry.t ->
+    ?probe_interval:float ->
+    ?seed:int ->
+    Gc_serve.Client.addr list ->
+    t
+  (** Defaults match the single client; [hedge] [None] disables hedging.
+      [probe_interval] starts a background prober thread that
+      health-checks re-probe-due endpoints every interval (stopped by
+      {!close}); without it, call {!probe} yourself — down endpoints
+      still recover through live-traffic re-probes either way.  Raises
+      [Invalid_argument] on an empty endpoint list. *)
+
+  val request :
+    ?idempotent:bool -> t -> Gc_obs.Json.t -> (Gc_obs.Json.t, failure) result
+  (** As the single client's {!request}; failover and hedging engage
+      only when [idempotent] (the default). *)
+
+  val probe : t -> unit
+  (** Health-check every endpoint whose re-probe deadline has passed,
+      updating pool states.  Out-of-band: safe to call from another
+      thread while requests are in flight. *)
+
+  val close : t -> unit
+  (** Stop the prober (when running) and drop every cached connection;
+      [t] remains usable. *)
+
+  val pool : t -> Endpoint_pool.t
+  val states : t -> (string * Endpoint_pool.state) list
+
+  val retries : t -> int
+  val failovers : t -> int
+  (** Same-attempt switches to another replica after a transport
+      failure or an open breaker. *)
+
+  val hedges : t -> int
+  (** Second attempts fired. *)
+
+  val hedge_wins : t -> int
+  (** Hedged attempts where the {e second} replica's reply won. *)
+
+  val reconnects : t -> int
+  (** Summed over all endpoint channels. *)
+
+  val budget_tokens : t -> float option
+  val budget_denials : t -> int
+end

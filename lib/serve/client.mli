@@ -15,6 +15,10 @@ type addr =
   | Unix_path of string
   | Tcp of string * int
 
+val addr_string : addr -> string
+(** Render an address for diagnostics and metric labels: the socket
+    path, or ["host:port"]. *)
+
 type conn
 
 type error_kind =

@@ -28,6 +28,7 @@ type config = {
   retry_after_ms : int;
   seed : int;
   trace : string option;
+  name : string option;
 }
 
 let default_config =
@@ -50,6 +51,7 @@ let default_config =
     retry_after_ms = 100;
     seed = 0;
     trace = None;
+    name = None;
   }
 
 (* Request-path spans.  Worker and reader sys-threads share domain 0, so
@@ -491,6 +493,14 @@ let worker_loop t =
 
 (* ------------------------------------------------------------- admission *)
 
+(* A fleet member announces which replica it is in every health/stats
+   reply, so a drill (or an operator) can tell the replicas apart by
+   asking them rather than by remembering socket paths. *)
+let replica_field t =
+  match t.config.name with
+  | None -> []
+  | Some n -> [ ("replica", Json.String n) ]
+
 let stats_json t =
   Mutex.lock t.mu;
   let queue = Deque.length t.queue
@@ -501,7 +511,8 @@ let stats_json t =
   and draining = t.is_draining in
   Mutex.unlock t.mu;
   Json.Obj
-    [
+    (replica_field t
+    @ [
       ("state", Json.String (if draining then "draining" else "serving"));
       ("uptime_s", Json.Float (Clock.now_s () -. t.started_at));
       ("queue_depth", Json.Int queue);
@@ -510,17 +521,18 @@ let stats_json t =
       ("overloaded", Json.Bool overloaded);
       ("connections", Json.Int conns);
       ("metrics", Registry.to_json t.reg);
-    ]
+    ])
 
 let health_json t =
   Mutex.lock t.mu;
   let draining = t.is_draining in
   Mutex.unlock t.mu;
   Json.Obj
-    [
-      ("state", Json.String (if draining then "draining" else "serving"));
-      ("uptime_s", Json.Float (Clock.now_s () -. t.started_at));
-    ]
+    (replica_field t
+    @ [
+        ("state", Json.String (if draining then "draining" else "serving"));
+        ("uptime_s", Json.Float (Clock.now_s () -. t.started_at));
+      ])
 
 let admit t conn id ~budget_ms op =
   Mutex.lock t.mu;
@@ -904,10 +916,13 @@ let manifest t =
   Gc_obs.Manifest.make ~tool:"gcserved" ~command:"serve"
     ~wall_time_s:(Clock.now_s () -. t.started_at)
     ~extra:
-      [
-        ("status", Json.String (if t.stopped then "drained" else "serving"));
-        ("server", Registry.to_json t.reg);
-      ]
+      ((match t.config.name with
+       | None -> []
+       | Some n -> [ ("replica", Json.String n) ])
+      @ [
+          ("status", Json.String (if t.stopped then "drained" else "serving"));
+          ("server", Registry.to_json t.reg);
+        ])
     []
 
 let run ?manifest_path config =

@@ -65,6 +65,11 @@ type config = {
           lifetime and the drain writes a Chrome trace-event JSON
           (Perfetto-loadable) of the recorded request-path spans —
           decode, queue-wait, execute, encode, reply — to this path. *)
+  name : string option;
+      (** Replica identity within a fleet (e.g. ["replica-2"]): echoed
+          as a ["replica"] field in every [health] and [stats] reply,
+          and stamped into the shutdown manifest.  [None] (the default)
+          omits the field — a standalone server's replies are unchanged. *)
 }
 
 val default_config : config

@@ -1,0 +1,13 @@
+(* hardcoded-endpoint fixture: concrete socket paths and host:port
+   literals in lib/.  Derived endpoints — format strings filled from
+   configuration — are the sanctioned shape and stay clean, as do
+   strings whose "port" is not numeric (diagnostics, doc text). *)
+
+let flagged_sock = Client.Unix_path "/tmp/gcserved.sock"
+let flagged_hostport = Client.Tcp ("127.0.0.1", 8080) |> describe "127.0.0.1:8080"
+let flagged_localhost = dial "localhost:9000"
+
+let clean_format base i = Printf.sprintf "%s.%d.sock" base i
+let clean_hostport_format host port = Printf.sprintf "%s:%d" host port
+let clean_diagnostic = error "expected HOST:PORT"
+let _ = (flagged_sock, flagged_hostport, flagged_localhost)

@@ -69,6 +69,24 @@ let fuzz_bucket_level_bounded =
           level >= -1e-9 && level <= Token_bucket.capacity b +. 1e-9)
         ops)
 
+let fuzz_bucket_exact_cap =
+  (* The drift clamp's contract, with no epsilon: whatever fractional
+     capacity and refill are in play, and however takes and successes
+     interleave, the level never leaves [0, capacity] — not even by one
+     ulp of accumulated float error. *)
+  fuzz "bucket: fractional refills never carry the level past capacity"
+    QCheck.(
+      triple (float_range 0.5 20.) (float_range 0.001 3.) arbitrary_ops)
+    (fun (capacity, refill_per_success, ops) ->
+      let b = Token_bucket.create ~capacity ~refill_per_success () in
+      List.for_all
+        (fun take ->
+          if take then ignore (Token_bucket.try_take b)
+          else Token_bucket.on_success b;
+          let level = Token_bucket.tokens b in
+          level >= 0. && level <= Token_bucket.capacity b)
+        ops)
+
 let fuzz_bucket_deterministic =
   fuzz "bucket: same ops, same grants (no hidden clock)" arbitrary_ops
     (fun ops ->
@@ -274,6 +292,7 @@ let () =
         [
           fuzz_bucket_never_exceeds;
           fuzz_bucket_level_bounded;
+          fuzz_bucket_exact_cap;
           fuzz_bucket_deterministic;
           fuzz_deadline_never_exceeds;
           fuzz_deadline_lapsed_is_expired;

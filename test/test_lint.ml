@@ -182,6 +182,21 @@ let fixture_tests =
          from Server.config (or a caller-supplied budget); literals \
          belong in default_config only)";
       ];
+    golden "hardcoded-endpoint" ~as_path:"lib/endpoint.ml" "endpoint.ml"
+      [
+        "lib/endpoint.ml:6:37: warn hardcoded-endpoint: string literal \
+         \"/tmp/gcserved.sock\" pins a concrete endpoint: addresses are \
+         deployment configuration (fix: take the address from config or \
+         a parameter; derive fleet sockets via Fleet.replica_socket)";
+        "lib/endpoint.ml:7:67: warn hardcoded-endpoint: string literal \
+         \"127.0.0.1:8080\" pins a concrete endpoint: addresses are \
+         deployment configuration (fix: take the address from config or \
+         a parameter; derive fleet sockets via Fleet.replica_socket)";
+        "lib/endpoint.ml:8:30: warn hardcoded-endpoint: string literal \
+         \"localhost:9000\" pins a concrete endpoint: addresses are \
+         deployment configuration (fix: take the address from config or \
+         a parameter; derive fleet sockets via Fleet.replica_socket)";
+      ];
     golden "parse-error" ~as_path:"lib/broken.ml" "broken.ml"
       [ "lib/broken.ml:4:1: error parse-error: file does not parse" ];
     golden "bad-allow" ~as_path:"lib/bad_allow.ml" "bad_allow.ml"
@@ -248,6 +263,16 @@ let test_scope_retry_exempt () =
   Alcotest.(check (list string))
     "unbounded-retry does not fire outside lib/ and bin/" []
     (retry_findings "test/retry.ml")
+
+let test_scope_endpoint_outside_lib () =
+  (* hardcoded-endpoint is lib/-only: bin/ and test/ name concrete
+     sockets on purpose (CLI defaults, fixtures, drills). *)
+  Alcotest.(check (list string))
+    "hardcoded-endpoint does not fire outside lib/" []
+    (check ~as_path:"bin/endpoint.ml" "endpoint.ml");
+  Alcotest.(check (list string))
+    "nor under test/" []
+    (check ~as_path:"test/endpoint.ml" "endpoint.ml")
 
 let test_scope_exec_exempt () =
   Alcotest.(check (list string))
@@ -426,6 +451,8 @@ let () =
           Alcotest.test_case "lib-rule-in-bin" `Quick test_scope_lib_rule_in_bin;
           Alcotest.test_case "wallclock-outside-lib" `Quick
             test_scope_wallclock_outside_lib;
+          Alcotest.test_case "endpoint-outside-lib" `Quick
+            test_scope_endpoint_outside_lib;
           Alcotest.test_case "exec-exempt" `Quick test_scope_exec_exempt;
           Alcotest.test_case "retry-exempt" `Quick test_scope_retry_exempt;
         ] );

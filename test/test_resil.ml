@@ -12,6 +12,8 @@ module Retry = Gc_resil.Retry
 module Breaker = Gc_resil.Breaker
 module Rc = Gc_resil.Resilient_client
 module Supervise = Gc_resil.Supervise
+module Fleet = Gc_resil.Fleet
+module Pool = Gc_resil.Endpoint_pool
 module Server = Gc_serve.Server
 module Client = Gc_serve.Client
 
@@ -173,6 +175,38 @@ let test_breaker_half_open_failure_reopens () =
     "probe failure reopens" "open"
     (Breaker.state_name (Breaker.state b));
   Alcotest.(check bool) "refusing again" false (Breaker.allow b)
+
+let test_breaker_half_open_race () =
+  (* The half-open probe slot under real contention: eight threads
+     released together against a cooled-down breaker, and the slot must
+     admit exactly one of them. *)
+  let b =
+    Breaker.create ~config:{ tripping_config with Breaker.cooldown = 0.05 } ()
+  in
+  trip b;
+  Gc_exec.Pool.nap 0.08;
+  let go = Atomic.make false in
+  let granted = Atomic.make 0 in
+  let threads =
+    List.init 8 (fun _ ->
+        Thread.create
+          (fun () ->
+            while not (Atomic.get go) do
+              Thread.yield ()
+            done;
+            if Breaker.allow b then Atomic.incr granted)
+          ())
+  in
+  Atomic.set go true;
+  List.iter Thread.join threads;
+  Alcotest.(check int) "exactly one probe admitted" 1 (Atomic.get granted);
+  Alcotest.(check string)
+    "still half-open until the probe reports" "half-open"
+    (Breaker.state_name (Breaker.state b));
+  Breaker.record b ~ok:true;
+  Alcotest.(check string)
+    "probe success closes" "closed"
+    (Breaker.state_name (Breaker.state b))
 
 let test_breaker_gauge () =
   let reg = Gc_obs.Registry.create () in
@@ -427,6 +461,249 @@ let test_supervise_clears_stale_socket () =
   | Some { Supervise.result = `Drained; restarts = 0 } -> ()
   | _ -> Alcotest.fail "expected a clean drain with no restarts"
 
+(* ---------------------------------------------------------- endpoint pool *)
+
+let pool_config =
+  {
+    Pool.default_config with
+    Pool.p2c = false;
+    reprobe_after = 0.05;
+    reprobe_max = 0.2;
+  }
+
+let pool_addrs n =
+  List.init n (fun i ->
+      Client.Unix_path (Printf.sprintf "gcpool-test.%d.sock" i))
+
+let test_pool_state_machine () =
+  let p = Pool.create ~config:pool_config ~seed:1 (pool_addrs 2) in
+  Alcotest.(check string) "starts up" "up" (Pool.state_name (Pool.state p 0));
+  Pool.note_failure p 0;
+  Alcotest.(check string)
+    "one failure: suspect" "suspect"
+    (Pool.state_name (Pool.state p 0));
+  Pool.note_failure p 0;
+  Pool.note_failure p 0;
+  Alcotest.(check string)
+    "three failures: down" "down"
+    (Pool.state_name (Pool.state p 0));
+  Alcotest.(check string)
+    "the peer is untouched" "up"
+    (Pool.state_name (Pool.state p 1));
+  Pool.note_probe p 0 ~ok:true;
+  Alcotest.(check string)
+    "probe success restores up" "up"
+    (Pool.state_name (Pool.state p 0))
+
+let test_pool_rotation_deterministic () =
+  let p = Pool.create ~config:pool_config ~seed:1 (pool_addrs 3) in
+  Alcotest.(check (list int))
+    "round robin over the up tier"
+    [ 0; 1; 2; 0; 1; 2 ]
+    (List.init 6 (fun _ -> Pool.pick p));
+  Alcotest.(check int) "avoid skips within the tier" 1 (Pool.pick ~avoid:[ 0; 2 ] p);
+  Alcotest.(check int)
+    "avoid covering everything is ignored" 0
+    (Pool.pick ~avoid:[ 0; 1; 2 ] p)
+
+let test_pool_routes_around_down () =
+  let p = Pool.create ~config:pool_config ~seed:1 (pool_addrs 2) in
+  for _ = 1 to 3 do
+    Pool.note_failure p 0
+  done;
+  Alcotest.(check (list int))
+    "only the healthy replica is picked"
+    [ 1; 1; 1; 1 ]
+    (List.init 4 (fun _ -> Pool.pick p));
+  Gc_exec.Pool.nap 0.1;
+  Alcotest.(check (list int)) "re-probe due after the deadline" [ 0 ]
+    (Pool.due_probes p);
+  Pool.note_probe p 0 ~ok:false;
+  Alcotest.(check (list int))
+    "a failed probe re-parks it" []
+    (Pool.due_probes p);
+  Gc_exec.Pool.nap 0.15;
+  Alcotest.(check (list int))
+    "due again after backoff" [ 0 ]
+    (Pool.due_probes p);
+  Pool.note_probe p 0 ~ok:true;
+  Alcotest.(check string)
+    "recovered" "up"
+    (Pool.state_name (Pool.state p 0))
+
+let test_pool_p2c_prefers_faster () =
+  let p =
+    Pool.create
+      ~config:{ pool_config with Pool.p2c = true }
+      ~seed:1 (pool_addrs 2)
+  in
+  (* Until both endpoints have a latency sample, p2c cannot engage. *)
+  Pool.note_ok p 0 ~latency_s:0.5;
+  Pool.note_ok p 1 ~latency_s:0.01;
+  for _ = 1 to 8 do
+    Alcotest.(check int) "always the faster replica" 1 (Pool.pick p)
+  done;
+  Alcotest.(check bool)
+    "quantile sees both samples" true
+    (Pool.latency_quantile p 1.0 = Some 0.5
+    && Pool.latency_quantile p 0.0 = Some 0.01)
+
+(* ---------------------------------------------------------- multi client *)
+
+let test_multi_failover_to_live_replica () =
+  let dead = fresh_sock () in
+  let live = fresh_sock () in
+  let t = tiny_server live in
+  Fun.protect
+    ~finally:(fun () -> Server.drain t)
+    (fun () ->
+      let mc =
+        Rc.Multi.create ~timeout:5. ~retry:fast_retry ~pool_config
+          [ Client.Unix_path dead; Client.Unix_path live ]
+      in
+      (* Rotation makes the dead endpoint the primary of the first
+         request; the refused dial must fail over within the attempt. *)
+      (match Rc.Multi.request mc health with
+      | Ok _ -> ()
+      | Error f -> Alcotest.failf "request failed: %s" (Rc.string_of_failure f));
+      Alcotest.(check bool)
+        (Printf.sprintf "failed over (%d)" (Rc.Multi.failovers mc))
+        true
+        (Rc.Multi.failovers mc >= 1);
+      Alcotest.(check int) "hedging is off by default" 0 (Rc.Multi.hedges mc);
+      Alcotest.(check string)
+        "the dead replica is marked" "suspect"
+        (Pool.state_name (Pool.state (Rc.Multi.pool mc) 0));
+      Rc.Multi.close mc)
+
+let test_multi_hedge_second_replica_wins () =
+  (* A blackhole primary: bound and listening but never accepting, so
+     the dial and send succeed and the reply never comes.  The hedge
+     fires at the live replica and its reply must win. *)
+  let hole_path = fresh_sock () in
+  let hole = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind hole (Unix.ADDR_UNIX hole_path);
+  Unix.listen hole 1;
+  let live = fresh_sock () in
+  let t = tiny_server live in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.drain t;
+      Unix.close hole)
+    (fun () ->
+      let mc =
+        Rc.Multi.create ~timeout:5. ~retry:fast_retry ~pool_config
+          ~hedge:
+            {
+              Rc.Multi.default_hedge with
+              min_delay = 0.05;
+              max_delay = 0.05;
+              initial_delay = 0.05;
+            }
+          [ Client.Unix_path hole_path; Client.Unix_path live ]
+      in
+      (match Rc.Multi.request mc health with
+      | Ok _ -> ()
+      | Error f ->
+          Alcotest.failf "hedged request failed: %s" (Rc.string_of_failure f));
+      Alcotest.(check int) "one hedge fired" 1 (Rc.Multi.hedges mc);
+      Alcotest.(check int) "the hedge won" 1 (Rc.Multi.hedge_wins mc);
+      Rc.Multi.close mc)
+
+(* ----------------------------------------------------------------- fleet *)
+
+let test_fleet_socket_naming () =
+  Alcotest.(check string)
+    "BASE.I" "gcserved.sock.2"
+    (Fleet.replica_socket ~base:"gcserved.sock" 2)
+
+let run_fleet ~ws ~stop configs =
+  let outcome = ref None in
+  let th =
+    Thread.create
+      (fun () ->
+        outcome :=
+          Some
+            (Fleet.run
+               ~on_event:(fun ~replica ev -> watch_event ws.(replica) ev)
+               ~stop configs))
+      ()
+  in
+  (th, outcome)
+
+let test_fleet_isolates_restarts () =
+  let base = fresh_sock () in
+  let ws = Array.init 2 (fun _ -> watch_create ()) in
+  let stop = Gc_exec.Cancel.create () in
+  let configs =
+    Array.init 2 (fun i ->
+        supervise_config ~path:(Fleet.replica_socket ~base i) ~seed:(10 + i))
+  in
+  let th, outcome = run_fleet ~ws ~stop configs in
+  await ~what:"both replicas healthy" (fun () ->
+      ws.(0).healthy >= 1 && ws.(1).healthy >= 1);
+  (match ws.(0).pid with
+  | Some pid -> Unix.kill pid Sys.sigkill
+  | None -> Alcotest.fail "no pid for replica 0");
+  await ~what:"replica 0 restarted" (fun () -> ws.(0).healthy >= 2);
+  Gc_exec.Cancel.request stop ~reason:"test over";
+  Thread.join th;
+  match !outcome with
+  | Some { Fleet.result = `Drained; replicas } ->
+      Alcotest.(check int)
+        "replica 0 restarted once" 1
+        replicas.(0).Supervise.restarts;
+      Alcotest.(check int)
+        "replica 1 untouched" 0
+        replicas.(1).Supervise.restarts
+  | Some { Fleet.result = `All_gave_up; _ } -> Alcotest.fail "fleet gave up"
+  | None -> Alcotest.fail "no outcome"
+
+let test_fleet_bulkhead () =
+  (* One replica can never bind; its budget is the bulkhead.  It must
+     go dark alone while its sibling keeps answering, and the fleet as
+     a whole still drains. *)
+  let good = fresh_sock () in
+  let bad = "/nonexistent-gcresil-dir/deep/fleet.sock" in
+  let ws = Array.init 2 (fun _ -> watch_create ()) in
+  let stop = Gc_exec.Cancel.create () in
+  let configs =
+    [|
+      { (supervise_config ~path:bad ~seed:20) with Supervise.max_restarts = 2 };
+      supervise_config ~path:good ~seed:21;
+    |]
+  in
+  let th, outcome = run_fleet ~ws ~stop configs in
+  await ~what:"the good replica healthy" (fun () -> ws.(1).healthy >= 1);
+  await ~what:"the bad replica giving up" (fun () ->
+      Mutex.lock ws.(0).mu;
+      let gave =
+        List.exists
+          (function Supervise.Gave_up _ -> true | _ -> false)
+          ws.(0).events
+      in
+      Mutex.unlock ws.(0).mu;
+      gave);
+  let rc = Rc.create ~timeout:5. (Client.Unix_path good) in
+  (match Rc.request rc health with
+  | Ok _ -> ()
+  | Error f ->
+      Alcotest.failf "surviving replica refused: %s" (Rc.string_of_failure f));
+  Rc.close rc;
+  Gc_exec.Cancel.request stop ~reason:"test over";
+  Thread.join th;
+  match !outcome with
+  | Some { Fleet.result = `Drained; replicas } -> (
+      (match replicas.(0).Supervise.result with
+      | `Gave_up -> ()
+      | `Drained -> Alcotest.fail "the bad replica cannot have drained");
+      match replicas.(1).Supervise.result with
+      | `Drained -> ()
+      | `Gave_up -> Alcotest.fail "the good replica gave up")
+  | Some { Fleet.result = `All_gave_up; _ } ->
+      Alcotest.fail "one live replica must keep the fleet Drained"
+  | None -> Alcotest.fail "no outcome"
+
 (* ---------------------------------------------------------------- suite *)
 
 let () =
@@ -451,7 +728,19 @@ let () =
             test_breaker_half_open_probe;
           Alcotest.test_case "half-open failure reopens" `Quick
             test_breaker_half_open_failure_reopens;
+          Alcotest.test_case "half-open race admits one" `Quick
+            test_breaker_half_open_race;
           Alcotest.test_case "state gauge" `Quick test_breaker_gauge;
+        ] );
+      ( "endpoint-pool",
+        [
+          Alcotest.test_case "state machine" `Quick test_pool_state_machine;
+          Alcotest.test_case "rotation is deterministic" `Quick
+            test_pool_rotation_deterministic;
+          Alcotest.test_case "routes around a down replica" `Quick
+            test_pool_routes_around_down;
+          Alcotest.test_case "p2c prefers the faster replica" `Quick
+            test_pool_p2c_prefers_faster;
         ] );
       ( "resilient-client",
         [
@@ -463,6 +752,21 @@ let () =
           Alcotest.test_case "non-idempotent is single-shot" `Quick
             test_rc_non_idempotent_single_shot;
           Alcotest.test_case "breaker fast-fails" `Quick test_rc_breaker_fast_fails;
+        ] );
+      ( "multi",
+        [
+          Alcotest.test_case "failover to a live replica" `Quick
+            test_multi_failover_to_live_replica;
+          Alcotest.test_case "hedge: second replica wins" `Quick
+            test_multi_hedge_second_replica_wins;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "socket naming" `Quick test_fleet_socket_naming;
+          Alcotest.test_case "restarts stay with the killed replica" `Quick
+            test_fleet_isolates_restarts;
+          Alcotest.test_case "bulkhead: one gives up, the fleet drains" `Quick
+            test_fleet_bulkhead;
         ] );
       ( "supervise",
         [
