@@ -1037,26 +1037,14 @@ let kernels () =
     (Gc_memhier.Hierarchy.stats h).Gc_memhier.Hierarchy.misses
   in
   let policies = [ "lru"; "block-lru"; "iblp"; "iblp-adaptive" ] in
-  let rngk = Rng.create 77 in
+  (* Streams come from the shared kernel catalog at Bench size, the same
+     generators test_memhier and gcanalyze consume at Small size. *)
   let cases =
-    [
-      ( "matmul 32x32 naive (ijk)",
-        Gc_memhier.Kernels.matmul_naive ~n:32 ~elem_bytes:8 ~a:0 ~b:65_536
-          ~c:131_072 );
-      ( "matmul 32x32 blocked (tile 8)",
-        Gc_memhier.Kernels.matmul_blocked ~n:32 ~tile:8 ~elem_bytes:8 ~a:0
-          ~b:65_536 ~c:131_072 );
-      ( "stencil 64x64 x4 iters",
-        Gc_memhier.Kernels.stencil_2d ~rows:64 ~cols:64 ~iters:4 ~elem_bytes:8
-          ~base:0 );
-      ( "hash join 8k x 32k rows",
-        Gc_memhier.Kernels.hash_join (Rng.split rngk) ~build_rows:8192
-          ~probe_rows:32_768 ~row_bytes:64 ~buckets:1024 ~base_table:0
-          ~base_hash:8_388_608 );
-      ( "b-tree 20k lookups (fanout 16)",
-        Gc_memhier.Kernels.btree_lookups (Rng.split rngk) ~lookups:20_000
-          ~keys:65_536 ~fanout:16 ~node_bytes:256 ~base:0 );
-    ]
+    List.map
+      (fun e ->
+        ( e.Gc_memhier.Kernels.name,
+          e.Gc_memhier.Kernels.generate Gc_memhier.Kernels.Bench ~seed:77 ))
+      Gc_memhier.Kernels.catalog
   in
   Format.printf "%-32s %10s %10s %10s %14s@." "kernel (row opens)" "lru"
     "block-lru" "iblp" "iblp-adaptive";

@@ -1,0 +1,34 @@
+let run_age ?unsound (cfg : Cache_model.config) (p : Program.t) =
+  Cache_model.validate cfg;
+  if cfg.policy <> Cache_model.Lru then
+    invalid_arg "Gc_analysis.Abstract.run_age: age domain models LRU only";
+  let items = Program.point_items p in
+  let points =
+    Array.mapi
+      (fun i item -> { Report.point = i; item; verdict = Report.Unknown })
+      items
+  in
+  let rec exec ~record d stmts = List.fold_left (step ~record) d stmts
+  and step ~record d = function
+    | Program.Access { point; item } ->
+        if record then
+          points.(point) <-
+            { (points.(point)) with Report.verdict = Age_domain.classify d item };
+        Age_domain.transfer ?unsound cfg d item
+    | Program.Branch { then_; else_ } ->
+        Age_domain.join (exec ~record d then_) (exec ~record d else_)
+    | Program.Loop { count = _; body } ->
+        (* The iteration count is irrelevant to soundness here: the
+           invariant covers entry and is closed under the body, and with
+           count >= 1 the recorded pass's post-state covers the exit. *)
+        let rec fix inv =
+          let next =
+            Age_domain.widen inv
+              (Age_domain.join inv (exec ~record:false inv body))
+          in
+          if Age_domain.leq next inv then inv else fix next
+        in
+        exec ~record (fix d) body
+  in
+  let (_ : Age_domain.t) = exec ~record:true Age_domain.init p.Program.body in
+  points

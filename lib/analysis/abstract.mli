@@ -1,0 +1,18 @@
+(** Abstract interpreter: {!Age_domain} over a {!Program}.
+
+    Straight-line code is the domain transfer; branches {!Age_domain.join}
+    their arm post-states; loops compute an inductive invariant by
+    widening-accelerated fixpoint iteration.  After the invariant
+    stabilizes, one {e recorded} pass over the loop body classifies its
+    points under the invariant — which covers every iteration's entry
+    state, so recorded verdicts hold for all iterations at once.  Each
+    program point is classified exactly once. *)
+
+val run_age :
+  ?unsound:bool -> Cache_model.config -> Program.t -> Report.point array
+(** Classify every point of the program under set-associative LRU.
+    Raises [Invalid_argument] for non-LRU configs — the age transfer
+    models LRU recency only (use {!Collecting} for FIFO/PLRU).
+    [~unsound:true] selects the deliberately broken must transfer (see
+    {!Age_domain.transfer}) used to exercise the cross-validation
+    harness. *)

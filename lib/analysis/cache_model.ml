@@ -1,0 +1,134 @@
+type policy = Lru | Fifo | Plru
+
+let policy_name = function Lru -> "lru" | Fifo -> "fifo" | Plru -> "plru"
+
+let policy_of_name = function
+  | "lru" -> Some Lru
+  | "fifo" -> Some Fifo
+  | "plru" -> Some Plru
+  | _ -> None
+
+type config = { policy : policy; sets : int; ways : int }
+
+let validate cfg =
+  if cfg.sets < 1 then
+    invalid_arg "Gc_analysis.Cache_model: sets must be >= 1";
+  if cfg.ways < 1 then
+    invalid_arg "Gc_analysis.Cache_model: ways must be >= 1"
+
+type set_state =
+  | Lru_s of int list
+  | Fifo_s of int list
+  | Plru_s of { slots : int array; bits : int array }
+
+type state = set_state array
+
+let rec next_pow2 n acc = if acc >= n then acc else next_pow2 n (acc * 2)
+
+let empty_set cfg =
+  match cfg.policy with
+  | Lru -> Lru_s []
+  | Fifo -> Fifo_s []
+  | Plru ->
+      let padded = next_pow2 cfg.ways 1 in
+      Plru_s
+        {
+          slots = Array.make padded (-1);
+          bits = Array.make (max 0 (padded - 1)) 0;
+        }
+
+let init cfg =
+  validate cfg;
+  Array.init cfg.sets (fun _ -> empty_set cfg)
+
+let set_of cfg item = item mod cfg.sets
+
+let mem_set st item =
+  match st with
+  | Lru_s xs | Fifo_s xs -> List.mem item xs
+  | Plru_s { slots; _ } -> Array.exists (fun x -> x = item) slots
+
+let mem cfg st item = mem_set st.(set_of cfg item) item
+
+(* Drop the last element; lists here never exceed [ways], so this is the
+   eviction step for both recency (LRU) and insertion (FIFO) orders. *)
+let rec drop_last = function
+  | [] | [ _ ] -> []
+  | x :: rest -> x :: drop_last rest
+
+(* Mirrors lib/cache/plru.ml: bits on the root path point away from the
+   touched leaf; the victim walk only turns toward subtrees holding at
+   least one real (non-phantom) way. *)
+let plru_touch bits padded slot =
+  let node = ref (padded - 1 + slot) in
+  while !node > 0 do
+    let parent = (!node - 1) / 2 in
+    bits.(parent) <- (if !node = (2 * parent) + 1 then 1 else 0);
+    node := parent
+  done
+
+let plru_victim bits padded ways =
+  let rec go node low high =
+    if node >= padded - 1 then node - (padded - 1)
+    else
+      let mid = (low + high) / 2 in
+      if bits.(node) = 1 && mid + 1 < ways then go ((2 * node) + 2) (mid + 1) high
+      else go ((2 * node) + 1) low mid
+  in
+  go 0 0 (padded - 1)
+
+let access_set cfg st item =
+  match st with
+  | Lru_s xs ->
+      if List.mem item xs then
+        (true, Lru_s (item :: List.filter (fun x -> x <> item) xs))
+      else
+        let xs = if List.length xs >= cfg.ways then drop_last xs else xs in
+        (false, Lru_s (item :: xs))
+  | Fifo_s xs ->
+      if List.mem item xs then (true, st)
+      else
+        let xs = if List.length xs >= cfg.ways then drop_last xs else xs in
+        (false, Fifo_s (item :: xs))
+  | Plru_s { slots; bits } ->
+      let padded = Array.length slots in
+      let found = ref (-1) in
+      Array.iteri (fun i x -> if x = item then found := i) slots;
+      if !found >= 0 then begin
+        let bits = Array.copy bits in
+        plru_touch bits padded !found;
+        (true, Plru_s { slots; bits })
+      end
+      else begin
+        let slots = Array.copy slots and bits = Array.copy bits in
+        let count =
+          Array.fold_left (fun n x -> if x >= 0 then n + 1 else n) 0 slots
+        in
+        let slot =
+          if count >= cfg.ways then plru_victim bits padded cfg.ways
+          else begin
+            let free = ref 0 in
+            while slots.(!free) >= 0 do
+              incr free
+            done;
+            !free
+          end
+        in
+        slots.(slot) <- item;
+        plru_touch bits padded slot;
+        (false, Plru_s { slots; bits })
+      end
+
+let access cfg st item =
+  let s = set_of cfg item in
+  let hit, st_s = access_set cfg st.(s) item in
+  if hit && st_s == st.(s) then (hit, st)
+  else
+    let st' = Array.copy st in
+    st'.(s) <- st_s;
+    (hit, st')
+
+let items = function
+  | Lru_s xs | Fifo_s xs -> xs
+  | Plru_s { slots; _ } ->
+      Array.to_list slots |> List.filter (fun x -> x >= 0)

@@ -1,0 +1,46 @@
+(** Pure-functional reference cache states for the exact analysis.
+
+    The collecting semantics ({!Collecting}) tracks {e sets of} concrete
+    cache states, so states must be immutable values with structural
+    equality acting as state identity.  This module provides that model
+    for the three analyzed policies, with semantics matching the imperative
+    [lib/cache] implementations access for access (a property the tests
+    check differentially).
+
+    LRU and FIFO states are recency/insertion-ordered lists, which are
+    canonical by construction.  Tree-PLRU keeps the concrete slot and bit
+    arrays — two fills of the same items in different ways genuinely are
+    different hardware states, and the exact analysis must keep them
+    apart. *)
+
+type policy = Lru | Fifo | Plru
+
+val policy_name : policy -> string
+val policy_of_name : string -> policy option
+
+type config = { policy : policy; sets : int; ways : int }
+
+val validate : config -> unit
+(** Raises [Invalid_argument] unless [sets >= 1] and [ways >= 1]. *)
+
+type set_state =
+  | Lru_s of int list  (** MRU first. *)
+  | Fifo_s of int list  (** Newest first; the victim is the last element. *)
+  | Plru_s of { slots : int array; bits : int array }
+      (** Tree padded to the next power of two; empty ways hold [-1]. *)
+
+type state = set_state array
+(** One {!set_state} per set, indexed by [item mod sets]. *)
+
+val init : config -> state
+(** The cold (empty) cache. *)
+
+val set_of : config -> int -> int
+
+val mem : config -> state -> int -> bool
+
+val access : config -> state -> int -> bool * state
+(** [access cfg st item] is [(hit, st')].  [st] is not mutated. *)
+
+val items : set_state -> int list
+(** Resident items of one set, in an unspecified order. *)

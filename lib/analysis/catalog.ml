@@ -1,0 +1,32 @@
+let seed = 7
+
+let demo () =
+  let open Program in
+  make Gc_trace.Block_map.singleton
+    [
+      access 0;
+      access 1;
+      loop 3 [ access 0; access 1; access 2 ];
+      branch [ access 0 ] [ access 3 ];
+      access 0;
+    ]
+
+let geometry = lazy (Gc_memhier.Geometry.create ~line_bytes:64 ~row_bytes:512)
+
+let lower (entry : Gc_memhier.Kernels.entry) =
+  let geo = Lazy.force geometry in
+  let addrs = entry.Gc_memhier.Kernels.generate Gc_memhier.Kernels.Small ~seed in
+  let lines = Array.map (Gc_memhier.Geometry.line_of_addr geo) addrs in
+  Reroll.of_items (Gc_memhier.Geometry.block_map geo) lines
+
+let programs () =
+  ("demo", demo ())
+  :: List.map
+       (fun e -> (e.Gc_memhier.Kernels.name, lower e))
+       Gc_memhier.Kernels.catalog
+
+let names () = List.map fst (programs ())
+
+let find name =
+  if name = "demo" then Some (demo ())
+  else Option.map lower (Gc_memhier.Kernels.find name)

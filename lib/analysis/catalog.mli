@@ -1,0 +1,21 @@
+(** The named programs [gcanalyze] analyzes out of the box.
+
+    ["demo"] is a small hand-built program exercising every IR construct
+    (straight line, loop, branch) with verdicts one can check by hand; the
+    rest lower {!Gc_memhier.Kernels.catalog} at [Small] size: kernel
+    addresses become cache-line items through a 64 B-line / 512 B-row
+    {!Gc_memhier.Geometry}, and {!Reroll} recovers their loop structure
+    from the flat trace. *)
+
+val seed : int
+(** Seed used for the randomized kernels (7); fixed so catalog programs —
+    and everything downstream, goldens included — are deterministic. *)
+
+val demo : unit -> Program.t
+
+val programs : unit -> (string * Program.t) list
+(** ["demo"] first, then the kernels in catalog order. *)
+
+val names : unit -> string list
+
+val find : string -> Program.t option

@@ -1,0 +1,85 @@
+type verdict = Always_hit | Always_miss | Unknown
+
+let verdict_name = function
+  | Always_hit -> "always-hit"
+  | Always_miss -> "always-miss"
+  | Unknown -> "unknown"
+
+type point = { point : int; item : int; verdict : verdict }
+
+type run = {
+  program : string;
+  engine : string;
+  config : Cache_model.config;
+  points : point array;
+}
+
+type summary = {
+  points : int;
+  always_hit : int;
+  always_miss : int;
+  unknown : int;
+}
+
+let summarize (run : run) =
+  let count v =
+    Array.fold_left
+      (fun n p -> if p.verdict = v then n + 1 else n)
+      0 run.points
+  in
+  {
+    points = Array.length run.points;
+    always_hit = count Always_hit;
+    always_miss = count Always_miss;
+    unknown = count Unknown;
+  }
+
+let run_to_json run =
+  let open Gc_obs.Json in
+  let s = summarize run in
+  Obj
+    [
+      ("program", String run.program);
+      ("engine", String run.engine);
+      ("policy", String (Cache_model.policy_name run.config.policy));
+      ("sets", Int run.config.sets);
+      ("ways", Int run.config.ways);
+      ( "summary",
+        Obj
+          [
+            ("points", Int s.points);
+            ("always_hit", Int s.always_hit);
+            ("always_miss", Int s.always_miss);
+            ("unknown", Int s.unknown);
+          ] );
+      ( "points",
+        Array
+          (Array.to_list run.points
+          |> List.map (fun p ->
+                 Obj
+                   [
+                     ("point", Int p.point);
+                     ("item", Int p.item);
+                     ("verdict", String (verdict_name p.verdict));
+                   ])) );
+    ]
+
+let doc_to_json runs =
+  Gc_obs.Json.Obj
+    [
+      ("schema", Gc_obs.Json.String "gcanalyze/v1");
+      ("runs", Gc_obs.Json.Array (List.map run_to_json runs));
+    ]
+
+let pp_run fmt run =
+  let s = summarize run in
+  Format.fprintf fmt "@[<v>%s %s %s sets=%d ways=%d@," run.program run.engine
+    (Cache_model.policy_name run.config.policy)
+    run.config.sets run.config.ways;
+  Array.iter
+    (fun p ->
+      Format.fprintf fmt "  @@%d item=%d %s@," p.point p.item
+        (verdict_name p.verdict))
+    run.points;
+  Format.fprintf fmt "  %d points: %d always-hit, %d always-miss, %d unknown@]"
+    s.points s.always_hit s.always_miss s.unknown

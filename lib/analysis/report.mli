@@ -1,0 +1,32 @@
+(** Verdicts and the [gcanalyze] report schema.
+
+    Every engine classifies each program point with a {!verdict}; a {!run}
+    bundles the verdicts of one engine over one program under one cache
+    configuration.  The JSON encoding is fully deterministic (no
+    timestamps, no environment), so a report doubles as a golden fixture:
+    byte-identical output is the regression contract. *)
+
+type verdict = Always_hit | Always_miss | Unknown
+
+val verdict_name : verdict -> string
+(** ["always-hit"], ["always-miss"], ["unknown"]. *)
+
+type point = { point : int; item : int; verdict : verdict }
+
+type run = {
+  program : string;
+  engine : string;  (** ["exact"], ["age"], or ["age-unsound"]. *)
+  config : Cache_model.config;
+  points : point array;  (** Indexed by program point. *)
+}
+
+type summary = { points : int; always_hit : int; always_miss : int; unknown : int }
+
+val summarize : run -> summary
+
+val run_to_json : run -> Gc_obs.Json.t
+val doc_to_json : run list -> Gc_obs.Json.t
+(** [{"schema": "gcanalyze/v1", "runs": [...]}]. *)
+
+val pp_run : Format.formatter -> run -> unit
+(** Human-readable per-point listing plus a summary line. *)

@@ -1,0 +1,92 @@
+(* Tree-PLRU over [ways] slots, padded to [padded] = next power of two.
+
+   Heap-layout complete binary tree: internal nodes 0 .. padded-2 (children
+   of [n] are [2n+1]/[2n+2]), leaves [padded-1 .. 2*padded-2], leaf
+   [padded-1+s] owning slot [s].  [bits.(n) = 0] sends the victim walk
+   left, [1] right; touching a slot sets every bit on its root path to
+   point at the other child.  Slots [>= ways] are phantom padding and are
+   never filled; the victim walk refuses to descend into a subtree made
+   only of phantoms (only ever possible rightwards, since slot ranges grow
+   left to right). *)
+
+let rec next_pow2 n acc = if acc >= n then acc else next_pow2 n (acc * 2)
+
+module Strategy = struct
+  type t = {
+    ways : int;
+    padded : int;
+    slots : int array; (* length [padded]; -1 = empty *)
+    bits : int array; (* length [padded - 1] *)
+    pos : (int, int) Hashtbl.t; (* item -> slot *)
+    mutable count : int;
+  }
+
+  type config = int (* ways *)
+
+  let name = "plru"
+
+  let create ways =
+    let padded = next_pow2 ways 1 in
+    {
+      ways;
+      padded;
+      slots = Array.make padded (-1);
+      bits = Array.make (max 0 (padded - 1)) 0;
+      pos = Hashtbl.create 16;
+      count = 0;
+    }
+
+  let mem t item = Hashtbl.mem t.pos item
+  let size t = t.count
+
+  (* Point every bit on [slot]'s root path away from it. *)
+  let touch t slot =
+    let node = ref (t.padded - 1 + slot) in
+    while !node > 0 do
+      let parent = (!node - 1) / 2 in
+      t.bits.(parent) <- (if !node = (2 * parent) + 1 then 1 else 0);
+      node := parent
+    done
+
+  let on_hit t item = touch t (Hashtbl.find t.pos item)
+
+  (* Hardware fills invalid ways before consulting the tree; lowest-index
+     first keeps it deterministic.  Only called with a free slot available
+     (the functor evicts first). *)
+  let insert t item =
+    let slot = ref 0 in
+    while t.slots.(!slot) >= 0 do
+      incr slot
+    done;
+    t.slots.(!slot) <- item;
+    Hashtbl.replace t.pos item !slot;
+    t.count <- t.count + 1;
+    touch t !slot
+
+  (* Follow the bits from the root; going right is only legal when the
+     right subtree contains a real way.  Only called when full, so every
+     real way is occupied. *)
+  let victim_slot t =
+    let rec go node low high =
+      if node >= t.padded - 1 then node - (t.padded - 1)
+      else begin
+        let mid = (low + high) / 2 in
+        if t.bits.(node) = 1 && mid + 1 < t.ways then
+          go ((2 * node) + 2) (mid + 1) high
+        else go ((2 * node) + 1) low mid
+      end
+    in
+    go 0 0 (t.padded - 1)
+
+  let pop_victim t =
+    let slot = victim_slot t in
+    let item = t.slots.(slot) in
+    t.slots.(slot) <- -1;
+    Hashtbl.remove t.pos item;
+    t.count <- t.count - 1;
+    item
+end
+
+module M = Item_policy.Make (Strategy)
+
+let create ~k = M.create ~k k

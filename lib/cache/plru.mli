@@ -1,0 +1,20 @@
+(** Tree-PLRU (pseudo-LRU) replacement, the hardware approximation of LRU.
+
+    A binary tree of direction bits sits over the ways; every touch flips
+    the bits on the accessed way's root path to point {e away} from it, and
+    the victim is found by following the bits from the root.  One bit per
+    internal node instead of a full recency order — which is why real
+    set-associative SRAM caches ship it, and why the static-analysis
+    literature (Monniaux–Touzeau, arXiv:1811.01740) treats it as a separate,
+    harder-to-predict policy.  {!Gc_analysis} analyses exactly this
+    implementation; {!Gc_analysis.Crosscheck} replays it per set via
+    {!Set_assoc}.
+
+    Non-power-of-two capacities are supported by padding the tree to the
+    next power of two and locking the phantom ways: the victim walk detours
+    around subtrees that contain no real way.  Empty ways are filled
+    lowest-index first, as hardware fills invalid ways before consulting
+    the tree. *)
+
+val create : k:int -> Policy.t
+(** Item-granularity tree-PLRU over [k >= 1] ways. *)

@@ -29,6 +29,11 @@ let all =
       make = (fun ~k ~blocks:_ ~seed:_ -> Clock.create ~k);
     };
     {
+      name = "plru";
+      doc = "tree-PLRU (pseudo-LRU), the hardware bit-tree approximation";
+      make = (fun ~k ~blocks:_ ~seed:_ -> Plru.create ~k);
+    };
+    {
       name = "random";
       doc = "item-granularity random replacement";
       make = (fun ~k ~blocks:_ ~seed -> Random_evict.create ~k ~rng:(rng_of seed));

@@ -120,3 +120,78 @@ let btree_lookups rng ~lookups ~keys ~fanout ~node_bytes ~base =
     done
   done;
   out
+
+(* ---------------------------------------------------------------- catalog *)
+
+type size = Small | Bench
+
+type entry = {
+  name : string;
+  doc : string;
+  generate : size -> seed:int -> int array;
+}
+
+let catalog =
+  [
+    {
+      name = "matmul-naive";
+      doc = "triple-loop C = A * B (ijk order), B streamed column-wise";
+      generate =
+        (fun size ~seed:_ ->
+          match size with
+          | Small -> matmul_naive ~n:8 ~elem_bytes:8 ~a:0 ~b:4096 ~c:8192
+          | Bench ->
+              matmul_naive ~n:32 ~elem_bytes:8 ~a:0 ~b:65_536 ~c:131_072);
+    };
+    {
+      name = "matmul-blocked";
+      doc = "tiled C = A * B: the same work multiset with far better reuse";
+      generate =
+        (fun size ~seed:_ ->
+          match size with
+          | Small -> matmul_blocked ~n:8 ~tile:4 ~elem_bytes:8 ~a:0 ~b:4096 ~c:8192
+          | Bench ->
+              matmul_blocked ~n:32 ~tile:8 ~elem_bytes:8 ~a:0 ~b:65_536
+                ~c:131_072);
+    };
+    {
+      name = "stencil";
+      doc = "5-point stencil sweeps, row-major traversal";
+      generate =
+        (fun size ~seed:_ ->
+          match size with
+          | Small -> stencil_2d ~rows:10 ~cols:10 ~iters:2 ~elem_bytes:8 ~base:0
+          | Bench -> stencil_2d ~rows:64 ~cols:64 ~iters:4 ~elem_bytes:8 ~base:0);
+    };
+    {
+      name = "hash-join";
+      doc = "sequential table scans with random hash-bucket accesses";
+      generate =
+        (fun size ~seed ->
+          let rng = Gc_trace.Rng.create seed in
+          match size with
+          | Small ->
+              hash_join rng ~build_rows:100 ~probe_rows:200 ~row_bytes:64
+                ~buckets:32 ~base_table:0 ~base_hash:1_048_576
+          | Bench ->
+              hash_join rng ~build_rows:8192 ~probe_rows:32_768 ~row_bytes:64
+                ~buckets:1024 ~base_table:0 ~base_hash:8_388_608);
+    };
+    {
+      name = "btree";
+      doc = "root-to-leaf descents: hot upper levels, sparse leaves";
+      generate =
+        (fun size ~seed ->
+          let rng = Gc_trace.Rng.create seed in
+          match size with
+          | Small ->
+              btree_lookups rng ~lookups:100 ~keys:4096 ~fanout:16
+                ~node_bytes:256 ~base:0
+          | Bench ->
+              btree_lookups rng ~lookups:20_000 ~keys:65_536 ~fanout:16
+                ~node_bytes:256 ~base:0);
+    };
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) catalog
+let names = List.map (fun e -> e.name) catalog

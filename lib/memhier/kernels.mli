@@ -46,3 +46,28 @@ val btree_lookups :
   int array
 (** Root-to-leaf descents over an implicit B-tree laid out level by level:
     the root and upper levels are hot (temporal), the leaves sparse. *)
+
+(** {1 Catalog}
+
+    The canonical parameterizations, so tests, the bench harness, and the
+    static-analysis lowering ({!Gc_analysis}) all drive the same kernels
+    instead of re-plumbing parameters at every call site. *)
+
+type size =
+  | Small  (** Seconds-fast shapes for tests and static analysis. *)
+  | Bench  (** The bench harness's larger shapes. *)
+
+type entry = {
+  name : string;  (** Stable identifier, e.g. ["matmul-naive"]. *)
+  doc : string;
+  generate : size -> seed:int -> int array;
+      (** Byte-address stream; deterministic in [size] and [seed] (the
+          randomized kernels derive their {!Gc_trace.Rng} from [seed]). *)
+}
+
+val catalog : entry list
+(** Every kernel, in a stable order; names are unique. *)
+
+val find : string -> entry option
+
+val names : string list

@@ -3,9 +3,12 @@
 
      dune exec test/regen_golden.exe -- manifest > test/golden/manifest.json
      dune exec test/regen_golden.exe -- chrome > test/golden/chrome_trace.json
+     dune exec test/regen_golden.exe -- gcanalyze > test/golden/gcanalyze.json
 
-   The fixtures live in Test_util, shared with the golden checks in
-   test_obs and test_prof, so printer and check cannot drift apart. *)
+   The fixtures live in Test_util (or, for gcanalyze, in Gc_analysis
+   itself: the same Engine.grid the CLI serves), shared with the golden
+   checks in test_obs/test_prof/test_analysis, so printer and check
+   cannot drift apart. *)
 
 module Json = Gc_obs.Json
 
@@ -19,6 +22,10 @@ let () =
            (Gc_obs.Manifest.zero_volatile (Test_util.build_golden_manifest ())))
   | [| _; "chrome" |] ->
       print (Gc_prof.Chrome.to_json Test_util.chrome_fixture_spans)
+  | [| _; "gcanalyze" |] ->
+      print
+        (Gc_analysis.Report.doc_to_json
+           (Gc_analysis.Engine.grid ~name:"demo" (Gc_analysis.Catalog.demo ())))
   | _ ->
-      prerr_endline "usage: regen_golden (manifest|chrome)";
+      prerr_endline "usage: regen_golden (manifest|chrome|gcanalyze)";
       exit 2

@@ -1,0 +1,656 @@
+(* Gc_analysis: the access-program IR, loop re-rolling, the pure cache
+   model, the must/may age domain's lattice laws, both engines' verdicts
+   on hand-checked programs, the simulator cross-validation (the
+   acceptance gate: zero contradictions over every catalog program x
+   standard config), and the gcanalyze CLI incl. the golden fixture.
+
+   The "fuzz" group re-runs the randomized properties at GC_FUZZ_COUNT
+   iterations — `dune build @fuzz` deepens it. *)
+
+module A = Gc_analysis
+module Program = A.Program
+module Reroll = A.Reroll
+module Cache_model = A.Cache_model
+module Age_domain = A.Age_domain
+module Report = A.Report
+module Engine = A.Engine
+module Catalog = A.Catalog
+module Crosscheck = A.Crosscheck
+module Json = Gc_obs.Json
+
+let fuzz_count =
+  match Option.bind (Sys.getenv_opt "GC_FUZZ_COUNT") int_of_string_opt with
+  | Some n when n > 0 -> n
+  | _ -> 1000
+
+let fuzz name gen prop = Test_util.qcheck ~count:fuzz_count name gen prop
+let singleton = Gc_trace.Block_map.singleton
+let mk specs = Program.make singleton specs
+
+let verdicts (run : Report.run) =
+  Array.map (fun p -> p.Report.verdict) run.Report.points
+
+let check_verdicts msg expected run =
+  Alcotest.(check (list string))
+    msg
+    (List.map Report.verdict_name expected)
+    (Array.to_list (verdicts run) |> List.map Report.verdict_name)
+
+(* ---------------------------------------------------------------- program *)
+
+let test_program_numbering () =
+  let p =
+    mk
+      Program.
+        [
+          access 4;
+          loop 2 [ access 5; branch [ access 6 ] [ access 7 ] ];
+          access 8;
+        ]
+  in
+  Alcotest.(check int) "points" 5 p.Program.points;
+  Alcotest.(check (array int))
+    "pre-order items" [| 4; 5; 6; 7; 8 |] (Program.point_items p);
+  (* loop body = 2 accesses per iteration (branch counts one arm) *)
+  Alcotest.(check int) "unrolled" 6 (Program.unrolled_length p)
+
+let test_program_validation () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  raises (fun () -> mk [ Program.access (-1) ]);
+  raises (fun () -> mk [ Program.loop 0 [ Program.access 0 ] ]);
+  raises (fun () ->
+      (* 4000^3 = 6.4e10 unrolled accesses: over the cap. *)
+      mk
+        [
+          Program.loop 4000
+            [ Program.loop 4000 [ Program.loop 4000 [ Program.access 0 ] ] ];
+        ])
+
+let test_program_executions () =
+  let p =
+    mk Program.[ access 0; branch [ access 1 ] [ access 2 ]; access 3 ]
+  in
+  let paths = Program.executions p in
+  Alcotest.(check int) "two branch resolutions" 2 (List.length paths);
+  let items path = Array.to_list (Array.map snd path) in
+  Alcotest.(check (list (list int)))
+    "then-first order"
+    [ [ 0; 1; 3 ]; [ 0; 2; 3 ] ]
+    (List.map items paths);
+  Alcotest.(check bool) "not truncated" false (Program.truncated p);
+  (* 8 nested branches = 256 resolutions; the default cap is 64. *)
+  let deep =
+    mk
+      (List.init 8 (fun i ->
+           Program.branch [ Program.access i ] [ Program.access (8 + i) ]))
+  in
+  Alcotest.(check int)
+    "capped" 64
+    (List.length (Program.executions deep));
+  Alcotest.(check bool) "truncation reported" true (Program.truncated deep)
+
+(* ----------------------------------------------------------------- reroll *)
+
+let unroll p =
+  match Program.executions p with
+  | [ path ] -> Array.map snd path
+  | _ -> Alcotest.fail "rerolled program should be branch-free"
+
+let test_reroll_simple () =
+  let p = Reroll.of_items singleton [| 1; 2; 3; 1; 2; 3; 1; 2; 3 |] in
+  Alcotest.(check int) "3 points" 3 p.Program.points;
+  Alcotest.(check int) "9 unrolled" 9 (Program.unrolled_length p);
+  (match p.Program.body with
+  | [ Program.Loop { count = 3; _ } ] -> ()
+  | _ -> Alcotest.fail "expected a single loop of count 3");
+  Alcotest.(check (array int))
+    "round-trip" [| 1; 2; 3; 1; 2; 3; 1; 2; 3 |] (unroll p)
+
+let test_reroll_nested () =
+  (* Two sweeps of (4x of item i, i in 0..2): outer loop over inner
+     repeats; 24 accesses must re-roll well below 24 points. *)
+  let items =
+    Array.init 24 (fun i -> i mod 12 / 4)
+  in
+  let p = Reroll.of_items singleton items in
+  Alcotest.(check (array int)) "round-trip" items (unroll p);
+  Alcotest.(check bool)
+    (Printf.sprintf "compressed (%d points)" p.Program.points)
+    true
+    (p.Program.points < 12)
+
+let reroll_roundtrip_prop =
+  QCheck.Test.make ~count:500 ~name:"reroll round-trips exactly"
+    (QCheck.make
+       ~print:(fun l -> String.concat ";" (List.map string_of_int l))
+       QCheck.Gen.(list_size (int_range 0 60) (int_range 0 5)))
+    (fun l ->
+      let items = Array.of_list l in
+      unroll (Reroll.of_items singleton items) = items)
+
+(* ------------------------------------------------------------ cache model *)
+
+let policy_gen =
+  QCheck.Gen.oneofl [ Cache_model.Lru; Cache_model.Fifo; Cache_model.Plru ]
+
+let config_gen =
+  QCheck.Gen.(
+    let* policy = policy_gen in
+    let* sets = oneofl [ 1; 2 ] in
+    let* ways = oneofl [ 1; 2; 3; 4 ] in
+    return { Cache_model.policy; sets; ways })
+
+let config_print (cfg : Cache_model.config) =
+  Printf.sprintf "%s sets=%d ways=%d"
+    (Cache_model.policy_name cfg.policy)
+    cfg.sets cfg.ways
+
+let model_vs_simulator_arbitrary =
+  QCheck.make
+    ~print:(fun (cfg, items) ->
+      Printf.sprintf "%s [%s]" (config_print cfg)
+        (String.concat ";" (List.map string_of_int items)))
+    QCheck.Gen.(
+      pair config_gen (list_size (int_range 0 50) (int_range 0 9)))
+
+(* The pure model must agree with the imperative lib/cache machinery
+   access for access — this is what makes the exact engine's verdicts
+   claims about the real simulator. *)
+let model_matches_simulator (cfg, items) =
+  let sim =
+    Gc_cache.Simulator.create (Crosscheck.dynamic_policy cfg) singleton
+  in
+  let st = ref (Cache_model.init cfg) in
+  List.for_all
+    (fun item ->
+      let model_hit, st' = Cache_model.access cfg !st item in
+      st := st';
+      let sim_hit =
+        match Gc_cache.Simulator.access sim item with
+        | Gc_cache.Policy.Hit _ -> true
+        | Gc_cache.Policy.Miss _ -> false
+      in
+      model_hit = sim_hit)
+    items
+
+let test_model_immutability () =
+  let cfg = { Cache_model.policy = Cache_model.Lru; sets = 1; ways = 2 } in
+  let st0 = Cache_model.init cfg in
+  let _, st1 = Cache_model.access cfg st0 1 in
+  let _, _ = Cache_model.access cfg st1 2 in
+  Alcotest.(check bool) "st0 still cold" false (Cache_model.mem cfg st0 1);
+  Alcotest.(check bool) "st1 unchanged" true (Cache_model.mem cfg st1 1);
+  Alcotest.(check bool) "st1 unchanged (2)" false (Cache_model.mem cfg st1 2)
+
+(* ------------------------------------------------------------- age domain *)
+
+let lru_cfg ?(sets = 1) ways = { Cache_model.policy = Cache_model.Lru; sets; ways }
+
+let domain_of cfg items =
+  List.fold_left (fun d x -> Age_domain.transfer cfg d x) Age_domain.init items
+
+let items_gen = QCheck.Gen.(list_size (int_range 0 30) (int_range 0 7))
+
+let domain_pair_arbitrary =
+  QCheck.make
+    ~print:(fun (ways, l1, l2) ->
+      Printf.sprintf "ways=%d [%s] [%s]" ways
+        (String.concat ";" (List.map string_of_int l1))
+        (String.concat ";" (List.map string_of_int l2)))
+    QCheck.Gen.(
+      let* ways = oneofl [ 1; 2; 4 ] in
+      let* l1 = items_gen in
+      let* l2 = items_gen in
+      return (ways, l1, l2))
+
+let join_upper_bound_prop (ways, l1, l2) =
+  let cfg = lru_cfg ways in
+  let d1 = domain_of cfg l1 and d2 = domain_of cfg l2 in
+  let j = Age_domain.join d1 d2 in
+  Age_domain.leq d1 j && Age_domain.leq d2 j
+
+let widen_covers_prop (ways, l1, l2) =
+  let cfg = lru_cfg ways in
+  let d1 = domain_of cfg l1 and d2 = domain_of cfg l2 in
+  let w = Age_domain.widen d1 d2 in
+  Age_domain.leq d1 w && Age_domain.leq d2 w
+
+let widen_terminates_prop (ways, l1, l2) =
+  (* Iterating widen over any transfer sequence must reach a fixpoint
+     quickly: 8 distinct items x (ways+1) possible bounds caps the
+     strictly-increasing chain well under 64 steps. *)
+  let cfg = lru_cfg ways in
+  let d2 = domain_of cfg l2 in
+  let rec go d steps =
+    if steps > 64 then false
+    else
+      let next =
+        Age_domain.widen d
+          (Age_domain.join d
+             (List.fold_left (fun d x -> Age_domain.transfer cfg d x) d l1))
+      in
+      if Age_domain.leq next d then true else go next (steps + 1)
+  in
+  go d2 0
+
+let transfer_monotone_prop (ways, l1, l2) =
+  let cfg = lru_cfg ways in
+  let d1 = domain_of cfg l1 in
+  let d2 = Age_domain.join d1 (domain_of cfg l2) in
+  (* d1 <= d2 by join; transfer must preserve the ordering for any x. *)
+  List.for_all
+    (fun x ->
+      Age_domain.leq
+        (Age_domain.transfer cfg d1 x)
+        (Age_domain.transfer cfg d2 x))
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+
+let soundness_arbitrary =
+  QCheck.make
+    ~print:(fun (ways, sets, l) ->
+      Printf.sprintf "ways=%d sets=%d [%s]" ways sets
+        (String.concat ";" (List.map string_of_int l)))
+    QCheck.Gen.(
+      let* ways = oneofl [ 1; 2; 4 ] in
+      let* sets = oneofl [ 1; 2 ] in
+      let* l = list_size (int_range 0 40) (int_range 0 7) in
+      return (ways, sets, l))
+
+(* Gamma-soundness along every straight-line prefix: the concrete state
+   stays inside the abstract state's concretization, and the verdict
+   never contradicts the concrete outcome. *)
+let domain_sound_prop (ways, sets, l) =
+  let cfg = lru_cfg ~sets ways in
+  let st = ref (Cache_model.init cfg) in
+  let d = ref Age_domain.init in
+  List.for_all
+    (fun x ->
+      let verdict = Age_domain.classify !d x in
+      let hit, st' = Cache_model.access cfg !st x in
+      let consistent =
+        match verdict with
+        | Report.Always_hit -> hit
+        | Report.Always_miss -> not hit
+        | Report.Unknown -> true
+      in
+      st := st';
+      d := Age_domain.transfer cfg !d x;
+      consistent && Age_domain.concretizes cfg !d !st)
+    l
+
+let test_age_domain_hand () =
+  let cfg = lru_cfg 2 in
+  let d = domain_of cfg [ 1; 2 ] in
+  Alcotest.(check (option int)) "must 2 at age 0" (Some 0) (Age_domain.must_age d 2);
+  Alcotest.(check (option int)) "must 1 at age 1" (Some 1) (Age_domain.must_age d 1);
+  Alcotest.(check string) "1 hits" "always-hit"
+    (Report.verdict_name (Age_domain.classify d 1));
+  Alcotest.(check string) "3 misses" "always-miss"
+    (Report.verdict_name (Age_domain.classify d 3));
+  let d = domain_of cfg [ 1; 2; 3 ] in
+  (* 1 aged out of must (age would be 2 = ways) but may still be cached
+     concretely?  No: ways=2 and two younger distinct items force it out;
+     1 also left may, so a re-access is a definite miss. *)
+  Alcotest.(check (option int)) "1 out of must" None (Age_domain.must_age d 1);
+  Alcotest.(check string) "1 definitely out" "always-miss"
+    (Report.verdict_name (Age_domain.classify d 1));
+  (* After a possible hit (2 in may), lower bounds must not grow. *)
+  let d = domain_of cfg [ 1; 2; 1; 2 ] in
+  Alcotest.(check string) "2 still always-hit" "always-hit"
+    (Report.verdict_name (Age_domain.classify d 2))
+
+(* ---------------------------------------------------------------- engines *)
+
+let test_demo_exact_ways4 () =
+  let run =
+    Engine.run Engine.Exact (lru_cfg 4) ~name:"demo" (Catalog.demo ())
+  in
+  check_verdicts "demo exact lru ways=4"
+    Report.
+      [
+        Always_miss;
+        (* @0 cold 0 *)
+        Always_miss;
+        (* @1 cold 1 *)
+        Always_hit;
+        (* @2 loop 0: resident every iteration at k=4 *)
+        Always_hit;
+        (* @3 loop 1 *)
+        Unknown;
+        (* @4 loop 2: cold miss then hits *)
+        Always_hit;
+        (* @5 then-arm 0 *)
+        Always_miss;
+        (* @6 else-arm 3: first touch *)
+        Always_hit;
+        (* @7 final 0: hits on both arms *)
+      ]
+    run
+
+let test_demo_exact_ways2 () =
+  let run =
+    Engine.run Engine.Exact (lru_cfg 2) ~name:"demo" (Catalog.demo ())
+  in
+  check_verdicts "demo exact lru ways=2"
+    Report.
+      [
+        Always_miss;
+        Always_miss;
+        Unknown;
+        (* @2 hit on iteration 1 only: 2 evicts it afterwards *)
+        Unknown;
+        Always_miss;
+        (* @4 item 2 never survives the loop back edge *)
+        Always_miss;
+        (* @5 then-arm 0: evicted by 2 *)
+        Always_miss;
+        (* @6 else-arm 3 *)
+        Unknown;
+        (* @7 hit after then, miss after else *)
+      ]
+    run
+
+let test_demo_fifo_plru_exact () =
+  (* FIFO ways=4: same classes as LRU here except @2/@3 — 0 and 1 are
+     never touched to the front, but nothing evicts at k=4 either. *)
+  List.iter
+    (fun policy ->
+      let cfg = { Cache_model.policy; sets = 1; ways = 4 } in
+      let run = Engine.run Engine.Exact cfg ~name:"demo" (Catalog.demo ()) in
+      check_verdicts
+        (Printf.sprintf "demo exact %s ways=4" (Cache_model.policy_name policy))
+        Report.
+          [
+            Always_miss;
+            Always_miss;
+            Always_hit;
+            Always_hit;
+            Unknown;
+            Always_hit;
+            Always_miss;
+            Always_hit;
+          ]
+        run)
+    [ Cache_model.Fifo; Cache_model.Plru ]
+
+let test_age_never_contradicts_exact () =
+  (* On every catalog program x LRU config: an age-engine always-* claim
+     must agree with the exact engine (which is ground truth). *)
+  List.iter
+    (fun (name, program) ->
+      List.iter
+        (fun cfg ->
+          if cfg.Cache_model.policy = Cache_model.Lru then begin
+            let exact = verdicts (Engine.run Engine.Exact cfg ~name program) in
+            let age = verdicts (Engine.run Engine.Age cfg ~name program) in
+            Array.iteri
+              (fun i v ->
+                if v <> Report.Unknown && v <> exact.(i) then
+                  Alcotest.failf "%s %s @%d: age %s vs exact %s" name
+                    (config_print cfg) i (Report.verdict_name v)
+                    (Report.verdict_name exact.(i)))
+              age
+          end)
+        Engine.standard_configs)
+    (Catalog.programs ())
+
+let test_grid_shape () =
+  let runs = Engine.grid ~name:"demo" (Catalog.demo ()) in
+  Alcotest.(check int) "12 exact + 4 age runs" 16 (List.length runs);
+  Alcotest.(check int)
+    "12 configs" 12
+    (List.length Engine.standard_configs)
+
+(* ------------------------------------------------------------- crosscheck *)
+
+(* The PR's acceptance criterion, in-process: every catalog program
+   (kernels included) x every standard config, zero contradictions. *)
+let test_crosscheck_catalog_clean () =
+  let summary =
+    Crosscheck.check (Catalog.programs ()) Engine.standard_configs
+  in
+  Alcotest.(check int) "6 programs" 6 summary.Crosscheck.programs;
+  Alcotest.(check int) "96 engine runs" 96 summary.Crosscheck.runs;
+  Alcotest.(check bool)
+    "always-* claims exist" true
+    (summary.Crosscheck.always_claims > 0);
+  (match summary.Crosscheck.contradictions with
+  | [] -> ()
+  | c :: _ ->
+      Alcotest.failf "contradiction: %s/%s @%d claimed %s" c.Crosscheck.program
+        c.Crosscheck.engine c.Crosscheck.point
+        (Report.verdict_name c.Crosscheck.verdict))
+
+let test_crosscheck_catches_unsound () =
+  let summary =
+    Crosscheck.check ~unsound:true
+      [ ("demo", Catalog.demo ()) ]
+      Engine.standard_configs
+  in
+  Alcotest.(check bool)
+    "unsound domain caught" true
+    (summary.Crosscheck.contradictions <> [])
+
+(* ------------------------------------------------------------------- fuzz *)
+
+let spec_gen =
+  (* Random programs: items 0..7, nesting depth <= 2, a few dozen
+     accesses; branch resolution space small enough to enumerate. *)
+  QCheck.Gen.(
+    let access_g = map Program.access (int_range 0 7) in
+    let rec spec depth =
+      if depth = 0 then access_g
+      else
+        frequency
+          [
+            (4, access_g);
+            ( 2,
+              let* n = int_range 1 3 in
+              let* body = list_size (int_range 1 4) (spec (depth - 1)) in
+              return (Program.loop n body) );
+            ( 1,
+              let* t = list_size (int_range 1 3) (spec (depth - 1)) in
+              let* e = list_size (int_range 1 3) (spec (depth - 1)) in
+              return (Program.branch t e) );
+          ]
+    in
+    list_size (int_range 1 10) (spec 2))
+
+let fuzz_program_arbitrary =
+  QCheck.make
+    ~print:(fun (specs, cfg) ->
+      Format.asprintf "%s over %a" (config_print cfg) Program.pp (mk specs))
+    QCheck.Gen.(pair spec_gen config_gen)
+
+let fuzz_no_contradictions (specs, cfg) =
+  let program = mk specs in
+  let summary = Crosscheck.check [ ("fuzz", program) ] [ cfg ] in
+  summary.Crosscheck.contradictions = []
+
+let fuzz_age_sound_vs_exact (specs, cfg) =
+  let cfg = { cfg with Cache_model.policy = Cache_model.Lru } in
+  let program = mk specs in
+  let exact = verdicts (Engine.run Engine.Exact cfg ~name:"fuzz" program) in
+  let age = verdicts (Engine.run Engine.Age cfg ~name:"fuzz" program) in
+  Array.for_all2
+    (fun a e -> a = Report.Unknown || a = e)
+    age exact
+
+(* -------------------------------------------------------------------- cli *)
+
+let gcanalyze = "../bin/gcanalyze.exe"
+
+let exec cmd =
+  let out = Filename.temp_file "gc_analysis" ".out" in
+  let code = Sys.command (Printf.sprintf "%s > %s 2>&1" cmd out) in
+  let ic = open_in_bin out in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out;
+  (code, s)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_cli_list () =
+  let code, out = exec (gcanalyze ^ " list") in
+  Alcotest.(check int) "exit 0" 0 code;
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " listed") true (Test_util.contains out name))
+    (Catalog.names ())
+
+let test_cli_golden () =
+  (* The committed fixture, the CLI's --grid --json output, and the
+     regen_golden printer must agree byte for byte.  Regenerate after an
+     intentional schema change with
+     [dune exec test/regen_golden.exe -- gcanalyze > test/golden/gcanalyze.json]. *)
+  let golden = read_file "golden/gcanalyze.json" in
+  let code, out = exec (gcanalyze ^ " run --program demo --grid --json -") in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check string) "CLI output matches the golden file" golden out;
+  let rendered =
+    Format.asprintf "%a@." Json.pp
+      (Report.doc_to_json (Engine.grid ~name:"demo" (Catalog.demo ())))
+  in
+  Alcotest.(check string) "library printer matches too" golden rendered
+
+let test_cli_golden_covers_grid () =
+  (* Fixture-completeness convention (doc/ANALYSIS.md): every standard
+     grid cell must appear in the fixture, so a new policy, geometry or
+     engine cannot ship without regenerating it. *)
+  let doc = Test_util.parse_json_file "golden/gcanalyze.json" in
+  let runs = Json.get_list (Option.get (Json.member "runs" doc)) in
+  let cells =
+    List.map
+      (fun r ->
+        ( Json.get_string (Option.get (Json.member "engine" r)),
+          Json.get_string (Option.get (Json.member "policy" r)),
+          Json.get_int (Option.get (Json.member "sets" r)),
+          Json.get_int (Option.get (Json.member "ways" r)) ))
+      runs
+  in
+  Alcotest.(check string)
+    "schema pinned" "gcanalyze/v1"
+    (Json.get_string (Option.get (Json.member "schema" doc)));
+  List.iter
+    (fun (cfg : Cache_model.config) ->
+      let policy = Cache_model.policy_name cfg.policy in
+      let expect engine =
+        if not (List.mem (engine, policy, cfg.sets, cfg.ways) cells) then
+          Alcotest.failf
+            "golden fixture is missing %s/%s sets=%d ways=%d — regenerate \
+             it (see doc/ANALYSIS.md)"
+            engine policy cfg.sets cfg.ways
+      in
+      expect "exact";
+      if cfg.policy = Cache_model.Lru then expect "age")
+    Engine.standard_configs
+
+let test_cli_check_exit_codes () =
+  let code, _ = exec (gcanalyze ^ " check --program demo") in
+  Alcotest.(check int) "sound check exits 0" 0 code;
+  let code, out = exec (gcanalyze ^ " check --program demo --unsound") in
+  Alcotest.(check int) "unsound check exits 3" 3 code;
+  Alcotest.(check bool)
+    "contradictions reported" true
+    (Test_util.contains out "CONTRADICTION");
+  let code, _ = exec (gcanalyze ^ " run --program no-such-program") in
+  Alcotest.(check int) "unknown program is a usage error" 2 code;
+  let code, _ = exec (gcanalyze ^ " run --program demo --engine age --policy fifo") in
+  Alcotest.(check int) "age on fifo is a usage error" 2 code
+
+let test_cli_run_trace () =
+  (* A trace fed through stdin is re-rolled and analyzed like a built-in
+     program; 0 1 2 repeated thrice under full-size LRU: first pass cold,
+     later passes hits. *)
+  let tmp = Filename.temp_file "gc_analysis" ".gct" in
+  Gc_trace.Trace_io.save tmp
+    (Gc_trace.Trace.make Gc_trace.Block_map.singleton
+       [| 0; 1; 2; 0; 1; 2; 0; 1; 2 |]);
+  let code, out =
+    exec (Printf.sprintf "%s run %s --policy lru --ways 4 --engine exact" gcanalyze tmp)
+  in
+  Sys.remove tmp;
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "has always-hit points" true
+    (Test_util.contains out "always-hit")
+
+(* ------------------------------------------------------------------ suite *)
+
+let () =
+  Alcotest.run "gc_analysis"
+    [
+      ( "program",
+        [
+          Alcotest.test_case "numbering" `Quick test_program_numbering;
+          Alcotest.test_case "validation" `Quick test_program_validation;
+          Alcotest.test_case "executions" `Quick test_program_executions;
+        ] );
+      ( "reroll",
+        [
+          Alcotest.test_case "simple" `Quick test_reroll_simple;
+          Alcotest.test_case "nested" `Quick test_reroll_nested;
+          QCheck_alcotest.to_alcotest reroll_roundtrip_prop;
+        ] );
+      ( "cache_model",
+        [
+          Alcotest.test_case "immutability" `Quick test_model_immutability;
+          Test_util.qcheck ~count:500 "model matches lib/cache simulator"
+            model_vs_simulator_arbitrary model_matches_simulator;
+        ] );
+      ( "age_domain",
+        [
+          Alcotest.test_case "hand classifications" `Quick test_age_domain_hand;
+          Test_util.qcheck ~count:500 "join is an upper bound"
+            domain_pair_arbitrary join_upper_bound_prop;
+          Test_util.qcheck ~count:500 "widen covers both operands"
+            domain_pair_arbitrary widen_covers_prop;
+          Test_util.qcheck ~count:500 "widening iteration terminates"
+            domain_pair_arbitrary widen_terminates_prop;
+          Test_util.qcheck ~count:500 "transfer is monotone"
+            domain_pair_arbitrary transfer_monotone_prop;
+          Test_util.qcheck ~count:500 "abstract state concretizes"
+            soundness_arbitrary domain_sound_prop;
+        ] );
+      ( "engines",
+        [
+          Alcotest.test_case "demo exact lru k=4" `Quick test_demo_exact_ways4;
+          Alcotest.test_case "demo exact lru k=2" `Quick test_demo_exact_ways2;
+          Alcotest.test_case "demo exact fifo/plru" `Quick
+            test_demo_fifo_plru_exact;
+          Alcotest.test_case "age agrees with exact on catalog" `Quick
+            test_age_never_contradicts_exact;
+          Alcotest.test_case "grid shape" `Quick test_grid_shape;
+        ] );
+      ( "crosscheck",
+        [
+          Alcotest.test_case "catalog x grid: no contradictions" `Quick
+            test_crosscheck_catalog_clean;
+          Alcotest.test_case "unsound domain is caught" `Quick
+            test_crosscheck_catches_unsound;
+        ] );
+      ( "cli",
+        [
+          Alcotest.test_case "list" `Quick test_cli_list;
+          Alcotest.test_case "golden fixture" `Quick test_cli_golden;
+          Alcotest.test_case "fixture covers the grid" `Quick
+            test_cli_golden_covers_grid;
+          Alcotest.test_case "check exit codes" `Quick test_cli_check_exit_codes;
+          Alcotest.test_case "run on a trace" `Quick test_cli_run_trace;
+        ] );
+      ( "fuzz",
+        [
+          fuzz "fuzz: random programs never contradict the simulator"
+            fuzz_program_arbitrary fuzz_no_contradictions;
+          fuzz "fuzz: age verdicts imply exact verdicts"
+            fuzz_program_arbitrary fuzz_age_sound_vs_exact;
+        ] );
+    ]

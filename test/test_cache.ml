@@ -66,6 +66,44 @@ let qcheck_fifo_matches_reference =
       let expected = Test_util.Reference_cache.misses reference reqs in
       expected = Test_util.run_misses (Fifo.create ~k) trace)
 
+(* Tree-PLRU against hand-computed bit-tree traces (k = 4: a full
+   two-level tree; k = 3: padded to 4 with a locked phantom way the
+   victim walk must route around). *)
+let test_plru_eviction_sequence () =
+  let p = Plru.create ~k:4 in
+  let feed x = ignore (Policy.access p x) in
+  List.iter feed [ 10; 11; 12; 13 ];
+  (* Fill order leaves all bits pointing left-left: victim is way 0. *)
+  feed 14;
+  Alcotest.(check bool) "10 evicted" false (Policy.mem p 10);
+  List.iter
+    (fun x -> Alcotest.(check bool) (string_of_int x ^ " kept") true (Policy.mem p x))
+    [ 11; 12; 13; 14 ];
+  (* Hitting 11 flips the root toward the right subtree; its bit says
+     left, so the next victim is way 2 (item 12). *)
+  feed 11;
+  feed 15;
+  Alcotest.(check bool) "12 evicted" false (Policy.mem p 12);
+  List.iter
+    (fun x -> Alcotest.(check bool) (string_of_int x ^ " kept") true (Policy.mem p x))
+    [ 11; 13; 14; 15 ]
+
+let test_plru_non_pow2 () =
+  let p = Plru.create ~k:3 in
+  let feed x = ignore (Policy.access p x) in
+  List.iter feed [ 1; 2; 3 ];
+  feed 4;
+  (* Bits point left-left after the fill: way 0 (item 1) goes. *)
+  Alcotest.(check bool) "1 evicted" false (Policy.mem p 1);
+  (* Root now points right; the right subtree's bit also points right,
+     but way 3 is a phantom, so the walk is forced back to way 2. *)
+  feed 5;
+  Alcotest.(check bool) "3 evicted" false (Policy.mem p 3);
+  List.iter
+    (fun x -> Alcotest.(check bool) (string_of_int x ^ " kept") true (Policy.mem p x))
+    [ 2; 4; 5 ];
+  Alcotest.(check int) "occupancy capped at 3" 3 (Policy.occupancy p)
+
 let test_lfu_evicts_least_frequent () =
   let p = Lfu.create ~k:2 in
   let feed x = ignore (Policy.access p x) in
@@ -869,7 +907,7 @@ let test_parallel_propagates_exceptions () =
 (* ----------------------------------------------- simulator sanity sweep *)
 
 let all_policy_names =
-  [ "lru"; "fifo"; "lfu"; "clock"; "random"; "marking"; "block-lru"; "gcm";
+  [ "lru"; "fifo"; "lfu"; "clock"; "plru"; "random"; "marking"; "block-lru"; "gcm";
     "iblp"; "param-a"; "param-a:1"; "param-a:3"; "iblp:i=4,b=12"; "arc"; "2q";
     "block-marking"; "iblp-adaptive" ]
 
@@ -1022,6 +1060,8 @@ let () =
         [
           qcheck_lru_matches_reference;
           qcheck_fifo_matches_reference;
+          Alcotest.test_case "plru eviction sequence" `Quick test_plru_eviction_sequence;
+          Alcotest.test_case "plru non-pow2 ways" `Quick test_plru_non_pow2;
           Alcotest.test_case "lfu evicts least frequent" `Quick test_lfu_evicts_least_frequent;
           Alcotest.test_case "lfu tie-breaks lru" `Quick test_lfu_tie_breaks_lru;
           Alcotest.test_case "clock second chance" `Quick test_clock_second_chance;

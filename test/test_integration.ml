@@ -8,7 +8,7 @@ open Gc_cache
 
 let rng () = Rng.create 4242
 
-let policies = [ "lru"; "fifo"; "lfu"; "clock"; "random"; "marking";
+let policies = [ "lru"; "fifo"; "lfu"; "clock"; "plru"; "random"; "marking";
                  "block-lru"; "gcm"; "iblp"; "param-a:1"; "param-a:2";
                  "arc"; "2q"; "block-marking"; "iblp-adaptive"; "fwf";
                  "lru-k"; "s3-fifo"; "setassoc-lru"; "stride-prefetch" ]

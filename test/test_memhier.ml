@@ -190,19 +190,23 @@ let test_two_level_gc_l2_beats_item_l2 () =
 
 (* ----------------------------------------------------------------- kernels *)
 
+(* Kernel streams come from the shared catalog (also the source for
+   bench/main.ml and Gc_analysis.Catalog), so every consumer exercises
+   the same canonical parameters. *)
+let gen ?(seed = 777) name size =
+  match Kernels.find name with
+  | Some e -> e.Kernels.generate size ~seed
+  | None -> Alcotest.failf "kernel %S missing from the catalog" name
+
 let test_matmul_same_footprint () =
-  let n = 8 and elem_bytes = 8 in
-  let bases = (0, 4096, 8192) in
-  let a, b, c = bases in
-  let naive = Kernels.matmul_naive ~n ~elem_bytes ~a ~b ~c in
-  let blocked = Kernels.matmul_blocked ~n ~tile:4 ~elem_bytes ~a ~b ~c in
+  let naive = gen "matmul-naive" Kernels.Small in
+  let blocked = gen "matmul-blocked" Kernels.Small in
   Alcotest.(check int) "same access count" (Array.length naive)
     (Array.length blocked);
   let sort arr = let copy = Array.copy arr in Array.sort compare copy; copy in
   Alcotest.(check (array int)) "same address multiset" (sort naive) (sort blocked)
 
 let test_blocked_matmul_fewer_row_opens () =
-  let n = 32 and elem_bytes = 8 in
   let geo = Geometry.create ~line_bytes:64 ~row_bytes:512 in
   let run addrs =
     let h =
@@ -212,37 +216,52 @@ let test_blocked_matmul_fewer_row_opens () =
     Hierarchy.run h addrs;
     (Hierarchy.stats h).Hierarchy.misses
   in
-  let naive =
-    run (Kernels.matmul_naive ~n ~elem_bytes ~a:0 ~b:65_536 ~c:131_072)
-  in
-  let blocked =
-    run (Kernels.matmul_blocked ~n ~tile:8 ~elem_bytes ~a:0 ~b:65_536 ~c:131_072)
-  in
+  let naive = run (gen "matmul-naive" Kernels.Bench) in
+  let blocked = run (gen "matmul-blocked" Kernels.Bench) in
   Alcotest.(check bool)
     (Printf.sprintf "blocked %d < naive %d row opens" blocked naive)
     true
     (2 * blocked < naive)
 
 let test_stencil_shape () =
-  let addrs = Kernels.stencil_2d ~rows:10 ~cols:10 ~iters:2 ~elem_bytes:8 ~base:0 in
+  let addrs = gen "stencil" Kernels.Small in
   Alcotest.(check int) "5 accesses per interior cell per iter" (2 * 64 * 5)
     (Array.length addrs)
 
 let test_btree_hot_root () =
-  let addrs =
-    Kernels.btree_lookups (rng ()) ~lookups:100 ~keys:4096 ~fanout:16
-      ~node_bytes:256 ~base:0
-  in
+  let addrs = gen "btree" Kernels.Small in
   (* Depth = 3 (16^3 = 4096): every lookup visits the root first. *)
   Alcotest.(check int) "depth 3" 300 (Array.length addrs);
   Alcotest.(check int) "root first" 0 addrs.(0);
   Alcotest.(check int) "root every lookup" 0 addrs.(3)
 
+let test_catalog_well_formed () =
+  let names = Kernels.names in
+  let sorted = List.sort_uniq compare names in
+  Alcotest.(check int) "names unique" (List.length names) (List.length sorted);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool)
+        (e.Kernels.name ^ " documented")
+        true
+        (String.length e.Kernels.doc > 10);
+      (* Same seed, same stream: the catalog is deterministic. *)
+      Alcotest.(check (array int))
+        (e.Kernels.name ^ " deterministic")
+        (e.Kernels.generate Kernels.Small ~seed:5)
+        (e.Kernels.generate Kernels.Small ~seed:5);
+      Alcotest.(check bool)
+        (e.Kernels.name ^ " non-empty")
+        true
+        (Array.length (e.Kernels.generate Kernels.Small ~seed:5) > 0))
+    Kernels.catalog;
+  Alcotest.(check (option string))
+    "find" (Some "stencil")
+    (Option.map (fun e -> e.Kernels.name) (Kernels.find "stencil"));
+  Alcotest.(check bool) "find unknown" true (Kernels.find "nope" = None)
+
 let test_hash_join_mixes () =
-  let addrs =
-    Kernels.hash_join (rng ()) ~build_rows:100 ~probe_rows:200 ~row_bytes:64
-      ~buckets:32 ~base_table:0 ~base_hash:1_048_576
-  in
+  let addrs = gen "hash-join" Kernels.Small in
   Alcotest.(check int) "2 accesses per row" 600 (Array.length addrs);
   (* Table accesses ascend; hash accesses stay in the bucket range. *)
   Alcotest.(check int) "first table row" 0 addrs.(0);
@@ -379,6 +398,7 @@ let () =
           Alcotest.test_case "stencil shape" `Quick test_stencil_shape;
           Alcotest.test_case "btree hot root" `Quick test_btree_hot_root;
           Alcotest.test_case "hash join" `Quick test_hash_join_mixes;
+          Alcotest.test_case "catalog well-formed" `Quick test_catalog_well_formed;
         ] );
       ( "writeback",
         [
